@@ -1,0 +1,295 @@
+package hirata
+
+// Benchmarks regenerating the paper's evaluation, one family per table.
+// Each benchmark iteration is one complete simulation; the interesting
+// output is the reported custom metrics (simulated cycles and speed-up vs
+// the sequential baseline), which correspond to the paper's table cells.
+// Run `go run ./cmd/hirata-bench` for the full paper-vs-measured report.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hirata/internal/core"
+	"hirata/internal/risc"
+)
+
+// benchRT is the benchmark workload (smaller than the full harness run to
+// keep -bench wall time reasonable; the shape is identical).
+var benchRT = RayTraceConfig{Rays: 96, Spheres: 10}
+
+var (
+	benchOnce     sync.Once
+	benchWorkload *RayTrace
+	benchBaseline [3]uint64 // sequential cycles by load/store units
+)
+
+func benchSetup(b *testing.B) *RayTrace {
+	b.Helper()
+	benchOnce.Do(func() {
+		rt, err := BuildRayTrace(benchRT)
+		if err != nil {
+			panic(err)
+		}
+		benchWorkload = rt
+		for _, ls := range []int{1, 2} {
+			m, err := rt.NewMemory(rt.Seq, 1)
+			if err != nil {
+				panic(err)
+			}
+			res, err := RunRISC(risc.Config{LoadStoreUnits: ls}, rt.Seq.Text, m)
+			if err != nil {
+				panic(err)
+			}
+			benchBaseline[ls] = res.Cycles
+		}
+	})
+	return benchWorkload
+}
+
+// benchMT runs one multithreaded ray-trace simulation per iteration and
+// reports simulated cycles and speed-up.
+func benchMT(b *testing.B, cfg core.Config) {
+	rt := benchSetup(b)
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := rt.NewMemory(rt.Par, cfg.ThreadSlots)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunMT(cfg, rt.Par.Text, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	b.ReportMetric(float64(benchBaseline[cfg.LoadStoreUnits])/float64(cycles), "speedup")
+}
+
+// BenchmarkBaselineRISC measures the sequential reference machine.
+func BenchmarkBaselineRISC(b *testing.B) {
+	for _, ls := range []int{1, 2} {
+		b.Run(fmt.Sprintf("LS%d", ls), func(b *testing.B) {
+			rt := benchSetup(b)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := rt.NewMemory(rt.Seq, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := RunRISC(risc.Config{LoadStoreUnits: ls}, rt.Seq.Text, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: slots × load/store units × standby.
+func BenchmarkTable2(b *testing.B) {
+	for _, slots := range []int{2, 4, 8} {
+		for _, ls := range []int{1, 2} {
+			for _, standby := range []bool{false, true} {
+				name := fmt.Sprintf("S%d/LS%d/standby=%v", slots, ls, standby)
+				b.Run(name, func(b *testing.B) {
+					benchMT(b, core.Config{
+						ThreadSlots:     slots,
+						LoadStoreUnits:  ls,
+						StandbyStations: standby,
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable2PrivateICache regenerates the §3.2 variant experiment.
+func BenchmarkTable2PrivateICache(b *testing.B) {
+	for _, slots := range []int{2, 8} {
+		b.Run(fmt.Sprintf("S%d", slots), func(b *testing.B) {
+			benchMT(b, core.Config{
+				ThreadSlots:     slots,
+				LoadStoreUnits:  2,
+				StandbyStations: true,
+				PrivateICache:   true,
+			})
+		})
+	}
+}
+
+// BenchmarkRotationInterval regenerates the §3.2 rotation sweep.
+func BenchmarkRotationInterval(b *testing.B) {
+	for n := 0; n <= 8; n += 2 {
+		b.Run(fmt.Sprintf("interval%d", 1<<n), func(b *testing.B) {
+			benchMT(b, core.Config{
+				ThreadSlots:      4,
+				LoadStoreUnits:   1,
+				StandbyStations:  true,
+				RotationInterval: 1 << n,
+			})
+		})
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: the hybrid (D,S) grid.
+func BenchmarkTable3(b *testing.B) {
+	for _, prod := range []int{2, 4, 8} {
+		for d := 1; d <= prod; d *= 2 {
+			s := prod / d
+			b.Run(fmt.Sprintf("D%d/S%d", d, s), func(b *testing.B) {
+				benchMT(b, core.Config{
+					ThreadSlots:     s,
+					LoadStoreUnits:  2,
+					StandbyStations: true,
+					IssueWidth:      d,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: Livermore Kernel 1 under the three
+// scheduling strategies.
+func BenchmarkTable4(b *testing.B) {
+	const n = 160
+	for _, strat := range []Strategy{ScheduleNone, ScheduleStrategyA, ScheduleStrategyB} {
+		for _, slots := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("%s/S%d", strat, slots)
+			b.Run(name, func(b *testing.B) {
+				lv, err := BuildLivermore(LivermoreConfig{
+					N: n, Threads: slots, Strategy: strat, LoadStoreUnits: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				prog := lv.Par
+				if slots == 1 {
+					prog = lv.Seq
+				}
+				var cycles uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m, err := prog.NewMemory(64)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := RunMT(core.Config{
+						ThreadSlots:     slots,
+						LoadStoreUnits:  1,
+						StandbyStations: true,
+					}, prog.Text, m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Cycles
+				}
+				b.ReportMetric(float64(cycles)/float64(n), "cycles/iter")
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: eager execution of the while loop.
+func BenchmarkTable5(b *testing.B) {
+	const nodes = 160
+	ll, err := BuildLinkedList(LinkedListConfig{Nodes: nodes, BreakAt: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			m, err := ll.NewMemory(ll.Seq, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := RunRISC(risc.Config{LoadStoreUnits: 1}, ll.Seq.Text, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = res.Cycles
+		}
+		b.ReportMetric(float64(cycles)/float64(nodes), "cycles/iter")
+	})
+	for _, slots := range []int{2, 3, 4, 8} {
+		b.Run(fmt.Sprintf("S%d", slots), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				m, err := ll.NewMemory(ll.Par, slots)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := RunMT(core.Config{
+					ThreadSlots:     slots,
+					LoadStoreUnits:  1,
+					StandbyStations: true,
+				}, ll.Par.Text, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(nodes), "cycles/iter")
+		})
+	}
+}
+
+// BenchmarkConcurrentMT measures context switching on remote loads
+// (§2.1.3, the paper's outlined-but-unevaluated mechanism).
+func BenchmarkConcurrentMT(b *testing.B) {
+	for _, suppressed := range []bool{true, false} {
+		name := "switching"
+		if suppressed {
+			name = "suppressed"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cells, err := RunConcurrentMT(4, []int{4}, 300)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if suppressed {
+					cycles = cells[0].Cycles
+				} else {
+					cycles = cells[1].Cycles
+				}
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (host cycles
+// per simulated cycle), useful for tracking simulator performance.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	rt := benchSetup(b)
+	m, err := rt.NewMemory(rt.Par, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := RunMT(core.Config{ThreadSlots: 8, LoadStoreUnits: 2, StandbyStations: true}, rt.Par.Text, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	simCycles := res.Cycles
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := rt.NewMemory(rt.Par, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunMT(core.Config{ThreadSlots: 8, LoadStoreUnits: 2, StandbyStations: true}, rt.Par.Text, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(simCycles)*float64(b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}

@@ -1,0 +1,68 @@
+// Command hirata-asm assembles programs to the 32-bit binary encoding and
+// disassembles them back.
+//
+// Usage:
+//
+//	hirata-asm prog.s              # assemble, print listing
+//	hirata-asm -o prog.bin prog.s  # assemble to binary
+//	hirata-asm -d prog.bin         # disassemble binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hirata"
+	"hirata/internal/isa"
+)
+
+func main() {
+	var (
+		out = flag.String("o", "", "write encoded binary to this file")
+		dis = flag.Bool("d", false, "disassemble a binary instead of assembling")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hirata-asm [-o out.bin | -d] file")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	if *dis {
+		text, err := isa.DecodeProgram(data)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(hirata.Disassemble(text))
+		return
+	}
+
+	prog, err := hirata.Assemble(string(data))
+	if err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		bin, err := isa.EncodeProgram(prog.Text)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, bin, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d instructions (%d bytes) to %s\n", len(prog.Text), len(bin), *out)
+		return
+	}
+	fmt.Print(hirata.Disassemble(prog.Text))
+	if len(prog.Data) > 0 {
+		fmt.Printf("; data image: %d initialised words, data end %d\n", len(prog.Data), prog.DataEnd)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hirata-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,218 @@
+// Command hirata-bench regenerates the evaluation of Hirata et al. (ISCA
+// 1992): Tables 2-5 and the in-text experiments (rotation-interval sweep,
+// private instruction caches, functional-unit utilization), plus this
+// repository's extensions (finite caches, queue-register depth, concurrent
+// multithreading). Each table prints paper-reported values next to the
+// values measured on this simulator.
+//
+// Usage:
+//
+//	hirata-bench                 # everything
+//	hirata-bench -table 2        # one table
+//	hirata-bench -extras         # extension experiments only
+//	hirata-bench -rays 240 -n 400 -nodes 200   # workload sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hirata"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "which table to run: 2, 3, 4, 5, or all")
+		extras  = flag.Bool("extras", false, "run only the extension experiments")
+		rays    = flag.Int("rays", 240, "rays in the ray-tracing workload (Tables 2, 3)")
+		spheres = flag.Int("spheres", 12, "spheres in the ray-tracing scene")
+		n       = flag.Int("n", 400, "Livermore Kernel 1 iterations (Table 4)")
+		nodes   = flag.Int("nodes", 200, "linked-list length (Table 5)")
+		curve   = flag.Bool("curve", false, "print the slots-vs-speed-up sweep as CSV and exit")
+		asJSON  = flag.Bool("json", false, "print Tables 2-5 and the speed-up curve as JSON and exit")
+	)
+	flag.Parse()
+
+	rt := hirata.RayTraceConfig{Rays: *rays, Spheres: *spheres}
+	if *asJSON {
+		rep, err := hirata.RunFullReport(rt, *n, *nodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hirata-bench:", err)
+			os.Exit(1)
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hirata-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	if *curve {
+		cells, err := hirata.RunSpeedupCurve(rt, 8)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hirata-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(hirata.FormatSpeedupCurveCSV(cells))
+		return
+	}
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "hirata-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	wantTable := func(t string) bool { return !*extras && (*table == "all" || *table == t) }
+
+	if wantTable("2") {
+		run("table 2", func() error {
+			tb, err := hirata.RunTable2(hirata.Table2Config{Workload: rt})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatTable2(tb))
+			return nil
+		})
+		run("utilization", func() error {
+			res, err := hirata.UtilizationReport(rt, 8, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatUtilization(res, 8, 1))
+			return nil
+		})
+		run("rotation sweep", func() error {
+			cells, err := hirata.RunRotationSweep(rt, 4, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatRotationSweep(cells))
+			return nil
+		})
+		run("private icache", func() error {
+			cells, err := hirata.RunPrivateICache(rt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatPrivateICache(cells))
+			return nil
+		})
+	}
+	if wantTable("3") {
+		run("table 3", func() error {
+			tb, err := hirata.RunTable3(hirata.Table3Config{Workload: rt})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatTable3(tb))
+			return nil
+		})
+	}
+	if wantTable("4") {
+		run("table 4", func() error {
+			tb, err := hirata.RunTable4(hirata.Table4Config{N: *n})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatTable4(tb))
+			return nil
+		})
+	}
+	if wantTable("5") {
+		run("table 5", func() error {
+			tb, err := hirata.RunTable5(hirata.Table5Config{Nodes: *nodes})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatTable5(tb))
+			return nil
+		})
+	}
+
+	if *extras || *table == "all" {
+		run("finite cache", func() error {
+			cells, err := hirata.RunFiniteCache(rt, 4, []int{1024, 256, 64, 16})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatFiniteCache(cells, 4))
+			return nil
+		})
+		run("queue depth", func() error {
+			cells, err := hirata.RunQueueDepthAblation(*nodes, 4, []int{1, 2, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatQueueDepth(cells, 4))
+			return nil
+		})
+		run("concurrent multithreading", func() error {
+			cells, err := hirata.RunConcurrentMT(4, []int{4}, 300)
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatConcurrentMT(cells))
+			return nil
+		})
+		run("doacross", func() error {
+			cells, seq, err := hirata.RunDoacross(*n, []int{1, 2, 3, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatDoacross(cells, seq, *n))
+			return nil
+		})
+		run("issue bandwidth", func() error {
+			cells, err := hirata.RunIssueBandwidth(rt, []int{2, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatIssueBandwidth(cells))
+			return nil
+		})
+		run("swp ablation", func() error {
+			cells, err := hirata.RunSWPAblation(*n, []int{1, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatSWPAblation(cells))
+			return nil
+		})
+		run("standby depth", func() error {
+			cells, err := hirata.RunStandbyDepth(rt, 4, []int{1, 2, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatStandbyDepth(cells, 4))
+			return nil
+		})
+		run("unrolling", func() error {
+			cells, err := hirata.RunUnrollAblation(384, []int{1, 2, 4, 8}, []int{1, 2, 3})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatUnroll(cells))
+			return nil
+		})
+		run("branch hiding", func() error {
+			cells, seq, err := hirata.RunBranchHiding([]int{1, 2, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatBranchHiding(cells, seq))
+			return nil
+		})
+		run("multiprogramming", func() error {
+			cells, err := hirata.RunMultiprogram([]int{2, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Print(hirata.FormatMultiprogram(cells))
+			return nil
+		})
+	}
+}

@@ -1,0 +1,81 @@
+// Command hirata-cc compiles MinC — a small C-like kernel language — to
+// the machine's assembly, and optionally runs the result. The paper's
+// workloads were produced by a commercial C compiler; MinC is this
+// repository's equivalent substrate (see docs/MINC.md).
+//
+// Usage:
+//
+//	hirata-cc kernel.mc               # print generated assembly
+//	hirata-cc -run kernel.mc          # compile and run (multithreaded)
+//	hirata-cc -run -slots 8 -ls 2 kernel.mc
+//	hirata-cc -run -dump name kernel.mc   # print a global after the run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hirata"
+	"hirata/internal/minc"
+)
+
+func main() {
+	var (
+		run     = flag.Bool("run", false, "run the compiled program on the multithreaded machine")
+		slots   = flag.Int("slots", 4, "thread slots for -run")
+		ls      = flag.Int("ls", 2, "load/store units for -run")
+		dump    = flag.String("dump", "", "comma-free global name to print after -run")
+		dumpN   = flag.Int("dump-n", 1, "number of words to print from -dump")
+		verbose = flag.Bool("v", false, "print full statistics after -run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hirata-cc [-run] kernel.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	check(err)
+
+	if !*run {
+		text, err := minc.CompileToAsm(string(src))
+		check(err)
+		fmt.Print(text)
+		return
+	}
+
+	prog, err := minc.Compile(string(src))
+	check(err)
+	m, err := prog.NewMemory(4096)
+	check(err)
+	minc.SetThreads(prog, m, *slots)
+	res, err := hirata.RunMT(hirata.MTConfig{
+		ThreadSlots:     *slots,
+		LoadStoreUnits:  *ls,
+		StandbyStations: true,
+	}, prog.Text, m)
+	check(err)
+	if *verbose {
+		fmt.Print(res.String())
+	} else {
+		fmt.Printf("cycles=%d instructions=%d ipc=%.3f\n", res.Cycles, res.Instructions, res.IPC())
+	}
+	if *dump != "" {
+		addr, ok := prog.Symbol(*dump)
+		if !ok {
+			check(fmt.Errorf("unknown global %q", *dump))
+		}
+		for i := 0; i < *dumpN; i++ {
+			v, err := m.Load(addr + int64(i))
+			check(err)
+			fmt.Printf("%s[%d] = %d (float %g)\n", *dump, i, int64(v), m.FloatAt(addr+int64(i)))
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hirata-cc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,141 @@
+// Command hirata-sim assembles and runs a program on one of the three
+// machine models: the multithreaded processor (mt), the baseline
+// superpipelined RISC (risc), or the untimed functional interpreter
+// (interp).
+//
+// Usage:
+//
+//	hirata-sim [flags] program.s      (or program.mc for MinC source)
+//
+//	hirata-sim -machine mt -slots 4 -ls 2 -standby prog.s
+//	hirata-sim -machine risc prog.s
+//	hirata-sim -machine interp -dump-mem 100:110 prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hirata"
+)
+
+func main() {
+	var (
+		machine  = flag.String("machine", "mt", "machine model: mt, risc, or interp")
+		slots    = flag.Int("slots", 1, "thread slots (mt)")
+		ls       = flag.Int("ls", 1, "load/store units")
+		standby  = flag.Bool("standby", true, "standby stations (mt)")
+		width    = flag.Int("width", 1, "superscalar issue width per slot (mt)")
+		rotation = flag.Int("rotation", 8, "priority rotation interval in cycles (mt)")
+		explicit = flag.Bool("explicit", false, "start in explicit-rotation mode (mt)")
+		frames   = flag.Int("frames", 0, "context frames (mt; 0 = one per slot)")
+		threads  = flag.Int("threads", 1, "threads started at pc 0 (mt)")
+		headroom = flag.Int("headroom", 4096, "extra data-memory words beyond the data image")
+		dumpMem  = flag.String("dump-mem", "", "memory range to print after the run, e.g. 100:110")
+		pipeline = flag.Bool("pipeline", false, "print a cycle-by-cycle pipeline event trace (mt)")
+		verbose  = flag.Bool("v", false, "print full statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hirata-sim [flags] program.s")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	// .mc files are MinC source; everything else is assembly.
+	var prog *hirata.Program
+	if strings.HasSuffix(flag.Arg(0), ".mc") {
+		prog, err = hirata.CompileMinC(string(src))
+	} else {
+		prog, err = hirata.Assemble(string(src))
+	}
+	if err != nil {
+		fail(err)
+	}
+	m, err := prog.NewMemory(int64(*headroom))
+	if err != nil {
+		fail(err)
+	}
+
+	switch *machine {
+	case "mt":
+		cfg := hirata.MTConfig{
+			ThreadSlots:      *slots,
+			LoadStoreUnits:   *ls,
+			StandbyStations:  *standby,
+			IssueWidth:       *width,
+			RotationInterval: *rotation,
+			ExplicitRotation: *explicit,
+			ContextFrames:    *frames,
+		}
+		pcs := make([]int64, *threads)
+		hirata.SetMinCThreads(prog, m, *slots)
+		var res hirata.MTResult
+		if *pipeline {
+			res, err = hirata.RunMTTraced(cfg, prog.Text, m, os.Stdout, pcs...)
+		} else {
+			res, err = hirata.RunMT(cfg, prog.Text, m, pcs...)
+		}
+		if err != nil {
+			fail(err)
+		}
+		if *verbose {
+			fmt.Print(res.String())
+		} else {
+			fmt.Printf("cycles=%d instructions=%d ipc=%.3f\n", res.Cycles, res.Instructions, res.IPC())
+		}
+	case "risc":
+		res, err := hirata.RunRISC(hirata.RISCConfig{LoadStoreUnits: *ls}, prog.Text, m)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("cycles=%d instructions=%d cpi=%.3f branches=%d\n",
+			res.Cycles, res.Instructions, res.CPI(), res.Branches)
+	case "interp":
+		steps, err := hirata.Interpret(prog.Text, m)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("instructions=%d\n", steps)
+	default:
+		fail(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	if *dumpMem != "" {
+		lo, hi, err := parseRange(*dumpMem)
+		if err != nil {
+			fail(err)
+		}
+		for a := lo; a < hi; a++ {
+			v, err := m.Load(a)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("mem[%d] = %#016x (int %d, float %g)\n", a, v, int64(v), m.FloatAt(a))
+		}
+	}
+}
+
+func parseRange(s string) (lo, hi int64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q, want LO:HI", s)
+	}
+	if lo, err = strconv.ParseInt(parts[0], 0, 64); err != nil {
+		return
+	}
+	hi, err = strconv.ParseInt(parts[1], 0, 64)
+	return
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hirata-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Command hirata-trace works with dynamic instruction traces — the
+// simulation methodology of the paper's §3, which drives the timing
+// simulator with traced instruction sequences.
+//
+// Usage:
+//
+//	hirata-trace -record prog.s -o prog.trace     # run + record
+//	hirata-trace -stats prog.trace                # dynamic mix
+//	hirata-trace -replay prog.trace -slots 4 -copies 4
+//
+// Replaying N copies of a trace on S thread slots measures multiprogrammed
+// throughput exactly the way the paper measures its ray tracer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hirata"
+	"hirata/internal/core"
+	"hirata/internal/trace"
+)
+
+func main() {
+	var (
+		record  = flag.String("record", "", "assembly program to run and record")
+		out     = flag.String("o", "", "output trace file for -record")
+		stats   = flag.String("stats", "", "trace file to summarise")
+		replay  = flag.String("replay", "", "trace file to replay on the multithreaded machine")
+		slots   = flag.Int("slots", 4, "thread slots for -replay")
+		ls      = flag.Int("ls", 2, "load/store units for -replay")
+		copies  = flag.Int("copies", 0, "trace copies to replay (default: one per slot)")
+		standby = flag.Bool("standby", true, "standby stations for -replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		src, err := os.ReadFile(*record)
+		check(err)
+		prog, err := hirata.Assemble(string(src))
+		check(err)
+		m, err := prog.NewMemory(4096)
+		check(err)
+		recs, err := trace.RecordProgram(prog.Text, m, 0)
+		check(err)
+		if *out == "" {
+			fmt.Print(trace.Stats(recs).String())
+			return
+		}
+		f, err := os.Create(*out)
+		check(err)
+		check(trace.Write(f, recs))
+		check(f.Close())
+		fmt.Printf("recorded %d instructions to %s\n", len(recs), *out)
+
+	case *stats != "":
+		recs := load(*stats)
+		fmt.Print(trace.Stats(recs).String())
+
+	case *replay != "":
+		recs := load(*replay)
+		n := *copies
+		if n <= 0 {
+			n = *slots
+		}
+		in := make([]core.TraceInput, len(recs))
+		for i, r := range recs {
+			in[i] = core.TraceInput{Ins: r.Ins, Addr: r.Addr}
+		}
+		traces := make([][]core.TraceInput, n)
+		for i := range traces {
+			traces[i] = in
+		}
+		p, err := core.NewTraceDriven(core.Config{
+			ThreadSlots:     *slots,
+			LoadStoreUnits:  *ls,
+			StandbyStations: *standby,
+		}, traces)
+		check(err)
+		res, err := p.Run()
+		check(err)
+		fmt.Printf("replayed %d x %d instructions on %d slots\n", n, len(recs), *slots)
+		fmt.Print(res.String())
+
+	default:
+		fmt.Fprintln(os.Stderr, "usage: hirata-trace -record prog.s [-o f] | -stats f | -replay f [-slots N -copies N]")
+		os.Exit(2)
+	}
+}
+
+func load(path string) []trace.Record {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	recs, err := trace.Read(f)
+	check(err)
+	return recs
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hirata-trace:", err)
+		os.Exit(1)
+	}
+}

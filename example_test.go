@@ -1,0 +1,119 @@
+package hirata_test
+
+import (
+	"fmt"
+
+	"hirata"
+)
+
+// Assemble a small fork/join program, run it on a 4-slot multithreaded
+// processor and read back each thread's result.
+func Example() {
+	prog, err := hirata.Assemble(`
+		ffork              ; start a thread on every idle slot
+		tid  r1            ; logical processor id
+		addi r2, r1, 1
+		mul  r3, r2, r2
+		sw   r3, 100(r1)
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	m := hirata.NewMemory(256)
+	if _, err := hirata.RunMT(hirata.MTConfig{
+		ThreadSlots:     4,
+		LoadStoreUnits:  2,
+		StandbyStations: true,
+	}, prog.Text, m); err != nil {
+		panic(err)
+	}
+	for tid := int64(0); tid < 4; tid++ {
+		fmt.Printf("thread %d computed %d\n", tid, m.IntAt(100+tid))
+	}
+	// Output:
+	// thread 0 computed 1
+	// thread 1 computed 4
+	// thread 2 computed 9
+	// thread 3 computed 16
+}
+
+// Compare the multithreaded processor against the sequential baseline on
+// the paper's ray-tracing workload.
+func ExampleRunMT() {
+	rt, err := hirata.BuildRayTrace(hirata.RayTraceConfig{Rays: 32, Spheres: 6})
+	if err != nil {
+		panic(err)
+	}
+	mSeq, _ := rt.NewMemory(rt.Seq, 1)
+	seq, err := hirata.RunRISC(hirata.RISCConfig{LoadStoreUnits: 2}, rt.Seq.Text, mSeq)
+	if err != nil {
+		panic(err)
+	}
+	mPar, _ := rt.NewMemory(rt.Par, 4)
+	par, err := hirata.RunMT(hirata.MTConfig{
+		ThreadSlots:     4,
+		LoadStoreUnits:  2,
+		StandbyStations: true,
+	}, rt.Par.Text, mPar)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("4 thread slots are %.0fx faster than sequential\n",
+		float64(seq.Cycles)/float64(par.Cycles))
+	// Output:
+	// 4 thread slots are 4x faster than sequential
+}
+
+// Compile a MinC kernel and run it.
+func ExampleCompileMinC() {
+	prog, err := hirata.CompileMinC(`
+		global int squares[8];
+		func main() {
+			fork();
+			int i = tid();
+			while (i < 8) {
+				squares[i] = i * i;
+				i = i + nthreads();
+			}
+		}
+	`)
+	if err != nil {
+		panic(err)
+	}
+	m, _ := prog.NewMemory(256)
+	hirata.SetMinCThreads(prog, m, 4)
+	if _, err := hirata.RunMT(hirata.MTConfig{ThreadSlots: 4, StandbyStations: true}, prog.Text, m); err != nil {
+		panic(err)
+	}
+	base := prog.MustSymbol("squares")
+	for i := int64(0); i < 8; i++ {
+		fmt.Print(m.IntAt(base+i), " ")
+	}
+	fmt.Println()
+	// Output:
+	// 0 1 4 9 16 25 36 49
+}
+
+// Record a dynamic instruction trace and inspect its mix.
+func ExampleRecordTrace() {
+	prog, err := hirata.Assemble(`
+		li   r1, 4
+	loop:	lw   r2, 100(r1)
+		add  r3, r3, r2
+		addi r1, r1, -1
+		bnez r1, loop
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	recs, err := hirata.RecordTrace(prog.Text, hirata.NewMemory(128))
+	if err != nil {
+		panic(err)
+	}
+	mix := hirata.TraceStats(recs)
+	fmt.Printf("%d instructions, %d loads, %d branches\n", mix.Total, mix.Loads, mix.Branches)
+	// Output:
+	// 18 instructions, 4 loads, 4 branches
+}

@@ -1,0 +1,61 @@
+// Doacross: parallelising a loop with a loop-carried dependence through
+// queue registers (§2.3.1). Livermore Kernel 5 is a first-order linear
+// recurrence,
+//
+//	X(i) = Z(i) * (Y(i) - X(i-1)),
+//
+// so iteration i cannot even start its multiply before iteration i-1
+// finishes — the classic doacross pattern. On the multithreaded processor
+// the iterations are dealt round-robin to the logical processors and the
+// X values flow around the queue-register ring; everything else in the
+// iteration (loads of Y and Z, address arithmetic, the store) overlaps
+// with the chain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hirata"
+)
+
+func main() {
+	const n = 300
+	rc, err := hirata.BuildRecurrence(hirata.RecurrenceConfig{N: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := rc.Expected()
+
+	mSeq, err := rc.NewMemory(rc.Seq, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := hirata.RunRISC(hirata.RISCConfig{}, rc.Seq.Text, mSeq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("X(i) = Z(i)*(Y(i) - X(i-1)), %d iterations\n\n", n)
+	fmt.Printf("sequential: %d cycles (%.2f cycles/iteration)\n", seq.Cycles, float64(seq.Cycles)/n)
+
+	for _, slots := range []int{2, 3, 4, 8} {
+		m, err := rc.NewMemory(rc.Par, slots)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := hirata.RunMT(hirata.MTConfig{ThreadSlots: slots, StandbyStations: true}, rc.Par.Text, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := rc.X(rc.Par, m)
+		for i := range want {
+			if got[i] != want[i] {
+				log.Fatalf("%d slots: X(%d) = %g, want %g", slots, i, got[i], want[i])
+			}
+		}
+		fmt.Printf("%d slots:    %d cycles (%.2f cycles/iteration, speed-up %.2f)\n",
+			slots, res.Cycles, float64(res.Cycles)/n, float64(seq.Cycles)/float64(res.Cycles))
+	}
+	fmt.Println("\nall parallel runs verified bit-identical against the recurrence definition;")
+	fmt.Println("speed-up saturates at the length of the X(i-1) -> X(i) dependence chain.")
+}

@@ -1,0 +1,69 @@
+// Livermore: the static code scheduling study (§3.4). Livermore Kernel 1
+//
+//	X(K) = Q + Y(K)*(R*Z(K+10) + T*Z(K+11))
+//
+// is compiled three ways — naive dependence-chained order, strategy A
+// (list scheduling), and strategy B (list scheduling with a resource
+// reservation table and a standby table) — and run on 1..8 thread slots
+// with one load/store unit, in explicit-rotation mode with a
+// change-priority instruction per iteration.
+//
+// The interesting numbers: scheduling shortens the single-thread loop
+// (paper: 50 -> 42 cycles/iteration), and every strategy converges to the
+// structural bound of (3 loads + 1 store) x 2-cycle issue latency = 8
+// cycles/iteration as thread slots are added.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hirata"
+)
+
+func main() {
+	const n = 400
+	fmt.Printf("Livermore Kernel 1, %d iterations, one load/store unit\n\n", n)
+	fmt.Printf("%-6s %-16s %-16s %-16s\n", "slots", "non-optimized", "strategy A", "strategy B")
+	for _, slots := range []int{1, 2, 3, 4, 6, 8} {
+		fmt.Printf("%-6d", slots)
+		for _, strat := range []hirata.Strategy{
+			hirata.ScheduleNone, hirata.ScheduleStrategyA, hirata.ScheduleStrategyB,
+		} {
+			lv, err := hirata.BuildLivermore(hirata.LivermoreConfig{
+				N: n, Threads: slots, Strategy: strat, LoadStoreUnits: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			prog := lv.Par
+			if slots == 1 {
+				prog = lv.Seq
+			}
+			m, err := prog.NewMemory(64)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := hirata.RunMT(hirata.MTConfig{
+				ThreadSlots:     slots,
+				LoadStoreUnits:  1,
+				StandbyStations: true,
+			}, prog.Text, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %-16.2f", float64(res.Cycles)/float64(n))
+
+			// Verify against the closed-form result.
+			want := lv.Expected()
+			got := lv.X(prog, m)
+			for k := range want {
+				if got[k] != want[k] {
+					log.Fatalf("%v, %d slots: X(%d) = %g, want %g", strat, slots, k, got[k], want[k])
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(cycles per iteration; all runs verified against the closed-form result)")
+}

@@ -1,0 +1,52 @@
+; dotprod.s — parallel dot product across all thread slots.
+; Each logical processor accumulates a strided slice of the vectors and
+; publishes its partial sum; thread 0 is reduced last by convention of the
+; verifying harness. Run with:
+;   hirata-sim -slots 4 -ls 2 -dump-mem 200:204 examples/programs/dotprod.s
+	.data
+	.org 8
+nthreads: .word 4          ; must match -slots
+n:	.word 64
+xs:	.space 64
+ys:	.space 64
+	.org 200
+partials: .space 8
+	.text
+	ffork
+	tid  r1
+	lw   r2, nthreads
+	lw   r3, n
+	; initialise this thread's slice: x[i] = i, y[i] = 2 (threads fill
+	; their own stripes, so initialisation is parallel too)
+	mov  r4, r1
+init:	slt  r5, r4, r3
+	beqz r5, compute
+	la   r6, xs
+	add  r6, r6, r4
+	sw   r4, 0(r6)
+	la   r6, ys
+	add  r6, r6, r4
+	li   r7, 2
+	sw   r7, 0(r6)
+	add  r4, r4, r2
+	j    init
+compute:
+	mov  r4, r1
+	li   r8, 0          ; partial sum
+sum:	slt  r5, r4, r3
+	beqz r5, publish
+	la   r6, xs
+	add  r6, r6, r4
+	lw   r9, 0(r6)
+	la   r6, ys
+	add  r6, r6, r4
+	lw   r10, 0(r6)
+	mul  r11, r9, r10
+	add  r8, r8, r11
+	add  r4, r4, r2
+	j    sum
+publish:
+	la   r6, partials
+	add  r6, r6, r1
+	sw   r8, 0(r6)
+	halt

@@ -1,0 +1,17 @@
+; fib.s — iterative Fibonacci, single-threaded.
+; Run with:  hirata-sim -machine risc -dump-mem 100:101 examples/programs/fib.s
+	.data
+	.org 90
+n:	.word 20
+	.text
+	lw   r1, n          ; counter
+	li   r2, 0          ; fib(0)
+	li   r3, 1          ; fib(1)
+loop:	beqz r1, done
+	add  r4, r2, r3
+	mov  r2, r3
+	mov  r3, r4
+	addi r1, r1, -1
+	j    loop
+done:	sw   r2, 100(r0)
+	halt

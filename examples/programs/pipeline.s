@@ -1,0 +1,42 @@
+; pipeline.s — a three-stage software pipeline over queue registers.
+; Thread 0 produces values, thread 1 transforms them, thread 2 consumes
+; and stores. Demonstrates register-level communication between logical
+; processors (the ring topology of §2.3.1: slot i writes to slot i+1).
+; Run with:  hirata-sim -slots 3 -dump-mem 100:110 examples/programs/pipeline.s
+	.equ COUNT 10
+	.text
+	ffork
+	qen  r20, r21       ; r20 reads from predecessor, r21 writes onward
+	tid  r1
+	beqz r1, produce
+	li   r2, 1
+	beq  r1, r2, transform
+	j    consume
+
+produce:                    ; slot 0: emit 1..COUNT to slot 1
+	li   r3, 0
+ploop:	addi r3, r3, 1
+	mov  r21, r3
+	slti r4, r3, COUNT
+	bnez r4, ploop
+	halt
+
+transform:                  ; slot 1: square each value, pass to slot 2
+	li   r3, 0
+tloop:	mov  r5, r20
+	mul  r21, r5, r5
+	addi r3, r3, 1
+	slti r4, r3, COUNT
+	bnez r4, tloop
+	halt
+
+consume:                    ; slot 2: store the squares
+	li   r3, 0
+cloop:	mov  r5, r20
+	la   r6, 100
+	add  r6, r6, r3
+	sw   r5, 0(r6)
+	addi r3, r3, 1
+	slti r4, r3, COUNT
+	bnez r4, cloop
+	halt

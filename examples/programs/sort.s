@@ -1,0 +1,60 @@
+; sort.s — parallel odd-even transposition sort across thread slots.
+; Each phase, every thread compares-and-swaps a stripe of adjacent pairs;
+; a flag barrier (single writer per thread) separates phases. After N
+; phases the array is sorted.
+; Run with:  hirata-sim -slots 4 -dump-mem 100:116 examples/programs/sort.s
+	.data
+	.org 8
+gthreads: .word 4            ; must match -slots
+n:	.word 16
+phase:	.space 8
+	.org 100
+arr:	.word 9, 3, 14, 1, 12, 6, 0, 11, 5, 15, 2, 8, 13, 4, 10, 7
+	.text
+	ffork
+	tid  r1
+	lw   r2, gthreads
+	lw   r3, n
+	li   r9, 0               ; phase counter
+phase_loop:
+	slt  r4, r9, r3
+	beqz r4, done
+	; pair start index: phase parity + 2*stripe
+	andi r5, r9, 1           ; 0 for even phases, 1 for odd
+	slli r6, r1, 1
+	add  r5, r5, r6          ; first pair index for this thread
+pairs:
+	addi r4, r3, -1
+	slt  r4, r5, r4          ; pair < n-1 ?
+	beqz r4, sync
+	la   r6, arr
+	add  r6, r6, r5
+	lw   r7, 0(r6)
+	lw   r8, 1(r6)
+	slt  r4, r8, r7          ; out of order?
+	beqz r4, nswap
+	sw   r8, 0(r6)
+	sw   r7, 1(r6)
+nswap:
+	slli r4, r2, 1
+	add  r5, r5, r4          ; next pair for this thread (stride 2*threads)
+	j    pairs
+sync:
+	; barrier: publish my phase, wait for everyone
+	addi r9, r9, 1
+	la   r6, phase
+	add  r6, r6, r1
+	sw   r9, 0(r6)
+	li   r10, 0
+wait:
+	slt  r4, r10, r2
+	beqz r4, phase_loop
+	la   r6, phase
+	add  r6, r6, r10
+	lw   r7, 0(r6)
+	slt  r4, r7, r9
+	bnez r4, wait            ; someone is behind; spin
+	addi r10, r10, 1
+	j    wait
+done:
+	halt

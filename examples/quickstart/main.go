@@ -1,0 +1,86 @@
+// Quickstart: assemble a small multithreaded program and run it on the
+// simulated processor.
+//
+// The program fast-forks onto every thread slot; each logical processor
+// computes the square of (tid+1) and stores it. The run prints per-unit
+// utilization and the cycle count, then the same work executed
+// sequentially on the baseline RISC machine for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hirata"
+)
+
+const parallelSrc = `
+	.data
+	.org 8
+out:	.space 8
+	.text
+	ffork              ; start a thread on every other slot
+	tid  r1            ; logical processor identifier
+	addi r2, r1, 1
+	mul  r3, r2, r2    ; (tid+1)^2 on the integer multiplier
+	itof f1, r3
+	fsqrt f2, f1       ; and back via the FP divider, for variety
+	ftoi r4, f2
+	sw   r3, out(r1)
+	halt
+`
+
+const sequentialSrc = `
+	.data
+	.org 8
+out:	.space 8
+	.text
+	li   r1, 0
+loop:	addi r2, r1, 1
+	mul  r3, r2, r2
+	itof f1, r3
+	fsqrt f2, f1
+	ftoi r4, f2
+	sw   r3, out(r1)
+	addi r1, r1, 1
+	slti r5, r1, 8
+	bnez r5, loop
+	halt
+`
+
+func main() {
+	prog, err := hirata.Assemble(parallelSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := prog.NewMemory(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := hirata.MTConfig{ThreadSlots: 8, LoadStoreUnits: 2, StandbyStations: true}
+	res, err := hirata.RunMT(cfg, prog.Text, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("multithreaded run (8 thread slots):")
+	fmt.Print(res.String())
+	out := prog.MustSymbol("out")
+	for i := int64(0); i < 8; i++ {
+		fmt.Printf("  thread %d stored %d\n", i, m.IntAt(out+i))
+	}
+
+	seq, err := hirata.Assemble(sequentialSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := seq.NewMemory(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rres, err := hirata.RunRISC(hirata.RISCConfig{LoadStoreUnits: 2}, seq.Text, ms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsequential baseline: %d cycles (vs %d multithreaded, %.2fx)\n",
+		rres.Cycles, res.Cycles, float64(rres.Cycles)/float64(res.Cycles))
+}

@@ -1,0 +1,258 @@
+package hirata
+
+import (
+	"fmt"
+
+	"hirata/internal/core"
+	"hirata/internal/isa"
+	"hirata/internal/risc"
+)
+
+// Table2Config parameterises the parallel-multithreading speed-up study
+// (paper §3.2, Table 2).
+type Table2Config struct {
+	Workload RayTraceConfig
+	// Slots lists the thread-slot counts (paper: 2, 4, 8).
+	Slots []int
+	// RotationInterval for the instruction schedule units (paper: 8).
+	RotationInterval int
+	// PrivateICache runs the per-slot instruction cache variant.
+	PrivateICache bool
+}
+
+func (c Table2Config) withDefaults() Table2Config {
+	if len(c.Slots) == 0 {
+		c.Slots = []int{2, 4, 8}
+	}
+	if c.RotationInterval <= 0 {
+		c.RotationInterval = core.DefaultRotationInterval
+	}
+	return c
+}
+
+// Table2Cell is one measurement of Table 2.
+type Table2Cell struct {
+	Slots          int
+	LoadStoreUnits int
+	Standby        bool
+	Cycles         uint64
+	Speedup        float64 // vs sequential execution on the baseline RISC
+	BusiestClass   isa.UnitClass
+	BusiestUtil    float64 // percent
+}
+
+// Table2 is the full reproduction of Table 2.
+type Table2 struct {
+	Config        Table2Config
+	BaselineCycle [3]uint64 // sequential cycles, indexed by load/store units (1, 2)
+	Cells         []Table2Cell
+}
+
+// Cell returns the measurement for a configuration.
+func (t *Table2) Cell(slots, lsUnits int, standby bool) (Table2Cell, bool) {
+	for _, c := range t.Cells {
+		if c.Slots == slots && c.LoadStoreUnits == lsUnits && c.Standby == standby {
+			return c, true
+		}
+	}
+	return Table2Cell{}, false
+}
+
+// RunTable2 reproduces Table 2: speed-up of 2/4/8 thread slots over
+// sequential execution, with one or two load/store units, with and without
+// standby stations.
+func RunTable2(cfg Table2Config) (*Table2, error) {
+	cfg = cfg.withDefaults()
+	rt, err := BuildRayTrace(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table2{Config: cfg}
+
+	for _, ls := range []int{1, 2} {
+		m, err := rt.NewMemory(rt.Seq, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunRISC(risc.Config{LoadStoreUnits: ls}, rt.Seq.Text, m)
+		if err != nil {
+			return nil, fmt.Errorf("table 2 baseline (%d ls): %w", ls, err)
+		}
+		out.BaselineCycle[ls] = res.Cycles
+	}
+
+	for _, slots := range cfg.Slots {
+		for _, ls := range []int{1, 2} {
+			for _, standby := range []bool{false, true} {
+				m, err := rt.NewMemory(rt.Par, slots)
+				if err != nil {
+					return nil, err
+				}
+				res, err := RunMT(core.Config{
+					ThreadSlots:      slots,
+					LoadStoreUnits:   ls,
+					StandbyStations:  standby,
+					RotationInterval: cfg.RotationInterval,
+					PrivateICache:    cfg.PrivateICache,
+				}, rt.Par.Text, m)
+				if err != nil {
+					return nil, fmt.Errorf("table 2 (%d slots, %d ls, standby=%v): %w", slots, ls, standby, err)
+				}
+				busiest := res.BusiestUnit()
+				out.Cells = append(out.Cells, Table2Cell{
+					Slots:          slots,
+					LoadStoreUnits: ls,
+					Standby:        standby,
+					Cycles:         res.Cycles,
+					Speedup:        float64(out.BaselineCycle[ls]) / float64(res.Cycles),
+					BusiestClass:   busiest.Class,
+					BusiestUtil:    busiest.Utilization(res.Cycles),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table3Config parameterises the hybrid superscalar × multithreading study
+// (paper §3.3, Table 3): (D,S)-processors with D·S instruction issue slots
+// and eight functional units.
+type Table3Config struct {
+	Workload RayTraceConfig
+	// Products lists the D·S budgets to sweep (paper: 2, 4, 8).
+	Products []int
+}
+
+func (c Table3Config) withDefaults() Table3Config {
+	if len(c.Products) == 0 {
+		c.Products = []int{2, 4, 8}
+	}
+	return c
+}
+
+// Table3Cell is one (D,S) measurement.
+type Table3Cell struct {
+	IssueWidth int // D
+	Slots      int // S
+	Cycles     uint64
+	Speedup    float64
+}
+
+// Table3 is the full reproduction of Table 3.
+type Table3 struct {
+	Config        Table3Config
+	BaselineCycle uint64
+	Cells         []Table3Cell
+}
+
+// Cell returns the (D,S) measurement.
+func (t *Table3) Cell(d, s int) (Table3Cell, bool) {
+	for _, c := range t.Cells {
+		if c.IssueWidth == d && c.Slots == s {
+			return c, true
+		}
+	}
+	return Table3Cell{}, false
+}
+
+// RunTable3 reproduces Table 3. All processors use two load/store units
+// (eight functional units) and standby stations; the baseline is the
+// sequential RISC machine with the same unit complement.
+func RunTable3(cfg Table3Config) (*Table3, error) {
+	cfg = cfg.withDefaults()
+	rt, err := BuildRayTrace(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table3{Config: cfg}
+
+	m, err := rt.NewMemory(rt.Seq, 1)
+	if err != nil {
+		return nil, err
+	}
+	base, err := RunRISC(risc.Config{LoadStoreUnits: 2}, rt.Seq.Text, m)
+	if err != nil {
+		return nil, err
+	}
+	out.BaselineCycle = base.Cycles
+
+	for _, prod := range cfg.Products {
+		for d := 1; d <= prod; d *= 2 {
+			s := prod / d
+			m, err := rt.NewMemory(rt.Par, s)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunMT(core.Config{
+				ThreadSlots:     s,
+				LoadStoreUnits:  2,
+				StandbyStations: true,
+				IssueWidth:      d,
+			}, rt.Par.Text, m)
+			if err != nil {
+				return nil, fmt.Errorf("table 3 (D=%d, S=%d): %w", d, s, err)
+			}
+			out.Cells = append(out.Cells, Table3Cell{
+				IssueWidth: d,
+				Slots:      s,
+				Cycles:     res.Cycles,
+				Speedup:    float64(out.BaselineCycle) / float64(res.Cycles),
+			})
+		}
+	}
+	return out, nil
+}
+
+// CurveCell is one point of the speed-up-versus-slots curve (Table 2's
+// data as a dense sweep, suitable for plotting).
+type CurveCell struct {
+	Slots     int
+	SpeedupL1 float64 // one load/store unit
+	SpeedupL2 float64 // two load/store units
+}
+
+// RunSpeedupCurve sweeps thread slots 1..maxSlots with standby stations on.
+func RunSpeedupCurve(w RayTraceConfig, maxSlots int) ([]CurveCell, error) {
+	rt, err := BuildRayTrace(w)
+	if err != nil {
+		return nil, err
+	}
+	var base [3]uint64
+	for _, ls := range []int{1, 2} {
+		m, err := rt.NewMemory(rt.Seq, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunRISC(risc.Config{LoadStoreUnits: ls}, rt.Seq.Text, m)
+		if err != nil {
+			return nil, err
+		}
+		base[ls] = res.Cycles
+	}
+	var out []CurveCell
+	for s := 1; s <= maxSlots; s++ {
+		cell := CurveCell{Slots: s}
+		for _, ls := range []int{1, 2} {
+			m, err := rt.NewMemory(rt.Par, s)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunMT(core.Config{
+				ThreadSlots:     s,
+				LoadStoreUnits:  ls,
+				StandbyStations: true,
+			}, rt.Par.Text, m)
+			if err != nil {
+				return nil, fmt.Errorf("curve (%d slots, %d ls): %w", s, ls, err)
+			}
+			sp := float64(base[ls]) / float64(res.Cycles)
+			if ls == 1 {
+				cell.SpeedupL1 = sp
+			} else {
+				cell.SpeedupL2 = sp
+			}
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}

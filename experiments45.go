@@ -1,0 +1,180 @@
+package hirata
+
+import (
+	"fmt"
+
+	"hirata/internal/core"
+	"hirata/internal/risc"
+	"hirata/internal/sched"
+)
+
+// Table4Config parameterises the static code scheduling study (paper §3.4,
+// Table 4): Livermore Kernel 1 on a one-load/store-unit machine.
+type Table4Config struct {
+	N     int   // loop iterations (default 400)
+	Slots []int // thread-slot counts (paper: 1..8)
+}
+
+func (c Table4Config) withDefaults() Table4Config {
+	if c.N <= 0 {
+		c.N = 400
+	}
+	if len(c.Slots) == 0 {
+		c.Slots = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	return c
+}
+
+// Table4Cell is one measurement: average execution cycles per iteration.
+type Table4Cell struct {
+	Slots         int
+	Strategy      Strategy
+	TotalCycles   uint64
+	CyclesPerIter float64
+}
+
+// Table4 is the full reproduction of Table 4.
+type Table4 struct {
+	Config Table4Config
+	Cells  []Table4Cell
+}
+
+// Cell returns the measurement for a slot count and strategy.
+func (t *Table4) Cell(slots int, s Strategy) (Table4Cell, bool) {
+	for _, c := range t.Cells {
+		if c.Slots == slots && c.Strategy == s {
+			return c, true
+		}
+	}
+	return Table4Cell{}, false
+}
+
+// RunTable4 reproduces Table 4: cycles per iteration of Livermore Kernel 1
+// under the three scheduling strategies, for 1..8 thread slots on a
+// one-load/store-unit processor. The single-slot row executes the
+// sequential loop; multi-slot rows execute the doall version in
+// explicit-rotation mode with a change-priority instruction per iteration.
+func RunTable4(cfg Table4Config) (*Table4, error) {
+	cfg = cfg.withDefaults()
+	out := &Table4{Config: cfg}
+	for _, strat := range []Strategy{sched.None, sched.StrategyA, sched.StrategyB} {
+		for _, slots := range cfg.Slots {
+			lv, err := BuildLivermore(LivermoreConfig{
+				N: cfg.N, Threads: slots, Strategy: strat, LoadStoreUnits: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			prog := lv.Par
+			if slots == 1 {
+				prog = lv.Seq
+			}
+			m, err := prog.NewMemory(64)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunMT(core.Config{
+				ThreadSlots:     slots,
+				LoadStoreUnits:  1,
+				StandbyStations: true,
+			}, prog.Text, m)
+			if err != nil {
+				return nil, fmt.Errorf("table 4 (%v, %d slots): %w", strat, slots, err)
+			}
+			out.Cells = append(out.Cells, Table4Cell{
+				Slots:         slots,
+				Strategy:      strat,
+				TotalCycles:   res.Cycles,
+				CyclesPerIter: float64(res.Cycles) / float64(cfg.N),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table5Config parameterises the eager-execution study (paper §3.5,
+// Table 5): the linked-list while loop on a one-load/store-unit machine.
+type Table5Config struct {
+	Nodes int   // list length (default 200)
+	Slots []int // thread-slot counts (paper: 2, 3, 4)
+}
+
+func (c Table5Config) withDefaults() Table5Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 200
+	}
+	if len(c.Slots) == 0 {
+		c.Slots = []int{2, 3, 4, 6, 8}
+	}
+	return c
+}
+
+// Table5Cell is one measurement of eager execution.
+type Table5Cell struct {
+	Slots         int
+	TotalCycles   uint64
+	CyclesPerIter float64
+	Speedup       float64 // vs the sequential traversal
+}
+
+// Table5 is the full reproduction of Table 5.
+type Table5 struct {
+	Config           Table5Config
+	SequentialCycles uint64  // sequential traversal on the baseline machine
+	SequentialPerIt  float64 // its cycles per iteration
+	Cells            []Table5Cell
+}
+
+// Cell returns the measurement for a slot count.
+func (t *Table5) Cell(slots int) (Table5Cell, bool) {
+	for _, c := range t.Cells {
+		if c.Slots == slots {
+			return c, true
+		}
+	}
+	return Table5Cell{}, false
+}
+
+// RunTable5 reproduces Table 5: average cycles per iteration of the eager
+// execution of a sequential (pointer-chasing) while loop.
+func RunTable5(cfg Table5Config) (*Table5, error) {
+	cfg = cfg.withDefaults()
+	ll, err := BuildLinkedList(LinkedListConfig{Nodes: cfg.Nodes, BreakAt: -1})
+	if err != nil {
+		return nil, err
+	}
+	out := &Table5{Config: cfg}
+
+	mSeq, err := ll.NewMemory(ll.Seq, 1)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := RunRISC(risc.Config{LoadStoreUnits: 1}, ll.Seq.Text, mSeq)
+	if err != nil {
+		return nil, fmt.Errorf("table 5 baseline: %w", err)
+	}
+	out.SequentialCycles = seq.Cycles
+	out.SequentialPerIt = float64(seq.Cycles) / float64(cfg.Nodes)
+
+	for _, slots := range cfg.Slots {
+		m, err := ll.NewMemory(ll.Par, slots)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunMT(core.Config{
+			ThreadSlots:     slots,
+			LoadStoreUnits:  1,
+			StandbyStations: true,
+		}, ll.Par.Text, m)
+		if err != nil {
+			return nil, fmt.Errorf("table 5 (%d slots): %w", slots, err)
+		}
+		out.Cells = append(out.Cells, Table5Cell{
+			Slots:         slots,
+			TotalCycles:   res.Cycles,
+			CyclesPerIter: float64(res.Cycles) / float64(cfg.Nodes),
+			Speedup:       float64(seq.Cycles) / float64(res.Cycles),
+		})
+	}
+	return out, nil
+}

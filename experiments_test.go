@@ -1,0 +1,369 @@
+package hirata
+
+import (
+	"strings"
+	"testing"
+
+	"hirata/internal/isa"
+)
+
+// Small workload sizes keep the shape tests fast; the benchmark harness
+// uses the full sizes.
+var testRT = RayTraceConfig{Rays: 64, Spheres: 8}
+
+func TestTable2Shape(t *testing.T) {
+	tb, err := RunTable2(Table2Config{Workload: testRT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(slots, ls int, sb bool) Table2Cell {
+		c, ok := tb.Cell(slots, ls, sb)
+		if !ok {
+			t.Fatalf("missing cell (%d,%d,%v)", slots, ls, sb)
+		}
+		return c
+	}
+
+	// Two threads roughly double throughput (paper: 1.79-2.02).
+	if sp := get(2, 2, true).Speedup; sp < 1.6 || sp > 2.2 {
+		t.Errorf("2-slot 2-ls speed-up = %.2f, want about 2 (paper 2.02)", sp)
+	}
+	// Speed-up grows with thread slots for both unit configurations.
+	for _, ls := range []int{1, 2} {
+		prev := 0.0
+		for _, slots := range []int{2, 4, 8} {
+			sp := get(slots, ls, true).Speedup
+			if sp <= prev {
+				t.Errorf("speed-up not increasing at %d slots, %d ls: %.2f <= %.2f", slots, ls, sp, prev)
+			}
+			prev = sp
+		}
+	}
+	// One load/store unit saturates: at 8 slots the second unit buys a lot
+	// (paper: 3.22 vs 5.79), and the busiest unit is the load/store unit
+	// near full utilization (paper: 99%).
+	c81 := get(8, 1, true)
+	c82 := get(8, 2, true)
+	if c82.Speedup < c81.Speedup*1.3 {
+		t.Errorf("no load/store saturation: 8-slot speed-ups %.2f (1 ls) vs %.2f (2 ls)", c81.Speedup, c82.Speedup)
+	}
+	if c81.BusiestClass != isa.UnitLoadStore {
+		t.Errorf("busiest unit at 8 slots = %s, want LoadStore", c81.BusiestClass)
+	}
+	if c81.BusiestUtil < 90 {
+		t.Errorf("load/store utilization at 8 slots = %.0f%%, want >= 90%% (paper 99%%)", c81.BusiestUtil)
+	}
+	// Standby stations help a little (paper: 0-2.2%), and never hurt much.
+	for _, slots := range []int{2, 4, 8} {
+		for _, ls := range []int{1, 2} {
+			with := get(slots, ls, true)
+			without := get(slots, ls, false)
+			if float64(with.Cycles) > float64(without.Cycles)*1.02 {
+				t.Errorf("standby stations hurt at %d slots, %d ls: %d vs %d cycles",
+					slots, ls, with.Cycles, without.Cycles)
+			}
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tb, err := RunTable3(Table3Config{Workload: testRT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(d, s int) float64 {
+		c, ok := tb.Cell(d, s)
+		if !ok {
+			t.Fatalf("missing cell (%d,%d)", d, s)
+		}
+		return c.Speedup
+	}
+	// §3.3's conclusion: increasing S produces a more significant speed-up
+	// than increasing D; D=1 is the most cost-effective at every budget.
+	for _, prod := range []int{2, 4, 8} {
+		best := get(1, prod)
+		for d := 2; d <= prod; d *= 2 {
+			if sp := get(d, prod/d); sp >= best {
+				t.Errorf("budget %d: (D=%d,S=%d) speed-up %.2f >= (1,%d) %.2f",
+					prod, d, prod/d, sp, prod, best)
+			}
+		}
+	}
+	// More slots always beat fewer at D=1.
+	if !(get(1, 8) > get(1, 4) && get(1, 4) > get(1, 2)) {
+		t.Errorf("S-scaling not monotone: %v %v %v", get(1, 2), get(1, 4), get(1, 8))
+	}
+	// Superscalar width still helps a single thread somewhat.
+	if get(2, 1) <= 1.0 {
+		t.Errorf("(2,1) speed-up = %.2f, want > 1", get(2, 1))
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tb, err := RunTable4(Table4Config{N: 120, Slots: []int{1, 2, 4, 6, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(slots int, s Strategy) float64 {
+		c, ok := tb.Cell(slots, s)
+		if !ok {
+			t.Fatalf("missing cell (%d,%v)", slots, s)
+		}
+		return c.CyclesPerIter
+	}
+	// Strategy A shortens the naive code at one slot (paper: 50 -> 42).
+	if a, n := get(1, ScheduleStrategyA), get(1, ScheduleNone); a >= n {
+		t.Errorf("strategy A not faster at 1 slot: %.1f >= %.1f", a, n)
+	}
+	// Cycles per iteration fall with slot count for every strategy.
+	for _, strat := range []Strategy{ScheduleNone, ScheduleStrategyA, ScheduleStrategyB} {
+		prev := 1e18
+		for _, slots := range []int{1, 2, 4, 8} {
+			v := get(slots, strat)
+			if v >= prev {
+				t.Errorf("%v: cycles/iter not decreasing at %d slots: %.2f >= %.2f", strat, slots, v, prev)
+			}
+			prev = v
+		}
+	}
+	// Performance saturates near the paper's bound: one load/store unit
+	// and (3+1) memory ops x 2-cycle issue latency = 8 cycles/iteration.
+	for _, strat := range []Strategy{ScheduleStrategyA, ScheduleStrategyB} {
+		v := get(8, strat)
+		if v < 8 {
+			t.Errorf("%v at 8 slots: %.2f cycles/iter below the 8-cycle structural bound", strat, v)
+		}
+		if v > 10.5 {
+			t.Errorf("%v at 8 slots: %.2f cycles/iter, want near 8 (paper: 8)", strat, v)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tb, err := RunTable5(Table5Config{Nodes: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(slots int) float64 {
+		c, ok := tb.Cell(slots)
+		if !ok {
+			t.Fatalf("missing cell %d", slots)
+		}
+		return c.CyclesPerIter
+	}
+	// Paper: 32.5 / 21.67 / 17 for 2 / 3 / 4 slots; speed-up limited by
+	// the inter-iteration pointer dependence; flat beyond ~4 slots.
+	if !(get(2) > get(3) && get(3) > get(4)) {
+		t.Errorf("cycles/iter not decreasing: %v %v %v", get(2), get(3), get(4))
+	}
+	if ratio := get(8) / get(4); ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("no saturation beyond 4 slots: %.2f vs %.2f", get(8), get(4))
+	}
+	if tb.SequentialPerIt < 35 || tb.SequentialPerIt > 70 {
+		t.Errorf("sequential cycles/iter = %.1f, want around 50 (paper 56)", tb.SequentialPerIt)
+	}
+	sp := tb.SequentialPerIt / get(8)
+	if sp < 2.2 || sp > 4.5 {
+		t.Errorf("asymptotic speed-up = %.2f, want around 3 (paper 3.29)", sp)
+	}
+}
+
+func TestRotationSweepFlat(t *testing.T) {
+	cells, err := RunRotationSweep(testRT, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 9 {
+		t.Fatalf("got %d cells, want 9 (2^0..2^8)", len(cells))
+	}
+	lo, hi := cells[0].Cycles, cells[0].Cycles
+	for _, c := range cells {
+		if c.Cycles < lo {
+			lo = c.Cycles
+		}
+		if c.Cycles > hi {
+			hi = c.Cycles
+		}
+	}
+	// §3.2: "rotation interval did not have much influence".
+	if float64(hi) > 1.1*float64(lo) {
+		t.Errorf("rotation interval changed cycles by more than 10%%: %d..%d", lo, hi)
+	}
+}
+
+func TestPrivateICacheNearlyFree(t *testing.T) {
+	cells, err := RunPrivateICache(testRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		// §3.2: private fetch units buy almost nothing (1.79->1.80). Small
+		// shifts in either direction are phase-alignment noise — private
+		// fetch puts the threads more in lockstep, which can slightly
+		// increase functional-unit conflicts.
+		if c.PrivateSpeedup < c.SharedSpeedup*0.95 {
+			t.Errorf("private icache much slower: %.3f vs %.3f (%d slots)", c.PrivateSpeedup, c.SharedSpeedup, c.Slots)
+		}
+		if c.PrivateSpeedup > c.SharedSpeedup*1.15 {
+			t.Errorf("shared icache was a bottleneck: %.3f vs %.3f (%d slots); the paper found sharing nearly free",
+				c.PrivateSpeedup, c.SharedSpeedup, c.Slots)
+		}
+	}
+}
+
+func TestConcurrentMTHidesLatency(t *testing.T) {
+	cells, err := RunConcurrentMT(4, []int{4}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	suppressed, switching := cells[0], cells[1]
+	if !suppressed.Suppressed || suppressed.Switches != 0 {
+		t.Fatalf("baseline cell wrong: %+v", suppressed)
+	}
+	if switching.Switches == 0 {
+		t.Error("no context switches with spare frames")
+	}
+	if switching.Cycles >= suppressed.Cycles {
+		t.Errorf("context switching did not hide latency: %d >= %d cycles",
+			switching.Cycles, suppressed.Cycles)
+	}
+}
+
+func TestFiniteCacheSweep(t *testing.T) {
+	cells, err := RunFiniteCache(RayTraceConfig{Rays: 32, Spheres: 8}, 4, []int{256, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	if !(cells[1].Cycles >= cells[0].Cycles && cells[2].Cycles > cells[1].Cycles) {
+		t.Errorf("smaller caches not slower: %d, %d, %d cycles",
+			cells[0].Cycles, cells[1].Cycles, cells[2].Cycles)
+	}
+}
+
+func TestQueueDepthAblation(t *testing.T) {
+	cells, err := RunQueueDepthAblation(80, 4, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deeper queues must not slow the loop down (the chain is the limit).
+	for i := 1; i < len(cells); i++ {
+		if cells[i].CyclesPerIter > cells[i-1].CyclesPerIter*1.05 {
+			t.Errorf("depth %d slower than depth %d: %.2f vs %.2f",
+				cells[i].Depth, cells[i-1].Depth, cells[i].CyclesPerIter, cells[i-1].CyclesPerIter)
+		}
+	}
+}
+
+func TestIssueBandwidthAblation(t *testing.T) {
+	cells, err := RunIssueBandwidth(testRT, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		// Simultaneous issue must beat the single-issue precursors, and
+		// the gap must widen with thread count (the paper's raison d'être).
+		if c.Simultaneous <= c.SingleIssue {
+			t.Errorf("%d slots: simultaneous %.2f <= single-issue %.2f",
+				c.Slots, c.Simultaneous, c.SingleIssue)
+		}
+		// A single shared issue slot sustains at most ~1 instruction per
+		// cycle, so its speed-up tops out near the baseline's CPI (~2.3)
+		// no matter how many threads are added.
+		if c.SingleIssue > 3.2 {
+			t.Errorf("%d slots: single-issue speed-up %.2f exceeds the 1-IPC bound", c.Slots, c.SingleIssue)
+		}
+	}
+	if len(cells) == 2 && cells[1].Simultaneous/cells[1].SingleIssue <= cells[0].Simultaneous/cells[0].SingleIssue {
+		t.Error("simultaneous-issue advantage did not grow with thread count")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	t2, err := RunTable2(Table2Config{Workload: RayTraceConfig{Rays: 16, Spheres: 4}, Slots: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatTable2(t2); len(s) == 0 || !strings.Contains(s, "Table 2") {
+		t.Error("FormatTable2 output broken")
+	}
+	t5, err := RunTable5(Table5Config{Nodes: 24, Slots: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatTable5(t5); !strings.Contains(s, "Table 5") {
+		t.Error("FormatTable5 output broken")
+	}
+}
+
+func TestMultiprogramThroughput(t *testing.T) {
+	cells, err := RunMultiprogram([]int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, c := range cells {
+		// Running S independent jobs simultaneously must beat running
+		// them back to back, and the gain must grow with slots until the
+		// shared units saturate.
+		if c.Throughput < 1.2 {
+			t.Errorf("%d slots: multiprogrammed throughput %.2f barely beats serial", c.Slots, c.Throughput)
+		}
+		if c.Throughput < prev*0.95 {
+			t.Errorf("%d slots: throughput regressed: %.2f < %.2f", c.Slots, c.Throughput, prev)
+		}
+		prev = c.Throughput
+	}
+}
+
+func TestStandbyDepthAblation(t *testing.T) {
+	cells, err := RunStandbyDepth(testRT, 4, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deeper stations must never hurt and the returns must diminish: the
+	// paper's depth-1 design should already capture most of the benefit.
+	for i := 1; i < len(cells); i++ {
+		if cells[i].Cycles > cells[i-1].Cycles+cells[i-1].Cycles/50 {
+			t.Errorf("depth %d slower than depth %d: %d vs %d",
+				cells[i].Depth, cells[i-1].Depth, cells[i].Cycles, cells[i-1].Cycles)
+		}
+	}
+	gain1to8 := float64(cells[0].Cycles) / float64(cells[len(cells)-1].Cycles)
+	if gain1to8 > 1.25 {
+		t.Errorf("depth 8 gains %.2fx over depth 1 — depth-1 latches should be nearly enough", gain1to8)
+	}
+	mustContain(t, FormatStandbyDepth(cells, 4), "depth")
+}
+
+func TestBranchHiding(t *testing.T) {
+	cells, seq, err := RunBranchHiding([]int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == 0 {
+		t.Fatal("no baseline")
+	}
+	// Single-thread MT loses to the RISC baseline (5- vs 4-cycle branch
+	// delay); many threads hide the bubbles and scale well.
+	if cells[0].Speedup >= 1.0 {
+		t.Errorf("1-slot speed-up %.2f, want < 1 (longer pipeline hurts single thread)", cells[0].Speedup)
+	}
+	last := cells[len(cells)-1]
+	// With a shared fetch unit the refetch traffic of eight branchy
+	// threads saturates fetch around 3x; per-slot fetch units remove the
+	// bottleneck and let the branch bubbles be fully hidden.
+	if last.Speedup < 2.5 {
+		t.Errorf("8-slot shared-fetch speed-up %.2f, want > 2.5", last.Speedup)
+	}
+	if last.PrivateSpeedup < last.Speedup*1.3 {
+		t.Errorf("private fetch units did not relieve the fetch bottleneck: %.2f vs %.2f",
+			last.PrivateSpeedup, last.Speedup)
+	}
+	mustContain(t, FormatBranchHiding(cells, seq), "Branch-delay")
+}

@@ -1,0 +1,3 @@
+module hirata
+
+go 1.22

@@ -1,0 +1,237 @@
+// Package hirata is a library-level reproduction of Hirata et al., "An
+// Elementary Processor Architecture with Simultaneous Instruction Issuing
+// from Multiple Threads" (ISCA 1992) — one of the earliest simultaneous
+// multithreading (SMT) designs.
+//
+// The package bundles:
+//
+//   - a cycle-level simulator of the paper's multithreaded processor
+//     (thread slots, shared functional units, scoreboarding, standby
+//     stations, rotating-priority instruction schedule units, queue
+//     registers, fast-fork/kill/priority-store, context frames with
+//     data-absence traps),
+//   - the baseline superpipelined RISC machine the paper compares against,
+//   - an assembler for the machine's RISC instruction set,
+//   - MinC, a small C-like kernel-language compiler targeting the ISA,
+//   - the paper's workloads (a synthetic ray-tracing kernel, Livermore
+//     Kernel 1, a linked-list while loop, a Livermore Kernel 5 doacross
+//     recurrence, and a MinC-compiled radiosity gather), and
+//   - runners that regenerate every table of the paper's evaluation
+//     (Tables 2-5) plus its in-text experiments and a dozen extensions.
+//
+// Quick start:
+//
+//	prog, err := hirata.Assemble(src)
+//	m, err := prog.NewMemory(1024)
+//	res, err := hirata.RunMT(hirata.MTConfig{ThreadSlots: 4, StandbyStations: true}, prog.Text, m)
+//	fmt.Println(res.Cycles, res.IPC())
+//
+// See the examples/ directory for runnable programs and cmd/hirata-bench
+// for the paper-reproduction harness.
+package hirata
+
+import (
+	"io"
+
+	"hirata/internal/asm"
+	"hirata/internal/core"
+	"hirata/internal/exec"
+	"hirata/internal/isa"
+	"hirata/internal/mem"
+	"hirata/internal/minc"
+	"hirata/internal/risc"
+	"hirata/internal/sched"
+	"hirata/internal/trace"
+	"hirata/internal/workload"
+)
+
+// Re-exported configuration and result types. The aliases expose the full
+// simulator APIs as this module's public surface.
+type (
+	// MTConfig configures the multithreaded processor (thread slots,
+	// load/store units, standby stations, rotation, issue width, ...).
+	MTConfig = core.Config
+	// MTResult reports a multithreaded run (cycles, per-unit utilization,
+	// per-slot stalls).
+	MTResult = core.Result
+	// RISCConfig configures the baseline superpipelined RISC machine.
+	RISCConfig = risc.Config
+	// RISCResult reports a baseline run.
+	RISCResult = risc.Result
+	// Program is an assembled program: text, data image, symbols.
+	Program = asm.Program
+	// Memory is the word-addressed data memory.
+	Memory = mem.Memory
+	// Instruction is one decoded machine instruction.
+	Instruction = isa.Instruction
+	// UnitClass identifies a functional-unit class.
+	UnitClass = isa.UnitClass
+	// Strategy selects a static code scheduling algorithm (§2.3.2).
+	Strategy = sched.Strategy
+)
+
+// Static scheduling strategies (Table 4), plus the software-pipelining
+// contrast of §2.3.2.
+const (
+	ScheduleNone      = sched.None
+	ScheduleStrategyA = sched.StrategyA
+	ScheduleStrategyB = sched.StrategyB
+	ScheduleSWP       = sched.StrategySWP
+)
+
+// Assemble translates assembly source into a Program.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// Disassemble renders instruction text as assembly source.
+func Disassemble(text []Instruction) string { return asm.Disassemble(text) }
+
+// NewMemory allocates a zeroed word-addressed memory.
+func NewMemory(words int) *Memory { return mem.NewMemory(words) }
+
+// NewMemoryWithRemote allocates a memory whose tail addresses model remote
+// memory in a distributed shared memory system.
+func NewMemoryWithRemote(words int, remoteBase int64, latency int) *Memory {
+	return mem.NewMemoryWithRemote(words, remoteBase, latency)
+}
+
+// RunMT simulates a program on the multithreaded processor. Threads start
+// at the given program counters (default: one thread at 0).
+func RunMT(cfg MTConfig, text []Instruction, m *Memory, startPCs ...int64) (MTResult, error) {
+	p, err := core.New(cfg, text, m)
+	if err != nil {
+		return MTResult{}, err
+	}
+	for _, pc := range startPCs {
+		if err := p.StartThread(pc); err != nil {
+			return MTResult{}, err
+		}
+	}
+	return p.Run()
+}
+
+// RunMTTraced is RunMT with a cycle-by-cycle pipeline event trace written
+// to w (issues, schedule-unit selections, redirects, binds, traps,
+// priority rotations, thread ends).
+func RunMTTraced(cfg MTConfig, text []Instruction, m *Memory, w io.Writer, startPCs ...int64) (MTResult, error) {
+	p, err := core.New(cfg, text, m)
+	if err != nil {
+		return MTResult{}, err
+	}
+	p.Observe(&core.TextTracer{W: w})
+	for _, pc := range startPCs {
+		if err := p.StartThread(pc); err != nil {
+			return MTResult{}, err
+		}
+	}
+	return p.Run()
+}
+
+// RunRISC simulates a program on the baseline RISC machine.
+func RunRISC(cfg RISCConfig, text []Instruction, m *Memory) (RISCResult, error) {
+	mc, err := risc.New(cfg, text, m)
+	if err != nil {
+		return RISCResult{}, err
+	}
+	return mc.Run()
+}
+
+// Interpret runs a program on the functional (untimed) golden model and
+// returns the number of instructions executed.
+func Interpret(text []Instruction, m *Memory) (uint64, error) {
+	ip := exec.NewInterp(text, m)
+	if err := ip.Run(); err != nil {
+		return ip.Steps(), err
+	}
+	return ip.Steps(), nil
+}
+
+// ScheduleBlock applies a static code scheduling strategy to a branch-free
+// basic block (§2.3.2).
+func ScheduleBlock(block []Instruction, s Strategy, threads, lsUnits int) ([]Instruction, error) {
+	return sched.Schedule(block, s, sched.Options{Threads: threads, LoadStoreUnits: lsUnits})
+}
+
+// Trace types: the paper's §3 methodology drives the simulator with traced
+// instruction sequences.
+type (
+	// TraceRecord is one dynamically executed instruction.
+	TraceRecord = trace.Record
+	// TraceMix summarises a trace's dynamic instruction mix.
+	TraceMix = trace.Mix
+	// TraceInput feeds one record into trace-driven replay.
+	TraceInput = core.TraceInput
+)
+
+// RecordTrace runs a single-threaded program on the functional model and
+// returns its dynamic instruction trace.
+func RecordTrace(text []Instruction, m *Memory) ([]TraceRecord, error) {
+	return trace.RecordProgram(text, m, 0)
+}
+
+// TraceStats computes the dynamic instruction mix of a trace.
+func TraceStats(recs []TraceRecord) TraceMix { return trace.Stats(recs) }
+
+// ReplayTraces runs trace-driven simulation: thread i replays traces[i].
+func ReplayTraces(cfg MTConfig, traces [][]TraceRecord) (MTResult, error) {
+	in := make([][]core.TraceInput, len(traces))
+	for i, tr := range traces {
+		in[i] = make([]core.TraceInput, len(tr))
+		for k, r := range tr {
+			in[i][k] = core.TraceInput{Ins: r.Ins, Addr: r.Addr}
+		}
+	}
+	p, err := core.NewTraceDriven(cfg, in)
+	if err != nil {
+		return MTResult{}, err
+	}
+	return p.Run()
+}
+
+// Workload construction (see internal/workload for details).
+type (
+	// RayTraceConfig parameterises the synthetic ray tracer (§3.2).
+	RayTraceConfig = workload.RayTraceConfig
+	// RayTrace bundles its sequential and parallel programs.
+	RayTrace = workload.RayTrace
+	// LivermoreConfig parameterises Livermore Kernel 1 (§3.4).
+	LivermoreConfig = workload.LivermoreConfig
+	// Livermore bundles its programs.
+	Livermore = workload.Livermore
+	// LinkedListConfig parameterises the while-loop workload (§3.5).
+	LinkedListConfig = workload.LinkedListConfig
+	// LinkedList bundles its programs.
+	LinkedList = workload.LinkedList
+	// RecurrenceConfig parameterises the doacross workload (Livermore
+	// Kernel 5, communicated through queue registers; §2.3.1).
+	RecurrenceConfig = workload.RecurrenceConfig
+	// Recurrence bundles its programs.
+	Recurrence = workload.Recurrence
+	// RadiosityConfig parameterises the MinC-compiled radiosity gather
+	// (the paper's second named graphics algorithm).
+	RadiosityConfig = workload.RadiosityConfig
+	// Radiosity bundles its compiled program and scene.
+	Radiosity = workload.Radiosity
+)
+
+// BuildRayTrace generates the synthetic ray-tracing workload.
+func BuildRayTrace(cfg RayTraceConfig) (*RayTrace, error) { return workload.BuildRayTrace(cfg) }
+
+// BuildLivermore generates the Livermore Kernel 1 workload.
+func BuildLivermore(cfg LivermoreConfig) (*Livermore, error) { return workload.BuildLivermore(cfg) }
+
+// BuildLinkedList generates the linked-list while-loop workload.
+func BuildLinkedList(cfg LinkedListConfig) (*LinkedList, error) { return workload.BuildLinkedList(cfg) }
+
+// BuildRecurrence generates the doacross (Livermore Kernel 5) workload.
+func BuildRecurrence(cfg RecurrenceConfig) (*Recurrence, error) { return workload.BuildRecurrence(cfg) }
+
+// BuildRadiosity generates and compiles the radiosity workload.
+func BuildRadiosity(cfg RadiosityConfig) (*Radiosity, error) { return workload.BuildRadiosity(cfg) }
+
+// CompileMinC compiles a MinC (C-like kernel language) source file into an
+// assembled Program; see docs/MINC.md and cmd/hirata-cc.
+func CompileMinC(src string) (*Program, error) { return minc.Compile(src) }
+
+// SetMinCThreads stores the thread count where a compiled MinC program's
+// nthreads() intrinsic reads it.
+func SetMinCThreads(p *Program, m *Memory, threads int) { minc.SetThreads(p, m, threads) }

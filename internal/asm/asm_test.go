@@ -1,0 +1,345 @@
+package asm
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hirata/internal/exec"
+	"hirata/internal/isa"
+	"hirata/internal/mem"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		; sum the first 10 integers
+	start:	addi r1, r0, 10
+		addi r2, r0, 0
+	loop:	add  r2, r2, r1
+		addi r1, r1, -1
+		bnez r1, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 6 {
+		t.Fatalf("text length = %d, want 6", len(p.Text))
+	}
+	if p.MustSymbol("start") != 0 || p.MustSymbol("loop") != 2 {
+		t.Fatalf("labels wrong: start=%d loop=%d", p.MustSymbol("start"), p.MustSymbol("loop"))
+	}
+	if p.Text[4].Op != isa.BNEZ || p.Text[4].Imm != 2 {
+		t.Fatalf("branch = %v, want bnez r1, 2", p.Text[4])
+	}
+	ip := exec.NewInterp(p.Text, mem.NewMemory(16))
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.Regs.ReadInt(isa.R2); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestAssembleDataSection(t *testing.T) {
+	p, err := Assemble(`
+		.data
+		.org 100
+	vec:	.word 1, 2, 3
+	fvec:	.float 1.5, -2.5
+	buf:	.space 4
+	after:	.word 0xff
+		.equ STRIDE 8
+		.text
+		la r1, vec
+		lw r2, 1(r1)
+		flw f1, fvec
+		flw f2, fvec+1
+		li r3, STRIDE
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MustSymbol("vec") != 100 || p.MustSymbol("fvec") != 103 {
+		t.Fatalf("data labels wrong: vec=%d fvec=%d", p.MustSymbol("vec"), p.MustSymbol("fvec"))
+	}
+	if p.MustSymbol("buf") != 105 || p.MustSymbol("after") != 109 {
+		t.Fatalf(".space layout wrong: buf=%d after=%d", p.MustSymbol("buf"), p.MustSymbol("after"))
+	}
+	if p.DataEnd != 110 {
+		t.Fatalf("DataEnd = %d, want 110", p.DataEnd)
+	}
+	m, err := p.NewMemory(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntAt(101) != 2 || m.IntAt(109) != 0xff {
+		t.Fatal("data image wrong")
+	}
+	if m.FloatAt(104) != -2.5 {
+		t.Fatalf("float data = %g, want -2.5", m.FloatAt(104))
+	}
+	ip := exec.NewInterp(p.Text, m)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.Regs.ReadInt(isa.R2); got != 2 {
+		t.Errorf("r2 = %d, want 2", got)
+	}
+	if got := ip.Regs.ReadFP(isa.F1); got != 1.5 {
+		t.Errorf("f1 = %g, want 1.5", got)
+	}
+	if got := ip.Regs.ReadFP(isa.F2); got != -2.5 {
+		t.Errorf("f2 = %g, want -2.5", got)
+	}
+	if got := ip.Regs.ReadInt(isa.R3); got != 8 {
+		t.Errorf("r3 = %d, want 8", got)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p, err := Assemble(`
+		li   r1, 100000       ; needs lih+addi
+		li   r2, -5           ; single addi
+		mov  r3, r1
+		neg  r4, r2
+		subi r5, r1, 1
+		call fn
+		j    end
+	fn:	ret
+	end:	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := exec.NewInterp(p.Text, mem.NewMemory(16))
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[isa.Reg]int64{
+		isa.R1: 100000, isa.R2: -5, isa.R3: 100000, isa.R4: 5, isa.R5: 99999,
+	}
+	for r, v := range checks {
+		if got := ip.Regs.ReadInt(r); got != v {
+			t.Errorf("%s = %d, want %d", r, got, v)
+		}
+	}
+}
+
+// Property: li materialises arbitrary values in range.
+func TestLIProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		v := rng.Int63n(1<<26) - 1<<25
+		p, err := Assemble("li r1, " + itoa(v) + "\nhalt\n")
+		if err != nil {
+			t.Logf("li %d: %v", v, err)
+			return false
+		}
+		ip := exec.NewInterp(p.Text, mem.NewMemory(4))
+		if err := ip.Run(); err != nil {
+			return false
+		}
+		return ip.Regs.ReadInt(isa.R1) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func TestMemOperandForms(t *testing.T) {
+	p, err := Assemble(`
+		.data
+		.org 10
+	x:	.word 7
+		.text
+		li  r1, 10
+		lw  r2, (r1)
+		lw  r3, 0(r1)
+		lw  r4, x
+		lw  r5, x+0
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMemory(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := exec.NewInterp(p.Text, m)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []isa.Reg{isa.R2, isa.R3, isa.R4, isa.R5} {
+		if got := ip.Regs.ReadInt(r); got != 7 {
+			t.Errorf("%s = %d, want 7", r, got)
+		}
+	}
+}
+
+func TestMultithreadMnemonics(t *testing.T) {
+	p, err := Assemble(`
+		ffork
+		tid r1
+		qen r30, r31
+		qenf f30, f31
+		qdis
+		chgpri
+		setmode 1
+		swp r1, 0(r2)
+		fswp f1, 0(r2)
+		kill
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Opcode{isa.FFORK, isa.TID, isa.QEN, isa.QENF, isa.QDIS,
+		isa.CHGPRI, isa.SETMODE, isa.SWP, isa.FSWP, isa.KILL, isa.HALT}
+	for i, op := range want {
+		if p.Text[i].Op != op {
+			t.Errorf("instruction %d = %s, want %s", i, p.Text[i].Op, op)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":            "frobnicate r1, r2\n",
+		"bad register":                "add r1, r2, r99\n",
+		"missing operand":             "add r1, r2\n",
+		"undefined symbol":            "j nowhere\n",
+		"duplicate label":             "x: nop\nx: nop\n",
+		"text data mix":               ".data\nadd r1, r2, r3\n",
+		"bad directive":               ".bogus 3\n",
+		"equ malformed":               ".equ ONLYNAME\n",
+		"word outside data":           ".word 3\n",
+		"imm overflow":                "addi r1, r0, 100000\n",
+		"li overflow":                 "li r1, 999999999999\n",
+		"bad label char":              "1bad: nop\n",
+		"duplicate data":              ".data\n.org 5\n.word 1\n.org 5\n.word 2\n",
+		"malformed mem":               "lw r1, 3(r2\n",
+		"fp li":                       "li f1, 3\n",
+		"mov on fp":                   "mov f1, f2\n",
+		"beq missing target":          "beq r1, r2\n",
+		"bad org":                     ".org -5\n",
+		"bad space":                   ".data\n.space x\n",
+		"instr after colonless label": "foo bar: nop\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled without error:\n%s", name, src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		addi r1, r0, 5
+		fadd f1, f2, f3
+		lw   r2, 8(r1)
+		fsw  f1, -4(r1)
+		beq  r1, r2, 0
+		jal  r31, 2
+		tid  r7
+		halt
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(p.Text)
+	// Strip the address prefixes and re-assemble.
+	var clean []string
+	for _, line := range strings.Split(dis, "\n") {
+		if i := strings.Index(line, ":"); i >= 0 {
+			clean = append(clean, line[i+1:])
+		}
+	}
+	p2, err := Assemble(strings.Join(clean, "\n"))
+	if err != nil {
+		t.Fatalf("re-assembling disassembly: %v\n%s", err, dis)
+	}
+	if len(p2.Text) != len(p.Text) {
+		t.Fatalf("round trip length %d != %d", len(p2.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if p.Text[i] != p2.Text[i] {
+			t.Errorf("instruction %d: %v != %v", i, p.Text[i], p2.Text[i])
+		}
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p, err := Assemble("a: b: c: nop\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"a", "b", "c"} {
+		if p.MustSymbol(s) != 0 {
+			t.Errorf("label %s = %d, want 0", s, p.MustSymbol(s))
+		}
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	p, err := Assemble(`
+		nop ; semicolon
+		nop # hash
+		nop // slashes
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 3 {
+		t.Fatalf("text length = %d, want 3", len(p.Text))
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bogus r1\n")
+}
+
+func TestSymbolLookup(t *testing.T) {
+	p := MustAssemble(".equ X 7\nnop\nhalt\n")
+	if v, ok := p.Symbol("X"); !ok || v != 7 {
+		t.Errorf("Symbol(X) = %d, %v", v, ok)
+	}
+	if _, ok := p.Symbol("missing"); ok {
+		t.Error("Symbol(missing) found")
+	}
+}
+
+func TestPseudoOperandErrors(t *testing.T) {
+	cases := []string{
+		"mov r1\n",          // wrong arity
+		"neg r1\n",          // wrong arity
+		"subi r1, r2\n",     // wrong arity
+		"ret r1\n",          // ret takes none
+		"call\n",            // call needs a target
+		"b\n",               // b needs a target
+		"li r1\n",           // li needs a value
+		"la f1, 3\n",        // la needs int dest
+		"jal r31\n",         // jal needs target too
+		"tid\n",             // tid needs a register
+		"qen r1\n",          // qen needs two
+		"setmode\n",         // setmode needs a mode
+		"lw r1, 4(r2), 5\n", // too many operands
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled without error: %q", src)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"hirata/internal/isa"
+)
+
+// Disassemble renders a program's text section as assembly source, one
+// instruction per line, prefixed with its word address. The output
+// round-trips through Assemble up to pseudo-instruction expansion (the
+// disassembler emits only real opcodes).
+func Disassemble(text []isa.Instruction) string {
+	var b strings.Builder
+	for i, in := range text {
+		fmt.Fprintf(&b, "%6d:  %s\n", i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,311 @@
+package asm
+
+import (
+	"strings"
+
+	"hirata/internal/isa"
+)
+
+// emit expands one statement into machine instructions.
+func (a *assembler) emit(st stmt) ([]isa.Instruction, error) {
+	switch st.mnem {
+	case "li", "la":
+		return a.emitLI(st)
+	case "mov":
+		rd, rs, err := a.twoRegs(st)
+		if err != nil {
+			return nil, err
+		}
+		if rd.IsFP() || rs.IsFP() {
+			return nil, a.errf(st.line, "mov works on integer registers (use fmov)")
+		}
+		return []isa.Instruction{{Op: isa.ADD, Rd: rd, Rs1: rs, Rs2: isa.R0}}, nil
+	case "neg":
+		rd, rs, err := a.twoRegs(st)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instruction{{Op: isa.SUB, Rd: rd, Rs1: isa.R0, Rs2: rs}}, nil
+	case "subi":
+		if len(st.ops) != 3 {
+			return nil, a.errf(st.line, "subi needs 3 operands")
+		}
+		rd, err := a.reg(st.line, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(st.line, st.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := a.eval(st.line, st.ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instruction{{Op: isa.ADDI, Rd: rd, Rs1: rs, Imm: int32(-imm)}}, nil
+	case "ret":
+		if len(st.ops) != 0 {
+			return nil, a.errf(st.line, "ret takes no operands")
+		}
+		return []isa.Instruction{{Op: isa.JR, Rs1: isa.R31, Rd: isa.NoReg, Rs2: isa.NoReg}}, nil
+	case "call":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st.line, "call needs a target")
+		}
+		imm, err := a.eval(st.line, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instruction{{Op: isa.JAL, Rd: isa.R31, Rs1: isa.NoReg, Rs2: isa.NoReg, Imm: int32(imm)}}, nil
+	case "b":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st.line, "b needs a target")
+		}
+		imm, err := a.eval(st.line, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instruction{{Op: isa.J, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg, Imm: int32(imm)}}, nil
+	}
+
+	op, ok := isa.OpcodeByName(st.mnem)
+	if !ok {
+		return nil, a.errf(st.line, "unknown mnemonic %q", st.mnem)
+	}
+	in := isa.Instruction{Op: op, Rd: isa.NoReg, Rs1: isa.NoReg, Rs2: isa.NoReg}
+	need := func(n int) error {
+		if len(st.ops) != n {
+			return a.errf(st.line, "%s needs %d operands, got %d", st.mnem, n, len(st.ops))
+		}
+		return nil
+	}
+	var err error
+	switch op.Fmt() {
+	case isa.FmtR:
+		if err = need(3); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = a.reg(st.line, st.ops[1]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = a.reg(st.line, st.ops[2]); err != nil {
+			return nil, err
+		}
+	case isa.FmtR2:
+		if err = need(2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = a.reg(st.line, st.ops[1]); err != nil {
+			return nil, err
+		}
+	case isa.FmtI:
+		if err = need(3); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = a.reg(st.line, st.ops[1]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = a.imm(st.line, st.ops[2]); err != nil {
+			return nil, err
+		}
+	case isa.FmtLI:
+		if err = need(2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = a.imm(st.line, st.ops[1]); err != nil {
+			return nil, err
+		}
+	case isa.FmtLd:
+		if err = need(2); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Imm, in.Rs1, err = a.memOperand(st.line, st.ops[1]); err != nil {
+			return nil, err
+		}
+	case isa.FmtSt:
+		if err = need(2); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Imm, in.Rs1, err = a.memOperand(st.line, st.ops[1]); err != nil {
+			return nil, err
+		}
+	case isa.FmtB:
+		twoRegs := op == isa.BEQ || op == isa.BNE
+		n := 2
+		if twoRegs {
+			n = 3
+		}
+		if err = need(n); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+		rest := st.ops[1]
+		if twoRegs {
+			if in.Rs2, err = a.reg(st.line, st.ops[1]); err != nil {
+				return nil, err
+			}
+			rest = st.ops[2]
+		}
+		if in.Imm, err = a.imm(st.line, rest); err != nil {
+			return nil, err
+		}
+	case isa.FmtJ:
+		if op == isa.JAL {
+			if err = need(2); err != nil {
+				return nil, err
+			}
+			if in.Rd, err = a.reg(st.line, st.ops[0]); err != nil {
+				return nil, err
+			}
+			if in.Imm, err = a.imm(st.line, st.ops[1]); err != nil {
+				return nil, err
+			}
+		} else {
+			if err = need(1); err != nil {
+				return nil, err
+			}
+			if in.Imm, err = a.imm(st.line, st.ops[0]); err != nil {
+				return nil, err
+			}
+		}
+	case isa.FmtJR:
+		if err = need(1); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+	case isa.FmtQ:
+		if err = need(2); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = a.reg(st.line, st.ops[1]); err != nil {
+			return nil, err
+		}
+	case isa.FmtTID:
+		if err = need(1); err != nil {
+			return nil, err
+		}
+		if in.Rd, err = a.reg(st.line, st.ops[0]); err != nil {
+			return nil, err
+		}
+	case isa.FmtN:
+		if err = need(0); err != nil {
+			return nil, err
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, a.errf(st.line, "%v", err)
+	}
+	return []isa.Instruction{in}, nil
+}
+
+// emitLI expands li/la into addi or lih+addi.
+func (a *assembler) emitLI(st stmt) ([]isa.Instruction, error) {
+	rd, err := a.reg(st.line, st.ops[0])
+	if err != nil {
+		return nil, err
+	}
+	if rd.IsFP() {
+		return nil, a.errf(st.line, "%s needs an integer destination", st.mnem)
+	}
+	v, err := a.eval(st.line, st.ops[1])
+	if err != nil {
+		return nil, err
+	}
+	if st.size == 1 {
+		if !fitsImm14(v) {
+			return nil, a.errf(st.line, "internal: li value %d no longer fits", v)
+		}
+		return []isa.Instruction{{Op: isa.ADDI, Rd: rd, Rs1: isa.R0, Rs2: isa.NoReg, Imm: int32(v)}}, nil
+	}
+	hi, lo, ok := liParts(v)
+	if !ok {
+		return nil, a.errf(st.line, "%s value %d out of range", st.mnem, v)
+	}
+	return []isa.Instruction{
+		{Op: isa.LIH, Rd: rd, Rs1: isa.NoReg, Rs2: isa.NoReg, Imm: int32(hi)},
+		{Op: isa.ADDI, Rd: rd, Rs1: rd, Rs2: isa.NoReg, Imm: int32(lo)},
+	}, nil
+}
+
+// reg parses a register operand.
+func (a *assembler) reg(line int, s string) (isa.Reg, error) {
+	r, err := isa.ParseReg(strings.TrimSpace(s))
+	if err != nil {
+		return isa.NoReg, a.errf(line, "%v", err)
+	}
+	return r, nil
+}
+
+// imm resolves an immediate expression into an int32.
+func (a *assembler) imm(line int, s string) (int32, error) {
+	v, err := a.eval(line, s)
+	if err != nil {
+		return 0, err
+	}
+	if v < -(1<<31) || v >= 1<<31 {
+		return 0, a.errf(line, "immediate %d does not fit in 32 bits", v)
+	}
+	return int32(v), nil
+}
+
+// memOperand parses "imm(reg)", "(reg)", or a bare address expression
+// (implying base r0).
+func (a *assembler) memOperand(line int, s string) (int32, isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		imm, err := a.imm(line, s)
+		return imm, isa.R0, err
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, isa.NoReg, a.errf(line, "malformed memory operand %q", s)
+	}
+	base, err := a.reg(line, s[open+1:len(s)-1])
+	if err != nil {
+		return 0, isa.NoReg, err
+	}
+	var imm int32
+	if open > 0 {
+		if imm, err = a.imm(line, s[:open]); err != nil {
+			return 0, isa.NoReg, err
+		}
+	}
+	return imm, base, nil
+}
+
+// twoRegs parses a two-register pseudo statement.
+func (a *assembler) twoRegs(st stmt) (rd, rs isa.Reg, err error) {
+	if len(st.ops) != 2 {
+		return isa.NoReg, isa.NoReg, a.errf(st.line, "%s needs 2 operands", st.mnem)
+	}
+	if rd, err = a.reg(st.line, st.ops[0]); err != nil {
+		return
+	}
+	rs, err = a.reg(st.line, st.ops[1])
+	return
+}

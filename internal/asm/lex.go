@@ -1,0 +1,61 @@
+package asm
+
+import "strings"
+
+// stripComment removes ';', '#' and '//' comments from a source line.
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ';', '#':
+			return s[:i]
+		case '/':
+			if i+1 < len(s) && s[i+1] == '/' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// splitMnemonic separates the mnemonic from the operand text.
+func splitMnemonic(s string) (mnem, rest string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return strings.ToLower(s[:i]), s[i+1:]
+	}
+	return strings.ToLower(s), ""
+}
+
+// splitOperands splits a comma-separated operand list, trimming whitespace
+// and dropping empty fields.
+func splitOperands(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// validSymbol reports whether s is a legal label or .equ name: a letter or
+// underscore followed by letters, digits, underscores or dots.
+func validSymbol(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9', c == '.':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+// Package asm implements a two-pass assembler and a disassembler for the
+// processor's ISA. Assembly programs drive every workload in this
+// repository: the synthetic ray-tracing kernel, Livermore Kernel 1 and the
+// linked-list while loop are all written in this language (the paper used a
+// commercial RISC compiler; a small assembler is the from-scratch
+// equivalent substrate).
+//
+// Syntax overview:
+//
+//	; comment        # comment        // comment
+//	.text            switch to the text section (default)
+//	.data            switch to the data section
+//	.org  ADDR       set the data location counter
+//	.word V ...      emit integer words
+//	.float V ...     emit float64 words
+//	.space N         reserve N zeroed words
+//	.equ NAME V      define a constant
+//	label:           define a label (text: instruction index; data: address)
+//
+//	add   r1, r2, r3
+//	addi  r1, r0, -7
+//	lw    r4, 8(r2)      flw f1, x(r0)      sw r5, 0(r2)
+//	beq   r1, r2, loop   bnez r1, done      j exit
+//	li    r1, 123456     la r2, table       mov r3, r1      (pseudo)
+//	call  fn             ret                subi r1, r2, 4  (pseudo)
+//
+// Immediates may be decimal or 0x-hex literals, .equ constants, labels, or
+// label+offset / label-offset expressions.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"hirata/internal/isa"
+	"hirata/internal/mem"
+)
+
+// DataWord is one initialised word of the data image.
+type DataWord struct {
+	Addr int64
+	Val  uint64
+}
+
+// Program is the output of the assembler: the instruction text, the
+// initialised data image, and the resolved symbol table.
+type Program struct {
+	Text    []isa.Instruction
+	Data    []DataWord
+	Symbols map[string]int64
+	DataEnd int64 // first word address beyond all data (for sizing memory)
+}
+
+// InitMemory writes the program's data image into m.
+func (p *Program) InitMemory(m *mem.Memory) error {
+	for _, w := range p.Data {
+		if err := m.Store(w.Addr, w.Val); err != nil {
+			return fmt.Errorf("asm: initialising data at %d: %w", w.Addr, err)
+		}
+	}
+	return nil
+}
+
+// NewMemory allocates a memory just large enough for the data image (with
+// the given amount of extra headroom in words) and initialises it.
+func (p *Program) NewMemory(headroom int64) (*mem.Memory, error) {
+	size := p.DataEnd + headroom
+	if size < 1 {
+		size = 1
+	}
+	m := mem.NewMemory(int(size))
+	if err := p.InitMemory(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Symbol looks up a label or .equ constant.
+func (p *Program) Symbol(name string) (int64, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// MustSymbol looks up a symbol and panics if it is undefined; intended for
+// workload and test setup code where absence is a programming error.
+func (p *Program) MustSymbol(name string) int64 {
+	v, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: undefined symbol %q", name))
+	}
+	return v
+}
+
+// sortData orders the data image by address and checks for overlaps.
+func (p *Program) sortData() error {
+	sort.Slice(p.Data, func(i, j int) bool { return p.Data[i].Addr < p.Data[j].Addr })
+	for i := 1; i < len(p.Data); i++ {
+		if p.Data[i].Addr == p.Data[i-1].Addr {
+			return fmt.Errorf("asm: duplicate data at address %d", p.Data[i].Addr)
+		}
+	}
+	return nil
+}

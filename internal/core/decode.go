@@ -1,0 +1,605 @@
+package core
+
+import (
+	"fmt"
+
+	"hirata/internal/exec"
+	"hirata/internal/isa"
+	"hirata/internal/mem"
+)
+
+// issueCtx adapts the processor to exec.Context for one instruction leaving
+// decode. It redirects queue-register-mapped register names to the ring
+// FIFOs: the first read of the read-mapped register pops the incoming
+// queue, writes to the write-mapped register fill the entry reserved in the
+// outgoing queue.
+type issueCtx struct {
+	p *Processor
+	s *slot
+	f *contextFrame
+
+	popIntDone bool
+	popIntVal  int64
+	popFPDone  bool
+	popFPVal   float64
+	push       *qentry
+	memErr     error
+}
+
+func (c *issueCtx) ReadInt(r isa.Reg) int64 {
+	if r.Valid() && r == c.s.qInInt {
+		if !c.popIntDone {
+			c.popIntVal = int64(c.p.inQueue(c.s.id, false).pop())
+			c.popIntDone = true
+		}
+		return c.popIntVal
+	}
+	return c.f.regs.ReadInt(r)
+}
+
+func (c *issueCtx) WriteInt(r isa.Reg, v int64) {
+	if r.Valid() && r == c.s.qOutInt {
+		c.push.bits = uint64(v)
+		return
+	}
+	c.f.regs.WriteInt(r, v)
+}
+
+func (c *issueCtx) ReadFP(r isa.Reg) float64 {
+	if r.Valid() && r == c.s.qInFP {
+		if !c.popFPDone {
+			c.popFPVal = floatFromBits(c.p.inQueue(c.s.id, true).pop())
+			c.popFPDone = true
+		}
+		return c.popFPVal
+	}
+	return c.f.regs.ReadFP(r)
+}
+
+func (c *issueCtx) WriteFP(r isa.Reg, v float64) {
+	if r.Valid() && r == c.s.qOutFP {
+		c.push.bits = floatBits(v)
+		c.push.isFloat = true
+		return
+	}
+	c.f.regs.WriteFP(r, v)
+}
+
+func (c *issueCtx) Load(addr int64) (uint64, error)  { return c.p.mem.Load(addr) }
+func (c *issueCtx) Store(addr int64, v uint64) error { return c.p.mem.Store(addr, v) }
+func (c *issueCtx) TID() int                         { return int(c.f.tid) }
+
+// decodePhase runs every decode unit for one cycle (stage D2): dependence
+// checks via scoreboarding, queue-register full/empty interlocks, priority
+// interlocks, branch resolution, and issue into standby stations.
+func (p *Processor) decodePhase() error {
+	p.issueBudget = p.cfg.MaxIssuePerCycle
+	if p.issueBudget <= 0 {
+		p.issueBudget = 1 << 30 // unbounded: simultaneous issue
+	}
+	for _, slotID := range p.prio {
+		s := p.slots[slotID]
+		if s.state != slotRunning {
+			continue
+		}
+		if p.issueBudget <= 0 {
+			break
+		}
+		if err := p.issueFromSlot(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// issueFromSlot issues up to IssueWidth instructions from the slot's D2
+// window, in order. With IssueWidth == 1 this is the paper's base design;
+// wider widths implement the hybrid superscalar thread slots of §3.3.
+func (p *Processor) issueFromSlot(s *slot) error {
+	if len(s.d2) == 0 {
+		p.stats.Slots[s.id].Stalls[StallEmpty]++
+		return nil
+	}
+	var (
+		pendingDests = p.pendScratch[:0]  // dests of earlier, unissued window entries
+		pendingSrcs  = p.pendScratch2[:0] // sources of earlier, unissued window entries
+		memBlocked   bool                 // an earlier unissued memory op exists
+		ctrlBlocked  bool                 // an earlier unissued control op exists
+		issuedIdx    = p.idxScratch[:0]
+		firstStall   = StallNone
+	)
+	for i := 0; i < len(s.d2); i++ {
+		di := s.d2[i]
+		if ctrlBlocked || p.issueBudget <= 0 {
+			break
+		}
+		headClear := i == len(issuedIdx)
+		issued, reason, stop, err := p.tryIssue(s, di, headClear, pendingDests, pendingSrcs, memBlocked)
+		if err != nil {
+			return err
+		}
+		if issued {
+			issuedIdx = append(issuedIdx, i)
+			p.issueBudget--
+			if stop {
+				// A branch or thread-control instruction redirected or
+				// ended the stream; everything younger is already flushed.
+				s.d2 = s.d2[:0]
+				return nil
+			}
+			continue
+		}
+		if firstStall == StallNone && reason != StallNone {
+			firstStall = reason
+		}
+		pendingDests = appendReg(pendingDests, di.ins.Dest())
+		pendingSrcs = di.ins.Sources(pendingSrcs)
+		if di.ins.Op.IsMem() {
+			memBlocked = true
+		}
+		if di.ins.Op.Unit() == isa.UnitNone && di.ins.Op != isa.NOP {
+			ctrlBlocked = true
+		}
+		if p.cfg.IssueWidth == 1 {
+			break
+		}
+	}
+	if len(issuedIdx) > 0 {
+		keep := s.d2[:0]
+		k := 0
+		for i, di := range s.d2 {
+			if k < len(issuedIdx) && issuedIdx[k] == i {
+				k++
+				continue
+			}
+			keep = append(keep, di)
+		}
+		s.d2 = keep
+	} else if firstStall != StallNone {
+		p.stats.Slots[s.id].Stalls[firstStall]++
+	}
+	p.pendScratch = pendingDests[:0]
+	p.pendScratch2 = pendingSrcs[:0]
+	p.idxScratch = issuedIdx[:0]
+	return nil
+}
+
+// appendReg appends r to dst when it names a real register.
+func appendReg(dst []isa.Reg, r isa.Reg) []isa.Reg {
+	if r.Valid() {
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// tryIssue attempts to issue one instruction out of the D2 window.
+// headClear reports that every older window entry has issued, which is
+// required for control instructions. stop=true means the instruction ended
+// or redirected the instruction stream.
+func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, pendingSrcs []isa.Reg, memBlocked bool) (issued bool, reason StallReason, stop bool, err error) {
+	in := di.ins
+	f := p.frames[s.frame]
+
+	// Window-internal hazards (superscalar widths only).
+	if p.cfg.IssueWidth > 1 {
+		srcs := in.Sources(p.srcScratch[:0])
+		p.srcScratch = srcs[:0]
+		for _, r := range srcs {
+			if regIn(pendingDests, r) {
+				return false, StallData, false, nil
+			}
+		}
+		if d := in.Dest(); d.Valid() && (regIn(pendingDests, d) || regIn(pendingSrcs, d)) {
+			return false, StallData, false, nil
+		}
+		if in.Op.IsMem() && memBlocked {
+			return false, StallData, false, nil
+		}
+	}
+
+	if in.Op.Unit() == isa.UnitNone {
+		if !headClear {
+			return false, StallData, false, nil
+		}
+		return p.issueControl(s, f, di)
+	}
+
+	// Priority-interlocked stores (§2.3.3) wait for the highest priority.
+	if in.Op.NeedsHighestPriority() && p.highestActiveSlot() != s.id {
+		return false, StallPriority, false, nil
+	}
+
+	// Structural: a free standby station (or the issue latch).
+	cls := in.Op.Unit()
+	if p.cfg.StandbyStations {
+		if len(s.standby[cls]) >= p.cfg.StandbyDepth {
+			return false, StallStandby, false, nil
+		}
+	} else if s.latch != nil {
+		return false, StallStandby, false, nil
+	}
+
+	// Source operands: queue-register reads need a filled, ready entry;
+	// plain registers consult the scoreboard.
+	srcs := in.Sources(p.srcScratch[:0])
+	p.srcScratch = srcs[:0]
+	if ok, r := p.sourcesReady(s, f, srcs); !ok {
+		return false, r, false, nil
+	}
+
+	// Destination: queue-register writes need capacity; plain registers
+	// interlock on WAW via the scoreboard.
+	dest := in.Dest()
+	destQueue := false
+	if dest.Valid() {
+		switch {
+		case dest == s.qOutInt, dest == s.qOutFP:
+			destQueue = true
+			if p.outQueue(s.id, dest.IsFP()).full() {
+				return false, StallQueueFull, false, nil
+			}
+		default:
+			if !f.scoreboardReady(dest, p.cycle) {
+				return false, StallData, false, nil
+			}
+		}
+	}
+
+	// Data-absence trap on loads of remote data (§2.1.3): in implicit
+	// rotation mode with spare context frames, switch contexts instead of
+	// stalling. Explicit-rotation mode suppresses context switches. In
+	// trace-driven mode the effective address comes from the trace record.
+	extraLat := 0
+	if in.Op.IsMem() {
+		base := in.Rs1
+		haveAddr := p.traceMode || base != s.qInInt // queue-mapped bases cannot be pre-read
+		if haveAddr {
+			addr := di.addr
+			if !p.traceMode {
+				addr = f.regs.ReadInt(base) + int64(in.Imm)
+			}
+			if p.mem.IsRemote(addr) && !f.satisfied[addr] {
+				if !p.explicit && p.concurrentOn() && !p.traceMode && in.Op.IsLoad() {
+					p.trapDataAbsence(s, f, di, addr)
+					return true, StallNone, true, nil
+				}
+				extraLat += p.mem.RemoteLatency()
+				if f.satisfied == nil {
+					f.satisfied = make(map[int64]bool)
+				}
+				f.satisfied[addr] = true
+			}
+			extraLat += p.dcache.Access(addr) - p.dcacheHitCycles()
+		}
+	}
+
+	// Issue: apply architectural effects now, timing flows through the
+	// standby station and schedule unit. Trace-driven replay performs the
+	// interlocks only; the recorded stream already fixed the values.
+	var push *qentry
+	if !p.traceMode {
+		ctx := &issueCtx{p: p, s: s, f: f}
+		if destQueue {
+			ctx.push = p.outQueue(s.id, dest.IsFP()).reserve()
+		}
+		out, eerr := exec.Execute(in, di.pc, ctx)
+		if eerr != nil {
+			return false, StallNone, false, fmt.Errorf("core: slot %d: %w", s.id, eerr)
+		}
+		if out.Effect != exec.EffectNone {
+			return false, StallNone, false, fmt.Errorf("core: slot %d: unexpected effect from %s", s.id, in.Op)
+		}
+		push = ctx.push
+	}
+
+	inf := &inflight{
+		ins:      in,
+		pc:       di.pc,
+		slot:     s.id,
+		frame:    f.id,
+		class:    cls,
+		extraLat: extraLat,
+		push:     push,
+	}
+	if dest.Valid() && !destQueue {
+		inf.dest = dest
+		f.markPending(dest)
+	} else {
+		inf.dest = isa.NoReg
+	}
+	if p.cfg.StandbyStations {
+		s.standby[cls] = append(s.standby[cls], inf)
+	} else {
+		s.latch = inf
+	}
+	if di.fromARB {
+		f.arb.Complete(di.arbSeq)
+	}
+	p.noteIssued(s, di)
+	return true, StallNone, false, nil
+}
+
+// sourcesReady checks every source operand of an instruction.
+func (p *Processor) sourcesReady(s *slot, f *contextFrame, srcs []isa.Reg) (bool, StallReason) {
+	needIntPop, needFPPop := false, false
+	for _, r := range srcs {
+		switch {
+		case r == s.qInInt && s.qInInt != isa.NoReg:
+			needIntPop = true
+		case r == s.qInFP && s.qInFP != isa.NoReg:
+			needFPPop = true
+		default:
+			if !f.scoreboardReady(r, p.cycle) {
+				return false, StallData
+			}
+		}
+	}
+	if needIntPop && p.inQueue(s.id, false).readyCount(p.cycle) < 1 {
+		return false, StallQueueEmpty
+	}
+	if needFPPop && p.inQueue(s.id, true).readyCount(p.cycle) < 1 {
+		return false, StallQueueEmpty
+	}
+	return true, StallNone
+}
+
+// issueControl executes branches and the special thread-control
+// instructions inside the decode unit.
+func (p *Processor) issueControl(s *slot, f *contextFrame, di dinstr) (bool, StallReason, bool, error) {
+	in := di.ins
+	if p.traceMode {
+		return p.issueControlTrace(s, f, di)
+	}
+
+	// Priority interlocks: change-priority (explicit mode) and kill run
+	// only on the highest-priority logical processor (§2.2, §2.3.3).
+	switch in.Op {
+	case isa.KILL:
+		if p.highestActiveSlot() != s.id {
+			return false, StallPriority, false, nil
+		}
+	case isa.CHGPRI:
+		if p.explicit && p.highestActiveSlot() != s.id {
+			return false, StallPriority, false, nil
+		}
+	}
+
+	// Branch conditions and jump targets read registers in the decode
+	// unit; they must be ready.
+	srcs := in.Sources(p.srcScratch[:0])
+	p.srcScratch = srcs[:0]
+	if ok, r := p.sourcesReady(s, f, srcs); !ok {
+		return false, r, false, nil
+	}
+
+	ctx := &issueCtx{p: p, s: s, f: f}
+	out, err := exec.Execute(in, di.pc, ctx)
+	if err != nil {
+		return false, StallNone, false, fmt.Errorf("core: slot %d: %w", s.id, err)
+	}
+	if di.fromARB {
+		f.arb.Complete(di.arbSeq)
+	}
+	p.noteIssued(s, di)
+
+	switch out.Effect {
+	case exec.EffectNone:
+		// NOP; also TID and JAL-style link writes already applied. Results
+		// computed in the decode unit are usable the next cycle.
+		if d := in.Dest(); d.Valid() {
+			f.setReady(d, p.cycle+1)
+		}
+		return true, StallNone, false, nil
+
+	case exec.EffectBranch:
+		p.stats.Slots[s.id].Branches++
+		if d := in.Dest(); d.Valid() { // jal link register
+			f.setReady(d, p.cycle+1)
+		}
+		next := di.pc + 1
+		if out.Taken {
+			next = out.Target
+		}
+		p.redirect(s, next)
+		return true, StallNone, true, nil
+
+	case exec.EffectHalt:
+		f.state = frameDone
+		s.flushPipeline()
+		s.unmapQueues()
+		if p.observer != nil {
+			p.observer.ThreadEnd(p.cycle, s.id, f.id, false)
+		}
+		s.state = slotIdle
+		s.frame = -1
+		p.touch(p.cycle)
+		return true, StallNone, true, nil
+
+	case exec.EffectFork:
+		p.fork(s, di.pc)
+		return true, StallNone, false, nil
+
+	case exec.EffectKill:
+		p.kill(s)
+		return true, StallNone, false, nil
+
+	case exec.EffectChangePriority:
+		if p.explicit {
+			p.rotateOnce()
+		}
+		return true, StallNone, false, nil
+
+	case exec.EffectQueueEnable:
+		s.qInInt, s.qOutInt = in.Rs1, in.Rs2
+		return true, StallNone, false, nil
+
+	case exec.EffectQueueEnableFP:
+		s.qInFP, s.qOutFP = in.Rs1, in.Rs2
+		return true, StallNone, false, nil
+
+	case exec.EffectQueueDisable:
+		s.unmapQueues()
+		return true, StallNone, false, nil
+
+	case exec.EffectSetMode:
+		p.explicit = out.Mode != 0
+		return true, StallNone, false, nil
+	}
+	return false, StallNone, false, fmt.Errorf("core: unhandled effect %d for %s", out.Effect, in.Op)
+}
+
+// issueControlTrace replays branches, NOP and HALT from a trace record:
+// timing interlocks are identical to execution-driven mode, but control
+// flow simply continues with the next trace entry.
+func (p *Processor) issueControlTrace(s *slot, f *contextFrame, di dinstr) (bool, StallReason, bool, error) {
+	in := di.ins
+	srcs := in.Sources(p.srcScratch[:0])
+	p.srcScratch = srcs[:0]
+	if ok, r := p.sourcesReady(s, f, srcs); !ok {
+		return false, r, false, nil
+	}
+	p.noteIssued(s, di)
+	switch {
+	case in.Op == isa.NOP:
+		return true, StallNone, false, nil
+	case in.Op == isa.HALT:
+		f.state = frameDone
+		s.flushPipeline()
+		if p.observer != nil {
+			p.observer.ThreadEnd(p.cycle, s.id, f.id, false)
+		}
+		s.state = slotIdle
+		s.frame = -1
+		p.touch(p.cycle)
+		return true, StallNone, true, nil
+	case in.Op.IsBranch():
+		p.stats.Slots[s.id].Branches++
+		if d := in.Dest(); d.Valid() { // jal link register
+			f.setReady(d, p.cycle+1)
+		}
+		p.redirect(s, di.pc+1) // the trace already resolved the target
+		return true, StallNone, true, nil
+	}
+	return false, StallNone, false, fmt.Errorf("core: trace replay cannot execute %s", in.Op)
+}
+
+// redirect restarts the slot's instruction stream at pc after a branch.
+// The refetch becomes eligible next cycle; the resulting bubble reproduces
+// the paper's 5-cycle branch delay on an otherwise idle fetch unit.
+func (p *Processor) redirect(s *slot, pc int64) {
+	s.flushPipeline()
+	s.fetchPC = pc
+	s.fetchDone = pc >= p.streamLen(p.frames[s.frame]) || pc < 0
+	s.fetchHoldUntil = p.cycle + 1
+	fu := p.fetcherFor(s.id)
+	fu.redirects = append(fu.redirects, redirectReq{
+		slot:          s.id,
+		gen:           s.fetchGen,
+		earliestStart: p.cycle + 1,
+	})
+	if p.observer != nil {
+		p.observer.Redirect(p.cycle, s.id, pc)
+	}
+}
+
+// trapDataAbsence switches the thread out on a remote-memory load.
+func (p *Processor) trapDataAbsence(s *slot, f *contextFrame, di dinstr, addr int64) {
+	f.arbSeq++
+	f.arb.Add(mem.AccessRequirement{Instr: di.ins, PC: di.pc, Seq: f.arbSeq})
+	f.pc = di.pc + 1
+	f.state = frameWaiting
+	f.waitUntil = p.cycle + uint64(p.mem.RemoteLatency())
+	if f.satisfied == nil {
+		f.satisfied = make(map[int64]bool)
+	}
+	f.satisfied[addr] = true
+	s.flushPipeline()
+	s.state = slotDraining
+	p.stats.Switches++
+	if p.observer != nil {
+		p.observer.Trap(p.cycle, s.id, f.id, addr)
+	}
+	// The wait itself is only charged when the frame actually wakes
+	// (wakeFrames); a kill can cut it short.
+	p.touch(p.cycle)
+}
+
+// fork implements fast-fork (§2.3.1): every idle thread slot starts a
+// thread at the instruction after the fork, with its logical processor
+// identifier as thread id.
+func (p *Processor) fork(forker *slot, forkPC int64) {
+	for _, s := range p.slots {
+		if s == forker || s.state != slotIdle {
+			continue
+		}
+		f := p.frames[s.id]
+		if f.state != frameFree && f.state != frameDone {
+			continue
+		}
+		f.reset()
+		f.tid = int64(s.id)
+		f.pc = forkPC + 1
+		p.bindFrame(s, f)
+		p.stats.Forks++
+	}
+}
+
+// kill implements the kill instruction: stop all other running threads.
+func (p *Processor) kill(killer *slot) {
+	for _, s := range p.slots {
+		if s == killer || s.frame < 0 {
+			continue
+		}
+		p.frames[s.frame].state = frameDone
+		s.flushPipeline()
+		s.clearIssued()
+		s.unmapQueues()
+		if p.observer != nil {
+			p.observer.ThreadEnd(p.cycle, s.id, s.frame, true)
+		}
+		s.state = slotIdle
+		s.frame = -1
+		p.stats.Kills++
+	}
+	for _, fid := range p.readyQ {
+		if p.frames[fid].state == frameReady {
+			p.frames[fid].state = frameDone
+			p.stats.Kills++
+		}
+	}
+	p.readyQ = p.readyQ[:0]
+	for _, f := range p.frames {
+		if f.state == frameWaiting {
+			f.state = frameDone
+			p.stats.Kills++
+		}
+	}
+	p.clearQueues()
+	p.touch(p.cycle)
+}
+
+// noteIssued updates per-slot and global instruction counts.
+func (p *Processor) noteIssued(s *slot, di dinstr) {
+	p.stats.Slots[s.id].Issued++
+	p.stats.Instructions++
+	p.touch(p.cycle)
+	if p.OnIssue != nil {
+		p.OnIssue(s.id, di.pc, p.cycle)
+	}
+	if p.observer != nil {
+		p.observer.Issue(p.cycle, s.id, di.pc, di.ins)
+	}
+}
+
+// dcacheHitCycles returns the baseline data-cache access time already
+// folded into the load/store latencies of Table 1.
+func (p *Processor) dcacheHitCycles() int { return mem.CacheAccessCycles }
+
+func regIn(list []isa.Reg, r isa.Reg) bool {
+	for _, x := range list {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package core
+
+import "math"
+
+// fetcherFor returns the fetch unit serving a slot: slots are distributed
+// round-robin over the configured fetch units (one unit serves everyone in
+// the base design; PrivateICache gives each slot its own).
+func (p *Processor) fetcherFor(slotID int) *fetchUnit {
+	return p.fetchers[slotID%len(p.fetchers)]
+}
+
+// advanceDecodeStages moves instructions D1→D2 and buffer→D1. Each stage
+// holds up to IssueWidth instructions and advances once per cycle, so an
+// instruction spends one cycle in each decode stage.
+func (p *Processor) advanceDecodeStages() {
+	w := p.cfg.IssueWidth
+	for _, s := range p.slots {
+		if s.state != slotRunning {
+			continue
+		}
+		for len(s.d2) < w && len(s.d1) > 0 {
+			s.d2 = append(s.d2, s.d1[0])
+			s.d1 = s.d1[:copy(s.d1, s.d1[1:])] // pop front, keep capacity
+		}
+		for len(s.d1) < w && len(s.buf) > 0 && s.buf[0].minD1 <= p.cycle {
+			e := s.buf[0]
+			s.buf = s.buf[:copy(s.buf, s.buf[1:])] // pop front, keep capacity
+			s.d1 = append(s.d1, dinstr{pc: e.pc, ins: e.ins, fromARB: e.fromARB, arbSeq: e.arbSeq, addr: e.addr})
+		}
+	}
+}
+
+// fetchPhase advances every instruction fetch unit: finish in-flight cache
+// accesses (delivering B = S×C×D instructions into the target slot's
+// instruction queue buffer) and start the next access. Branch redirects
+// preempt the round-robin fill order (§2.1.1).
+func (p *Processor) fetchPhase() {
+	for i, fu := range p.fetchers {
+		if fu.busy {
+			if p.cycle < fu.busyUntil {
+				continue
+			}
+			p.deliver(fu)
+			continue // the unit restarts next cycle
+		}
+		p.startFetch(i, fu)
+	}
+}
+
+// deliver completes an access: instructions become readable by decode after
+// the buffer-read stage, one cycle after delivery.
+func (p *Processor) deliver(fu *fetchUnit) {
+	fu.busy = false
+	s := p.slots[fu.target]
+	if fu.gen != s.fetchGen || s.state != slotRunning {
+		fu.insns = fu.insns[:0]
+		return
+	}
+	for _, e := range fu.insns {
+		e.minD1 = p.cycle + 1
+		s.buf = append(s.buf, e)
+	}
+	fu.insns = fu.insns[:0]
+	p.touch(p.cycle + 1)
+}
+
+// startFetch picks the next request for an idle fetch unit.
+func (p *Processor) startFetch(fuIndex int, fu *fetchUnit) {
+	// Purge stale redirects, then serve the first eligible one.
+	live := fu.redirects[:0]
+	for _, r := range fu.redirects {
+		if p.slots[r.slot].fetchGen == r.gen && p.slots[r.slot].state == slotRunning {
+			live = append(live, r)
+		}
+	}
+	fu.redirects = live
+	for i, r := range fu.redirects {
+		if r.earliestStart <= p.cycle {
+			fu.redirects = append(fu.redirects[:i], fu.redirects[i+1:]...)
+			p.beginAccess(fu, r.slot)
+			return
+		}
+	}
+	// Round-robin fill among this unit's slots with buffer space (slot
+	// ids congruent to the unit index modulo the fetch-unit count).
+	n := p.cfg.ThreadSlots
+	units := len(p.fetchers)
+	for k := 1; k <= n; k++ {
+		id := (fu.rr + k) % n
+		if id%units != fuIndex {
+			continue
+		}
+		if p.wantsFetch(p.slots[id]) {
+			fu.rr = id
+			p.beginAccess(fu, id)
+			return
+		}
+	}
+}
+
+// wantsFetch reports whether a slot needs its queue buffer filled.
+func (p *Processor) wantsFetch(s *slot) bool {
+	return s.state == slotRunning && !s.fetchDone && len(s.buf) < s.bufCap &&
+		p.cycle >= s.fetchHoldUntil
+}
+
+// beginAccess starts one instruction cache access for a slot, capturing the
+// instructions it will deliver.
+func (p *Processor) beginAccess(fu *fetchUnit, slotID int) {
+	s := p.slots[slotID]
+	space := s.bufCap - len(s.buf)
+	if space > p.fetchMax {
+		space = p.fetchMax
+	}
+	if space <= 0 || s.fetchDone {
+		return
+	}
+	f := p.frames[s.frame]
+	streamLen := p.streamLen(f)
+	end := s.fetchPC + int64(space)
+	if end > streamLen {
+		end = streamLen
+	}
+	if end <= s.fetchPC {
+		s.fetchDone = true
+		return
+	}
+	lat := fu.icache.Access(s.fetchPC)
+	fu.busy = true
+	fu.busyUntil = p.cycle + uint64(lat) - 1
+	fu.target = slotID
+	fu.gen = s.fetchGen
+	fu.insns = fu.insns[:0]
+	for pc := s.fetchPC; pc < end; pc++ {
+		ins, addr := p.streamAt(f, pc)
+		fu.insns = append(fu.insns, bufEntry{pc: pc, ins: ins, addr: addr, minD1: math.MaxUint64})
+	}
+	s.fetchPC = end
+	if end >= streamLen {
+		s.fetchDone = true
+	}
+	p.touch(fu.busyUntil)
+}

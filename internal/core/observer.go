@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"hirata/internal/isa"
+)
+
+// Observer receives the machine's microarchitectural events as they
+// happen. All callbacks run synchronously inside the simulation loop; a
+// nil Observer costs nothing. TextTracer is the ready-made implementation.
+type Observer interface {
+	// Issue: an instruction left a decode unit (stage D2).
+	Issue(cycle uint64, slot int, pc int64, ins isa.Instruction)
+	// Select: an instruction schedule unit assigned an instruction to a
+	// functional unit; its result is ready at readyAt.
+	Select(cycle uint64, slot int, pc int64, ins isa.Instruction, unit isa.UnitClass, unitIndex int, readyAt uint64)
+	// Redirect: a branch flushed the slot and refetches from pc.
+	Redirect(cycle uint64, slot int, pc int64)
+	// Bind: a context frame was bound to a thread slot.
+	Bind(cycle uint64, slot, frame int, tid int64)
+	// Trap: a data-absence trap switched the thread out (remote addr).
+	Trap(cycle uint64, slot, frame int, addr int64)
+	// Rotate: the schedule-unit priorities rotated; prio[0] is highest.
+	Rotate(cycle uint64, prio []int)
+	// ThreadEnd: a thread halted or was killed.
+	ThreadEnd(cycle uint64, slot, frame int, killed bool)
+}
+
+// Observe attaches an observer (replacing any previous one). Call before
+// Run.
+func (p *Processor) Observe(o Observer) { p.observer = o }
+
+// TextTracer is an Observer that writes one line per event, producing a
+// readable cycle-by-cycle pipeline trace:
+//
+//	[   12] slot0  issue    pc=5    add r3, r1, r2
+//	[   13] slot0  select   pc=5    IntALU[0] ready@15
+//	[   17] slot1  redirect pc=9
+type TextTracer struct {
+	W io.Writer
+}
+
+func (t *TextTracer) Issue(cycle uint64, slot int, pc int64, ins isa.Instruction) {
+	fmt.Fprintf(t.W, "[%5d] slot%-2d issue    pc=%-5d %s\n", cycle, slot, pc, ins)
+}
+
+func (t *TextTracer) Select(cycle uint64, slot int, pc int64, ins isa.Instruction, unit isa.UnitClass, idx int, readyAt uint64) {
+	fmt.Fprintf(t.W, "[%5d] slot%-2d select   pc=%-5d %s[%d] ready@%d\n", cycle, slot, pc, unit, idx, readyAt)
+}
+
+func (t *TextTracer) Redirect(cycle uint64, slot int, pc int64) {
+	fmt.Fprintf(t.W, "[%5d] slot%-2d redirect pc=%d\n", cycle, slot, pc)
+}
+
+func (t *TextTracer) Bind(cycle uint64, slot, frame int, tid int64) {
+	fmt.Fprintf(t.W, "[%5d] slot%-2d bind     frame=%d tid=%d\n", cycle, slot, frame, tid)
+}
+
+func (t *TextTracer) Trap(cycle uint64, slot, frame int, addr int64) {
+	fmt.Fprintf(t.W, "[%5d] slot%-2d trap     frame=%d addr=%d (data absence)\n", cycle, slot, frame, addr)
+}
+
+func (t *TextTracer) Rotate(cycle uint64, prio []int) {
+	fmt.Fprintf(t.W, "[%5d] ...... rotate   priorities=%v\n", cycle, prio)
+}
+
+func (t *TextTracer) ThreadEnd(cycle uint64, slot, frame int, killed bool) {
+	how := "halt"
+	if killed {
+		how = "killed"
+	}
+	fmt.Fprintf(t.W, "[%5d] slot%-2d end      frame=%d (%s)\n", cycle, slot, frame, how)
+}

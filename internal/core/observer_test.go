@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hirata/internal/asm"
+	"hirata/internal/mem"
+)
+
+func TestTextTracerEvents(t *testing.T) {
+	prog := asm.MustAssemble(`
+		ffork
+		tid  r1
+		addi r2, r1, 1
+		mul  r3, r2, r2
+		bnez r1, other
+		sw   r3, 100(r0)
+		halt
+	other:	sw   r3, 101(r0)
+		halt
+	`)
+	m, _ := prog.NewMemory(128)
+	p, err := New(Config{ThreadSlots: 2, StandbyStations: true, RotationInterval: 4}, prog.Text, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	p.Observe(&TextTracer{W: &buf})
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"issue", "select", "redirect", "bind", "rotate", "end", "IntALU", "IntMul", "halt",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, firstLines(out, 20))
+		}
+	}
+	// Order sanity: the first bind precedes the first issue.
+	if strings.Index(out, "bind") > strings.Index(out, "issue") {
+		t.Error("bind event did not precede the first issue")
+	}
+}
+
+func TestTracerTrapEvent(t *testing.T) {
+	prog := asm.MustAssemble(`
+		lw   r1, 1000(r0)
+		addi r2, r1, 1
+		halt
+	`)
+	m := mem.NewMemoryWithRemote(2048, 1000, 100)
+	m.SetInt(1000, 5)
+	p, err := New(Config{ThreadSlots: 1, ContextFrames: 2, StandbyStations: true}, prog.Text, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	p.Observe(&TextTracer{W: &buf})
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trap") {
+		t.Errorf("no trap event in trace:\n%s", firstLines(buf.String(), 20))
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

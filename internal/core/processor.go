@@ -1,0 +1,629 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hirata/internal/exec"
+	"hirata/internal/isa"
+	"hirata/internal/mem"
+)
+
+// pendingReady marks a scoreboard entry or queue entry whose producer has
+// been issued but not yet selected by an instruction schedule unit.
+const pendingReady = math.MaxUint64
+
+// frameState is the lifecycle of a context frame (one thread).
+type frameState uint8
+
+const (
+	frameFree    frameState = iota // no thread assigned
+	frameReady                     // runnable, waiting for a thread slot
+	frameRunning                   // bound to a thread slot
+	frameWaiting                   // switched out on a data-absence trap
+	frameDone                      // halted or killed
+)
+
+// contextFrame bundles a register bank, the instruction address save
+// register, the thread status, the per-bank scoreboard and the access
+// requirement buffer (§2.1.3).
+type contextFrame struct {
+	id        int
+	tid       int64
+	traceID   int // index into Processor.traces; -1 in execution-driven mode
+	state     frameState
+	regs      exec.RegFile
+	pc        int64 // instruction address save register
+	readyAt   [isa.NumIntRegs + isa.NumFPRegs]uint64
+	arb       mem.AccessRequirementBuffer
+	waitUntil uint64         // when the remote data arrives
+	satisfied map[int64]bool // remote addresses now locally available
+	arbSeq    uint64         // sequence source for arb entries
+}
+
+// sbIndex maps a register to its scoreboard slot.
+func sbIndex(r isa.Reg) int {
+	if r.IsFP() {
+		return isa.NumIntRegs + r.Index()
+	}
+	return r.Index()
+}
+
+// scoreboardReady reports whether register r is free of pending writes at
+// the given cycle.
+func (f *contextFrame) scoreboardReady(r isa.Reg, cycle uint64) bool {
+	if !r.Valid() || (r.IsInt() && r.Index() == 0) {
+		return true
+	}
+	return f.readyAt[sbIndex(r)] <= cycle
+}
+
+// markPending flags r busy until the producing instruction is scheduled.
+func (f *contextFrame) markPending(r isa.Reg) {
+	if r.Valid() && !(r.IsInt() && r.Index() == 0) {
+		f.readyAt[sbIndex(r)] = pendingReady
+	}
+}
+
+// setReady records the cycle at which r's pending write completes.
+func (f *contextFrame) setReady(r isa.Reg, cycle uint64) {
+	if r.Valid() && !(r.IsInt() && r.Index() == 0) {
+		f.readyAt[sbIndex(r)] = cycle
+	}
+}
+
+// reset clears the frame for reuse by a new thread.
+func (f *contextFrame) reset() {
+	f.regs.Reset()
+	f.pc = 0
+	f.readyAt = [isa.NumIntRegs + isa.NumFPRegs]uint64{}
+	f.arb.Clear()
+	f.waitUntil = 0
+	f.satisfied = nil
+	f.state = frameFree
+}
+
+// slotState is the lifecycle of a thread slot (logical processor).
+type slotState uint8
+
+const (
+	slotIdle     slotState = iota // no context frame bound
+	slotRunning                   // executing a thread
+	slotDraining                  // waiting for issued instructions before a context switch
+)
+
+// bufEntry is one instruction in a slot's instruction queue unit.
+type bufEntry struct {
+	pc      int64
+	ins     isa.Instruction
+	minD1   uint64 // earliest cycle the entry may enter decode stage D1
+	fromARB bool   // re-injected from the access requirement buffer
+	arbSeq  uint64
+	addr    int64 // recorded effective address (trace-driven mode)
+}
+
+// dinstr is an instruction occupying a decode stage.
+type dinstr struct {
+	pc      int64
+	ins     isa.Instruction
+	fromARB bool
+	arbSeq  uint64
+	addr    int64 // recorded effective address (trace-driven mode)
+}
+
+// inflight is an issued instruction waiting in a standby station (or the
+// issue latch) for an instruction schedule unit to select it. Its
+// architectural effects are already applied; only timing remains.
+type inflight struct {
+	ins      isa.Instruction
+	pc       int64
+	slot     int
+	frame    int
+	class    isa.UnitClass
+	dest     isa.Reg // NoReg if none or queue-mapped
+	push     *qentry // reserved queue entry to stamp at select time
+	extraLat int     // additional result latency (cache miss, remote access)
+}
+
+// slot is one thread slot: instruction queue unit + decode unit + program
+// counter, forming a logical processor.
+type slot struct {
+	id          int
+	state       slotState
+	frame       int // bound context frame id, -1 when idle
+	buf         []bufEntry
+	bufCap      int
+	fetchPC     int64
+	fetchGen    uint64 // invalidates in-flight fetches after a flush
+	fetchDone   bool   // fetchPC ran past the program end
+	d1          []dinstr
+	d2          []dinstr
+	standby     [unitClassCount][]*inflight // FIFO per class, cap = StandbyDepth
+	latch       *inflight                   // used when standby stations are disabled
+	outstanding int                         // selected instructions not yet completed
+	bindReadyAt uint64                      // context-switch rebinding delay
+	// fetchHoldUntil keeps the fetch unit away from this slot until a
+	// branch redirect becomes eligible, so the refetch cannot start in the
+	// resolution cycle itself (the decode-to-decode branch distance is 5).
+	fetchHoldUntil uint64
+
+	// Queue register mappings (NoReg = unmapped).
+	qInInt, qOutInt isa.Reg
+	qInFP, qOutFP   isa.Reg
+}
+
+// flushPipeline empties the decode stages and instruction queue buffer.
+func (s *slot) flushPipeline() {
+	s.buf = s.buf[:0]
+	s.d1 = s.d1[:0]
+	s.d2 = s.d2[:0]
+	s.fetchGen++
+}
+
+// clearIssued drops standby/latch contents (used when a thread is killed).
+func (s *slot) clearIssued() {
+	for i := range s.standby {
+		s.standby[i] = s.standby[i][:0]
+	}
+	s.latch = nil
+}
+
+// issuedEmpty reports whether no issued instruction awaits scheduling.
+func (s *slot) issuedEmpty() bool {
+	if s.latch != nil {
+		return false
+	}
+	for _, st := range s.standby {
+		if len(st) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// unmapQueues clears all queue register mappings.
+func (s *slot) unmapQueues() {
+	s.qInInt, s.qOutInt = isa.NoReg, isa.NoReg
+	s.qInFP, s.qOutFP = isa.NoReg, isa.NoReg
+}
+
+// funcUnit is one functional unit instance.
+type funcUnit struct {
+	class     isa.UnitClass
+	index     int
+	busyUntil uint64 // last cycle of the current issue-latency occupancy
+	stat      UnitStat
+}
+
+// redirectReq asks the fetch unit to serve a slot after a branch.
+type redirectReq struct {
+	slot          int
+	gen           uint64
+	earliestStart uint64
+}
+
+// fetchUnit models the (shared or per-slot) instruction fetch unit.
+type fetchUnit struct {
+	icache    *mem.Cache
+	busy      bool
+	busyUntil uint64
+	target    int
+	gen       uint64
+	insns     []bufEntry
+	redirects []redirectReq
+	rr        int // round-robin position
+}
+
+// Processor is one multithreaded physical processor.
+type Processor struct {
+	cfg    Config
+	prog   []isa.Instruction
+	mem    *mem.Memory
+	dcache *mem.Cache
+
+	cycle    uint64
+	slots    []*slot
+	frames   []*contextFrame
+	readyQ   []int // frame ids ready to run, FIFO
+	prio     []int // slot ids, highest priority first
+	explicit bool
+
+	units      []*funcUnit
+	unitsByCls [unitClassCount][]*funcUnit
+	fetchers   []*fetchUnit // one if shared, one per slot if private
+	// completions is a ring of per-cycle completion lists, sized to the
+	// maximum possible result latency (Table 1 + remote + cache miss).
+	completions [][]int
+	compMask    uint64
+	intQueues   []*queueFIFO // ring link read by slot i
+	fpQueues    []*queueFIFO
+
+	outstanding int // total selected-but-incomplete instructions
+	nextTID     int64
+	fetchMax    int // B: instructions delivered per fetch access
+
+	// Trace-driven mode (the paper's §3 methodology): each thread replays
+	// a recorded dynamic instruction stream; decode performs all timing
+	// interlocks but no architectural execution.
+	traceMode bool
+	traces    [][]TraceInput
+
+	issueBudget int // per-cycle issue budget (MaxIssuePerCycle)
+
+	// Reusable per-cycle scratch buffers (the simulator is single-
+	// threaded; these avoid per-cycle allocations).
+	freeUnits    []*funcUnit
+	srcScratch   []isa.Reg
+	pendScratch  []isa.Reg
+	pendScratch2 []isa.Reg
+	idxScratch   []int
+
+	stats     Result
+	started   bool
+	lastEvent uint64 // cycle of the latest architectural activity
+
+	// OnIssue, when set, observes every instruction leaving a decode unit:
+	// (slot, pc, cycle). Used by timing tests and the trace tool.
+	OnIssue func(slot int, pc int64, cycle uint64)
+	// OnSelect observes every selection by an instruction schedule unit.
+	OnSelect func(slot int, pc int64, cycle uint64)
+
+	observer Observer // optional rich event sink (see Observe)
+}
+
+// TraceInput is one record of a dynamic instruction stream for
+// trace-driven simulation: the instruction plus the effective address of
+// memory operations (register values are not replayed, so addresses must
+// be recorded). Branch records always redirect the stream to the next
+// trace entry; the flush penalty models the machine's lack of branch
+// prediction, exactly as in execution-driven mode.
+type TraceInput struct {
+	Ins  isa.Instruction
+	Addr int64
+}
+
+// NewTraceDriven builds a processor that replays one recorded instruction
+// stream per thread (the paper's trace-driven methodology). Thread i
+// replays traces[i]; ContextFrames is raised to the thread count if
+// needed. The traces may contain only ordinary instructions, branches and
+// a final HALT — the multithreading-control opcodes describe interactions
+// a linear trace cannot capture. Call Run directly; StartThread is not
+// used in this mode.
+func NewTraceDriven(cfg Config, traces [][]TraceInput) (*Processor, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("core: no traces")
+	}
+	if cfg.ContextFrames < len(traces) {
+		cfg.ContextFrames = len(traces)
+	}
+	for t, tr := range traces {
+		if len(tr) == 0 {
+			return nil, fmt.Errorf("core: trace %d is empty", t)
+		}
+		for i, rec := range tr {
+			switch rec.Ins.Op {
+			case isa.FFORK, isa.KILL, isa.CHGPRI, isa.QEN, isa.QENF, isa.QDIS, isa.SETMODE, isa.SWP, isa.FSWP, isa.TID:
+				return nil, fmt.Errorf("core: trace %d record %d: %s cannot be replayed from a trace", t, i, rec.Ins.Op)
+			}
+		}
+	}
+	p, err := New(cfg, []isa.Instruction{{Op: isa.HALT}}, mem.NewMemory(1))
+	if err != nil {
+		return nil, err
+	}
+	p.traceMode = true
+	p.traces = traces
+	for i := range traces {
+		f := p.frames[i]
+		f.state = frameReady
+		f.traceID = i
+		f.tid = int64(i)
+		p.readyQ = append(p.readyQ, f.id)
+	}
+	p.nextTID = int64(len(traces))
+	return p, nil
+}
+
+// New builds a processor for the given program and data memory.
+func New(cfg Config, prog []isa.Instruction, m *mem.Memory) (*Processor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("core: empty program")
+	}
+	p := &Processor{
+		cfg:    cfg,
+		prog:   prog,
+		mem:    m,
+		dcache: mem.NewCache(cfg.DCache),
+	}
+	maxLat := 32 + m.RemoteLatency() + cfg.DCache.MissPenalty + mem.CacheAccessCycles
+	ringSize := 64
+	for ringSize < maxLat+2 {
+		ringSize *= 2
+	}
+	p.completions = make([][]int, ringSize)
+	p.compMask = uint64(ringSize - 1)
+	// The paper sizes the queue buffer at B = S×C words minimum and fetches
+	// at most B instructions per access; we give the buffer 2×B so a fetch
+	// can overlap the draining of the previous block.
+	p.fetchMax = cfg.ThreadSlots * mem.CacheAccessCycles * cfg.IssueWidth
+	if p.fetchMax < 2 {
+		p.fetchMax = 2
+	}
+	bufCap := 2 * p.fetchMax
+	for i := 0; i < cfg.ThreadSlots; i++ {
+		s := &slot{id: i, frame: -1, bufCap: bufCap}
+		s.unmapQueues()
+		p.slots = append(p.slots, s)
+		p.prio = append(p.prio, i)
+	}
+	for i := 0; i < cfg.ContextFrames; i++ {
+		p.frames = append(p.frames, &contextFrame{id: i, traceID: -1})
+	}
+	for cls := isa.UnitClass(1); int(cls) < unitClassCount; cls++ {
+		for k := 0; k < cfg.unitCount(cls); k++ {
+			u := &funcUnit{class: cls, index: k, stat: UnitStat{Class: cls, Index: k}}
+			p.units = append(p.units, u)
+			p.unitsByCls[cls] = append(p.unitsByCls[cls], u)
+		}
+	}
+	for i := 0; i < cfg.FetchUnits; i++ {
+		p.fetchers = append(p.fetchers, &fetchUnit{icache: mem.NewCache(cfg.ICache), target: -1})
+	}
+	p.explicit = cfg.ExplicitRotation
+	p.stats.Slots = make([]SlotStat, cfg.ThreadSlots)
+	p.initQueues()
+	return p, nil
+}
+
+// StartThread registers a runnable thread beginning at pc. Threads are
+// assigned to slots in registration order at cycle 0 (and later, whenever a
+// slot frees up). Must be called before Run.
+func (p *Processor) StartThread(pc int64) error {
+	if p.started {
+		return fmt.Errorf("core: StartThread after Run")
+	}
+	if p.traceMode {
+		return fmt.Errorf("core: StartThread is not used in trace-driven mode")
+	}
+	if pc < 0 || pc >= int64(len(p.prog)) {
+		return fmt.Errorf("core: start pc %d outside program", pc)
+	}
+	for _, f := range p.frames {
+		if f.state == frameFree {
+			f.state = frameReady
+			f.pc = pc
+			f.tid = p.nextTID
+			p.nextTID++
+			p.readyQ = append(p.readyQ, f.id)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: no free context frame for thread (have %d)", len(p.frames))
+}
+
+// concurrentOn reports whether data-absence traps switch contexts.
+func (p *Processor) concurrentOn() bool {
+	return p.cfg.ContextFrames > p.cfg.ThreadSlots
+}
+
+// Run simulates until every thread has finished, and returns statistics.
+func (p *Processor) Run() (Result, error) {
+	if p.started {
+		return Result{}, fmt.Errorf("core: Run called twice")
+	}
+	if len(p.readyQ) == 0 {
+		if err := p.StartThread(0); err != nil {
+			return Result{}, err
+		}
+	}
+	p.started = true
+	for {
+		if p.cycle >= p.cfg.MaxCycles {
+			return p.stats, fmt.Errorf("core: exceeded %d cycles (deadlock or runaway program?)\n%s",
+				p.cfg.MaxCycles, p.snapshot())
+		}
+		if err := p.stepCycle(); err != nil {
+			return p.stats, err
+		}
+		if p.finished() {
+			break
+		}
+		p.cycle++
+	}
+	p.stats.Cycles = p.lastEvent + 1
+	for _, u := range p.units {
+		p.stats.Units = append(p.stats.Units, u.stat)
+	}
+	return p.stats, nil
+}
+
+// stepCycle advances the machine by one cycle, in reverse pipeline order so
+// that each stage sees the previous cycle's downstream state.
+func (p *Processor) stepCycle() error {
+	p.rotatePriorities()
+	p.retireCompletions()
+	p.wakeFrames()
+	p.bindSlots()
+	p.schedulePhase()
+	if err := p.decodePhase(); err != nil {
+		return err
+	}
+	p.advanceDecodeStages()
+	p.fetchPhase()
+	return nil
+}
+
+// finished reports whether the simulation is complete.
+func (p *Processor) finished() bool {
+	if p.outstanding > 0 || len(p.readyQ) > 0 {
+		return false
+	}
+	for _, f := range p.frames {
+		if f.state == frameRunning || f.state == frameWaiting || f.state == frameReady {
+			return false
+		}
+	}
+	for _, s := range p.slots {
+		if s.state != slotIdle || len(s.d1)+len(s.d2) > 0 || !s.issuedEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// rotatePriorities applies implicit-rotation mode (§2.2).
+func (p *Processor) rotatePriorities() {
+	if p.explicit || p.cycle == 0 {
+		return
+	}
+	if p.cycle%uint64(p.cfg.RotationInterval) == 0 {
+		p.rotateOnce()
+	}
+}
+
+// rotateOnce moves the highest-priority slot to the lowest position.
+func (p *Processor) rotateOnce() {
+	if len(p.prio) < 2 {
+		return
+	}
+	head := p.prio[0]
+	copy(p.prio, p.prio[1:])
+	p.prio[len(p.prio)-1] = head
+	if p.observer != nil {
+		p.observer.Rotate(p.cycle, p.prio)
+	}
+}
+
+// highestActiveSlot returns the highest-priority slot currently running a
+// thread, or -1. Idle slots are skipped so that priority-interlocked
+// instructions cannot deadlock behind a finished thread.
+func (p *Processor) highestActiveSlot() int {
+	for _, id := range p.prio {
+		if p.slots[id].state == slotRunning || p.slots[id].state == slotDraining {
+			return id
+		}
+	}
+	return -1
+}
+
+// retireCompletions credits instructions whose result latency elapsed.
+func (p *Processor) retireCompletions() {
+	idx := p.cycle & p.compMask
+	for _, id := range p.completions[idx] {
+		p.slots[id].outstanding--
+		p.outstanding--
+	}
+	p.completions[idx] = p.completions[idx][:0]
+}
+
+// wakeFrames transitions waiting frames whose remote data has arrived.
+func (p *Processor) wakeFrames() {
+	for _, f := range p.frames {
+		if f.state == frameWaiting && p.cycle >= f.waitUntil {
+			f.state = frameReady
+			p.readyQ = append(p.readyQ, f.id)
+			p.touch(p.cycle)
+		}
+	}
+}
+
+// bindSlots assigns ready frames to idle slots.
+func (p *Processor) bindSlots() {
+	for _, s := range p.slots {
+		if s.state != slotIdle || p.cycle < s.bindReadyAt || len(p.readyQ) == 0 {
+			continue
+		}
+		fid := p.readyQ[0]
+		p.readyQ = p.readyQ[1:]
+		p.bindFrame(s, p.frames[fid])
+	}
+	// Complete pending context switches: a draining slot unbinds once its
+	// issued instructions have been performed (§2.1.3).
+	for _, s := range p.slots {
+		if s.state == slotDraining && s.outstanding == 0 && s.issuedEmpty() {
+			s.state = slotIdle
+			s.frame = -1
+			s.bindReadyAt = p.cycle + uint64(p.cfg.ContextSwitchCycles)
+			p.touch(s.bindReadyAt)
+		}
+	}
+}
+
+// bindFrame binds frame f to slot s and restarts its instruction stream,
+// re-injecting any outstanding access requirements first.
+func (p *Processor) bindFrame(s *slot, f *contextFrame) {
+	f.state = frameRunning
+	s.state = slotRunning
+	s.frame = f.id
+	s.flushPipeline()
+	s.fetchPC = f.pc
+	s.fetchDone = f.pc >= p.streamLen(f)
+	for _, req := range f.arb.Pending() {
+		s.buf = append(s.buf, bufEntry{
+			pc:      req.PC,
+			ins:     req.Instr,
+			minD1:   p.cycle + 1,
+			fromARB: true,
+			arbSeq:  req.Seq,
+		})
+	}
+	if p.observer != nil {
+		p.observer.Bind(p.cycle, s.id, f.id, f.tid)
+	}
+	p.touch(p.cycle)
+}
+
+// streamLen returns the length of the instruction stream a frame runs:
+// the program text, or the frame's trace in trace-driven mode.
+func (p *Processor) streamLen(f *contextFrame) int64 {
+	if p.traceMode && f.traceID >= 0 {
+		return int64(len(p.traces[f.traceID]))
+	}
+	return int64(len(p.prog))
+}
+
+// streamAt fetches one instruction of a frame's stream.
+func (p *Processor) streamAt(f *contextFrame, pc int64) (isa.Instruction, int64) {
+	if p.traceMode && f.traceID >= 0 {
+		rec := p.traces[f.traceID][pc]
+		return rec.Ins, rec.Addr
+	}
+	return p.prog[pc], 0
+}
+
+// touch records architectural activity for the total-cycle metric.
+func (p *Processor) touch(cycle uint64) {
+	if cycle > p.lastEvent {
+		p.lastEvent = cycle
+	}
+}
+
+// snapshot renders a short machine-state dump for deadlock diagnostics.
+func (p *Processor) snapshot() string {
+	out := ""
+	for _, s := range p.slots {
+		out += fmt.Sprintf("slot %d: state=%d frame=%d buf=%d d1=%d d2=%d outstanding=%d",
+			s.id, s.state, s.frame, len(s.buf), len(s.d1), len(s.d2), s.outstanding)
+		if len(s.d2) > 0 {
+			out += fmt.Sprintf(" d2head=%q(pc=%d)", s.d2[0].ins.String(), s.d2[0].pc)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Cycle returns the current cycle (for tests).
+func (p *Processor) Cycle() uint64 { return p.cycle }
+
+// Frame returns a context frame's register bank and thread id (for tests
+// and result extraction after Run).
+func (p *Processor) Frame(i int) (*exec.RegFile, int64) {
+	return &p.frames[i].regs, p.frames[i].tid
+}
+
+// Mem returns the data memory the processor operates on.
+func (p *Processor) Mem() *mem.Memory { return p.mem }

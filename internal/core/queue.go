@@ -1,0 +1,96 @@
+package core
+
+// Queue registers (§2.3.1) connect the logical processors in a ring: slot i
+// writes to the queue read by slot (i+1) mod S. When enabled via QEN/QENF,
+// reads of the mapped register pop the incoming queue and writes to the
+// mapped register push to the outgoing queue. The attached full/empty bits
+// serve as scoreboard bits: an empty read or full write interlocks the
+// decode unit.
+//
+// Entries are reserved in program order when the writing instruction leaves
+// decode (keeping FIFO order even with out-of-order execution through
+// standby stations) and become readable when its result latency elapses.
+
+// qentry is one slot of a queue register FIFO.
+type qentry struct {
+	bits    uint64
+	isFloat bool
+	readyAt uint64 // pendingReady until the producer is scheduled
+}
+
+// queueFIFO is one ring link (one direction, one register class).
+type queueFIFO struct {
+	entries []*qentry
+	depth   int
+}
+
+// readyCount returns how many front entries are readable at the cycle.
+func (q *queueFIFO) readyCount(cycle uint64) int {
+	n := 0
+	for _, e := range q.entries {
+		if e.readyAt > cycle {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// full reports whether a reservation would exceed capacity.
+func (q *queueFIFO) full() bool { return len(q.entries) >= q.depth }
+
+// reserve appends a pending entry; the writer fills and stamps it later.
+func (q *queueFIFO) reserve() *qentry {
+	e := &qentry{readyAt: pendingReady}
+	q.entries = append(q.entries, e)
+	return e
+}
+
+// pop removes and returns the front entry's bits.
+func (q *queueFIFO) pop() uint64 {
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	return e.bits
+}
+
+// clear empties the FIFO (used by kill).
+func (q *queueFIFO) clear() { q.entries = q.entries[:0] }
+
+// initQueues builds the ring.
+func (p *Processor) initQueues() {
+	p.intQueues = make([]*queueFIFO, p.cfg.ThreadSlots)
+	p.fpQueues = make([]*queueFIFO, p.cfg.ThreadSlots)
+	for i := range p.intQueues {
+		p.intQueues[i] = &queueFIFO{depth: p.cfg.QueueDepth}
+		p.fpQueues[i] = &queueFIFO{depth: p.cfg.QueueDepth}
+	}
+}
+
+// inQueue returns the FIFO slot s reads from (fed by its ring predecessor).
+func (p *Processor) inQueue(s int, fp bool) *queueFIFO {
+	if fp {
+		return p.fpQueues[s]
+	}
+	return p.intQueues[s]
+}
+
+// outQueue returns the FIFO slot s writes to (read by its ring successor).
+func (p *Processor) outQueue(s int, fp bool) *queueFIFO {
+	next := (s + 1) % p.cfg.ThreadSlots
+	return p.inQueue(next, fp)
+}
+
+// clearQueues empties every ring link.
+func (p *Processor) clearQueues() {
+	for i := range p.intQueues {
+		p.intQueues[i].clear()
+		p.fpQueues[i].clear()
+	}
+}
+
+// stampQueueEntry finalises a reserved entry at schedule time.
+func stampQueueEntry(e *qentry, readyAt uint64) {
+	if e != nil && e.readyAt == pendingReady {
+		e.readyAt = readyAt
+	}
+}

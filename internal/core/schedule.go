@@ -1,0 +1,88 @@
+package core
+
+import "hirata/internal/isa"
+
+// schedulePhase is the S pipeline stage: for every functional-unit class,
+// the instruction schedule unit picks, in thread-priority order, issued
+// instructions waiting in standby stations (or issue latches) and assigns
+// them to free functional units (§2.2).
+//
+// An instruction selected at cycle s occupies its unit for the issue
+// latency and delivers its result at cycle s + result latency; that is the
+// cycle at which a dependent instruction may pass decode, which reproduces
+// the paper's 3-cycle dependent-issue distance for 2-cycle results.
+func (p *Processor) schedulePhase() {
+	for cls := isa.UnitClass(1); int(cls) < unitClassCount; cls++ {
+		units := p.unitsByCls[cls]
+		free := p.freeUnits[:0]
+		for _, u := range units {
+			if u.busyUntil < p.cycle {
+				free = append(free, u)
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		// Candidates in priority order: at most one instruction per slot
+		// per class can be waiting (standby stations have depth one).
+		for _, slotID := range p.prio {
+			if len(free) == 0 {
+				break
+			}
+			s := p.slots[slotID]
+			var inf *inflight
+			if p.cfg.StandbyStations {
+				if len(s.standby[cls]) > 0 {
+					inf = s.standby[cls][0]
+				}
+			} else if s.latch != nil && s.latch.class == cls {
+				inf = s.latch
+			}
+			if inf == nil {
+				continue
+			}
+			u := free[0]
+			free = free[1:]
+			p.selectInstr(u, inf)
+			if p.cfg.StandbyStations {
+				q := s.standby[cls]
+				s.standby[cls] = q[:copy(q, q[1:])]
+			} else {
+				s.latch = nil
+			}
+		}
+	}
+}
+
+// selectInstr commits an issued instruction to a functional unit.
+func (p *Processor) selectInstr(u *funcUnit, inf *inflight) {
+	op := inf.ins.Op
+	issueLat := uint64(op.IssueLatency())
+	resultLat := uint64(op.ResultLatency() + inf.extraLat)
+
+	u.busyUntil = p.cycle + issueLat - 1
+	u.stat.Invocations++
+	u.stat.BusyCycles += issueLat
+
+	ready := p.cycle + resultLat
+	if inf.frame >= 0 {
+		p.frames[inf.frame].setReady(inf.dest, ready)
+	}
+	stampQueueEntry(inf.push, ready)
+
+	s := p.slots[inf.slot]
+	s.outstanding++
+	p.outstanding++
+	if ready-p.cycle > p.compMask {
+		panic("core: completion ring too small for result latency")
+	}
+	idx := ready & p.compMask
+	p.completions[idx] = append(p.completions[idx], inf.slot)
+	p.touch(ready)
+	if p.OnSelect != nil {
+		p.OnSelect(inf.slot, inf.pc, p.cycle)
+	}
+	if p.observer != nil {
+		p.observer.Select(p.cycle, inf.slot, inf.pc, inf.ins, u.class, u.index, ready)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hirata/internal/isa"
+)
+
+// StallReason classifies why a decode unit could not issue in a cycle.
+type StallReason uint8
+
+// Decode stall reasons.
+const (
+	StallNone       StallReason = iota
+	StallData                   // scoreboard: source or destination busy
+	StallStandby                // standby station (or issue latch) occupied
+	StallQueueEmpty             // queue register read would underflow
+	StallQueueFull              // queue register write would overflow
+	StallPriority               // interlocked until highest priority
+	StallEmpty                  // nothing in decode (fetch starvation, branch bubble)
+	numStallReasons
+)
+
+// String names the stall reason.
+func (r StallReason) String() string {
+	switch r {
+	case StallNone:
+		return "none"
+	case StallData:
+		return "data"
+	case StallStandby:
+		return "standby"
+	case StallQueueEmpty:
+		return "queue-empty"
+	case StallQueueFull:
+		return "queue-full"
+	case StallPriority:
+		return "priority"
+	case StallEmpty:
+		return "empty"
+	}
+	return fmt.Sprintf("StallReason(%d)", uint8(r))
+}
+
+// UnitStat reports one functional unit's activity.
+type UnitStat struct {
+	Class       isa.UnitClass
+	Index       int    // which unit of the class (two load/store units)
+	Invocations uint64 // N: number of instructions executed
+	BusyCycles  uint64 // N × issue latency
+}
+
+// Utilization returns the paper's U = N·L/T · 100% for a run of T cycles.
+func (u UnitStat) Utilization(totalCycles uint64) float64 {
+	if totalCycles == 0 {
+		return 0
+	}
+	return 100 * float64(u.BusyCycles) / float64(totalCycles)
+}
+
+// SlotStat reports one thread slot's activity.
+type SlotStat struct {
+	Issued   uint64 // instructions issued from decode (including decode-executed)
+	Branches uint64
+	Stalls   [numStallReasons]uint64
+}
+
+// Result summarises a completed simulation.
+type Result struct {
+	Cycles       uint64 // total execution cycles T
+	Instructions uint64 // total instructions executed
+	Units        []UnitStat
+	Slots        []SlotStat
+	Switches     uint64 // context switches taken (concurrent multithreading)
+	Forks        uint64 // threads started by fast-fork
+	Kills        uint64 // threads stopped by kill
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// BusiestUnit returns the unit with the highest utilization.
+func (r Result) BusiestUnit() UnitStat {
+	var best UnitStat
+	for _, u := range r.Units {
+		if u.BusyCycles > best.BusyCycles {
+			best = u
+		}
+	}
+	return best
+}
+
+// UnitUtilization returns the utilization of the first unit of a class, plus
+// aggregate invocations across all units of that class.
+func (r Result) UnitUtilization(class isa.UnitClass) (maxUtil float64, totalInvocations uint64) {
+	for _, u := range r.Units {
+		if u.Class != class {
+			continue
+		}
+		totalInvocations += u.Invocations
+		if util := u.Utilization(r.Cycles); util > maxUtil {
+			maxUtil = util
+		}
+	}
+	return maxUtil, totalInvocations
+}
+
+// String renders a human-readable summary.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d instructions=%d ipc=%.3f\n", r.Cycles, r.Instructions, r.IPC())
+	for _, u := range r.Units {
+		fmt.Fprintf(&b, "  %-10s[%d] N=%-8d busy=%-8d util=%5.1f%%\n",
+			u.Class, u.Index, u.Invocations, u.BusyCycles, u.Utilization(r.Cycles))
+	}
+	for i, s := range r.Slots {
+		fmt.Fprintf(&b, "  slot %d: issued=%d branches=%d stalls[data=%d standby=%d qempty=%d qfull=%d prio=%d empty=%d]\n",
+			i, s.Issued, s.Branches,
+			s.Stalls[StallData], s.Stalls[StallStandby], s.Stalls[StallQueueEmpty],
+			s.Stalls[StallQueueFull], s.Stalls[StallPriority], s.Stalls[StallEmpty])
+	}
+	if r.Switches+r.Forks+r.Kills > 0 {
+		fmt.Fprintf(&b, "  switches=%d forks=%d kills=%d\n", r.Switches, r.Forks, r.Kills)
+	}
+	return b.String()
+}

@@ -1,0 +1,256 @@
+// Package exec implements the architectural (functional) semantics of the
+// ISA, shared by the multithreaded processor model (internal/core) and the
+// base RISC model (internal/risc). Both timing simulators delegate "what
+// does this instruction compute" here, so the two machines provably compute
+// identical results; only *when* things happen differs.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"hirata/internal/isa"
+)
+
+// Context supplies the architectural state an instruction executes against.
+// The timing models implement it: the multithreaded core intercepts
+// queue-register-mapped reads/writes, the RISC model is a plain register
+// file. Register r0 must always read as zero; writes to r0 are ignored
+// (Context implementations get this via the RegFile helper in this package).
+type Context interface {
+	ReadInt(r isa.Reg) int64
+	WriteInt(r isa.Reg, v int64)
+	ReadFP(r isa.Reg) float64
+	WriteFP(r isa.Reg, v float64)
+	Load(addr int64) (uint64, error)
+	Store(addr int64, v uint64) error
+	TID() int
+}
+
+// Effect is a control-flow or multithreading side effect requested by an
+// instruction; ordinary register-writing instructions produce EffectNone.
+type Effect uint8
+
+// Instruction effects.
+const (
+	EffectNone Effect = iota
+	EffectBranch
+	EffectHalt
+	EffectFork
+	EffectKill
+	EffectChangePriority
+	EffectQueueEnable
+	EffectQueueEnableFP
+	EffectQueueDisable
+	EffectSetMode
+)
+
+// Outcome reports what executing one instruction did beyond register/memory
+// updates (which are applied directly through the Context).
+type Outcome struct {
+	Effect Effect
+	Target int64 // branch/jump target, valid when Effect == EffectBranch
+	Taken  bool  // branch outcome, valid for (conditional) branches
+	Mode   int   // SETMODE operand
+}
+
+// Execute applies the instruction's architectural semantics to ctx.
+// pc is the word address of the instruction (JAL links pc+1).
+func Execute(in isa.Instruction, pc int64, ctx Context) (Outcome, error) {
+	switch in.Op {
+	case isa.NOP, isa.HALT, isa.FFORK, isa.CHGPRI, isa.KILL, isa.QDIS, isa.QEN, isa.QENF, isa.SETMODE:
+		return controlOutcome(in)
+
+	case isa.ADD:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)+ctx.ReadInt(in.Rs2))
+	case isa.SUB:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)-ctx.ReadInt(in.Rs2))
+	case isa.AND:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)&ctx.ReadInt(in.Rs2))
+	case isa.OR:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)|ctx.ReadInt(in.Rs2))
+	case isa.XOR:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)^ctx.ReadInt(in.Rs2))
+	case isa.SLT:
+		ctx.WriteInt(in.Rd, b2i(ctx.ReadInt(in.Rs1) < ctx.ReadInt(in.Rs2)))
+	case isa.SEQ:
+		ctx.WriteInt(in.Rd, b2i(ctx.ReadInt(in.Rs1) == ctx.ReadInt(in.Rs2)))
+	case isa.SNE:
+		ctx.WriteInt(in.Rd, b2i(ctx.ReadInt(in.Rs1) != ctx.ReadInt(in.Rs2)))
+	case isa.SGE:
+		ctx.WriteInt(in.Rd, b2i(ctx.ReadInt(in.Rs1) >= ctx.ReadInt(in.Rs2)))
+	case isa.ADDI:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)+int64(in.Imm))
+	case isa.ANDI:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)&int64(in.Imm))
+	case isa.ORI:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)|int64(in.Imm))
+	case isa.XORI:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)^int64(in.Imm))
+	case isa.SLTI:
+		ctx.WriteInt(in.Rd, b2i(ctx.ReadInt(in.Rs1) < int64(in.Imm)))
+	case isa.LIH:
+		ctx.WriteInt(in.Rd, int64(in.Imm)<<14)
+
+	case isa.SLL:
+		ctx.WriteInt(in.Rd, shiftLeft(ctx.ReadInt(in.Rs1), ctx.ReadInt(in.Rs2)))
+	case isa.SRL:
+		ctx.WriteInt(in.Rd, shiftRightLogical(ctx.ReadInt(in.Rs1), ctx.ReadInt(in.Rs2)))
+	case isa.SRA:
+		ctx.WriteInt(in.Rd, shiftRightArith(ctx.ReadInt(in.Rs1), ctx.ReadInt(in.Rs2)))
+	case isa.SLLI:
+		ctx.WriteInt(in.Rd, shiftLeft(ctx.ReadInt(in.Rs1), int64(in.Imm)))
+	case isa.SRLI:
+		ctx.WriteInt(in.Rd, shiftRightLogical(ctx.ReadInt(in.Rs1), int64(in.Imm)))
+	case isa.SRAI:
+		ctx.WriteInt(in.Rd, shiftRightArith(ctx.ReadInt(in.Rs1), int64(in.Imm)))
+
+	case isa.MUL:
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)*ctx.ReadInt(in.Rs2))
+	case isa.DIV:
+		d := ctx.ReadInt(in.Rs2)
+		if d == 0 {
+			return Outcome{}, fmt.Errorf("exec: pc %d: integer division by zero", pc)
+		}
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)/d)
+	case isa.REM:
+		d := ctx.ReadInt(in.Rs2)
+		if d == 0 {
+			return Outcome{}, fmt.Errorf("exec: pc %d: integer remainder by zero", pc)
+		}
+		ctx.WriteInt(in.Rd, ctx.ReadInt(in.Rs1)%d)
+
+	case isa.FADD:
+		ctx.WriteFP(in.Rd, ctx.ReadFP(in.Rs1)+ctx.ReadFP(in.Rs2))
+	case isa.FSUB:
+		ctx.WriteFP(in.Rd, ctx.ReadFP(in.Rs1)-ctx.ReadFP(in.Rs2))
+	case isa.FEQ:
+		ctx.WriteInt(in.Rd, b2i(ctx.ReadFP(in.Rs1) == ctx.ReadFP(in.Rs2)))
+	case isa.FLT:
+		ctx.WriteInt(in.Rd, b2i(ctx.ReadFP(in.Rs1) < ctx.ReadFP(in.Rs2)))
+	case isa.FLE:
+		ctx.WriteInt(in.Rd, b2i(ctx.ReadFP(in.Rs1) <= ctx.ReadFP(in.Rs2)))
+	case isa.ITOF:
+		ctx.WriteFP(in.Rd, float64(ctx.ReadInt(in.Rs1)))
+	case isa.FTOI:
+		ctx.WriteInt(in.Rd, int64(ctx.ReadFP(in.Rs1)))
+	case isa.FABS:
+		ctx.WriteFP(in.Rd, math.Abs(ctx.ReadFP(in.Rs1)))
+	case isa.FNEG:
+		ctx.WriteFP(in.Rd, -ctx.ReadFP(in.Rs1))
+	case isa.FMOV:
+		ctx.WriteFP(in.Rd, ctx.ReadFP(in.Rs1))
+	case isa.FMUL:
+		ctx.WriteFP(in.Rd, ctx.ReadFP(in.Rs1)*ctx.ReadFP(in.Rs2))
+	case isa.FDIV:
+		ctx.WriteFP(in.Rd, ctx.ReadFP(in.Rs1)/ctx.ReadFP(in.Rs2))
+	case isa.FSQRT:
+		ctx.WriteFP(in.Rd, math.Sqrt(ctx.ReadFP(in.Rs1)))
+
+	case isa.LW:
+		v, err := ctx.Load(ctx.ReadInt(in.Rs1) + int64(in.Imm))
+		if err != nil {
+			return Outcome{}, fmt.Errorf("exec: pc %d: %w", pc, err)
+		}
+		ctx.WriteInt(in.Rd, int64(v))
+	case isa.FLW:
+		v, err := ctx.Load(ctx.ReadInt(in.Rs1) + int64(in.Imm))
+		if err != nil {
+			return Outcome{}, fmt.Errorf("exec: pc %d: %w", pc, err)
+		}
+		ctx.WriteFP(in.Rd, math.Float64frombits(v))
+	case isa.SW, isa.SWP:
+		if err := ctx.Store(ctx.ReadInt(in.Rs1)+int64(in.Imm), uint64(ctx.ReadInt(in.Rs2))); err != nil {
+			return Outcome{}, fmt.Errorf("exec: pc %d: %w", pc, err)
+		}
+	case isa.FSW, isa.FSWP:
+		if err := ctx.Store(ctx.ReadInt(in.Rs1)+int64(in.Imm), math.Float64bits(ctx.ReadFP(in.Rs2))); err != nil {
+			return Outcome{}, fmt.Errorf("exec: pc %d: %w", pc, err)
+		}
+
+	case isa.BEQ:
+		return branch(in, ctx.ReadInt(in.Rs1) == ctx.ReadInt(in.Rs2)), nil
+	case isa.BNE:
+		return branch(in, ctx.ReadInt(in.Rs1) != ctx.ReadInt(in.Rs2)), nil
+	case isa.BEQZ:
+		return branch(in, ctx.ReadInt(in.Rs1) == 0), nil
+	case isa.BNEZ:
+		return branch(in, ctx.ReadInt(in.Rs1) != 0), nil
+	case isa.BLTZ:
+		return branch(in, ctx.ReadInt(in.Rs1) < 0), nil
+	case isa.BGEZ:
+		return branch(in, ctx.ReadInt(in.Rs1) >= 0), nil
+	case isa.J:
+		return Outcome{Effect: EffectBranch, Target: int64(in.Imm), Taken: true}, nil
+	case isa.JAL:
+		ctx.WriteInt(in.Rd, pc+1)
+		return Outcome{Effect: EffectBranch, Target: int64(in.Imm), Taken: true}, nil
+	case isa.JR:
+		return Outcome{Effect: EffectBranch, Target: ctx.ReadInt(in.Rs1), Taken: true}, nil
+
+	case isa.TID:
+		ctx.WriteInt(in.Rd, int64(ctx.TID()))
+
+	default:
+		return Outcome{}, fmt.Errorf("exec: pc %d: unimplemented opcode %s", pc, in.Op)
+	}
+	return Outcome{}, nil
+}
+
+// controlOutcome maps the no-computation control opcodes to their effects.
+func controlOutcome(in isa.Instruction) (Outcome, error) {
+	switch in.Op {
+	case isa.NOP:
+		return Outcome{}, nil
+	case isa.HALT:
+		return Outcome{Effect: EffectHalt}, nil
+	case isa.FFORK:
+		return Outcome{Effect: EffectFork}, nil
+	case isa.CHGPRI:
+		return Outcome{Effect: EffectChangePriority}, nil
+	case isa.KILL:
+		return Outcome{Effect: EffectKill}, nil
+	case isa.QEN:
+		return Outcome{Effect: EffectQueueEnable}, nil
+	case isa.QENF:
+		return Outcome{Effect: EffectQueueEnableFP}, nil
+	case isa.QDIS:
+		return Outcome{Effect: EffectQueueDisable}, nil
+	case isa.SETMODE:
+		return Outcome{Effect: EffectSetMode, Mode: int(in.Imm)}, nil
+	}
+	return Outcome{}, fmt.Errorf("exec: %s is not a control opcode", in.Op)
+}
+
+func branch(in isa.Instruction, taken bool) Outcome {
+	return Outcome{Effect: EffectBranch, Target: int64(in.Imm), Taken: taken}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Shift semantics: counts are taken modulo 64; negative counts shift zero.
+func shiftLeft(v, n int64) int64 {
+	if n < 0 || n > 63 {
+		n &= 63
+	}
+	return v << uint(n)
+}
+
+func shiftRightLogical(v, n int64) int64 {
+	if n < 0 || n > 63 {
+		n &= 63
+	}
+	return int64(uint64(v) >> uint(n))
+}
+
+func shiftRightArith(v, n int64) int64 {
+	if n < 0 || n > 63 {
+		n &= 63
+	}
+	return v >> uint(n)
+}

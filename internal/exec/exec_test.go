@@ -1,0 +1,372 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hirata/internal/isa"
+	"hirata/internal/mem"
+)
+
+// run executes a short program on a fresh interpreter and returns it.
+func run(t *testing.T, prog []isa.Instruction, setup func(*Interp)) *Interp {
+	t.Helper()
+	ip := NewInterp(prog, mem.NewMemory(256))
+	if setup != nil {
+		setup(ip)
+	}
+	if err := ip.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return ip
+}
+
+func TestIntegerOps(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: 21},
+		{Op: isa.ADDI, Rd: isa.R2, Rs1: isa.R0, Imm: -4},
+		{Op: isa.ADD, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2},  // 17
+		{Op: isa.SUB, Rd: isa.R4, Rs1: isa.R1, Rs2: isa.R2},  // 25
+		{Op: isa.MUL, Rd: isa.R5, Rs1: isa.R1, Rs2: isa.R2},  // -84
+		{Op: isa.DIV, Rd: isa.R6, Rs1: isa.R1, Rs2: isa.R2},  // -5
+		{Op: isa.REM, Rd: isa.R7, Rs1: isa.R1, Rs2: isa.R2},  // 1
+		{Op: isa.SLT, Rd: isa.R8, Rs1: isa.R2, Rs2: isa.R1},  // 1
+		{Op: isa.SEQ, Rd: isa.R9, Rs1: isa.R1, Rs2: isa.R1},  // 1
+		{Op: isa.SNE, Rd: isa.R10, Rs1: isa.R1, Rs2: isa.R1}, // 0
+		{Op: isa.SGE, Rd: isa.R11, Rs1: isa.R1, Rs2: isa.R2}, // 1
+		{Op: isa.ANDI, Rd: isa.R12, Rs1: isa.R1, Imm: 7},     // 5
+		{Op: isa.ORI, Rd: isa.R13, Rs1: isa.R1, Imm: 8},      // 29
+		{Op: isa.XORI, Rd: isa.R14, Rs1: isa.R1, Imm: 1},     // 20
+		{Op: isa.SLTI, Rd: isa.R15, Rs1: isa.R1, Imm: 22},    // 1
+		{Op: isa.LIH, Rd: isa.R16, Imm: 3},                   // 3<<14
+		{Op: isa.HALT},
+	}
+	ip := run(t, prog, nil)
+	want := map[isa.Reg]int64{
+		isa.R3: 17, isa.R4: 25, isa.R5: -84, isa.R6: -5, isa.R7: 1,
+		isa.R8: 1, isa.R9: 1, isa.R10: 0, isa.R11: 1,
+		isa.R12: 5, isa.R13: 29, isa.R14: 20, isa.R15: 1, isa.R16: 3 << 14,
+	}
+	for r, v := range want {
+		if got := ip.Regs.ReadInt(r); got != v {
+			t.Errorf("%s = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: -8},
+		{Op: isa.ADDI, Rd: isa.R2, Rs1: isa.R0, Imm: 2},
+		{Op: isa.SLL, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2},
+		{Op: isa.SRA, Rd: isa.R4, Rs1: isa.R1, Rs2: isa.R2},
+		{Op: isa.SRL, Rd: isa.R5, Rs1: isa.R1, Rs2: isa.R2},
+		{Op: isa.SLLI, Rd: isa.R6, Rs1: isa.R2, Imm: 10},
+		{Op: isa.SRAI, Rd: isa.R7, Rs1: isa.R1, Imm: 1},
+		{Op: isa.SRLI, Rd: isa.R8, Rs1: isa.R2, Imm: 1},
+		{Op: isa.HALT},
+	}
+	ip := run(t, prog, nil)
+	checks := map[isa.Reg]int64{
+		isa.R3: -32,
+		isa.R4: -2,
+		isa.R5: int64(uint64(0xFFFFFFFFFFFFFFF8) >> 2),
+		isa.R6: 2048,
+		isa.R7: -4,
+		isa.R8: 1,
+	}
+	for r, v := range checks {
+		if got := ip.Regs.ReadInt(r); got != v {
+			t.Errorf("%s = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: 9},
+		{Op: isa.ITOF, Rd: isa.F1, Rs1: isa.R1},              // 9.0
+		{Op: isa.FSQRT, Rd: isa.F2, Rs1: isa.F1},             // 3.0
+		{Op: isa.FADD, Rd: isa.F3, Rs1: isa.F1, Rs2: isa.F2}, // 12.0
+		{Op: isa.FSUB, Rd: isa.F4, Rs1: isa.F2, Rs2: isa.F1}, // -6.0
+		{Op: isa.FMUL, Rd: isa.F5, Rs1: isa.F2, Rs2: isa.F2}, // 9.0
+		{Op: isa.FDIV, Rd: isa.F6, Rs1: isa.F1, Rs2: isa.F2}, // 3.0
+		{Op: isa.FABS, Rd: isa.F7, Rs1: isa.F4},              // 6.0
+		{Op: isa.FNEG, Rd: isa.F8, Rs1: isa.F2},              // -3.0
+		{Op: isa.FMOV, Rd: isa.F9, Rs1: isa.F3},              // 12.0
+		{Op: isa.FTOI, Rd: isa.R2, Rs1: isa.F3},              // 12
+		{Op: isa.FLT, Rd: isa.R3, Rs1: isa.F4, Rs2: isa.F2},  // 1
+		{Op: isa.FLE, Rd: isa.R4, Rs1: isa.F2, Rs2: isa.F6},  // 1
+		{Op: isa.FEQ, Rd: isa.R5, Rs1: isa.F1, Rs2: isa.F5},  // 1
+		{Op: isa.HALT},
+	}
+	ip := run(t, prog, nil)
+	fchecks := map[isa.Reg]float64{
+		isa.F2: 3, isa.F3: 12, isa.F4: -6, isa.F5: 9, isa.F6: 3,
+		isa.F7: 6, isa.F8: -3, isa.F9: 12,
+	}
+	for r, v := range fchecks {
+		if got := ip.Regs.ReadFP(r); got != v {
+			t.Errorf("%s = %g, want %g", r, got, v)
+		}
+	}
+	ichecks := map[isa.Reg]int64{isa.R2: 12, isa.R3: 1, isa.R4: 1, isa.R5: 1}
+	for r, v := range ichecks {
+		if got := ip.Regs.ReadInt(r); got != v {
+			t.Errorf("%s = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: 100}, // base
+		{Op: isa.ADDI, Rd: isa.R2, Rs1: isa.R0, Imm: 55},
+		{Op: isa.SW, Rs1: isa.R1, Rs2: isa.R2, Imm: 4},
+		{Op: isa.LW, Rd: isa.R3, Rs1: isa.R1, Imm: 4},
+		{Op: isa.ITOF, Rd: isa.F1, Rs1: isa.R2},
+		{Op: isa.FSW, Rs1: isa.R1, Rs2: isa.F1, Imm: 5},
+		{Op: isa.FLW, Rd: isa.F2, Rs1: isa.R1, Imm: 5},
+		{Op: isa.SWP, Rs1: isa.R1, Rs2: isa.R3, Imm: 6}, // degrades to SW here
+		{Op: isa.LW, Rd: isa.R4, Rs1: isa.R1, Imm: 6},
+		{Op: isa.HALT},
+	}
+	ip := run(t, prog, nil)
+	if got := ip.Regs.ReadInt(isa.R3); got != 55 {
+		t.Errorf("r3 = %d, want 55", got)
+	}
+	if got := ip.Regs.ReadFP(isa.F2); got != 55 {
+		t.Errorf("f2 = %g, want 55", got)
+	}
+	if got := ip.Regs.ReadInt(isa.R4); got != 55 {
+		t.Errorf("r4 = %d, want 55", got)
+	}
+	if got := ip.Mem.IntAt(104); got != 55 {
+		t.Errorf("mem[104] = %d, want 55", got)
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// Sum 1..10 with a countdown loop.
+	prog := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: 10}, // i = 10
+		{Op: isa.ADDI, Rd: isa.R2, Rs1: isa.R0, Imm: 0},  // sum = 0
+		{Op: isa.ADD, Rd: isa.R2, Rs1: isa.R2, Rs2: isa.R1},
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R1, Imm: -1},
+		{Op: isa.BNEZ, Rs1: isa.R1, Imm: 2},
+		{Op: isa.HALT},
+	}
+	ip := run(t, prog, nil)
+	if got := ip.Regs.ReadInt(isa.R2); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestJalJr(t *testing.T) {
+	// call a subroutine that doubles r1, then halt.
+	prog := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: 5},
+		{Op: isa.JAL, Rd: isa.R31, Imm: 4},
+		{Op: isa.ADDI, Rd: isa.R2, Rs1: isa.R1, Imm: 1}, // after return: r2 = 11
+		{Op: isa.HALT},
+		{Op: isa.ADD, Rd: isa.R1, Rs1: isa.R1, Rs2: isa.R1}, // sub: r1 *= 2
+		{Op: isa.JR, Rs1: isa.R31},
+	}
+	ip := run(t, prog, nil)
+	if got := ip.Regs.ReadInt(isa.R1); got != 10 {
+		t.Errorf("r1 = %d, want 10", got)
+	}
+	if got := ip.Regs.ReadInt(isa.R2); got != 11 {
+		t.Errorf("r2 = %d, want 11", got)
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.R0, Rs1: isa.R0, Imm: 99},
+		{Op: isa.ADD, Rd: isa.R1, Rs1: isa.R0, Rs2: isa.R0},
+		{Op: isa.HALT},
+	}
+	ip := run(t, prog, nil)
+	if got := ip.Regs.ReadInt(isa.R0); got != 0 {
+		t.Errorf("r0 = %d, want 0", got)
+	}
+	if got := ip.Regs.ReadInt(isa.R1); got != 0 {
+		t.Errorf("r1 = %d, want 0", got)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	for _, op := range []isa.Opcode{isa.DIV, isa.REM} {
+		prog := []isa.Instruction{
+			{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: 5},
+			{Op: op, Rd: isa.R2, Rs1: isa.R1, Rs2: isa.R0},
+			{Op: isa.HALT},
+		}
+		ip := NewInterp(prog, mem.NewMemory(16))
+		if err := ip.Run(); err == nil {
+			t.Errorf("%s by zero did not error", op)
+		}
+	}
+}
+
+func TestInterpRejectsMultithreadOps(t *testing.T) {
+	for _, op := range []isa.Opcode{isa.FFORK, isa.CHGPRI, isa.KILL, isa.QDIS} {
+		ip := NewInterp([]isa.Instruction{{Op: op}}, mem.NewMemory(16))
+		if err := ip.Run(); err == nil {
+			t.Errorf("%s accepted by single-threaded interpreter", op)
+		}
+	}
+}
+
+func TestRunawayProtection(t *testing.T) {
+	ip := NewInterp([]isa.Instruction{{Op: isa.J, Imm: 0}}, mem.NewMemory(16))
+	ip.SetMaxSteps(1000)
+	if err := ip.Run(); err == nil {
+		t.Error("infinite loop did not trip the step bound")
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	ip := NewInterp([]isa.Instruction{{Op: isa.J, Imm: 500}}, mem.NewMemory(16))
+	if err := ip.Run(); err == nil {
+		t.Error("jump outside program did not error")
+	}
+}
+
+// Property: ADD/SUB on the interpreter agree with Go integer arithmetic.
+func TestArithAgreesWithGo(t *testing.T) {
+	f := func(a, b int32) bool {
+		prog := []isa.Instruction{
+			{Op: isa.LIH, Rd: isa.R1, Imm: 0},
+			{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: a % 8192},
+			{Op: isa.ADDI, Rd: isa.R2, Rs1: isa.R0, Imm: b % 8192},
+			{Op: isa.ADD, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2},
+			{Op: isa.SUB, Rd: isa.R4, Rs1: isa.R1, Rs2: isa.R2},
+			{Op: isa.MUL, Rd: isa.R5, Rs1: isa.R1, Rs2: isa.R2},
+			{Op: isa.HALT},
+		}
+		ip := NewInterp(prog, mem.NewMemory(16))
+		if err := ip.Run(); err != nil {
+			return false
+		}
+		x, y := int64(a%8192), int64(b%8192)
+		return ip.Regs.ReadInt(isa.R3) == x+y &&
+			ip.Regs.ReadInt(isa.R4) == x-y &&
+			ip.Regs.ReadInt(isa.R5) == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FP ops agree with Go float64 arithmetic (via memory init).
+func TestFPAgreesWithGo(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		m := mem.NewMemory(16)
+		m.SetFloat(0, a)
+		m.SetFloat(1, b)
+		prog := []isa.Instruction{
+			{Op: isa.FLW, Rd: isa.F1, Rs1: isa.R0, Imm: 0},
+			{Op: isa.FLW, Rd: isa.F2, Rs1: isa.R0, Imm: 1},
+			{Op: isa.FADD, Rd: isa.F3, Rs1: isa.F1, Rs2: isa.F2},
+			{Op: isa.FMUL, Rd: isa.F4, Rs1: isa.F1, Rs2: isa.F2},
+			{Op: isa.FSUB, Rd: isa.F5, Rs1: isa.F1, Rs2: isa.F2},
+			{Op: isa.HALT},
+		}
+		ip := NewInterp(prog, m)
+		if err := ip.Run(); err != nil {
+			return false
+		}
+		eq := func(got, want float64) bool {
+			return got == want || (math.IsNaN(got) && math.IsNaN(want))
+		}
+		return eq(ip.Regs.ReadFP(isa.F3), a+b) &&
+			eq(ip.Regs.ReadFP(isa.F4), a*b) &&
+			eq(ip.Regs.ReadFP(isa.F5), a-b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegFilePanicsOnWrongClass(t *testing.T) {
+	var rf RegFile
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ReadInt(F1)", func() { rf.ReadInt(isa.F1) })
+	mustPanic("WriteInt(F1)", func() { rf.WriteInt(isa.F1, 1) })
+	mustPanic("ReadFP(R1)", func() { rf.ReadFP(isa.R1) })
+	mustPanic("WriteFP(R1)", func() { rf.WriteFP(isa.R1, 1) })
+}
+
+func TestRegFileReadAndReset(t *testing.T) {
+	var rf RegFile
+	rf.WriteInt(isa.R5, -9)
+	rf.WriteFP(isa.F5, 2.5)
+	if int64(rf.Read(isa.R5)) != -9 {
+		t.Error("Read(int) wrong")
+	}
+	if math.Float64frombits(rf.Read(isa.F5)) != 2.5 {
+		t.Error("Read(fp) wrong")
+	}
+	rf.Reset()
+	if rf.ReadInt(isa.R5) != 0 || rf.ReadFP(isa.F5) != 0 {
+		t.Error("Reset did not clear registers")
+	}
+}
+
+func TestInterpAccessors(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: 1},
+		{Op: isa.HALT},
+	}
+	ip := NewInterp(prog, mem.NewMemory(4))
+	if ip.Halted() {
+		t.Error("halted before running")
+	}
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ip.Halted() {
+		t.Error("not halted after running")
+	}
+	if ip.Steps() != 2 {
+		t.Errorf("Steps = %d, want 2", ip.Steps())
+	}
+}
+
+func TestNegativeShiftCounts(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: 8},
+		{Op: isa.ADDI, Rd: isa.R2, Rs1: isa.R0, Imm: -1}, // count -1 -> masked to 63
+		{Op: isa.SLL, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2},
+		{Op: isa.SRL, Rd: isa.R4, Rs1: isa.R1, Rs2: isa.R2},
+		{Op: isa.SRA, Rd: isa.R5, Rs1: isa.R1, Rs2: isa.R2},
+		{Op: isa.HALT},
+	}
+	ip := NewInterp(prog, mem.NewMemory(4))
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 << 63 overflows to zero in 64-bit arithmetic.
+	if got := ip.Regs.ReadInt(isa.R3); got != 0 {
+		t.Errorf("sll by -1 = %d, want 0 (count masked mod 64, then overflow)", got)
+	}
+	if got := ip.Regs.ReadInt(isa.R4); got != 0 {
+		t.Errorf("srl by -1 = %d, want 0", got)
+	}
+	if got := ip.Regs.ReadInt(isa.R5); got != 0 {
+		t.Errorf("sra of positive by -1 = %d, want 0", got)
+	}
+}

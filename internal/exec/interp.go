@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"hirata/internal/isa"
+	"hirata/internal/mem"
+)
+
+// Interp is a plain functional interpreter for single-threaded programs: no
+// pipeline, no timing, one instruction per step. It serves as the golden
+// reference model against which both timing simulators (internal/core and
+// internal/risc) are cross-checked, and as the quick way to compute expected
+// results in tests and workload generators.
+//
+// The multithreading opcodes are rejected (FFORK, CHGPRI, KILL, QEN, QENF,
+// QDIS); SETMODE and the priority stores degrade to no-ops/plain stores, so
+// single-threaded renderings of the parallel workloads still run.
+type Interp struct {
+	Regs RegFile
+	Mem  *mem.Memory
+	PC   int64
+
+	prog    []isa.Instruction
+	halted  bool
+	steps   uint64
+	maxStep uint64
+}
+
+// DefaultMaxSteps bounds interpreter runs to catch runaway programs.
+const DefaultMaxSteps = 50_000_000
+
+// NewInterp builds an interpreter for prog with the given data memory.
+func NewInterp(prog []isa.Instruction, m *mem.Memory) *Interp {
+	return &Interp{Mem: m, prog: prog, maxStep: DefaultMaxSteps}
+}
+
+// SetMaxSteps overrides the runaway-protection step bound.
+func (ip *Interp) SetMaxSteps(n uint64) { ip.maxStep = n }
+
+// interpCtx adapts Interp to the Context interface.
+type interpCtx struct{ ip *Interp }
+
+func (c interpCtx) ReadInt(r isa.Reg) int64     { return c.ip.Regs.ReadInt(r) }
+func (c interpCtx) WriteInt(r isa.Reg, v int64) { c.ip.Regs.WriteInt(r, v) }
+func (c interpCtx) ReadFP(r isa.Reg) float64    { return c.ip.Regs.ReadFP(r) }
+func (c interpCtx) WriteFP(r isa.Reg, v float64) {
+	c.ip.Regs.WriteFP(r, v)
+}
+func (c interpCtx) Load(addr int64) (uint64, error)  { return c.ip.Mem.Load(addr) }
+func (c interpCtx) Store(addr int64, v uint64) error { return c.ip.Mem.Store(addr, v) }
+func (c interpCtx) TID() int                         { return 0 }
+
+// Step executes one instruction. It reports whether the program is still
+// running.
+func (ip *Interp) Step() (bool, error) {
+	if ip.halted {
+		return false, nil
+	}
+	if ip.PC < 0 || ip.PC >= int64(len(ip.prog)) {
+		return false, fmt.Errorf("exec: pc %d outside program of %d instructions", ip.PC, len(ip.prog))
+	}
+	if ip.steps >= ip.maxStep {
+		return false, fmt.Errorf("exec: exceeded %d steps at pc %d (runaway program?)", ip.maxStep, ip.PC)
+	}
+	ip.steps++
+	in := ip.prog[ip.PC]
+	switch in.Op {
+	case isa.FFORK, isa.CHGPRI, isa.KILL, isa.QEN, isa.QENF, isa.QDIS:
+		return false, fmt.Errorf("exec: pc %d: %s requires the multithreaded machine", ip.PC, in.Op)
+	}
+	out, err := Execute(in, ip.PC, interpCtx{ip})
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case out.Effect == EffectHalt:
+		ip.halted = true
+		return false, nil
+	case out.Effect == EffectBranch && out.Taken:
+		ip.PC = out.Target
+	default:
+		ip.PC++
+	}
+	return true, nil
+}
+
+// Run executes until HALT or error.
+func (ip *Interp) Run() error {
+	for {
+		running, err := ip.Step()
+		if err != nil {
+			return err
+		}
+		if !running {
+			return nil
+		}
+	}
+}
+
+// Steps returns the number of instructions executed so far.
+func (ip *Interp) Steps() uint64 { return ip.steps }
+
+// Halted reports whether the program executed HALT.
+func (ip *Interp) Halted() bool { return ip.halted }
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

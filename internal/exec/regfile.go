@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"fmt"
+
+	"hirata/internal/isa"
+)
+
+// RegFile is one register bank: 32 integer and 32 floating-point registers.
+// Integer register r0 is hardwired to zero. RegFile implements the register
+// part of Context; timing models embed it (or wrap it to intercept
+// queue-register-mapped names).
+type RegFile struct {
+	Int [isa.NumIntRegs]int64
+	FP  [isa.NumFPRegs]float64
+}
+
+// ReadInt returns the value of integer register r.
+func (f *RegFile) ReadInt(r isa.Reg) int64 {
+	if !r.IsInt() {
+		panic(fmt.Sprintf("exec: ReadInt(%s)", r))
+	}
+	return f.Int[r.Index()]
+}
+
+// WriteInt sets integer register r; writes to r0 are discarded.
+func (f *RegFile) WriteInt(r isa.Reg, v int64) {
+	if !r.IsInt() {
+		panic(fmt.Sprintf("exec: WriteInt(%s)", r))
+	}
+	if r.Index() != 0 {
+		f.Int[r.Index()] = v
+	}
+}
+
+// ReadFP returns the value of floating-point register r.
+func (f *RegFile) ReadFP(r isa.Reg) float64 {
+	if !r.IsFP() {
+		panic(fmt.Sprintf("exec: ReadFP(%s)", r))
+	}
+	return f.FP[r.Index()]
+}
+
+// WriteFP sets floating-point register r.
+func (f *RegFile) WriteFP(r isa.Reg, v float64) {
+	if !r.IsFP() {
+		panic(fmt.Sprintf("exec: WriteFP(%s)", r))
+	}
+	f.FP[r.Index()] = v
+}
+
+// Read returns the register value as a raw 64-bit image, for either class.
+func (f *RegFile) Read(r isa.Reg) uint64 {
+	if r.IsFP() {
+		return floatBits(f.ReadFP(r))
+	}
+	return uint64(f.ReadInt(r))
+}
+
+// Reset zeroes every register.
+func (f *RegFile) Reset() {
+	*f = RegFile{}
+}

@@ -1,0 +1,184 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Word is one 32-bit encoded instruction.
+type Word uint32
+
+// Encoding layout, by format (bit 31 is the most significant):
+//
+//	R-like  (FmtR/R2/Q/TID/JR/N): op[31:24] rd[23:19] rs1[18:14] rs2[13:9] pad[8:0]
+//	I-like  (FmtI/FmtLd):         op[31:24] rd[23:19] rs1[18:14] imm[13:0]
+//	S-like  (FmtSt/FmtB):         op[31:24] rs1[23:19] rs2[18:14] imm[13:0]
+//	LI/J    (FmtLI/FmtJ):         op[31:24] rd[23:19] pad[18:14] imm[13:0]
+//
+// Register fields store the index within the file (0..31); the register
+// class (integer vs FP) is implied by the opcode. Immediates are signed
+// 14-bit for arithmetic and addressing, and unsigned 14-bit absolute word
+// addresses for branches and jumps.
+const (
+	immBits  = 14
+	immMask  = 1<<immBits - 1
+	immSMin  = -(1 << (immBits - 1))
+	immSMax  = 1<<(immBits-1) - 1
+	immUMax  = 1<<immBits - 1
+	padField = 0x1F // placeholder for unused register fields
+)
+
+// immRange returns the encodable immediate range for op.
+func immRange(op Opcode) (lo, hi int32) {
+	switch op.Fmt() {
+	case FmtB, FmtJ:
+		return 0, immUMax
+	default:
+		return immSMin, immSMax
+	}
+}
+
+// regField returns the 5-bit field value for r, or padField for NoReg.
+func regField(r Reg) uint32 {
+	if !r.Valid() {
+		return padField
+	}
+	return uint32(r.Index())
+}
+
+// Encode packs the instruction into its 32-bit binary form.
+func Encode(in Instruction) (Word, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	w := uint32(in.Op) << 24
+	switch in.Op.Fmt() {
+	case FmtR, FmtR2, FmtQ, FmtTID, FmtJR, FmtN:
+		w |= regField(in.Rd) << 19
+		w |= regField(in.Rs1) << 14
+		w |= regField(in.Rs2) << 9
+	case FmtI, FmtLd:
+		w |= regField(in.Rd) << 19
+		w |= regField(in.Rs1) << 14
+		w |= uint32(in.Imm) & immMask
+	case FmtSt, FmtB:
+		w |= regField(in.Rs1) << 19
+		w |= regField(in.Rs2) << 14
+		w |= uint32(in.Imm) & immMask
+	case FmtLI, FmtJ:
+		w |= regField(in.Rd) << 19
+		w |= padField << 14
+		w |= uint32(in.Imm) & immMask
+	default:
+		return 0, fmt.Errorf("isa: cannot encode %s: unknown format", in.Op)
+	}
+	return Word(w), nil
+}
+
+// reg rebuilds a Reg from a 5-bit index field and its implied class.
+func reg(field uint32, fp bool) Reg {
+	if fp {
+		return FPReg(int(field))
+	}
+	return IntReg(int(field))
+}
+
+// signExtImm sign-extends a 14-bit immediate field.
+func signExtImm(field uint32) int32 {
+	return int32(field<<(32-immBits)) >> (32 - immBits)
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w Word) (Instruction, error) {
+	op := Opcode(w >> 24)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: invalid opcode %d in word %#08x", uint8(op), uint32(w))
+	}
+	f1 := uint32(w) >> 19 & 0x1F
+	f2 := uint32(w) >> 14 & 0x1F
+	f3 := uint32(w) >> 9 & 0x1F
+	immField := uint32(w) & immMask
+	in := Instruction{Op: op, Rd: NoReg, Rs1: NoReg, Rs2: NoReg}
+	fpOps := in.fpOperands()
+	switch op.Fmt() {
+	case FmtR:
+		in.Rd = reg(f1, opTable[op].writesFP)
+		in.Rs1 = reg(f2, fpOps)
+		in.Rs2 = reg(f3, fpOps)
+	case FmtR2:
+		in.Rd = reg(f1, opTable[op].writesFP)
+		in.Rs1 = reg(f2, fpOps)
+	case FmtQ:
+		fp := op == QENF
+		in.Rs1 = reg(f2, fp)
+		in.Rs2 = reg(f3, fp)
+	case FmtTID:
+		in.Rd = reg(f1, false)
+	case FmtJR:
+		in.Rs1 = reg(f2, false)
+	case FmtN:
+		// no operands
+	case FmtI:
+		in.Rd = reg(f1, false)
+		in.Rs1 = reg(f2, false)
+		in.Imm = signExtImm(immField)
+	case FmtLd:
+		in.Rd = reg(f1, op == FLW)
+		in.Rs1 = reg(f2, false)
+		in.Imm = signExtImm(immField)
+	case FmtSt:
+		in.Rs1 = reg(f1, false)
+		in.Rs2 = reg(f2, op == FSW || op == FSWP)
+		in.Imm = signExtImm(immField)
+	case FmtB:
+		in.Rs1 = reg(f1, false)
+		if op == BEQ || op == BNE {
+			in.Rs2 = reg(f2, false)
+		}
+		in.Imm = int32(immField)
+	case FmtLI:
+		in.Rd = reg(f1, false)
+		in.Imm = signExtImm(immField)
+	case FmtJ:
+		if op == JAL {
+			in.Rd = reg(f1, false)
+		}
+		in.Imm = int32(immField)
+	default:
+		return Instruction{}, fmt.Errorf("isa: cannot decode %s: unknown format", op)
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, fmt.Errorf("isa: decoded invalid instruction from %#08x: %w", uint32(w), err)
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a sequence of instructions into binary, 4 bytes per
+// instruction, big-endian.
+func EncodeProgram(prog []Instruction) ([]byte, error) {
+	buf := make([]byte, 0, 4*len(prog))
+	for i, in := range prog {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(w))
+	}
+	return buf, nil
+}
+
+// DecodeProgram decodes binary produced by EncodeProgram.
+func DecodeProgram(buf []byte) ([]Instruction, error) {
+	if len(buf)%4 != 0 {
+		return nil, fmt.Errorf("isa: program length %d is not a multiple of 4", len(buf))
+	}
+	prog := make([]Instruction, 0, len(buf)/4)
+	for i := 0; i < len(buf); i += 4 {
+		in, err := Decode(Word(binary.BigEndian.Uint32(buf[i:])))
+		if err != nil {
+			return nil, fmt.Errorf("isa: word %d: %w", i/4, err)
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}

@@ -1,0 +1,332 @@
+package isa
+
+import "fmt"
+
+// UnitClass identifies a class of functional unit. Instructions are
+// dispatched by the instruction schedule units to a functional unit of the
+// class returned by Opcode.Unit. Branches and the special multithreading
+// instructions execute inside the decode unit and have class UnitNone.
+type UnitClass uint8
+
+// Functional-unit classes of the paper's machine (Figure 2 / Table 1).
+const (
+	UnitNone      UnitClass = iota // executes in the decode unit
+	UnitIntALU                     // integer add/subtract, logical, compare
+	UnitShifter                    // barrel shifter
+	UnitIntMul                     // integer multiplier (mul/div/rem)
+	UnitFPAdd                      // FP adder (add/sub/compare/abs/neg/convert)
+	UnitFPMul                      // FP multiplier
+	UnitFPDiv                      // FP divider (div/sqrt)
+	UnitLoadStore                  // load/store unit
+
+	NumUnitClasses = int(UnitLoadStore) // count of real FU classes (UnitNone excluded)
+)
+
+// String returns the conventional name of the unit class.
+func (u UnitClass) String() string {
+	switch u {
+	case UnitNone:
+		return "decode"
+	case UnitIntALU:
+		return "IntALU"
+	case UnitShifter:
+		return "Shifter"
+	case UnitIntMul:
+		return "IntMul"
+	case UnitFPAdd:
+		return "FPAdd"
+	case UnitFPMul:
+		return "FPMul"
+	case UnitFPDiv:
+		return "FPDiv"
+	case UnitLoadStore:
+		return "LoadStore"
+	}
+	return fmt.Sprintf("UnitClass(%d)", uint8(u))
+}
+
+// Opcode enumerates every machine instruction.
+type Opcode uint8
+
+// Instruction opcodes, grouped by functional unit.
+const (
+	NOP Opcode = iota
+
+	// Integer ALU (issue 1, result 2).
+	ADD  // rd = rs1 + rs2
+	SUB  // rd = rs1 - rs2
+	AND  // rd = rs1 & rs2
+	OR   // rd = rs1 | rs2
+	XOR  // rd = rs1 ^ rs2
+	SLT  // rd = rs1 < rs2 ? 1 : 0
+	SEQ  // rd = rs1 == rs2 ? 1 : 0
+	SNE  // rd = rs1 != rs2 ? 1 : 0
+	SGE  // rd = rs1 >= rs2 ? 1 : 0
+	ADDI // rd = rs1 + imm
+	ANDI // rd = rs1 & imm
+	ORI  // rd = rs1 | imm
+	XORI // rd = rs1 ^ imm
+	SLTI // rd = rs1 < imm ? 1 : 0
+	LIH  // rd = imm << 14 (load immediate high)
+
+	// Barrel shifter (issue 1, result 2).
+	SLL  // rd = rs1 << rs2
+	SRL  // rd = uint(rs1) >> rs2
+	SRA  // rd = rs1 >> rs2
+	SLLI // rd = rs1 << imm
+	SRLI // rd = uint(rs1) >> imm
+	SRAI // rd = rs1 >> imm
+
+	// Integer multiplier (issue 1, result 6).
+	MUL // rd = rs1 * rs2
+	DIV // rd = rs1 / rs2
+	REM // rd = rs1 % rs2
+
+	// FP adder (issue 1, result 4; abs/neg/mov result 2).
+	FADD // fd = fs1 + fs2
+	FSUB // fd = fs1 - fs2
+	FEQ  // rd = fs1 == fs2 ? 1 : 0  (integer destination)
+	FLT  // rd = fs1 <  fs2 ? 1 : 0
+	FLE  // rd = fs1 <= fs2 ? 1 : 0
+	ITOF // fd = float(rs1)
+	FTOI // rd = int(fs1), truncating
+	FABS // fd = |fs1|
+	FNEG // fd = -fs1
+	FMOV // fd = fs1
+
+	// FP multiplier (issue 1, result 6).
+	FMUL // fd = fs1 * fs2
+
+	// FP divider (issue 1, result 12).
+	FDIV  // fd = fs1 / fs2
+	FSQRT // fd = sqrt(fs1)
+
+	// Load/store unit (issue 2; load result 4, store result 2).
+	LW  // rd = mem[rs1 + imm]
+	SW  // mem[rs1 + imm] = rs2
+	FLW // fd = mem[rs1 + imm]
+	FSW // mem[rs1 + imm] = fs2
+	SWP // like SW, but interlocks until this thread has highest priority
+	FSWP
+
+	// Branches and jumps (executed within the decode unit).
+	BEQ  // if rs1 == rs2 goto imm
+	BNE  // if rs1 != rs2 goto imm
+	BEQZ // if rs1 == 0 goto imm
+	BNEZ // if rs1 != 0 goto imm
+	BLTZ // if rs1 < 0 goto imm
+	BGEZ // if rs1 >= 0 goto imm
+	J    // goto imm
+	JAL  // rd = pc+1; goto imm
+	JR   // goto rs1
+
+	// Special multithreading instructions (executed within the decode unit).
+	HALT   // stop this logical processor
+	FFORK  // start all other thread slots at pc+1 with unique TIDs
+	TID    // rd = logical processor identifier
+	CHGPRI // rotate thread priorities (interlocks until highest priority)
+	KILL   // kill all other running threads (interlocks until highest priority)
+	QEN    // map integer queue registers: reads of rs1 pop, writes of rs2 push
+	QENF   // map FP queue registers likewise
+	QDIS   // unmap all queue registers of this logical processor
+	SETMODE
+
+	numOpcodes
+)
+
+// NumOpcodes is the count of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// opInfo is the static description of one opcode.
+type opInfo struct {
+	name      string
+	unit      UnitClass
+	format    Format
+	issueLat  int
+	resultLat int
+	writesInt bool // destination is an integer register
+	writesFP  bool // destination is an FP register
+}
+
+// Format describes operand layout for encoding and assembly syntax.
+type Format uint8
+
+// Instruction formats.
+const (
+	FmtR   Format = iota // op rd, rs1, rs2
+	FmtR2                // op rd, rs1 (unary)
+	FmtI                 // op rd, rs1, imm
+	FmtLI                // op rd, imm (load immediate style)
+	FmtLd                // op rd, imm(rs1)
+	FmtSt                // op rs2, imm(rs1)
+	FmtB                 // op rs1, [rs2,] imm (branch to absolute word address)
+	FmtJ                 // op imm
+	FmtJR                // op rs1
+	FmtN                 // op (no operands)
+	FmtQ                 // op rs1, rs2 (queue-register mapping)
+	FmtTID               // op rd
+)
+
+var opTable = [NumOpcodes]opInfo{
+	NOP: {"nop", UnitNone, FmtN, 1, 1, false, false},
+
+	ADD:  {"add", UnitIntALU, FmtR, 1, 2, true, false},
+	SUB:  {"sub", UnitIntALU, FmtR, 1, 2, true, false},
+	AND:  {"and", UnitIntALU, FmtR, 1, 2, true, false},
+	OR:   {"or", UnitIntALU, FmtR, 1, 2, true, false},
+	XOR:  {"xor", UnitIntALU, FmtR, 1, 2, true, false},
+	SLT:  {"slt", UnitIntALU, FmtR, 1, 2, true, false},
+	SEQ:  {"seq", UnitIntALU, FmtR, 1, 2, true, false},
+	SNE:  {"sne", UnitIntALU, FmtR, 1, 2, true, false},
+	SGE:  {"sge", UnitIntALU, FmtR, 1, 2, true, false},
+	ADDI: {"addi", UnitIntALU, FmtI, 1, 2, true, false},
+	ANDI: {"andi", UnitIntALU, FmtI, 1, 2, true, false},
+	ORI:  {"ori", UnitIntALU, FmtI, 1, 2, true, false},
+	XORI: {"xori", UnitIntALU, FmtI, 1, 2, true, false},
+	SLTI: {"slti", UnitIntALU, FmtI, 1, 2, true, false},
+	LIH:  {"lih", UnitIntALU, FmtLI, 1, 2, true, false},
+
+	SLL:  {"sll", UnitShifter, FmtR, 1, 2, true, false},
+	SRL:  {"srl", UnitShifter, FmtR, 1, 2, true, false},
+	SRA:  {"sra", UnitShifter, FmtR, 1, 2, true, false},
+	SLLI: {"slli", UnitShifter, FmtI, 1, 2, true, false},
+	SRLI: {"srli", UnitShifter, FmtI, 1, 2, true, false},
+	SRAI: {"srai", UnitShifter, FmtI, 1, 2, true, false},
+
+	MUL: {"mul", UnitIntMul, FmtR, 1, 6, true, false},
+	DIV: {"div", UnitIntMul, FmtR, 1, 6, true, false},
+	REM: {"rem", UnitIntMul, FmtR, 1, 6, true, false},
+
+	FADD: {"fadd", UnitFPAdd, FmtR, 1, 4, false, true},
+	FSUB: {"fsub", UnitFPAdd, FmtR, 1, 4, false, true},
+	FEQ:  {"feq", UnitFPAdd, FmtR, 1, 4, true, false},
+	FLT:  {"flt", UnitFPAdd, FmtR, 1, 4, true, false},
+	FLE:  {"fle", UnitFPAdd, FmtR, 1, 4, true, false},
+	ITOF: {"itof", UnitFPAdd, FmtR2, 1, 4, false, true},
+	FTOI: {"ftoi", UnitFPAdd, FmtR2, 1, 4, true, false},
+	FABS: {"fabs", UnitFPAdd, FmtR2, 1, 2, false, true},
+	FNEG: {"fneg", UnitFPAdd, FmtR2, 1, 2, false, true},
+	FMOV: {"fmov", UnitFPAdd, FmtR2, 1, 2, false, true},
+
+	FMUL: {"fmul", UnitFPMul, FmtR, 1, 6, false, true},
+
+	FDIV:  {"fdiv", UnitFPDiv, FmtR, 1, 12, false, true},
+	FSQRT: {"fsqrt", UnitFPDiv, FmtR2, 1, 12, false, true},
+
+	LW:   {"lw", UnitLoadStore, FmtLd, 2, 4, true, false},
+	SW:   {"sw", UnitLoadStore, FmtSt, 2, 2, false, false},
+	FLW:  {"flw", UnitLoadStore, FmtLd, 2, 4, false, true},
+	FSW:  {"fsw", UnitLoadStore, FmtSt, 2, 2, false, false},
+	SWP:  {"swp", UnitLoadStore, FmtSt, 2, 2, false, false},
+	FSWP: {"fswp", UnitLoadStore, FmtSt, 2, 2, false, false},
+
+	BEQ:  {"beq", UnitNone, FmtB, 1, 1, false, false},
+	BNE:  {"bne", UnitNone, FmtB, 1, 1, false, false},
+	BEQZ: {"beqz", UnitNone, FmtB, 1, 1, false, false},
+	BNEZ: {"bnez", UnitNone, FmtB, 1, 1, false, false},
+	BLTZ: {"bltz", UnitNone, FmtB, 1, 1, false, false},
+	BGEZ: {"bgez", UnitNone, FmtB, 1, 1, false, false},
+	J:    {"j", UnitNone, FmtJ, 1, 1, false, false},
+	JAL:  {"jal", UnitNone, FmtJ, 1, 1, true, false},
+	JR:   {"jr", UnitNone, FmtJR, 1, 1, false, false},
+
+	HALT:    {"halt", UnitNone, FmtN, 1, 1, false, false},
+	FFORK:   {"ffork", UnitNone, FmtN, 1, 1, false, false},
+	TID:     {"tid", UnitNone, FmtTID, 1, 1, true, false},
+	CHGPRI:  {"chgpri", UnitNone, FmtN, 1, 1, false, false},
+	KILL:    {"kill", UnitNone, FmtN, 1, 1, false, false},
+	QEN:     {"qen", UnitNone, FmtQ, 1, 1, false, false},
+	QENF:    {"qenf", UnitNone, FmtQ, 1, 1, false, false},
+	QDIS:    {"qdis", UnitNone, FmtN, 1, 1, false, false},
+	SETMODE: {"setmode", UnitNone, FmtJ, 1, 1, false, false},
+}
+
+// String returns the assembly mnemonic of the opcode.
+func (op Opcode) String() string {
+	if int(op) < NumOpcodes {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return int(op) < NumOpcodes }
+
+// Unit returns the functional-unit class that executes op.
+func (op Opcode) Unit() UnitClass { return opTable[op].unit }
+
+// Fmt returns the operand format of op.
+func (op Opcode) Fmt() Format { return opTable[op].format }
+
+// IssueLatency returns the number of cycles before the functional unit can
+// accept another instruction of this class (Table 1, "issue" column).
+func (op Opcode) IssueLatency() int { return opTable[op].issueLat }
+
+// ResultLatency returns the number of execution cycles before the result is
+// available (Table 1, "result" column).
+func (op Opcode) ResultLatency() int { return opTable[op].resultLat }
+
+// IsBranch reports whether op is a branch or jump, executed in the decode
+// unit and redirecting the instruction fetch stream.
+func (op Opcode) IsBranch() bool {
+	switch op {
+	case BEQ, BNE, BEQZ, BNEZ, BLTZ, BGEZ, J, JAL, JR:
+		return true
+	}
+	return false
+}
+
+// IsConditionalBranch reports whether op is a conditional branch.
+func (op Opcode) IsConditionalBranch() bool {
+	switch op {
+	case BEQ, BNE, BEQZ, BNEZ, BLTZ, BGEZ:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses data memory.
+func (op Opcode) IsMem() bool { return opTable[op].unit == UnitLoadStore }
+
+// IsLoad reports whether op reads data memory.
+func (op Opcode) IsLoad() bool { return op == LW || op == FLW }
+
+// IsStore reports whether op writes data memory.
+func (op Opcode) IsStore() bool {
+	switch op {
+	case SW, FSW, SWP, FSWP:
+		return true
+	}
+	return false
+}
+
+// NeedsHighestPriority reports whether the decode unit must interlock this
+// instruction until its thread slot holds the highest priority (the paper's
+// change-priority, kill, and special-store instructions).
+func (op Opcode) NeedsHighestPriority() bool {
+	switch op {
+	case CHGPRI, KILL, SWP, FSWP:
+		return true
+	}
+	return false
+}
+
+// WritesInt reports whether op writes an integer destination register.
+func (op Opcode) WritesInt() bool { return opTable[op].writesInt }
+
+// WritesFP reports whether op writes a floating-point destination register.
+func (op Opcode) WritesFP() bool { return opTable[op].writesFP }
+
+// OpcodeByName returns the opcode with the given assembly mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()

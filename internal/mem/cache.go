@@ -1,0 +1,114 @@
+package mem
+
+import "fmt"
+
+// CacheAccessCycles is the paper's cache access time C: both the instruction
+// and the data cache take two cycles per access (§2.1.1, §2.1.2).
+const CacheAccessCycles = 2
+
+// CacheConfig configures a Cache model.
+//
+// The zero value describes the paper's simulation assumption: a perfect
+// cache (every access hits) with a 2-cycle access time. Setting Lines > 0
+// enables a finite direct-mapped cache — the extension the paper lists as
+// future work ("we are currently working on evaluating finite cache
+// effects").
+type CacheConfig struct {
+	Lines        int // number of direct-mapped lines; 0 = perfect cache
+	WordsPerLine int // words per line; 0 defaults to 4
+	AccessCycles int // hit access time; 0 defaults to CacheAccessCycles
+	MissPenalty  int // extra cycles on a miss; 0 defaults to 20
+}
+
+// normalised fills in defaults.
+func (c CacheConfig) normalised() CacheConfig {
+	if c.WordsPerLine <= 0 {
+		c.WordsPerLine = 4
+	}
+	if c.AccessCycles <= 0 {
+		c.AccessCycles = CacheAccessCycles
+	}
+	if c.MissPenalty <= 0 {
+		c.MissPenalty = 20
+	}
+	return c
+}
+
+// Cache is a simple direct-mapped cache timing model. It tracks only tags —
+// data always comes from the backing Memory (the simulator is
+// execution-driven, so the cache affects timing, never values).
+type Cache struct {
+	cfg    CacheConfig
+	tags   []int64 // tag per line; -1 = invalid
+	hits   uint64
+	misses uint64
+}
+
+// NewCache builds a cache from cfg (see CacheConfig for defaults).
+func NewCache(cfg CacheConfig) *Cache {
+	cfg = cfg.normalised()
+	c := &Cache{cfg: cfg}
+	if cfg.Lines > 0 {
+		c.tags = make([]int64, cfg.Lines)
+		for i := range c.tags {
+			c.tags[i] = -1
+		}
+	}
+	return c
+}
+
+// Perfect reports whether the cache always hits.
+func (c *Cache) Perfect() bool { return c.cfg.Lines == 0 }
+
+// Access simulates one access to addr and returns its latency in cycles.
+// For a perfect cache this is always the configured access time.
+func (c *Cache) Access(addr int64) int {
+	if c.Perfect() {
+		c.hits++
+		return c.cfg.AccessCycles
+	}
+	if addr < 0 {
+		panic(fmt.Sprintf("mem: negative cache address %d", addr))
+	}
+	block := addr / int64(c.cfg.WordsPerLine)
+	line := block % int64(c.cfg.Lines)
+	if c.tags[line] == block {
+		c.hits++
+		return c.cfg.AccessCycles
+	}
+	c.misses++
+	c.tags[line] = block
+	return c.cfg.AccessCycles + c.cfg.MissPenalty
+}
+
+// Probe reports whether addr would hit, without updating state.
+func (c *Cache) Probe(addr int64) bool {
+	if c.Perfect() {
+		return true
+	}
+	block := addr / int64(c.cfg.WordsPerLine)
+	return c.tags[block%int64(c.cfg.Lines)] == block
+}
+
+// Reset invalidates every line and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// Hits returns the number of accesses that hit.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of accesses that missed.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// HitRate returns the fraction of accesses that hit, or 1 if none occurred.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 1
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,141 @@
+package minc
+
+// typ is a MinC type.
+type typ uint8
+
+const (
+	typInt typ = iota
+	typFloat
+)
+
+func (t typ) String() string {
+	if t == typFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// file is a parsed compilation unit.
+type file struct {
+	globals []*global
+	body    []stmt // the body of func main
+}
+
+// global is one global declaration.
+type global struct {
+	name    string
+	ty      typ
+	size    int     // 0 for scalars, element count for arrays
+	init    float64 // initial value for scalars (bit pattern chosen by type)
+	hasInit bool
+	line    int
+}
+
+// Statements.
+type stmt interface{ stmtLine() int }
+
+type declStmt struct {
+	name string
+	ty   typ
+	init expr
+	line int
+}
+
+type assignStmt struct {
+	name  string
+	index expr // nil for scalars
+	value expr
+	line  int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els []stmt
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+type forStmt struct {
+	init stmt // declStmt or assignStmt, may be nil
+	cond expr
+	post stmt // assignStmt, may be nil
+	body []stmt
+	line int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+// callStmt is an intrinsic statement: fork(), chgpri(), kill(), halt(),
+// qmap(), qmapf(), qunmap(), qsend(x), qsendf(x).
+type callStmt struct {
+	name string
+	arg  expr // qsend/qsendf operand
+	line int
+}
+
+func (s *declStmt) stmtLine() int     { return s.line }
+func (s *assignStmt) stmtLine() int   { return s.line }
+func (s *ifStmt) stmtLine() int       { return s.line }
+func (s *whileStmt) stmtLine() int    { return s.line }
+func (s *forStmt) stmtLine() int      { return s.line }
+func (s *breakStmt) stmtLine() int    { return s.line }
+func (s *continueStmt) stmtLine() int { return s.line }
+func (s *callStmt) stmtLine() int     { return s.line }
+
+// Expressions.
+type expr interface{ exprLine() int }
+
+type intLit struct {
+	val  int64
+	line int
+}
+
+type floatLit struct {
+	val  float64
+	line int
+}
+
+type varRef struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	name  string
+	index expr
+	line  int
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type unExpr struct {
+	op   string // "-" or "!"
+	x    expr
+	line int
+}
+
+// callExpr is an intrinsic expression: tid(), nthreads(), sqrt(x),
+// abs(x), float(x), int(x).
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+func (e *intLit) exprLine() int    { return e.line }
+func (e *floatLit) exprLine() int  { return e.line }
+func (e *varRef) exprLine() int    { return e.line }
+func (e *indexExpr) exprLine() int { return e.line }
+func (e *binExpr) exprLine() int   { return e.line }
+func (e *unExpr) exprLine() int    { return e.line }
+func (e *callExpr) exprLine() int  { return e.line }

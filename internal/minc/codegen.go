@@ -1,0 +1,752 @@
+package minc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Register conventions of the generated code:
+//
+//	r1, r2        address scratch
+//	r4  .. r13    integer locals (at most 10)
+//	r14 .. r25    integer expression temporaries
+//	f4  .. f13    float locals (at most 10)
+//	f14 .. f25    float expression temporaries
+//
+// Globals live in the data section starting at word 8; __nthreads is the
+// first global and is written by SetThreads.
+const (
+	intLocalBase = 4
+	fpLocalBase  = 4
+	maxLocals    = 10
+	intTempBase  = 14
+	fpTempBase   = 14
+	maxTemps     = 12
+	dataBase     = 8
+)
+
+type local struct {
+	ty  typ
+	reg int
+}
+
+type loopLabels struct {
+	brk, cont string
+}
+
+type gen struct {
+	b       strings.Builder
+	globals map[string]*global
+	scopes  []map[string]*local // innermost last
+	nInt    int
+	nFP     int
+	intSP   int // temp stack pointers
+	fpSP    int
+	nLabel  int
+	loops   []loopLabels
+	fconsts map[string]float64
+	forder  []string // float-constant emission order
+}
+
+// generate emits the assembly for a parsed file. The body is generated
+// first (collecting interned float constants), then the data section is
+// prepended; the assembler's two passes resolve the forward references.
+func generate(f *file) (string, error) {
+	g := &gen{
+		globals: map[string]*global{},
+		scopes:  []map[string]*local{{}},
+		fconsts: map[string]float64{},
+	}
+	for _, gl := range f.globals {
+		if _, dup := g.globals[gl.name]; dup || gl.name == "__nthreads" {
+			return "", fmt.Errorf("minc: line %d: duplicate global %q", gl.line, gl.name)
+		}
+		g.globals[gl.name] = gl
+	}
+
+	for _, s := range f.body {
+		if err := g.stmt(s); err != nil {
+			return "", err
+		}
+	}
+	g.emit("\thalt")
+	body := g.b.String()
+
+	var out strings.Builder
+	out.WriteString("\t.data\n")
+	fmt.Fprintf(&out, "\t.org %d\n", dataBase)
+	out.WriteString("__nthreads: .word 1\n")
+	for _, gl := range f.globals {
+		switch {
+		case gl.size > 0:
+			fmt.Fprintf(&out, "%s: .space %d\n", gl.name, gl.size)
+		case gl.ty == typFloat:
+			fmt.Fprintf(&out, "%s: .float %g\n", gl.name, gl.init)
+		default:
+			fmt.Fprintf(&out, "%s: .word %d\n", gl.name, int64(gl.init))
+		}
+	}
+	for _, name := range g.forder {
+		fmt.Fprintf(&out, "%s: .float %g\n", name, g.fconsts[name])
+	}
+	out.WriteString("\t.text\n")
+	out.WriteString(body)
+	return out.String(), nil
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *gen) label() string {
+	g.nLabel++
+	return fmt.Sprintf("_L%d", g.nLabel)
+}
+
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("minc: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// Temp register allocation (stack discipline).
+func (g *gen) allocTemp(t typ, line int) (string, error) {
+	if t == typFloat {
+		if g.fpSP >= maxTemps {
+			return "", errAt(line, "float expression too complex (out of temporaries)")
+		}
+		g.fpSP++
+		return fmt.Sprintf("f%d", fpTempBase+g.fpSP-1), nil
+	}
+	if g.intSP >= maxTemps {
+		return "", errAt(line, "integer expression too complex (out of temporaries)")
+	}
+	g.intSP++
+	return fmt.Sprintf("r%d", intTempBase+g.intSP-1), nil
+}
+
+func (g *gen) freeTemp(reg string) {
+	switch reg[0] {
+	case 'f':
+		g.fpSP--
+	case 'r':
+		g.intSP--
+	}
+}
+
+// Scope management: each block gets a scope; leaving it releases the
+// register slots its locals occupied.
+func (g *gen) pushScope() { g.scopes = append(g.scopes, map[string]*local{}) }
+
+func (g *gen) popScope() {
+	top := g.scopes[len(g.scopes)-1]
+	for _, l := range top {
+		if l.ty == typFloat {
+			g.nFP--
+		} else {
+			g.nInt--
+		}
+	}
+	g.scopes = g.scopes[:len(g.scopes)-1]
+}
+
+// lookupLocal resolves a name through the scope stack, innermost first.
+func (g *gen) lookupLocal(name string) (*local, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if l, ok := g.scopes[i][name]; ok {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// value is an evaluated expression: a register holding it and its type.
+type value struct {
+	reg string
+	ty  typ
+}
+
+// Statements.
+
+func (g *gen) stmts(list []stmt) error {
+	for _, s := range list {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) stmt(s stmt) error {
+	switch s := s.(type) {
+	case *declStmt:
+		return g.decl(s)
+	case *assignStmt:
+		return g.assign(s)
+	case *ifStmt:
+		return g.ifStmt(s)
+	case *whileStmt:
+		return g.whileStmt(s)
+	case *forStmt:
+		return g.forStmt(s)
+	case *breakStmt:
+		if len(g.loops) == 0 {
+			return errAt(s.line, "break outside a loop")
+		}
+		g.emit("\tj %s", g.loops[len(g.loops)-1].brk)
+		return nil
+	case *continueStmt:
+		if len(g.loops) == 0 {
+			return errAt(s.line, "continue outside a loop")
+		}
+		g.emit("\tj %s", g.loops[len(g.loops)-1].cont)
+		return nil
+	case *callStmt:
+		switch s.name {
+		case "fork":
+			g.emit("\tffork")
+		case "chgpri":
+			g.emit("\tchgpri")
+		case "kill":
+			g.emit("\tkill")
+		case "halt":
+			g.emit("\thalt")
+		case "qmap":
+			// Integer queue registers: r26 receives, r27 sends (§2.3.1).
+			g.emit("\tqen r26, r27")
+		case "qmapf":
+			g.emit("\tqenf f26, f27")
+		case "qunmap":
+			g.emit("\tqdis")
+		case "qsend", "qsendf":
+			want := typInt
+			if s.name == "qsendf" {
+				want = typFloat
+			}
+			v, err := g.exprAs(s.arg, want)
+			if err != nil {
+				return err
+			}
+			if want == typFloat {
+				g.emit("\tfmov f27, %s", v.reg)
+			} else {
+				g.emit("\tmov r27, %s", v.reg)
+			}
+			g.freeTemp(v.reg)
+		}
+		return nil
+	}
+	return errAt(s.stmtLine(), "unsupported statement")
+}
+
+func (g *gen) decl(s *declStmt) error {
+	cur := g.scopes[len(g.scopes)-1]
+	if _, dup := cur[s.name]; dup {
+		return errAt(s.line, "duplicate local %q in this scope", s.name)
+	}
+	if _, isGlobal := g.globals[s.name]; isGlobal {
+		return errAt(s.line, "local %q shadows a global", s.name)
+	}
+	var reg int
+	if s.ty == typFloat {
+		if g.nFP >= maxLocals {
+			return errAt(s.line, "too many float locals (max %d)", maxLocals)
+		}
+		reg = fpLocalBase + g.nFP
+		g.nFP++
+	} else {
+		if g.nInt >= maxLocals {
+			return errAt(s.line, "too many int locals (max %d)", maxLocals)
+		}
+		reg = intLocalBase + g.nInt
+		g.nInt++
+	}
+	cur[s.name] = &local{ty: s.ty, reg: reg}
+	v, err := g.exprAs(s.init, s.ty)
+	if err != nil {
+		return err
+	}
+	g.moveInto(g.localReg(s.name), s.ty, v)
+	g.freeTemp(v.reg)
+	return nil
+}
+
+func (g *gen) localReg(name string) string {
+	l, _ := g.lookupLocal(name)
+	if l.ty == typFloat {
+		return fmt.Sprintf("f%d", l.reg)
+	}
+	return fmt.Sprintf("r%d", l.reg)
+}
+
+// moveInto copies a value into a destination register of the given type.
+func (g *gen) moveInto(dst string, ty typ, v value) {
+	if ty == typFloat {
+		g.emit("\tfmov %s, %s", dst, v.reg)
+	} else {
+		g.emit("\tmov %s, %s", dst, v.reg)
+	}
+}
+
+func (g *gen) assign(s *assignStmt) error {
+	// Local scalar.
+	if l, ok := g.lookupLocal(s.name); ok {
+		if s.index != nil {
+			return errAt(s.line, "%q is a scalar local, not an array", s.name)
+		}
+		v, err := g.exprAs(s.value, l.ty)
+		if err != nil {
+			return err
+		}
+		g.moveInto(g.localReg(s.name), l.ty, v)
+		g.freeTemp(v.reg)
+		return nil
+	}
+	gl, ok := g.globals[s.name]
+	if !ok {
+		return errAt(s.line, "undefined variable %q", s.name)
+	}
+	if (gl.size > 0) != (s.index != nil) {
+		if gl.size > 0 {
+			return errAt(s.line, "array %q needs an index", s.name)
+		}
+		return errAt(s.line, "%q is a scalar, not an array", s.name)
+	}
+	v, err := g.exprAs(s.value, gl.ty)
+	if err != nil {
+		return err
+	}
+	store := "sw"
+	if gl.ty == typFloat {
+		store = "fsw"
+	}
+	if s.index == nil {
+		g.emit("\tla r1, %s", s.name)
+		g.emit("\t%s %s, 0(r1)", store, v.reg)
+	} else {
+		idx, err := g.exprAs(s.index, typInt)
+		if err != nil {
+			return err
+		}
+		g.emit("\tla r1, %s", s.name)
+		g.emit("\tadd r1, r1, %s", idx.reg)
+		g.emit("\t%s %s, 0(r1)", store, v.reg)
+		g.freeTemp(idx.reg)
+	}
+	g.freeTemp(v.reg)
+	return nil
+}
+
+func (g *gen) ifStmt(s *ifStmt) error {
+	cond, err := g.exprAs(s.cond, typInt)
+	if err != nil {
+		return err
+	}
+	lEnd := g.label()
+	lElse := lEnd
+	if len(s.els) > 0 {
+		lElse = g.label()
+	}
+	g.emit("\tbeqz %s, %s", cond.reg, lElse)
+	g.freeTemp(cond.reg)
+	g.pushScope()
+	err = g.stmts(s.then)
+	g.popScope()
+	if err != nil {
+		return err
+	}
+	if len(s.els) > 0 {
+		g.emit("\tj %s", lEnd)
+		g.emit("%s:", lElse)
+		g.pushScope()
+		err = g.stmts(s.els)
+		g.popScope()
+		if err != nil {
+			return err
+		}
+	}
+	g.emit("%s:", lEnd)
+	return nil
+}
+
+func (g *gen) whileStmt(s *whileStmt) error {
+	lCond, lEnd := g.label(), g.label()
+	g.emit("%s:", lCond)
+	cond, err := g.exprAs(s.cond, typInt)
+	if err != nil {
+		return err
+	}
+	g.emit("\tbeqz %s, %s", cond.reg, lEnd)
+	g.freeTemp(cond.reg)
+	g.loops = append(g.loops, loopLabels{brk: lEnd, cont: lCond})
+	g.pushScope()
+	err = g.stmts(s.body)
+	g.popScope()
+	g.loops = g.loops[:len(g.loops)-1]
+	if err != nil {
+		return err
+	}
+	g.emit("\tj %s", lCond)
+	g.emit("%s:", lEnd)
+	return nil
+}
+
+func (g *gen) forStmt(s *forStmt) error {
+	// The init declaration lives in the loop's own scope.
+	g.pushScope()
+	defer g.popScope()
+	if s.init != nil {
+		if err := g.stmt(s.init); err != nil {
+			return err
+		}
+	}
+	lCond, lPost, lEnd := g.label(), g.label(), g.label()
+	g.emit("%s:", lCond)
+	if s.cond != nil {
+		cond, err := g.exprAs(s.cond, typInt)
+		if err != nil {
+			return err
+		}
+		g.emit("\tbeqz %s, %s", cond.reg, lEnd)
+		g.freeTemp(cond.reg)
+	}
+	g.loops = append(g.loops, loopLabels{brk: lEnd, cont: lPost})
+	g.pushScope()
+	err := g.stmts(s.body)
+	g.popScope()
+	g.loops = g.loops[:len(g.loops)-1]
+	if err != nil {
+		return err
+	}
+	g.emit("%s:", lPost)
+	if s.post != nil {
+		if err := g.stmt(s.post); err != nil {
+			return err
+		}
+	}
+	g.emit("\tj %s", lCond)
+	g.emit("%s:", lEnd)
+	return nil
+}
+
+// Expressions.
+
+// exprAs evaluates e and converts the result to the wanted type.
+func (g *gen) exprAs(e expr, want typ) (value, error) {
+	v, err := g.expr(e)
+	if err != nil {
+		return value{}, err
+	}
+	return g.convert(v, want, e.exprLine())
+}
+
+// convert coerces v to the wanted type, re-homing it into a fresh temp of
+// that class when the class changes.
+func (g *gen) convert(v value, want typ, line int) (value, error) {
+	if v.ty == want {
+		return v, nil
+	}
+	dst, err := g.allocTemp(want, line)
+	if err != nil {
+		return value{}, err
+	}
+	if want == typFloat {
+		g.emit("\titof %s, %s", dst, v.reg)
+	} else {
+		g.emit("\tftoi %s, %s", dst, v.reg)
+	}
+	g.freeTemp(v.reg)
+	// The freed temp and the new one are in different register classes, so
+	// the stack discipline stays consistent per class.
+	return value{reg: dst, ty: want}, nil
+}
+
+func (g *gen) expr(e expr) (value, error) {
+	switch e := e.(type) {
+	case *intLit:
+		reg, err := g.allocTemp(typInt, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tli %s, %d", reg, e.val)
+		return value{reg, typInt}, nil
+
+	case *floatLit:
+		// Materialise float constants through the data section.
+		name := g.floatConst(e.val)
+		reg, err := g.allocTemp(typFloat, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tla r1, %s", name)
+		g.emit("\tflw %s, 0(r1)", reg)
+		return value{reg, typFloat}, nil
+
+	case *varRef:
+		if l, ok := g.lookupLocal(e.name); ok {
+			reg, err := g.allocTemp(l.ty, e.line)
+			if err != nil {
+				return value{}, err
+			}
+			g.moveInto(reg, l.ty, value{g.localReg(e.name), l.ty})
+			return value{reg, l.ty}, nil
+		}
+		gl, ok := g.globals[e.name]
+		if !ok {
+			return value{}, errAt(e.line, "undefined variable %q", e.name)
+		}
+		if gl.size > 0 {
+			return value{}, errAt(e.line, "array %q needs an index", e.name)
+		}
+		reg, err := g.allocTemp(gl.ty, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		load := "lw"
+		if gl.ty == typFloat {
+			load = "flw"
+		}
+		g.emit("\tla r1, %s", e.name)
+		g.emit("\t%s %s, 0(r1)", load, reg)
+		return value{reg, gl.ty}, nil
+
+	case *indexExpr:
+		gl, ok := g.globals[e.name]
+		if !ok {
+			return value{}, errAt(e.line, "undefined array %q", e.name)
+		}
+		if gl.size == 0 {
+			return value{}, errAt(e.line, "%q is a scalar, not an array", e.name)
+		}
+		idx, err := g.exprAs(e.index, typInt)
+		if err != nil {
+			return value{}, err
+		}
+		reg, err := g.allocTemp(gl.ty, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		load := "lw"
+		if gl.ty == typFloat {
+			load = "flw"
+		}
+		g.emit("\tla r1, %s", e.name)
+		g.emit("\tadd r1, r1, %s", idx.reg)
+		g.emit("\t%s %s, 0(r1)", load, reg)
+		g.freeTemp(reg) // reorder frees so stack discipline holds
+		g.freeTemp(idx.reg)
+		reg2, _ := g.allocTemp(gl.ty, e.line)
+		if reg2 != reg {
+			g.moveInto(reg2, gl.ty, value{reg, gl.ty})
+		}
+		return value{reg2, gl.ty}, nil
+
+	case *unExpr:
+		return g.unary(e)
+
+	case *binExpr:
+		return g.binary(e)
+
+	case *callExpr:
+		return g.call(e)
+	}
+	return value{}, errAt(e.exprLine(), "unsupported expression")
+}
+
+func (g *gen) unary(e *unExpr) (value, error) {
+	v, err := g.expr(e.x)
+	if err != nil {
+		return value{}, err
+	}
+	switch e.op {
+	case "-":
+		if v.ty == typFloat {
+			g.emit("\tfneg %s, %s", v.reg, v.reg)
+		} else {
+			g.emit("\tneg %s, %s", v.reg, v.reg)
+		}
+		return v, nil
+	case "!":
+		if v.ty != typInt {
+			return value{}, errAt(e.line, "! needs an integer operand")
+		}
+		g.emit("\tseq %s, %s, r0", v.reg, v.reg)
+		return v, nil
+	}
+	return value{}, errAt(e.line, "unsupported unary operator %q", e.op)
+}
+
+func (g *gen) binary(e *binExpr) (value, error) {
+	l, err := g.expr(e.l)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := g.expr(e.r)
+	if err != nil {
+		return value{}, err
+	}
+
+	// Logical operators work on integer truth values.
+	if e.op == "&&" || e.op == "||" {
+		if l.ty != typInt || r.ty != typInt {
+			return value{}, errAt(e.line, "%s needs integer operands", e.op)
+		}
+		// Normalise to 0/1, then combine (no short-circuit: operands are
+		// side-effect free by construction).
+		g.emit("\tsne %s, %s, r0", l.reg, l.reg)
+		g.emit("\tsne %s, %s, r0", r.reg, r.reg)
+		if e.op == "&&" {
+			g.emit("\tand %s, %s, %s", l.reg, l.reg, r.reg)
+		} else {
+			g.emit("\tor %s, %s, %s", l.reg, l.reg, r.reg)
+		}
+		g.freeTemp(r.reg)
+		return l, nil
+	}
+
+	// Unify numeric types: float wins.
+	ty := typInt
+	if l.ty == typFloat || r.ty == typFloat {
+		ty = typFloat
+		if l, err = g.convert(l, typFloat, e.line); err != nil {
+			return value{}, err
+		}
+		if r, err = g.convert(r, typFloat, e.line); err != nil {
+			return value{}, err
+		}
+	}
+
+	if cmpOps[e.op] {
+		return g.compare(e, l, r, ty)
+	}
+
+	if ty == typFloat {
+		op := map[string]string{"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}[e.op]
+		if op == "" {
+			return value{}, errAt(e.line, "operator %q not defined for float", e.op)
+		}
+		g.emit("\t%s %s, %s, %s", op, l.reg, l.reg, r.reg)
+	} else {
+		op := map[string]string{"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem"}[e.op]
+		if op == "" {
+			return value{}, errAt(e.line, "unsupported operator %q", e.op)
+		}
+		g.emit("\t%s %s, %s, %s", op, l.reg, l.reg, r.reg)
+	}
+	g.freeTemp(r.reg)
+	return l, nil
+}
+
+// compare emits a comparison producing an integer 0/1.
+func (g *gen) compare(e *binExpr, l, r value, ty typ) (value, error) {
+	if ty == typInt {
+		switch e.op {
+		case "==":
+			g.emit("\tseq %s, %s, %s", l.reg, l.reg, r.reg)
+		case "!=":
+			g.emit("\tsne %s, %s, %s", l.reg, l.reg, r.reg)
+		case "<":
+			g.emit("\tslt %s, %s, %s", l.reg, l.reg, r.reg)
+		case ">":
+			g.emit("\tslt %s, %s, %s", l.reg, r.reg, l.reg)
+		case ">=":
+			g.emit("\tsge %s, %s, %s", l.reg, l.reg, r.reg)
+		case "<=":
+			g.emit("\tsge %s, %s, %s", l.reg, r.reg, l.reg)
+		}
+		g.freeTemp(r.reg)
+		return l, nil
+	}
+	out, err := g.allocTemp(typInt, e.line)
+	if err != nil {
+		return value{}, err
+	}
+	switch e.op {
+	case "==":
+		g.emit("\tfeq %s, %s, %s", out, l.reg, r.reg)
+	case "!=":
+		g.emit("\tfeq %s, %s, %s", out, l.reg, r.reg)
+		g.emit("\txori %s, %s, 1", out, out)
+	case "<":
+		g.emit("\tflt %s, %s, %s", out, l.reg, r.reg)
+	case ">":
+		g.emit("\tflt %s, %s, %s", out, r.reg, l.reg)
+	case "<=":
+		g.emit("\tfle %s, %s, %s", out, l.reg, r.reg)
+	case ">=":
+		g.emit("\tfle %s, %s, %s", out, r.reg, l.reg)
+	}
+	// Free the float operands and re-home the int result so the temp
+	// stacks stay balanced (out was allocated above the operands).
+	g.freeTemp(out)
+	g.freeTemp(r.reg)
+	g.freeTemp(l.reg)
+	res, _ := g.allocTemp(typInt, e.line)
+	if res != out {
+		g.emit("\tmov %s, %s", res, out)
+	}
+	return value{res, typInt}, nil
+}
+
+func (g *gen) call(e *callExpr) (value, error) {
+	switch e.name {
+	case "tid":
+		reg, err := g.allocTemp(typInt, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\ttid %s", reg)
+		return value{reg, typInt}, nil
+	case "nthreads":
+		reg, err := g.allocTemp(typInt, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tlw %s, __nthreads", reg)
+		return value{reg, typInt}, nil
+	case "sqrt":
+		v, err := g.exprAs(e.args[0], typFloat)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tfsqrt %s, %s", v.reg, v.reg)
+		return v, nil
+	case "abs":
+		v, err := g.exprAs(e.args[0], typFloat)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tfabs %s, %s", v.reg, v.reg)
+		return v, nil
+	case "float":
+		return g.exprAs(e.args[0], typFloat)
+	case "int":
+		return g.exprAs(e.args[0], typInt)
+	case "qrecv":
+		reg, err := g.allocTemp(typInt, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tmov %s, r26", reg)
+		return value{reg, typInt}, nil
+	case "qrecvf":
+		reg, err := g.allocTemp(typFloat, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tfmov %s, f26", reg)
+		return value{reg, typFloat}, nil
+	}
+	return value{}, errAt(e.line, "unknown function %q", e.name)
+}
+
+// floatConst interns a float literal in the data section.
+func (g *gen) floatConst(v float64) string {
+	for _, n := range g.forder {
+		if g.fconsts[n] == v {
+			return n
+		}
+	}
+	name := fmt.Sprintf("__fc%d", len(g.forder))
+	g.fconsts[name] = v
+	g.forder = append(g.forder, name)
+	return name
+}

@@ -1,0 +1,443 @@
+package minc
+
+import (
+	"fmt"
+	"math"
+)
+
+// evalState is a direct AST evaluator used as the compiler's reference
+// semantics: tests generate random programs, run the compiled code on the
+// ISA-level functional model, evaluate the AST here, and require identical
+// results. Only single-threaded programs are evaluable (fork/queue
+// intrinsics are rejected).
+type evalState struct {
+	globals map[string]*global
+	scalars map[string]float64 // raw value; type tracked separately
+	arrays  map[string][]uint64
+	locals  []map[string]evalVal
+	steps   int
+}
+
+type evalVal struct {
+	ty typ
+	i  int64
+	f  float64
+}
+
+func intVal(v int64) evalVal     { return evalVal{ty: typInt, i: v} }
+func floatVal(v float64) evalVal { return evalVal{ty: typFloat, f: v} }
+
+func (v evalVal) asFloat() float64 {
+	if v.ty == typFloat {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+func (v evalVal) asInt() int64 {
+	if v.ty == typFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// evalLimit bounds evaluation steps (runaway protection).
+const evalLimit = 2_000_000
+
+type breakSignal struct{}
+type continueSignal struct{}
+
+// evaluate runs a parsed file directly, returning the final global state:
+// scalar globals as raw 64-bit words and arrays as word slices.
+func evaluate(f *file) (map[string]uint64, map[string][]uint64, error) {
+	ev := &evalState{
+		globals: map[string]*global{},
+		scalars: map[string]float64{},
+		arrays:  map[string][]uint64{},
+		locals:  []map[string]evalVal{{}},
+	}
+	for _, g := range f.globals {
+		ev.globals[g.name] = g
+		if g.size > 0 {
+			ev.arrays[g.name] = make([]uint64, g.size)
+		} else if g.hasInit {
+			ev.scalars[g.name] = g.init
+		}
+	}
+	err := ev.runStmts(f.body)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[string]uint64{}
+	for name, g := range ev.globals {
+		if g.size > 0 {
+			continue
+		}
+		v := ev.scalars[name]
+		if g.ty == typFloat {
+			out[name] = math.Float64bits(v)
+		} else {
+			out[name] = uint64(int64(v))
+		}
+	}
+	return out, ev.arrays, nil
+}
+
+func (ev *evalState) step(line int) error {
+	ev.steps++
+	if ev.steps > evalLimit {
+		return errAt(line, "evaluation step limit exceeded")
+	}
+	return nil
+}
+
+func (ev *evalState) runStmts(list []stmt) error {
+	for _, s := range list {
+		if err := ev.runStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// control-flow signals travel as panics to keep the walker simple; they
+// are recovered at loop boundaries.
+func (ev *evalState) runStmt(s stmt) error {
+	if err := ev.step(s.stmtLine()); err != nil {
+		return err
+	}
+	switch s := s.(type) {
+	case *declStmt:
+		v, err := ev.eval(s.init)
+		if err != nil {
+			return err
+		}
+		ev.locals[len(ev.locals)-1][s.name] = coerce(v, s.ty)
+		return nil
+	case *assignStmt:
+		v, err := ev.eval(s.value)
+		if err != nil {
+			return err
+		}
+		return ev.assign(s, v)
+	case *ifStmt:
+		c, err := ev.eval(s.cond)
+		if err != nil {
+			return err
+		}
+		ev.push()
+		defer ev.pop()
+		if c.asInt() != 0 {
+			return ev.runStmts(s.then)
+		}
+		return ev.runStmts(s.els)
+	case *whileStmt:
+		for {
+			c, err := ev.eval(s.cond)
+			if err != nil {
+				return err
+			}
+			if c.asInt() == 0 {
+				return nil
+			}
+			stop, err := ev.runLoopBody(s.body)
+			if err != nil || stop {
+				return err
+			}
+		}
+	case *forStmt:
+		ev.push()
+		defer ev.pop()
+		if s.init != nil {
+			if err := ev.runStmt(s.init); err != nil {
+				return err
+			}
+		}
+		for {
+			if s.cond != nil {
+				c, err := ev.eval(s.cond)
+				if err != nil {
+					return err
+				}
+				if c.asInt() == 0 {
+					return nil
+				}
+			}
+			stop, err := ev.runLoopBody(s.body)
+			if err != nil || stop {
+				return err
+			}
+			if s.post != nil {
+				if err := ev.runStmt(s.post); err != nil {
+					return err
+				}
+			}
+		}
+	case *breakStmt:
+		panic(breakSignal{})
+	case *continueStmt:
+		panic(continueSignal{})
+	case *callStmt:
+		if s.name == "halt" {
+			return nil // single-threaded: evaluation simply ends at body end
+		}
+		return errAt(s.line, "intrinsic %s is not evaluable (multithreaded)", s.name)
+	}
+	return errAt(s.stmtLine(), "unsupported statement in evaluator")
+}
+
+// runLoopBody executes a loop body, converting break/continue signals.
+func (ev *evalState) runLoopBody(body []stmt) (stop bool, err error) {
+	defer func() {
+		switch r := recover(); r.(type) {
+		case nil:
+		case breakSignal:
+			stop = true
+		case continueSignal:
+		default:
+			panic(r)
+		}
+	}()
+	ev.push()
+	defer ev.pop()
+	err = ev.runStmts(body)
+	return
+}
+
+func (ev *evalState) push() { ev.locals = append(ev.locals, map[string]evalVal{}) }
+func (ev *evalState) pop()  { ev.locals = ev.locals[:len(ev.locals)-1] }
+
+func (ev *evalState) lookup(name string) (evalVal, bool) {
+	for i := len(ev.locals) - 1; i >= 0; i-- {
+		if v, ok := ev.locals[i][name]; ok {
+			return v, true
+		}
+	}
+	return evalVal{}, false
+}
+
+func (ev *evalState) setLocal(name string, v evalVal) bool {
+	for i := len(ev.locals) - 1; i >= 0; i-- {
+		if old, ok := ev.locals[i][name]; ok {
+			ev.locals[i][name] = coerce(v, old.ty)
+			return true
+		}
+	}
+	return false
+}
+
+func coerce(v evalVal, ty typ) evalVal {
+	if ty == typFloat {
+		return floatVal(v.asFloat())
+	}
+	return intVal(v.asInt())
+}
+
+func (ev *evalState) assign(s *assignStmt, v evalVal) error {
+	if s.index == nil {
+		if ev.setLocal(s.name, v) {
+			return nil
+		}
+		g, ok := ev.globals[s.name]
+		if !ok || g.size > 0 {
+			return errAt(s.line, "bad scalar assignment to %q", s.name)
+		}
+		if g.ty == typFloat {
+			ev.scalars[s.name] = v.asFloat()
+		} else {
+			ev.scalars[s.name] = float64(v.asInt())
+		}
+		return nil
+	}
+	g, ok := ev.globals[s.name]
+	if !ok || g.size == 0 {
+		return errAt(s.line, "bad array assignment to %q", s.name)
+	}
+	idx, err := ev.eval(s.index)
+	if err != nil {
+		return err
+	}
+	i := idx.asInt()
+	if i < 0 || i >= int64(g.size) {
+		return errAt(s.line, "index %d out of range for %q[%d]", i, s.name, g.size)
+	}
+	if g.ty == typFloat {
+		ev.arrays[s.name][i] = math.Float64bits(v.asFloat())
+	} else {
+		ev.arrays[s.name][i] = uint64(v.asInt())
+	}
+	return nil
+}
+
+func (ev *evalState) eval(e expr) (evalVal, error) {
+	if err := ev.step(e.exprLine()); err != nil {
+		return evalVal{}, err
+	}
+	switch e := e.(type) {
+	case *intLit:
+		return intVal(e.val), nil
+	case *floatLit:
+		return floatVal(e.val), nil
+	case *varRef:
+		if v, ok := ev.lookup(e.name); ok {
+			return v, nil
+		}
+		g, ok := ev.globals[e.name]
+		if !ok || g.size > 0 {
+			return evalVal{}, errAt(e.line, "bad variable %q", e.name)
+		}
+		if g.ty == typFloat {
+			return floatVal(ev.scalars[e.name]), nil
+		}
+		return intVal(int64(ev.scalars[e.name])), nil
+	case *indexExpr:
+		g, ok := ev.globals[e.name]
+		if !ok || g.size == 0 {
+			return evalVal{}, errAt(e.line, "bad array %q", e.name)
+		}
+		idx, err := ev.eval(e.index)
+		if err != nil {
+			return evalVal{}, err
+		}
+		i := idx.asInt()
+		if i < 0 || i >= int64(g.size) {
+			return evalVal{}, errAt(e.line, "index %d out of range for %q[%d]", i, e.name, g.size)
+		}
+		w := ev.arrays[e.name][i]
+		if g.ty == typFloat {
+			return floatVal(math.Float64frombits(w)), nil
+		}
+		return intVal(int64(w)), nil
+	case *unExpr:
+		v, err := ev.eval(e.x)
+		if err != nil {
+			return evalVal{}, err
+		}
+		switch e.op {
+		case "-":
+			if v.ty == typFloat {
+				return floatVal(-v.f), nil
+			}
+			return intVal(-v.i), nil
+		case "!":
+			return intVal(b2i(v.asInt() == 0)), nil
+		}
+	case *binExpr:
+		return ev.evalBin(e)
+	case *callExpr:
+		switch e.name {
+		case "tid":
+			return intVal(0), nil
+		case "nthreads":
+			return intVal(1), nil
+		case "sqrt":
+			v, err := ev.eval(e.args[0])
+			if err != nil {
+				return evalVal{}, err
+			}
+			return floatVal(math.Sqrt(v.asFloat())), nil
+		case "abs":
+			v, err := ev.eval(e.args[0])
+			if err != nil {
+				return evalVal{}, err
+			}
+			return floatVal(math.Abs(v.asFloat())), nil
+		case "float":
+			v, err := ev.eval(e.args[0])
+			if err != nil {
+				return evalVal{}, err
+			}
+			return floatVal(v.asFloat()), nil
+		case "int":
+			v, err := ev.eval(e.args[0])
+			if err != nil {
+				return evalVal{}, err
+			}
+			return intVal(v.asInt()), nil
+		}
+		return evalVal{}, errAt(e.line, "intrinsic %s is not evaluable", e.name)
+	}
+	return evalVal{}, errAt(e.exprLine(), "unsupported expression in evaluator")
+}
+
+func (ev *evalState) evalBin(e *binExpr) (evalVal, error) {
+	l, err := ev.eval(e.l)
+	if err != nil {
+		return evalVal{}, err
+	}
+	r, err := ev.eval(e.r)
+	if err != nil {
+		return evalVal{}, err
+	}
+	if e.op == "&&" {
+		return intVal(b2i(l.asInt() != 0 && r.asInt() != 0)), nil
+	}
+	if e.op == "||" {
+		return intVal(b2i(l.asInt() != 0 || r.asInt() != 0)), nil
+	}
+	if l.ty == typFloat || r.ty == typFloat {
+		a, b := l.asFloat(), r.asFloat()
+		switch e.op {
+		case "+":
+			return floatVal(a + b), nil
+		case "-":
+			return floatVal(a - b), nil
+		case "*":
+			return floatVal(a * b), nil
+		case "/":
+			return floatVal(a / b), nil
+		case "==":
+			return intVal(b2i(a == b)), nil
+		case "!=":
+			return intVal(b2i(a != b)), nil
+		case "<":
+			return intVal(b2i(a < b)), nil
+		case "<=":
+			return intVal(b2i(a <= b)), nil
+		case ">":
+			return intVal(b2i(a > b)), nil
+		case ">=":
+			return intVal(b2i(a >= b)), nil
+		}
+		return evalVal{}, errAt(e.line, "operator %q not defined for float", e.op)
+	}
+	a, b := l.i, r.i
+	switch e.op {
+	case "+":
+		return intVal(a + b), nil
+	case "-":
+		return intVal(a - b), nil
+	case "*":
+		return intVal(a * b), nil
+	case "/":
+		if b == 0 {
+			return evalVal{}, fmt.Errorf("minc: line %d: division by zero", e.line)
+		}
+		return intVal(a / b), nil
+	case "%":
+		if b == 0 {
+			return evalVal{}, fmt.Errorf("minc: line %d: remainder by zero", e.line)
+		}
+		return intVal(a % b), nil
+	case "==":
+		return intVal(b2i(a == b)), nil
+	case "!=":
+		return intVal(b2i(a != b)), nil
+	case "<":
+		return intVal(b2i(a < b)), nil
+	case "<=":
+		return intVal(b2i(a <= b)), nil
+	case ">":
+		return intVal(b2i(a > b)), nil
+	case ">=":
+		return intVal(b2i(a >= b)), nil
+	}
+	return evalVal{}, errAt(e.line, "unsupported operator %q", e.op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,279 @@
+package minc
+
+// Differential testing of the compiler: random single-threaded MinC
+// programs are compiled and run on the ISA-level functional model, and
+// independently evaluated directly on the AST. The two executions must
+// leave identical global state, bit for bit.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hirata/internal/exec"
+)
+
+// progGen builds random, always-terminating MinC programs.
+type progGen struct {
+	rng *rand.Rand
+	b   strings.Builder
+	// in-scope integer locals usable in expressions (loop counters and
+	// declared scalars); float locals tracked separately. Loop counters
+	// are readable but never assignment targets (loops must terminate).
+	intVars    []string
+	assignable []string
+	floatVars  []string
+	nextVar    int
+	stmtsLeft  int
+}
+
+const arrLen = 8
+
+func (g *progGen) gen() string {
+	g.b.WriteString("global int iout[8];\n")
+	g.b.WriteString("global float fout[8];\n")
+	g.b.WriteString("global int gs = 3;\n")
+	g.b.WriteString("global float gf = 1.25;\n")
+	g.b.WriteString("func main() {\n")
+	g.stmtsLeft = 24 + g.rng.Intn(24)
+	g.block(1)
+	g.b.WriteString("}\n")
+	return g.b.String()
+}
+
+func (g *progGen) indent(level int) {
+	for i := 0; i < level; i++ {
+		g.b.WriteByte('\t')
+	}
+}
+
+func (g *progGen) block(level int) {
+	n := 1 + g.rng.Intn(5)
+	savedInt, savedAssign, savedFloat := len(g.intVars), len(g.assignable), len(g.floatVars)
+	for i := 0; i < n && g.stmtsLeft > 0; i++ {
+		g.stmtsLeft--
+		g.stmt(level)
+	}
+	g.intVars = g.intVars[:savedInt]
+	g.assignable = g.assignable[:savedAssign]
+	g.floatVars = g.floatVars[:savedFloat]
+}
+
+func (g *progGen) stmt(level int) {
+	if level > 3 {
+		g.assignStmt(level)
+		return
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		// new local
+		name := fmt.Sprintf("v%d", g.nextVar)
+		g.nextVar++
+		if g.rng.Intn(2) == 0 {
+			g.indent(level)
+			fmt.Fprintf(&g.b, "int %s = %s;\n", name, g.intExpr(0))
+			g.intVars = append(g.intVars, name)
+			g.assignable = append(g.assignable, name)
+		} else {
+			g.indent(level)
+			fmt.Fprintf(&g.b, "float %s = %s;\n", name, g.floatExpr(0))
+			g.floatVars = append(g.floatVars, name)
+		}
+	case 2:
+		// if/else
+		g.indent(level)
+		fmt.Fprintf(&g.b, "if (%s) {\n", g.intExpr(0))
+		g.block(level + 1)
+		g.indent(level)
+		if g.rng.Intn(2) == 0 {
+			g.b.WriteString("} else {\n")
+			g.block(level + 1)
+			g.indent(level)
+		}
+		g.b.WriteString("}\n")
+	case 3:
+		// bounded for loop
+		name := fmt.Sprintf("v%d", g.nextVar)
+		g.nextVar++
+		bound := 2 + g.rng.Intn(5)
+		g.indent(level)
+		fmt.Fprintf(&g.b, "for (int %s = 0; %s < %d; %s = %s + 1) {\n", name, name, bound, name, name)
+		g.intVars = append(g.intVars, name)
+		g.block(level + 1)
+		g.intVars = g.intVars[:len(g.intVars)-1]
+		g.indent(level)
+		g.b.WriteString("}\n")
+	case 4:
+		// bounded while loop with a protected countdown variable
+		name := fmt.Sprintf("v%d", g.nextVar)
+		g.nextVar++
+		bound := 2 + g.rng.Intn(4)
+		g.indent(level)
+		fmt.Fprintf(&g.b, "int %s = %d;\n", name, bound)
+		g.indent(level)
+		fmt.Fprintf(&g.b, "while (%s > 0) {\n", name)
+		g.intVars = append(g.intVars, name)
+		g.block(level + 1)
+		g.indent(level + 1)
+		fmt.Fprintf(&g.b, "%s = %s - 1;\n", name, name)
+		g.intVars = g.intVars[:len(g.intVars)-1]
+		g.indent(level)
+		g.b.WriteString("}\n")
+	default:
+		g.assignStmt(level)
+	}
+}
+
+func (g *progGen) assignStmt(level int) {
+	g.indent(level)
+	switch g.rng.Intn(5) {
+	case 0:
+		fmt.Fprintf(&g.b, "iout[%s] = %s;\n", g.indexExpr(), g.intExpr(0))
+	case 1:
+		fmt.Fprintf(&g.b, "fout[%s] = %s;\n", g.indexExpr(), g.floatExpr(0))
+	case 2:
+		fmt.Fprintf(&g.b, "gs = %s;\n", g.intExpr(0))
+	case 3:
+		fmt.Fprintf(&g.b, "gf = %s;\n", g.floatExpr(0))
+	default:
+		if len(g.assignable) > 0 && g.rng.Intn(2) == 0 {
+			v := g.assignable[g.rng.Intn(len(g.assignable))]
+			fmt.Fprintf(&g.b, "%s = %s;\n", v, g.intExpr(0))
+		} else if len(g.floatVars) > 0 {
+			v := g.floatVars[g.rng.Intn(len(g.floatVars))]
+			fmt.Fprintf(&g.b, "%s = %s;\n", v, g.floatExpr(0))
+		} else {
+			fmt.Fprintf(&g.b, "gs = %s;\n", g.intExpr(0))
+		}
+	}
+}
+
+// indexExpr yields an always-in-range array index.
+func (g *progGen) indexExpr() string {
+	return fmt.Sprintf("((%s) %% %d + %d) %% %d", g.intExpr(1), arrLen, arrLen, arrLen)
+}
+
+func (g *progGen) intExpr(depth int) string {
+	if depth > 2 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(200)-100)
+		case 1:
+			if len(g.intVars) > 0 {
+				return g.intVars[g.rng.Intn(len(g.intVars))]
+			}
+			return "gs"
+		case 2:
+			return "gs"
+		default:
+			return fmt.Sprintf("iout[%d]", g.rng.Intn(arrLen))
+		}
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 3:
+		// nonzero constant divisor keeps both semantics defined
+		return fmt.Sprintf("(%s / %d)", g.intExpr(depth+1), 1+g.rng.Intn(9))
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", g.intExpr(depth+1), 1+g.rng.Intn(9))
+	case 5:
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(depth+1), g.cmpOp(), g.intExpr(depth+1))
+	case 6:
+		return fmt.Sprintf("(%s %s %s)", g.floatExpr(depth+1), g.cmpOp(), g.floatExpr(depth+1))
+	default:
+		return fmt.Sprintf("int(%s)", g.floatExpr(depth+1))
+	}
+}
+
+func (g *progGen) cmpOp() string {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+func (g *progGen) floatExpr(depth int) string {
+	if depth > 2 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%.3f", g.rng.Float64()*8-4)
+		case 1:
+			if len(g.floatVars) > 0 {
+				return g.floatVars[g.rng.Intn(len(g.floatVars))]
+			}
+			return "gf"
+		case 2:
+			return "gf"
+		default:
+			return fmt.Sprintf("fout[%d]", g.rng.Intn(arrLen))
+		}
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.floatExpr(depth+1), g.floatExpr(depth+1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.floatExpr(depth+1), g.floatExpr(depth+1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.floatExpr(depth+1), g.floatExpr(depth+1))
+	case 3:
+		return fmt.Sprintf("(%s / %.3f)", g.floatExpr(depth+1), 0.5+g.rng.Float64()*4)
+	case 4:
+		return fmt.Sprintf("sqrt(abs(%s))", g.floatExpr(depth+1))
+	default:
+		return fmt.Sprintf("float(%s)", g.intExpr(depth+1))
+	}
+}
+
+// TestCompilerDifferential is the headline compiler-correctness property.
+func TestCompilerDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < 120; trial++ {
+		g := &progGen{rng: rng}
+		src := g.gen()
+
+		wantScalars, wantArrays, err := EvaluateReference(src)
+		if err != nil {
+			t.Fatalf("trial %d: reference evaluation: %v\n%s", trial, err, src)
+		}
+
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		m, err := prog.NewMemory(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetThreads(prog, m, 1)
+		ip := exec.NewInterp(prog.Text, m)
+		if err := ip.Run(); err != nil {
+			t.Fatalf("trial %d: machine run: %v\n%s", trial, err, src)
+		}
+
+		for name, want := range wantScalars {
+			got, err := m.Load(prog.MustSymbol(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: global %s = %#x, reference %#x\n%s", trial, name, got, want, src)
+			}
+		}
+		for name, want := range wantArrays {
+			base := prog.MustSymbol(name)
+			for i, w := range want {
+				got, err := m.Load(base + int64(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != w {
+					t.Fatalf("trial %d: %s[%d] = %#x, reference %#x\n%s", trial, name, i, got, w, src)
+				}
+			}
+		}
+	}
+}

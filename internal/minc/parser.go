@@ -1,0 +1,559 @@
+package minc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(toks []token) (*file, error) {
+	p := &parser{toks: toks}
+	f := &file{}
+	sawMain := false
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokIdent, "global"):
+			g, err := p.global()
+			if err != nil {
+				return nil, err
+			}
+			f.globals = append(f.globals, g)
+		case p.at(tokIdent, "func"):
+			if sawMain {
+				return nil, p.errf("only one function (main) is supported")
+			}
+			body, err := p.mainFunc()
+			if err != nil {
+				return nil, err
+			}
+			f.body = body
+			sawMain = true
+		default:
+			return nil, p.errf("expected 'global' or 'func', got %s", p.cur())
+		}
+	}
+	if !sawMain {
+		return nil, fmt.Errorf("minc: no func main")
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) line() int  { return p.cur().line }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().text == text && p.cur().kind != tokEOF {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, got %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("minc: line %d: %s", p.line(), fmt.Sprintf(format, args...))
+}
+
+// global := "global" type IDENT ("[" INT "]")? ("=" number)? ";"
+func (p *parser) global() (*global, error) {
+	line := p.line()
+	p.advance() // global
+	ty, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	g := &global{name: name, ty: ty, line: line}
+	if p.accept("[") {
+		if p.cur().kind != tokInt {
+			return nil, p.errf("array size must be an integer literal")
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil || n <= 0 {
+			return nil, p.errf("bad array size %q", p.cur().text)
+		}
+		g.size = n
+		p.advance()
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		if g.size > 0 {
+			return nil, p.errf("array globals cannot have initialisers")
+		}
+		neg := p.accept("-")
+		t := p.cur()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || (t.kind != tokInt && t.kind != tokFloat) {
+			return nil, p.errf("bad initialiser %s", t)
+		}
+		p.advance()
+		if neg {
+			v = -v
+		}
+		g.init, g.hasInit = v, true
+	}
+	return g, p.expect(";")
+}
+
+// mainFunc := "func" "main" "(" ")" block
+func (p *parser) mainFunc() ([]stmt, error) {
+	p.advance() // func
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if name != "main" {
+		return nil, p.errf("only func main is supported, got %q", name)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return p.block()
+}
+
+func (p *parser) typeName() (typ, error) {
+	switch {
+	case p.accept("int"):
+		return typInt, nil
+	case p.accept("float"):
+		return typFloat, nil
+	}
+	return 0, p.errf("expected a type (int or float), got %s", p.cur())
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected an identifier, got %s", t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+// block := "{" stmt* "}"
+func (p *parser) block() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept("}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// intrinsic statements callable as bare statements; qsend/qsendf take one
+// argument, the others none.
+var stmtIntrinsics = map[string]int{
+	"fork": 0, "chgpri": 0, "kill": 0, "halt": 0,
+	"qmap": 0, "qmapf": 0, "qunmap": 0,
+	"qsend": 1, "qsendf": 1,
+}
+
+func (p *parser) stmt() (stmt, error) {
+	line := p.line()
+	switch {
+	case p.at(tokIdent, "int") || p.at(tokIdent, "float"):
+		s, err := p.declNoSemi()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	case p.at(tokIdent, "if"):
+		return p.ifStmt()
+	case p.at(tokIdent, "while"):
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: line}, nil
+	case p.at(tokIdent, "for"):
+		return p.forStmt()
+	case p.at(tokIdent, "break"):
+		p.advance()
+		return &breakStmt{line: line}, p.expect(";")
+	case p.at(tokIdent, "continue"):
+		p.advance()
+		return &continueStmt{line: line}, p.expect(";")
+	case p.cur().kind == tokIdent && isStmtIntrinsic(p.cur().text):
+		name := p.cur().text
+		arity := stmtIntrinsics[name]
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &callStmt{name: name, line: line}
+		if arity == 1 {
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.arg = arg
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return st, p.expect(";")
+	case p.cur().kind == tokIdent:
+		s, err := p.assignNoSemi()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+	return nil, p.errf("expected a statement, got %s", p.cur())
+}
+
+// declNoSemi := type IDENT "=" expr
+func (p *parser) declNoSemi() (stmt, error) {
+	line := p.line()
+	ty, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	init, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &declStmt{name: name, ty: ty, init: init, line: line}, nil
+}
+
+// assignNoSemi := IDENT ("[" expr "]")? "=" expr
+func (p *parser) assignNoSemi() (stmt, error) {
+	line := p.line()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var index expr
+	if p.accept("[") {
+		if index, err = p.expr(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	value, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &assignStmt{name: name, index: index, value: value, line: line}, nil
+}
+
+func (p *parser) ifStmt() (stmt, error) {
+	line := p.line()
+	p.advance() // if
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []stmt
+	if p.accept("else") {
+		if p.at(tokIdent, "if") {
+			s, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			els = []stmt{s}
+		} else if els, err = p.block(); err != nil {
+			return nil, err
+		}
+	}
+	return &ifStmt{cond: cond, then: then, els: els, line: line}, nil
+}
+
+func (p *parser) forStmt() (stmt, error) {
+	line := p.line()
+	p.advance() // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &forStmt{line: line}
+	var err error
+	if !p.accept(";") {
+		if p.at(tokIdent, "int") || p.at(tokIdent, "float") {
+			st.init, err = p.declNoSemi()
+		} else {
+			st.init, err = p.assignNoSemi()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(";") {
+		if st.cond, err = p.expr(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.at(tokPunct, ")") {
+		if st.post, err = p.assignNoSemi(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if st.body, err = p.block(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Expression grammar, lowest precedence first:
+//   or   := and ("||" and)*
+//   and  := cmp ("&&" cmp)*
+//   cmp  := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//   add  := mul (("+"|"-") mul)*
+//   mul  := unary (("*"|"/"|"%") unary)*
+//   unary := ("-"|"!") unary | primary
+//   primary := literal | call | IDENT ("[" expr "]")? | "(" expr ")"
+
+func (p *parser) expr() (expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "||") {
+		line := p.line()
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "||", l: l, r: r, line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "&&") {
+		line := p.line()
+		p.advance()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "&&", l: l, r: r, line: line}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) cmpExpr() (expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokPunct && cmpOps[p.cur().text] {
+		op := p.cur().text
+		line := p.line()
+		p.advance()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &binExpr{op: op, l: l, r: r, line: line}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "+") || p.at(tokPunct, "-") {
+		op := p.cur().text
+		line := p.line()
+		p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: op, l: l, r: r, line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "*") || p.at(tokPunct, "/") || p.at(tokPunct, "%") {
+		op := p.cur().text
+		line := p.line()
+		p.advance()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: op, l: l, r: r, line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	if p.at(tokPunct, "-") || p.at(tokPunct, "!") {
+		op := p.cur().text
+		line := p.line()
+		p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &unExpr{op: op, x: x, line: line}, nil
+	}
+	return p.primary()
+}
+
+func isStmtIntrinsic(name string) bool {
+	_, ok := stmtIntrinsics[name]
+	return ok
+}
+
+// intrinsic expressions and their arities
+var exprIntrinsics = map[string]int{
+	"tid": 0, "nthreads": 0, "sqrt": 1, "abs": 1, "float": 1, "int": 1,
+	"qrecv": 0, "qrecvf": 0,
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	line := t.line
+	switch {
+	case t.kind == tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", t.text)
+		}
+		p.advance()
+		return &intLit{val: v, line: line}, nil
+	case t.kind == tokFloat:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q", t.text)
+		}
+		p.advance()
+		return &floatLit{val: v, line: line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tokIdent:
+		name := t.text
+		p.advance()
+		if arity, ok := exprIntrinsics[name]; ok && p.at(tokPunct, "(") {
+			p.advance()
+			var args []expr
+			for !p.accept(")") {
+				if len(args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			if len(args) != arity {
+				return nil, p.errf("%s takes %d argument(s), got %d", name, arity, len(args))
+			}
+			return &callExpr{name: name, args: args, line: line}, nil
+		}
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: name, index: idx, line: line}, nil
+		}
+		return &varRef{name: name, line: line}, nil
+	}
+	return nil, p.errf("expected an expression, got %s", t)
+}

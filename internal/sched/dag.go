@@ -1,0 +1,158 @@
+// Package sched implements the paper's static code scheduling techniques
+// for loop bodies (§2.3.2):
+//
+//   - Strategy A: plain list scheduling by critical-path priority. It
+//     reorders a basic block to shorten one thread's processing time,
+//     ignoring resource conflicts — the right choice when the control
+//     sequence is unpredictable (the paper's computer-graphics case).
+//   - Strategy B: list scheduling extended with a resource reservation
+//     table and a standby table. When every dependence-free instruction at
+//     an issuing cycle has a resource conflict, a software pipeliner would
+//     emit a NOP; strategy B instead issues an instruction into a free
+//     standby station (marking the standby table) and uses the reservation
+//     table to know when it will actually execute.
+//
+// Schedulers take a branch-free basic block and return a semantics-
+// preserving permutation of it: every reordering respects the dependence
+// DAG, which tests verify by differential execution.
+package sched
+
+import (
+	"fmt"
+
+	"hirata/internal/isa"
+)
+
+// node is one instruction in the dependence DAG.
+type node struct {
+	idx      int // position in the original block
+	ins      isa.Instruction
+	succs    []edge
+	npreds   int
+	priority int // critical-path length to any sink
+}
+
+// edge is a dependence with a minimum decode-to-decode distance.
+type edge struct {
+	to  int
+	lat int
+}
+
+// buildDAG constructs the dependence DAG of a basic block.
+//
+// Dependences: RAW (latency = producer result latency + 1, the machine's
+// dependent-decode distance), WAR and WAW (latency 1, ordering only), and
+// conservative memory ordering (stores are barriers against all other
+// memory operations; loads may reorder among themselves).
+func buildDAG(block []isa.Instruction) ([]*node, error) {
+	nodes := make([]*node, len(block))
+	for i, in := range block {
+		if in.Op.IsBranch() || in.Op.Unit() == isa.UnitNone && in.Op != isa.NOP {
+			return nil, fmt.Errorf("sched: instruction %d (%s) is control flow; schedule basic blocks only", i, in.Op)
+		}
+		nodes[i] = &node{idx: i, ins: in}
+	}
+	addEdge := func(from, to, lat int) {
+		for _, e := range nodes[from].succs {
+			if e.to == to {
+				if lat > e.lat {
+					// keep the max latency for duplicate edges
+					for k := range nodes[from].succs {
+						if nodes[from].succs[k].to == to && nodes[from].succs[k].lat < lat {
+							nodes[from].succs[k].lat = lat
+						}
+					}
+				}
+				return
+			}
+		}
+		nodes[from].succs = append(nodes[from].succs, edge{to: to, lat: lat})
+		nodes[to].npreds++
+	}
+
+	lastWrite := map[isa.Reg]int{}
+	lastReads := map[isa.Reg][]int{}
+	var priorLoads, priorStores []int // all earlier memory operations
+
+	// Memory disambiguation: two accesses provably refer to different
+	// words when they use the same base register with the same value
+	// (no intervening redefinition) and different displacements; such
+	// pairs need no ordering edge.
+	baseVersion := map[isa.Reg]int{}
+	type memRef struct {
+		base    isa.Reg
+		version int
+		imm     int32
+	}
+	refs := make([]memRef, len(block))
+	disjoint := func(a, b int) bool {
+		ra, rb := refs[a], refs[b]
+		return ra.base == rb.base && ra.version == rb.version && ra.imm != rb.imm
+	}
+
+	var srcs []isa.Reg
+	for i, in := range block {
+		srcs = srcs[:0]
+		srcs = in.Sources(srcs)
+		for _, r := range srcs {
+			if !r.Valid() || (r.IsInt() && r.Index() == 0) {
+				continue
+			}
+			if w, ok := lastWrite[r]; ok {
+				addEdge(w, i, block[w].Op.ResultLatency()+1) // RAW
+			}
+			lastReads[r] = append(lastReads[r], i)
+		}
+		if d := in.Dest(); d.Valid() && !(d.IsInt() && d.Index() == 0) {
+			if w, ok := lastWrite[d]; ok {
+				addEdge(w, i, 1) // WAW
+			}
+			for _, rd := range lastReads[d] {
+				if rd != i {
+					addEdge(rd, i, 1) // WAR
+				}
+			}
+			lastWrite[d] = i
+			delete(lastReads, d)
+			baseVersion[d]++
+		}
+		if in.Op.IsMem() {
+			refs[i] = memRef{base: in.Rs1, version: baseVersion[in.Rs1], imm: in.Imm}
+			if in.Op.IsStore() {
+				// A store orders against every earlier access it may alias.
+				for _, m := range priorLoads {
+					if !disjoint(m, i) {
+						addEdge(m, i, 1)
+					}
+				}
+				for _, m := range priorStores {
+					if !disjoint(m, i) {
+						addEdge(m, i, 1)
+					}
+				}
+				priorStores = append(priorStores, i)
+			} else {
+				// A load orders against earlier possibly-aliasing stores.
+				for _, s := range priorStores {
+					if !disjoint(s, i) {
+						addEdge(s, i, 1)
+					}
+				}
+				priorLoads = append(priorLoads, i)
+			}
+		}
+	}
+
+	// Critical-path priorities, computed in reverse topological order
+	// (original order is topological since edges point forward).
+	for i := len(nodes) - 1; i >= 0; i-- {
+		best := 0
+		for _, e := range nodes[i].succs {
+			if v := nodes[e.to].priority + e.lat; v > best {
+				best = v
+			}
+		}
+		nodes[i].priority = best
+	}
+	return nodes, nil
+}

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"testing"
+
+	"hirata/internal/isa"
+)
+
+// TestMemoryDisambiguation: accesses off the same unmodified base with
+// different displacements carry no ordering edges, so a critical-path load
+// can hoist above an independent store.
+func TestMemoryDisambiguation(t *testing.T) {
+	block := []isa.Instruction{
+		{Op: isa.SW, Rs1: isa.R1, Rs2: isa.R2, Rd: isa.NoReg, Imm: 4},
+		{Op: isa.LW, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.NoReg, Imm: 5},
+		{Op: isa.MUL, Rd: isa.R4, Rs1: isa.R3, Rs2: isa.R3},
+		{Op: isa.ADD, Rd: isa.R5, Rs1: isa.R4, Rs2: isa.R4},
+	}
+	out, err := Schedule(block, StrategyA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Op != isa.LW {
+		t.Errorf("load not hoisted above the disjoint store: first = %v", out[0])
+	}
+}
+
+// TestMemoryAliasKeepsOrder: same displacement -> must stay ordered.
+func TestMemoryAliasKeepsOrder(t *testing.T) {
+	block := []isa.Instruction{
+		{Op: isa.SW, Rs1: isa.R1, Rs2: isa.R2, Rd: isa.NoReg, Imm: 4},
+		{Op: isa.LW, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.NoReg, Imm: 4},
+		{Op: isa.MUL, Rd: isa.R4, Rs1: isa.R3, Rs2: isa.R3},
+	}
+	out, err := Schedule(block, StrategyA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swPos, lwPos := -1, -1
+	for i, in := range out {
+		switch in.Op {
+		case isa.SW:
+			swPos = i
+		case isa.LW:
+			lwPos = i
+		}
+	}
+	if swPos > lwPos {
+		t.Errorf("aliasing load hoisted above store: sw at %d, lw at %d", swPos, lwPos)
+	}
+}
+
+// TestBaseRedefinitionBlocksDisambiguation: rewriting the base register
+// between two accesses forbids treating them as disjoint.
+func TestBaseRedefinitionBlocksDisambiguation(t *testing.T) {
+	block := []isa.Instruction{
+		{Op: isa.SW, Rs1: isa.R1, Rs2: isa.R2, Rd: isa.NoReg, Imm: 4},
+		{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R1, Rs2: isa.NoReg, Imm: 1},
+		{Op: isa.LW, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.NoReg, Imm: 3}, // may alias old R1+4
+		{Op: isa.MUL, Rd: isa.R4, Rs1: isa.R3, Rs2: isa.R3},
+	}
+	out, err := Schedule(block, StrategyA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swPos, lwPos := -1, -1
+	for i, in := range out {
+		switch in.Op {
+		case isa.SW:
+			swPos = i
+		case isa.LW:
+			lwPos = i
+		}
+	}
+	if swPos > lwPos {
+		t.Errorf("load with redefined base hoisted above store: sw %d, lw %d", swPos, lwPos)
+	}
+	// The WAR/RAW chain through r1 would also keep the order; make the
+	// intent explicit by checking the store-load pair directly as above.
+}
+
+// TestStoreStoreDisjointReorder: two stores to provably different words
+// may reorder (the higher-priority one first).
+func TestStoreStoreDisjoint(t *testing.T) {
+	block := []isa.Instruction{
+		{Op: isa.SW, Rs1: isa.R1, Rs2: isa.R2, Rd: isa.NoReg, Imm: 0},
+		{Op: isa.SW, Rs1: isa.R1, Rs2: isa.R3, Rd: isa.NoReg, Imm: 1},
+	}
+	nodes, err := buildDAG(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes[0].succs) != 0 {
+		t.Errorf("disjoint stores carry ordering edges: %v", nodes[0].succs)
+	}
+
+	alias := []isa.Instruction{
+		{Op: isa.SW, Rs1: isa.R1, Rs2: isa.R2, Rd: isa.NoReg, Imm: 0},
+		{Op: isa.SW, Rs1: isa.R1, Rs2: isa.R3, Rd: isa.NoReg, Imm: 0},
+	}
+	nodes, err = buildDAG(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes[0].succs) == 0 {
+		t.Error("aliasing stores lost their ordering edge")
+	}
+}

@@ -1,0 +1,277 @@
+package sched
+
+import (
+	"sort"
+
+	"hirata/internal/isa"
+)
+
+// Strategy selects a scheduling algorithm.
+type Strategy uint8
+
+// Scheduling strategies of §3.4.
+const (
+	// None returns the block unchanged (the paper's "non-optimized").
+	None Strategy = iota
+	// StrategyA is simple list scheduling by critical-path priority.
+	StrategyA
+	// StrategyB adds the resource reservation table and the standby table.
+	StrategyB
+	// StrategySWP is the software-pipelining contrast the paper draws in
+	// §2.3.2: like strategy B it consults the resource reservation table,
+	// but when every dependence-free instruction has a resource conflict
+	// it emits a NOP instead of using a standby station. On this machine
+	// the NOP occupies a decode slot, which is exactly the cost strategy
+	// B's standby table avoids.
+	StrategySWP
+)
+
+// String names the strategy as in the paper's Table 4.
+func (s Strategy) String() string {
+	switch s {
+	case None:
+		return "non-optimized"
+	case StrategyA:
+		return "strategy A"
+	case StrategyB:
+		return "strategy B"
+	case StrategySWP:
+		return "software pipelining"
+	}
+	return "unknown"
+}
+
+// Options tunes strategy B's resource model.
+type Options struct {
+	// Threads is the number of thread slots that will execute the
+	// scheduled loop in parallel; the reservation table charges each
+	// functional-unit use that many issue slots, modelling the unit being
+	// shared by that many identical instruction streams.
+	Threads int
+	// LoadStoreUnits mirrors the machine configuration.
+	LoadStoreUnits int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.LoadStoreUnits <= 0 {
+		o.LoadStoreUnits = 1
+	}
+	return o
+}
+
+// Schedule reorders a branch-free basic block according to the strategy.
+// The result is a permutation of block that respects all dependences.
+func Schedule(block []isa.Instruction, strategy Strategy, opts Options) ([]isa.Instruction, error) {
+	nodes, err := buildDAG(block)
+	if err != nil {
+		return nil, err
+	}
+	if strategy == None || len(block) < 2 {
+		out := make([]isa.Instruction, len(block))
+		copy(out, block)
+		return out, nil
+	}
+	opts = opts.withDefaults()
+	switch strategy {
+	case StrategyA:
+		return listSchedule(nodes, nil, false), nil
+	case StrategyB:
+		return listSchedule(nodes, newReservationTable(opts), false), nil
+	case StrategySWP:
+		return listSchedule(nodes, newReservationTable(opts), true), nil
+	}
+	return nil, errUnknownStrategy(strategy)
+}
+
+type errUnknownStrategy Strategy
+
+func (e errUnknownStrategy) Error() string { return "sched: unknown strategy" }
+
+// reservationTable tracks functional-unit occupancy (strategy B). Each use
+// of a unit reserves Threads × issue-latency cycles, approximating the unit
+// being time-shared by every thread slot executing this same loop.
+type reservationTable struct {
+	opts     Options
+	nextFree [isa.NumUnitClasses + 1][]int
+	standby  [isa.NumUnitClasses + 1]int // cycle the standby station frees
+}
+
+func newReservationTable(opts Options) *reservationTable {
+	rt := &reservationTable{opts: opts}
+	for cls := 1; cls <= isa.NumUnitClasses; cls++ {
+		n := 1
+		if isa.UnitClass(cls) == isa.UnitLoadStore {
+			n = opts.LoadStoreUnits
+		}
+		rt.nextFree[cls] = make([]int, n)
+	}
+	return rt
+}
+
+// earliestUnit returns the soonest cycle any unit of the class is free and
+// that unit's index.
+func (rt *reservationTable) earliestUnit(cls isa.UnitClass) (int, int) {
+	best, bestIdx := rt.nextFree[cls][0], 0
+	for i, v := range rt.nextFree[cls] {
+		if v < best {
+			best, bestIdx = v, i
+		}
+	}
+	return best, bestIdx
+}
+
+// place reserves a unit for an instruction whose thread issues it at cycle
+// issueAt, and returns the cycle execution actually begins.
+func (rt *reservationTable) place(op isa.Opcode, issueAt int) int {
+	cls := op.Unit()
+	free, idx := rt.earliestUnit(cls)
+	start := issueAt + 1 // schedule stage
+	if free > start {
+		start = free
+	}
+	rt.nextFree[cls][idx] = start + op.IssueLatency()*rt.opts.Threads
+	return start
+}
+
+// conflictAt reports whether issuing op at the cycle would find every unit
+// of its class busy (a resource conflict).
+func (rt *reservationTable) conflictAt(op isa.Opcode, issueAt int) bool {
+	free, _ := rt.earliestUnit(op.Unit())
+	return free > issueAt+1
+}
+
+// standbyFree reports whether the standby table entry for the class is
+// unmarked at the cycle.
+func (rt *reservationTable) standbyFree(op isa.Opcode, cycle int) bool {
+	return rt.standby[op.Unit()] <= cycle
+}
+
+// markStandby records that an instruction occupies the class's standby
+// station until the unit accepts it.
+func (rt *reservationTable) markStandby(op isa.Opcode, until int) {
+	rt.standby[op.Unit()] = until
+}
+
+// listSchedule is the greedy scheduler shared by the strategies. With a
+// nil reservation table it is strategy A; with one it is strategy B, or —
+// when emitNOPs is set — the software-pipelining contrast, which fills
+// conflicted issue cycles with NOPs instead of standby stations.
+func listSchedule(nodes []*node, rt *reservationTable, emitNOPs bool) []isa.Instruction {
+	n := len(nodes)
+	earliest := make([]int, n) // earliest issue cycle by data dependences
+	npreds := make([]int, n)
+	for i, nd := range nodes {
+		npreds[i] = nd.npreds
+	}
+	scheduled := make([]bool, n)
+	var order []isa.Instruction
+
+	ready := make([]int, 0, n)
+	for i := range nodes {
+		if npreds[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	scheduledCount := 0
+	cycle := 0
+	for scheduledCount < n {
+		// Candidates whose data dependences are satisfied this cycle,
+		// highest priority first (ties broken by original order for
+		// determinism).
+		cands := cands(nodes, ready, earliest, cycle)
+		var pick = -1
+		if rt == nil {
+			if len(cands) > 0 {
+				pick = cands[0]
+			}
+		} else {
+			// Strategy B: prefer a conflict-free candidate; otherwise use
+			// a free standby station rather than stalling.
+			for _, c := range cands {
+				if !rt.conflictAt(nodes[c].ins.Op, cycle) {
+					pick = c
+					break
+				}
+			}
+			if pick < 0 {
+				if emitNOPs && len(cands) > 0 {
+					// Dependence-free work exists but every unit is busy:
+					// a software pipeliner stalls the issue slot with a NOP.
+					order = append(order, isa.Nop())
+					cycle++
+					continue
+				}
+				for _, c := range cands {
+					if rt.standbyFree(nodes[c].ins.Op, cycle) {
+						pick = c
+						break
+					}
+				}
+			}
+		}
+		if pick < 0 {
+			cycle++
+			continue
+		}
+
+		nd := nodes[pick]
+		execStart := cycle + 1
+		if rt != nil {
+			wasConflict := rt.conflictAt(nd.ins.Op, cycle)
+			execStart = rt.place(nd.ins.Op, cycle)
+			if wasConflict {
+				rt.markStandby(nd.ins.Op, execStart)
+			}
+		}
+		order = append(order, nd.ins)
+		scheduledCount++
+		scheduled[pick] = true
+		ready = removeInt(ready, pick)
+		for _, e := range nd.succs {
+			// Successor may issue once the producer's result arrives; the
+			// edge latency is decode-to-decode assuming immediate
+			// execution, shifted if the producer waited for a unit.
+			start := cycle + e.lat + (execStart - (cycle + 1))
+			if start > earliest[e.to] {
+				earliest[e.to] = start
+			}
+			npreds[e.to]--
+			if npreds[e.to] == 0 {
+				ready = append(ready, e.to)
+			}
+		}
+		cycle++
+	}
+	return order
+}
+
+// cands filters and priority-sorts the ready list for one cycle.
+func cands(nodes []*node, ready []int, earliest []int, cycle int) []int {
+	var out []int
+	for _, i := range ready {
+		if earliest[i] <= cycle {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := nodes[out[a]].priority, nodes[out[b]].priority
+		if pa != pb {
+			return pa > pb
+		}
+		return nodes[out[a]].idx < nodes[out[b]].idx
+	})
+	return out
+}
+
+func removeInt(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

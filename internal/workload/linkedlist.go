@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hirata/internal/asm"
+	"hirata/internal/mem"
+)
+
+// LinkedListConfig parameterises the paper's while-loop sample (Figure 6):
+//
+//	ptr = header;
+//	while (ptr != NULL) {
+//	    tmp = a*(ptr->point->x) + b*(ptr->point->y) + c;
+//	    if (tmp < 0) break;
+//	    ptr = ptr->next;
+//	}
+//
+// The eager parallel version assigns successive iterations to the logical
+// processors round-robin; the pointer chases through queue registers so an
+// iteration can start as soon as its predecessor has loaded ptr->next
+// (§2.3.3, Figure 7).
+type LinkedListConfig struct {
+	Nodes int   // list length (default 200)
+	Seed  int64 // node coordinate seed (default 1)
+	// BreakAt plants a node whose tmp is negative at that index, exercising
+	// the early-exit (break) path. Use a negative value (or >= Nodes) to
+	// traverse the whole list. Note that the zero value breaks at the first
+	// node; full-traversal runs must set BreakAt explicitly.
+	BreakAt int
+	// StoreResults makes every iteration publish tmp with a priority store
+	// (swp), demonstrating in-order memory writes from eager execution.
+	// The measurement runs keep it off, matching the paper's loop body.
+	StoreResults bool
+}
+
+func (c LinkedListConfig) withDefaults() LinkedListConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Coefficients of the tmp computation.
+const (
+	llA = 0.5
+	llB = 0.25
+	llC = 1.0
+)
+
+// LinkedList bundles the generated programs.
+type LinkedList struct {
+	Cfg LinkedListConfig
+	Seq *asm.Program
+	Par *asm.Program
+}
+
+// BuildLinkedList generates the list data and both traversal programs.
+func BuildLinkedList(cfg LinkedListConfig) (*LinkedList, error) {
+	cfg = cfg.withDefaults()
+	data := linkedListData(cfg)
+	seq, err := asm.Assemble(data + linkedListSeq(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("workload: sequential list walk: %w", err)
+	}
+	par, err := asm.Assemble(data + linkedListEager(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("workload: eager list walk: %w", err)
+	}
+	return &LinkedList{Cfg: cfg, Seq: seq, Par: par}, nil
+}
+
+// ExpectedIterations returns how many loop iterations the traversal takes.
+func (ll *LinkedList) ExpectedIterations() int {
+	if ll.Cfg.BreakAt >= 0 && ll.Cfg.BreakAt < ll.Cfg.Nodes {
+		return ll.Cfg.BreakAt + 1
+	}
+	return ll.Cfg.Nodes
+}
+
+// nodeXY returns the coordinates of node i; the break node gets
+// coordinates that drive tmp negative.
+func nodeXY(cfg LinkedListConfig, i int, rng *rand.Rand) (x, y float64) {
+	x = rng.Float64() * 4
+	y = rng.Float64() * 4
+	if i == cfg.BreakAt {
+		x, y = -100, -100 // tmp = a*x + b*y + c < 0
+	}
+	return
+}
+
+// linkedListData lays out nodes {point*, next*} and points {x, y}.
+func linkedListData(cfg LinkedListConfig) string {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var b []byte
+	app := func(s string, args ...any) { b = append(b, fmt.Sprintf(s+"\n", args...)...) }
+	app("\t.data")
+	app("\t.org 8")
+	app("ga: .float %g", llA)
+	app("gb: .float %g", llB)
+	app("gc: .float %g", llC)
+	app("gtmp: .float 0")
+	app("gcount: .word 0")
+	app("gthreadsll: .word 1")
+	app("gout: .space %d", cfg.Nodes+2) // per-iteration tmp stores (swp mode)
+
+	// Layout: nodes then points. Node i at nodesBase+2i = {&point_i, &node_{i+1} or 0}.
+	nodesBase := 32 + cfg.Nodes + 2
+	pointsBase := nodesBase + 2*cfg.Nodes
+	app("\t.org %d", nodesBase)
+	app("nodes:")
+	for i := 0; i < cfg.Nodes; i++ {
+		next := 0
+		if i+1 < cfg.Nodes {
+			next = nodesBase + 2*(i+1)
+		}
+		app("\t.word %d, %d", pointsBase+2*i, next)
+	}
+	app("points:")
+	for i := 0; i < cfg.Nodes; i++ {
+		x, y := nodeXY(cfg, i, rng)
+		app("\t.float %.6f, %.6f", x, y)
+	}
+	app("\t.text")
+	return string(b)
+}
+
+// linkedListSeq is the straightforward single-threaded traversal.
+func linkedListSeq(cfg LinkedListConfig) string {
+	var b []byte
+	app := func(s string, args ...any) { b = append(b, fmt.Sprintf(s+"\n", args...)...) }
+	app("\tflw  f10, ga")
+	app("\tflw  f11, gb")
+	app("\tflw  f12, gc")
+	app("\tla   r1, nodes") // ptr
+	app("\tli   r2, 0")     // iteration count
+	app("loop:")
+	app("\tbeqz r1, exit")
+	app("\tlw   r3, 0(r1)") // ptr->point
+	app("\tflw  f1, 0(r3)") // x
+	app("\tflw  f2, 1(r3)") // y
+	app("\tfmul f3, f10, f1")
+	app("\tfmul f4, f11, f2")
+	app("\tfadd f5, f3, f4")
+	app("\tfadd f6, f5, f12") // tmp
+	if cfg.StoreResults {
+		app("\tla   r5, gout")
+		app("\tadd  r5, r5, r2")
+		app("\tfsw  f6, 0(r5)")
+	}
+	app("\taddi r2, r2, 1")
+	app("\tflt  r4, f6, f9") // tmp < 0 (f9 stays 0.0)
+	app("\tbnez r4, exit")
+	app("\tlw   r1, 1(r1)") // ptr = ptr->next
+	app("\tj    loop")
+	app("exit:")
+	app("\tfsw  f6, gtmp")
+	app("\tsw   r2, gcount")
+	app("\thalt")
+	return string(b)
+}
+
+// linkedListEager is the paper's eager execution scheme: the pointer flows
+// around the ring of logical processors through queue registers (r26 reads
+// from the predecessor, r27 writes to the successor); an exiting thread
+// publishes its results with priority stores and kills the other threads.
+func linkedListEager(cfg LinkedListConfig) string {
+	var b []byte
+	app := func(s string, args ...any) { b = append(b, fmt.Sprintf(s+"\n", args...)...) }
+	app("\tsetmode 1") // explicit rotation: compiler-controlled priorities
+	app("\tffork")
+	app("\tqen  r26, r27")
+	app("\ttid  r8")
+	app("\tflw  f10, ga")
+	app("\tflw  f11, gb")
+	app("\tflw  f12, gc")
+	app("\tlw   r9, gthreadsll") // stride for the iteration counter
+	app("\tmov  r2, r8")         // this thread's first iteration index
+	app("\tbnez r8, loop")
+	app("\tla   r1, nodes") // thread 0 seeds the pipeline with the header
+	app("\tj    body")
+	app("loop:")
+	app("\tmov  r1, r26") // receive ptr from the preceding iteration
+	app("body:")
+	app("\tbeqz r1, exitnull")
+	app("\tlw   r3, 1(r1)") // ptr->next, loaded first...
+	app("\tmov  r27, r3")   // ...and forwarded eagerly to the next thread
+	app("\tlw   r4, 0(r1)") // ptr->point
+	app("\tflw  f1, 0(r4)")
+	app("\tflw  f2, 1(r4)")
+	app("\tfmul f3, f10, f1")
+	app("\tfmul f4, f11, f2")
+	app("\tfadd f5, f3, f4")
+	app("\tfadd f6, f5, f12") // tmp
+	if cfg.StoreResults {
+		app("\tla   r5, gout")
+		app("\tadd  r5, r5, r2")
+		app("\tfswp f6, 0(r5)") // in-order publication via priority store
+	}
+	app("\tflt  r5, f6, f9")
+	app("\tbnez r5, exitbreak")
+	app("\tadd  r2, r2, r9")
+	app("\tchgpri") // acknowledge this iteration; pass priority on
+	app("\tj    loop")
+	// Only the earliest remaining iteration may commit and stop the loop:
+	// the priority stores and kill interlock until this thread is highest.
+	app("exitbreak:")
+	app("\taddi r2, r2, 1") // count includes the breaking iteration
+	app("\tfswp f6, gtmp(r0)")
+	app("\tswp  r2, gcount(r0)")
+	app("\tkill")
+	app("\thalt")
+	app("exitnull:")
+	// r2 already equals the traversal length; tmp belongs to an earlier
+	// iteration's thread, so only the count is published here.
+	app("\tswp  r2, gcount(r0)")
+	app("\tkill")
+	app("\thalt")
+	return string(b)
+}
+
+// NewMemory builds a memory image for a run with the given thread count.
+func (ll *LinkedList) NewMemory(p *asm.Program, threads int) (*mem.Memory, error) {
+	m, err := p.NewMemory(64)
+	if err != nil {
+		return nil, err
+	}
+	m.SetInt(p.MustSymbol("gthreadsll"), int64(threads))
+	return m, nil
+}

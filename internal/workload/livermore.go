@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"fmt"
+
+	"hirata/internal/asm"
+	"hirata/internal/isa"
+	"hirata/internal/sched"
+)
+
+// LivermoreConfig parameterises Livermore Kernel 1 (§3.4, Table 4):
+//
+//	DO 1 K = 1, N
+//	1  X(K) = Q + Y(K)*(R*Z(K+10) + T*Z(K+11))
+type LivermoreConfig struct {
+	N        int            // iterations (default 400)
+	Threads  int            // thread slots the parallel version will run on
+	Strategy sched.Strategy // static code scheduling strategy
+	// LoadStoreUnits feeds strategy B's resource reservation table.
+	LoadStoreUnits int
+	// Unroll replicates the loop body (1..3 copies) before scheduling,
+	// the classic transform the paper cites ([3], loop unrolling) for
+	// exposing more parallelism to the static scheduler. N must be
+	// divisible by Threads*Unroll.
+	Unroll int
+}
+
+func (c LivermoreConfig) withDefaults() LivermoreConfig {
+	if c.N <= 0 {
+		c.N = 400
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.LoadStoreUnits <= 0 {
+		c.LoadStoreUnits = 1
+	}
+	if c.Unroll <= 0 {
+		c.Unroll = 1
+	}
+	return c
+}
+
+// Livermore bundles the generated programs.
+type Livermore struct {
+	Cfg LivermoreConfig
+	Seq *asm.Program // sequential loop (baseline machine)
+	Par *asm.Program // parallel doall: iterations strided across threads
+}
+
+// lk1Q, lk1R, lk1T are the kernel's scalar constants.
+const (
+	lk1Q = 1.5
+	lk1R = 2.0
+	lk1T = 3.0
+)
+
+// lk1Body builds the loop body with the given address stride: loads
+// Z(K+10), Z(K+11), Y(K), computes X(K), stores it, and advances the three
+// base registers (r1 = &X(K), r2 = &Y(K), r3 = &Z(K)).
+//
+// The order is the naive dependence-chained order a simple compiler emits;
+// the static schedulers reorder it.
+func lk1Body(stride int32) []isa.Instruction {
+	return lk1BodyUnrolled(stride, 1)
+}
+
+// lk1BodyUnrolled replicates the body `unroll` times with renamed FP
+// temporaries (one bank of eight registers per copy) and displaced
+// addresses, advancing the base registers once at the end — exactly what a
+// compiler's unroller produces. unroll must be 1..3 (register pressure).
+func lk1BodyUnrolled(stride int32, unroll int) []isa.Instruction {
+	if unroll < 1 || unroll > 3 {
+		panic("lk1BodyUnrolled: unroll must be 1..3")
+	}
+	var out []isa.Instruction
+	// FP temp banks per copy; f10..f12 hold the Q, R, T constants.
+	banks := [3][8]isa.Reg{
+		{isa.F1, isa.F2, isa.F3, isa.F4, isa.F5, isa.F6, isa.F7, isa.F8},
+		{isa.F13, isa.F14, isa.F15, isa.F16, isa.F17, isa.F18, isa.F19, isa.F20},
+		{isa.F21, isa.F22, isa.F23, isa.F24, isa.F25, isa.F26, isa.F27, isa.F28},
+	}
+	for k := 0; k < unroll; k++ {
+		f := banks[k]
+		d := int32(k) * stride // displacement of this copy
+		out = append(out,
+			isa.Instruction{Op: isa.FLW, Rd: f[0], Rs1: isa.R3, Imm: 10 + d},
+			isa.Instruction{Op: isa.FMUL, Rd: f[1], Rs1: isa.F11, Rs2: f[0]},
+			isa.Instruction{Op: isa.FLW, Rd: f[2], Rs1: isa.R3, Imm: 11 + d},
+			isa.Instruction{Op: isa.FMUL, Rd: f[3], Rs1: isa.F12, Rs2: f[2]},
+			isa.Instruction{Op: isa.FADD, Rd: f[4], Rs1: f[1], Rs2: f[3]},
+			isa.Instruction{Op: isa.FLW, Rd: f[5], Rs1: isa.R2, Imm: d},
+			isa.Instruction{Op: isa.FMUL, Rd: f[6], Rs1: f[5], Rs2: f[4]},
+			isa.Instruction{Op: isa.FADD, Rd: f[7], Rs1: isa.F10, Rs2: f[6]},
+			isa.Instruction{Op: isa.FSW, Rs1: isa.R1, Rs2: f[7], Imm: d},
+		)
+	}
+	adv := stride * int32(unroll)
+	out = append(out,
+		isa.Instruction{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R1, Imm: adv},
+		isa.Instruction{Op: isa.ADDI, Rd: isa.R2, Rs1: isa.R2, Imm: adv},
+		isa.Instruction{Op: isa.ADDI, Rd: isa.R3, Rs1: isa.R3, Imm: adv},
+	)
+	return out
+}
+
+// BuildLivermore generates both versions with the configured scheduling.
+func BuildLivermore(cfg LivermoreConfig) (*Livermore, error) {
+	cfg = cfg.withDefaults()
+
+	// An unrolled body computes Unroll iterations unconditionally, so the
+	// trip count must divide evenly (unroll 1 keeps per-iteration checks).
+	if cfg.Unroll > 1 && cfg.N%(cfg.Threads*cfg.Unroll) != 0 {
+		return nil, fmt.Errorf("workload: LK1 N=%d must be divisible by threads*unroll=%d",
+			cfg.N, cfg.Threads*cfg.Unroll)
+	}
+	mkProg := func(parallel bool) (*asm.Program, error) {
+		stride := int32(1)
+		threads := 1
+		if parallel {
+			stride = int32(cfg.Threads)
+			threads = cfg.Threads
+		}
+		body, err := sched.Schedule(lk1BodyUnrolled(stride, cfg.Unroll), cfg.Strategy, sched.Options{
+			Threads:        threads,
+			LoadStoreUnits: cfg.LoadStoreUnits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		src := lk1Data(cfg) + lk1Text(cfg, body, parallel)
+		return asm.Assemble(src)
+	}
+
+	seq, err := mkProg(false)
+	if err != nil {
+		return nil, fmt.Errorf("workload: sequential LK1: %w", err)
+	}
+	par, err := mkProg(true)
+	if err != nil {
+		return nil, fmt.Errorf("workload: parallel LK1: %w", err)
+	}
+	return &Livermore{Cfg: cfg, Seq: seq, Par: par}, nil
+}
+
+// X extracts the result vector after a run.
+func (lv *Livermore) X(p *asm.Program, m interface{ FloatAt(int64) float64 }) []float64 {
+	base := p.MustSymbol("xvec")
+	out := make([]float64, lv.Cfg.N)
+	for i := range out {
+		out[i] = m.FloatAt(base + int64(i))
+	}
+	return out
+}
+
+// Expected computes the reference result in Go.
+func (lv *Livermore) Expected() []float64 {
+	n := lv.Cfg.N
+	y := make([]float64, n+12)
+	z := make([]float64, n+12)
+	for i := range y {
+		y[i] = 0.5 * float64(i)
+		z[i] = 0.25 * float64(i)
+	}
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		out[k] = lk1Q + y[k]*(lk1R*z[k+10]+lk1T*z[k+11])
+	}
+	return out
+}
+
+func lk1Data(cfg LivermoreConfig) string {
+	var b []byte
+	app := func(s string, args ...any) { b = append(b, fmt.Sprintf(s+"\n", args...)...) }
+	app("\t.data")
+	app("\t.org 8")
+	app("gq: .float %g", lk1Q)
+	app("gr: .float %g", lk1R)
+	app("gt: .float %g", lk1T)
+	app("gn: .word %d", cfg.N)
+	app("yvec:")
+	for i := 0; i < cfg.N+12; i++ {
+		app("\t.float %g", 0.5*float64(i))
+	}
+	app("zvec:")
+	for i := 0; i < cfg.N+12; i++ {
+		app("\t.float %g", 0.25*float64(i))
+	}
+	app("xvec: .space %d", cfg.N)
+	app("\t.text")
+	return string(b)
+}
+
+// lk1Text wraps the (scheduled) body in the loop skeleton. The parallel
+// version runs in explicit-rotation mode with a change-priority instruction
+// at the end of every iteration, as §2.3.1 prescribes.
+func lk1Text(cfg LivermoreConfig, body []isa.Instruction, parallel bool) string {
+	var b []byte
+	app := func(s string, args ...any) { b = append(b, fmt.Sprintf(s+"\n", args...)...) }
+
+	if parallel {
+		app("\tsetmode 1")
+		app("\tffork")
+		app("\ttid  r4")
+	} else {
+		app("\tli   r4, 0")
+	}
+	app("\tflw  f10, gq")
+	app("\tflw  f11, gr")
+	app("\tflw  f12, gt")
+	app("\tlw   r5, gn")
+	// r1 = &X(tid), r2 = &Y(tid), r3 = &Z(tid)
+	app("\tla   r1, xvec")
+	app("\tadd  r1, r1, r4")
+	app("\tla   r2, yvec")
+	app("\tadd  r2, r2, r4")
+	app("\tla   r3, zvec")
+	app("\tadd  r3, r3, r4")
+	// iteration counter: this thread executes ceil((N - tid)/stride) times
+	app("\tmov  r6, r4")
+	app("loop:")
+	app("\tslt  r7, r6, r5")
+	app("\tbeqz r7, done")
+	for _, in := range body {
+		app("\t%s", in.String())
+	}
+	stride := cfg.Unroll
+	if parallel {
+		stride = cfg.Threads * cfg.Unroll
+		app("\tchgpri")
+	}
+	app("\taddi r6, r6, %d", stride)
+	app("\tj    loop")
+	app("done:")
+	app("\thalt")
+	return string(b)
+}

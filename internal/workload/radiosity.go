@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hirata/internal/asm"
+	"hirata/internal/mem"
+	"hirata/internal/minc"
+)
+
+// RadiosityConfig parameterises the paper's second named graphics
+// algorithm (§1: "ray-tracing and radiosity are very famous algorithms").
+// The kernel is one Jacobi iteration of the radiosity gather,
+//
+//	B'[i] = E[i] + rho[i] * Σ_j F[i][j] * B[j],
+//
+// an N² data-parallel gather with a memory-heavy inner loop. Unlike the
+// other workloads it is written in MinC and compiled — exercising the
+// whole substrate stack the way the paper's commercially-compiled
+// workloads did.
+type RadiosityConfig struct {
+	Patches int // N (default 24)
+	Sweeps  int // Jacobi iterations (default 4)
+	Seed    int64
+}
+
+func (c RadiosityConfig) withDefaults() RadiosityConfig {
+	if c.Patches <= 0 {
+		c.Patches = 24
+	}
+	if c.Sweeps <= 0 {
+		c.Sweeps = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Radiosity bundles the compiled program and its scene.
+type Radiosity struct {
+	Cfg  RadiosityConfig
+	Prog *asm.Program
+	e    []float64 // emission
+	rho  []float64 // reflectivity
+	f    []float64 // form factors, row-major N×N
+}
+
+// BuildRadiosity generates the scene and compiles the MinC kernel.
+func BuildRadiosity(cfg RadiosityConfig) (*Radiosity, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Patches
+
+	rd := &Radiosity{Cfg: cfg}
+	rd.e = make([]float64, n)
+	rd.rho = make([]float64, n)
+	rd.f = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.2 {
+			rd.e[i] = 1 + rng.Float64()*4 // a light source
+		}
+		rd.rho[i] = 0.2 + 0.6*rng.Float64()
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				v := rng.Float64()
+				rd.f[i*n+j] = v
+				rowSum += v
+			}
+		}
+		for j := 0; j < n; j++ { // normalise the row (energy conservation)
+			rd.f[i*n+j] /= rowSum * 1.25
+		}
+	}
+
+	src := radiositySrc(cfg)
+	prog, err := minc.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload: radiosity kernel: %w\n%s", err, src)
+	}
+	rd.Prog = prog
+	return rd, nil
+}
+
+// radiositySrc emits the MinC kernel: double-buffered Jacobi sweeps with a
+// single-writer flag barrier between them.
+func radiositySrc(cfg RadiosityConfig) string {
+	var b strings.Builder
+	n := cfg.Patches
+	fmt.Fprintf(&b, "global int n = %d;\n", n)
+	fmt.Fprintf(&b, "global int sweeps = %d;\n", cfg.Sweeps)
+	fmt.Fprintf(&b, "global float e[%d];\n", n)
+	fmt.Fprintf(&b, "global float rho[%d];\n", n)
+	fmt.Fprintf(&b, "global float ff[%d];\n", n*n)
+	fmt.Fprintf(&b, "global float ba[%d];\n", n)
+	fmt.Fprintf(&b, "global float bb[%d];\n", n)
+	b.WriteString("global int phase[8];\n")
+	b.WriteString(`
+func main() {
+    fork();
+    int me = tid();
+    int stride = nthreads();
+
+    // B0 = E, computed in parallel stripes.
+    int i = me;
+    while (i < n) {
+        ba[i] = e[i];
+        i = i + stride;
+    }
+    phase[me] = 1;
+    for (int u = 0; u < stride; u = u + 1) {
+        while (phase[u] < 1) { }
+    }
+
+    for (int s = 0; s < sweeps; s = s + 1) {
+        int k = me;
+        while (k < n) {
+            float acc = 0.0;
+            int row = k * n;
+            if (s % 2 == 0) {
+                for (int j = 0; j < n; j = j + 1) {
+                    acc = acc + ff[row + j] * ba[j];
+                }
+                bb[k] = e[k] + rho[k] * acc;
+            } else {
+                for (int j = 0; j < n; j = j + 1) {
+                    acc = acc + ff[row + j] * bb[j];
+                }
+                ba[k] = e[k] + rho[k] * acc;
+            }
+            k = k + stride;
+        }
+        phase[me] = s + 2;
+        for (int u = 0; u < stride; u = u + 1) {
+            while (phase[u] < s + 2) { }
+        }
+    }
+}
+`)
+	return b.String()
+}
+
+// NewMemory builds the memory image for a run with the given thread count.
+func (rd *Radiosity) NewMemory(threads int) (*mem.Memory, error) {
+	m, err := rd.Prog.NewMemory(64)
+	if err != nil {
+		return nil, err
+	}
+	minc.SetThreads(rd.Prog, m, threads)
+	n := rd.Cfg.Patches
+	eBase := rd.Prog.MustSymbol("e")
+	rhoBase := rd.Prog.MustSymbol("rho")
+	fBase := rd.Prog.MustSymbol("ff")
+	for i := 0; i < n; i++ {
+		m.SetFloat(eBase+int64(i), rd.e[i])
+		m.SetFloat(rhoBase+int64(i), rd.rho[i])
+	}
+	for k, v := range rd.f {
+		m.SetFloat(fBase+int64(k), v)
+	}
+	return m, nil
+}
+
+// Result extracts the final radiosity vector after a run.
+func (rd *Radiosity) Result(m *mem.Memory) []float64 {
+	sym := "ba"
+	if rd.Cfg.Sweeps%2 == 1 {
+		sym = "bb"
+	}
+	base := rd.Prog.MustSymbol(sym)
+	out := make([]float64, rd.Cfg.Patches)
+	for i := range out {
+		out[i] = m.FloatAt(base + int64(i))
+	}
+	return out
+}
+
+// Expected computes the reference result in Go.
+func (rd *Radiosity) Expected() []float64 {
+	n := rd.Cfg.Patches
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	copy(cur, rd.e)
+	for s := 0; s < rd.Cfg.Sweeps; s++ {
+		for i := 0; i < n; i++ {
+			acc := 0.0
+			for j := 0; j < n; j++ {
+				acc += rd.f[i*n+j] * cur[j]
+			}
+			next[i] = rd.e[i] + rd.rho[i]*acc
+		}
+		cur, next = next, cur
+	}
+	return cur
+}

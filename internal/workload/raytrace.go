@@ -1,0 +1,269 @@
+// Package workload builds the paper's benchmark programs in the machine's
+// assembly language:
+//
+//   - a synthetic ray-tracing kernel (sphere intersection tests) standing in
+//     for the commercial ray tracer the paper traces (§3.2, Tables 2 and 3),
+//   - Livermore Kernel 1 for the static-scheduling study (§3.4, Table 4),
+//   - the linked-list while loop for eager execution (§2.3.3/§3.5, Table 5).
+//
+// Every workload comes in a sequential version (runs on the baseline RISC
+// machine and the functional interpreter) and a parallel version (runs on
+// the multithreaded processor), both computing identical results so the
+// simulators can be differentially verified.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hirata/internal/asm"
+	"hirata/internal/mem"
+)
+
+// RayTraceConfig parameterises the synthetic ray tracer.
+//
+// The intersection-test kernel mirrors the structure the paper describes:
+// per sphere it loads the sphere record, evaluates the quadratic
+// discriminant, conditionally takes a square root and updates the closest
+// hit. SpillPairs models the register-pressure spills a 1992 commercial
+// compiler emits; it directly controls the load/store fraction of the
+// instruction mix (and therefore where the load/store unit saturates, the
+// effect behind the paper's Table 2 plateau).
+type RayTraceConfig struct {
+	Spheres    int   // number of spheres in the scene (default 12)
+	Rays       int   // number of rays (default 240)
+	Seed       int64 // scene generator seed (default 1)
+	SpillPairs int   // spill/reload pairs per sphere test (default 2)
+	// Width and Height, when both set, replace the random rays with a
+	// Width×Height raster of parallel rays (row-major), so the per-ray
+	// results form an image; Rays is then Width*Height.
+	Width, Height int
+}
+
+func (c RayTraceConfig) withDefaults() RayTraceConfig {
+	if c.Spheres <= 0 {
+		c.Spheres = 12
+	}
+	if c.Width > 0 && c.Height > 0 {
+		c.Rays = c.Width * c.Height
+	}
+	if c.Rays <= 0 {
+		c.Rays = 240
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SpillPairs < 0 {
+		c.SpillPairs = 0
+	} else if c.SpillPairs == 0 {
+		// Calibrated so one load/store unit saturates around 8 threads,
+		// reproducing the plateau of the paper's Table 2.
+		c.SpillPairs = 3
+	}
+	return c
+}
+
+// RayTrace bundles the two program versions and the scene layout.
+type RayTrace struct {
+	Cfg RayTraceConfig
+	Seq *asm.Program // sequential: plain loop over all rays
+	Par *asm.Program // parallel: fast-fork, rays strided by thread id
+}
+
+// BuildRayTrace generates the scene and assembles both program versions.
+func BuildRayTrace(cfg RayTraceConfig) (*RayTrace, error) {
+	cfg = cfg.withDefaults()
+	data := rayTraceData(cfg)
+	seq, err := asm.Assemble(data + rayTraceText(cfg, false))
+	if err != nil {
+		return nil, fmt.Errorf("workload: sequential ray tracer: %w", err)
+	}
+	par, err := asm.Assemble(data + rayTraceText(cfg, true))
+	if err != nil {
+		return nil, fmt.Errorf("workload: parallel ray tracer: %w", err)
+	}
+	return &RayTrace{Cfg: cfg, Seq: seq, Par: par}, nil
+}
+
+// NewMemory builds a memory image for a run with the given thread count.
+func (rt *RayTrace) NewMemory(p *asm.Program, threads int) (*mem.Memory, error) {
+	m, err := p.NewMemory(64)
+	if err != nil {
+		return nil, err
+	}
+	m.SetInt(p.MustSymbol("gthreads"), int64(threads))
+	return m, nil
+}
+
+// Results extracts the per-ray (t, hit-index) pairs after a run.
+func (rt *RayTrace) Results(p *asm.Program, m *mem.Memory) ([]float64, []int64) {
+	base := p.MustSymbol("results")
+	ts := make([]float64, rt.Cfg.Rays)
+	hits := make([]int64, rt.Cfg.Rays)
+	for i := 0; i < rt.Cfg.Rays; i++ {
+		ts[i] = m.FloatAt(base + int64(2*i))
+		hits[i] = m.IntAt(base + int64(2*i) + 1)
+	}
+	return ts, hits
+}
+
+// rayTraceData emits the scene: spheres (cx, cy, cz, radius), rays (origin,
+// direction), result and spill areas, and the globals block.
+func rayTraceData(cfg RayTraceConfig) string {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var b strings.Builder
+	b.WriteString("\t.data\n\t.org 8\n")
+	fmt.Fprintf(&b, "gthreads: .word 1\n")
+	fmt.Fprintf(&b, "gnspheres: .word %d\n", cfg.Spheres)
+	fmt.Fprintf(&b, "gnrays: .word %d\n", cfg.Rays)
+
+	b.WriteString("spheres:\n")
+	for i := 0; i < cfg.Spheres; i++ {
+		// Spheres scattered in front of the ray origin plane.
+		cx := rng.Float64()*8 - 4
+		cy := rng.Float64()*8 - 4
+		cz := 4 + rng.Float64()*12
+		r := 0.4 + rng.Float64()*1.6
+		fmt.Fprintf(&b, "\t.float %.6f, %.6f, %.6f, %.6f\n", cx, cy, cz, r)
+	}
+	b.WriteString("rays:\n")
+	if cfg.Width > 0 && cfg.Height > 0 {
+		// Raster of parallel rays covering the scene, row-major.
+		for y := 0; y < cfg.Height; y++ {
+			for x := 0; x < cfg.Width; x++ {
+				ox := -5 + 10*(float64(x)+0.5)/float64(cfg.Width)
+				oy := 5 - 10*(float64(y)+0.5)/float64(cfg.Height)
+				fmt.Fprintf(&b, "\t.float %.6f, %.6f, 0, 0, 0, 1\n", ox, oy)
+			}
+		}
+	} else {
+		for i := 0; i < cfg.Rays; i++ {
+			// Rays from a jittered grid, pointing roughly +z.
+			ox := rng.Float64()*10 - 5
+			oy := rng.Float64()*10 - 5
+			oz := 0.0
+			dx := rng.Float64()*0.6 - 0.3
+			dy := rng.Float64()*0.6 - 0.3
+			dz := 1.0
+			fmt.Fprintf(&b, "\t.float %.6f, %.6f, %.6f, %.6f, %.6f, %.6f\n", ox, oy, oz, dx, dy, dz)
+		}
+	}
+	fmt.Fprintf(&b, "results: .space %d\n", 2*cfg.Rays)
+	fmt.Fprintf(&b, "spills: .space %d\n", 64*16) // 16 words per possible thread
+	b.WriteString("\t.text\n")
+	return b.String()
+}
+
+// rayTraceText emits the program. Register plan:
+//
+//	r1 tid       r2 stride (nthreads)   r3 ray index   r4 &ray
+//	r5 scratch   r6 &sphere             r7 sphere idx  r8 nspheres
+//	r9 hit idx   r10 &result            r11 &spill     r12 nrays
+//	f1-f3 origin f4-f6 direction  f7 tmin  f8 t  f9 0.0  f31 big
+func rayTraceText(cfg RayTraceConfig, parallel bool) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	if parallel {
+		w("\tffork")
+		w("\ttid  r1")
+	} else {
+		w("\tli   r1, 0")
+	}
+	w("\tlw   r2, gthreads")
+	w("\tlw   r8, gnspheres")
+	w("\tlw   r12, gnrays")
+	w("\tslli r11, r1, 4") // private spill area
+	w("\tla   r5, spills")
+	w("\tadd  r11, r11, r5")
+	w("\tmov  r3, r1") // ray index starts at tid
+
+	w("rayloop:")
+	w("\tslt  r5, r3, r12")
+	w("\tbeqz r5, done")
+	// &ray = rays + 6*idx
+	w("\tslli r4, r3, 2")
+	w("\tslli r5, r3, 1")
+	w("\tadd  r4, r4, r5")
+	w("\tla   r5, rays")
+	w("\tadd  r4, r4, r5")
+	w("\tflw  f1, 0(r4)")
+	w("\tflw  f2, 1(r4)")
+	w("\tflw  f3, 2(r4)")
+	w("\tflw  f4, 3(r4)")
+	w("\tflw  f5, 4(r4)")
+	w("\tflw  f6, 5(r4)")
+	// tmin = 1e30, hit = -1
+	w("\tli   r5, 10000")
+	w("\titof f7, r5")
+	w("\tfmul f7, f7, f7")
+	w("\tli   r9, -1")
+	w("\tla   r6, spheres")
+	w("\tli   r7, 0")
+
+	w("sphloop:")
+	w("\tflw  f10, 0(r6)") // cx
+	w("\tflw  f11, 1(r6)") // cy
+	w("\tflw  f12, 2(r6)") // cz
+	w("\tflw  f13, 3(r6)") // radius
+	// oc = origin - center
+	w("\tfsub f14, f1, f10")
+	w("\tfsub f15, f2, f11")
+	w("\tfsub f16, f3, f12")
+	// b = oc . dir
+	w("\tfmul f17, f14, f4")
+	w("\tfmul f18, f15, f5")
+	w("\tfmul f19, f16, f6")
+	w("\tfadd f20, f17, f18")
+	w("\tfadd f20, f20, f19")
+	// c = oc . oc - r*r
+	w("\tfmul f21, f14, f14")
+	w("\tfmul f22, f15, f15")
+	w("\tfmul f23, f16, f16")
+	w("\tfadd f24, f21, f22")
+	w("\tfadd f24, f24, f23")
+	w("\tfmul f25, f13, f13")
+	w("\tfsub f26, f24, f25")
+	// Register-pressure spills (compiled-code realism; see RayTraceConfig).
+	for i := 0; i < cfg.SpillPairs; i++ {
+		w("\tfsw  f20, %d(r11)", 2*i)
+		w("\tfsw  f26, %d(r11)", 2*i+1)
+	}
+	for i := 0; i < cfg.SpillPairs; i++ {
+		w("\tflw  f20, %d(r11)", 2*i)
+		w("\tflw  f26, %d(r11)", 2*i+1)
+	}
+	// disc = b*b - c
+	w("\tfmul f27, f20, f20")
+	w("\tfsub f28, f27, f26")
+	w("\tflt  r5, f28, f9")
+	w("\tbnez r5, miss")
+	// t = -b - sqrt(disc)
+	w("\tfsqrt f29, f28")
+	w("\tfneg f30, f20")
+	w("\tfsub f8, f30, f29")
+	// closest positive hit
+	w("\tflt  r5, f9, f8")
+	w("\tflt  r10, f8, f7")
+	w("\tand  r5, r5, r10")
+	w("\tbeqz r5, miss")
+	w("\tfmov f7, f8")
+	w("\tmov  r9, r7")
+	w("miss:")
+	w("\taddi r6, r6, 4")
+	w("\taddi r7, r7, 1")
+	w("\tbne  r7, r8, sphloop")
+
+	// store result: t (or 0 if no hit) and hit index
+	w("\tslli r10, r3, 1")
+	w("\tla   r5, results")
+	w("\tadd  r10, r10, r5")
+	w("\tfsw  f7, 0(r10)")
+	w("\tsw   r9, 1(r10)")
+	w("\tadd  r3, r3, r2") // next ray for this thread
+	w("\tj    rayloop")
+	w("done:")
+	w("\thalt")
+	return b.String()
+}

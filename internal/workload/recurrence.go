@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+
+	"hirata/internal/asm"
+	"hirata/internal/mem"
+)
+
+// RecurrenceConfig parameterises a doacross loop: Livermore Kernel 5, a
+// first-order linear recurrence
+//
+//	X(i) = Z(i) * (Y(i) - X(i-1))
+//
+// Unlike the doall Livermore Kernel 1, successive iterations are linked by
+// X(i-1), so parallel execution requires communication between logical
+// processors — exactly what the paper's queue registers provide (§2.3.1):
+// each thread receives X(i-1) from its ring predecessor through an FP
+// queue register and forwards X(i) to its successor.
+type RecurrenceConfig struct {
+	N    int   // iterations (default 300)
+	Seed int64 // unused; kept for symmetry with other workloads
+}
+
+func (c RecurrenceConfig) withDefaults() RecurrenceConfig {
+	if c.N <= 0 {
+		c.N = 300
+	}
+	return c
+}
+
+// Recurrence bundles the generated programs.
+type Recurrence struct {
+	Cfg RecurrenceConfig
+	Seq *asm.Program
+	Par *asm.Program
+}
+
+// BuildRecurrence generates the sequential and doacross versions.
+func BuildRecurrence(cfg RecurrenceConfig) (*Recurrence, error) {
+	cfg = cfg.withDefaults()
+	data := recurrenceData(cfg)
+	seq, err := asm.Assemble(data + recurrenceSeq())
+	if err != nil {
+		return nil, fmt.Errorf("workload: sequential recurrence: %w", err)
+	}
+	par, err := asm.Assemble(data + recurrencePar())
+	if err != nil {
+		return nil, fmt.Errorf("workload: doacross recurrence: %w", err)
+	}
+	return &Recurrence{Cfg: cfg, Seq: seq, Par: par}, nil
+}
+
+// NewMemory builds a memory image for a run with the given thread count.
+func (rc *Recurrence) NewMemory(p *asm.Program, threads int) (*mem.Memory, error) {
+	m, err := p.NewMemory(64)
+	if err != nil {
+		return nil, err
+	}
+	m.SetInt(p.MustSymbol("gthreadsrc"), int64(threads))
+	return m, nil
+}
+
+// X extracts the computed vector after a run.
+func (rc *Recurrence) X(p *asm.Program, m *mem.Memory) []float64 {
+	base := p.MustSymbol("xv")
+	out := make([]float64, rc.Cfg.N+1)
+	for i := range out {
+		out[i] = m.FloatAt(base + int64(i))
+	}
+	return out
+}
+
+// Expected computes the reference recurrence in Go.
+func (rc *Recurrence) Expected() []float64 {
+	n := rc.Cfg.N
+	x := make([]float64, n+1)
+	x[0] = 0.25
+	for i := 1; i <= n; i++ {
+		y := 1.0 + 0.001*float64(i)
+		z := 0.998
+		x[i] = z * (y - x[i-1])
+	}
+	return x
+}
+
+func recurrenceData(cfg RecurrenceConfig) string {
+	var b []byte
+	app := func(s string, args ...any) { b = append(b, fmt.Sprintf(s+"\n", args...)...) }
+	app("\t.data")
+	app("\t.org 8")
+	app("gn: .word %d", cfg.N)
+	app("gthreadsrc: .word 1")
+	app("yv:")
+	for i := 0; i <= cfg.N; i++ {
+		app("\t.float %g", 1.0+0.001*float64(i))
+	}
+	app("zv:")
+	for i := 0; i <= cfg.N; i++ {
+		app("\t.float %g", 0.998)
+	}
+	app("xv: .float 0.25") // X(0)
+	app("\t.space %d", cfg.N)
+	app("\t.text")
+	return string(b)
+}
+
+// recurrenceSeq computes the recurrence in a plain loop.
+func recurrenceSeq() string {
+	return `
+	lw   r5, gn
+	la   r1, yv
+	la   r2, zv
+	la   r3, xv
+	flw  f1, 0(r3)       ; x = X(0)
+	li   r6, 1           ; i
+loop:	flw  f2, 1(r1)       ; Y(i)
+	flw  f3, 1(r2)       ; Z(i)
+	fsub f4, f2, f1
+	fmul f1, f3, f4      ; x = Z(i) * (Y(i) - x)
+	fsw  f1, 1(r3)       ; X(i)
+	addi r1, r1, 1
+	addi r2, r2, 1
+	addi r3, r3, 1
+	addi r6, r6, 1
+	slt  r7, r5, r6      ; i > n ?
+	beqz r7, loop
+	halt
+`
+}
+
+// recurrencePar distributes iterations round-robin over the logical
+// processors; X(i-1) arrives through the FP queue register f28 and X(i)
+// leaves through f29. The ring order of the queue registers preserves the
+// sequential iteration order without any explicit synchronisation.
+func recurrencePar() string {
+	return `
+	ffork
+	qenf f28, f29
+	tid  r8
+	lw   r5, gn
+	lw   r9, gthreadsrc
+	la   r1, yv
+	add  r1, r1, r8
+	la   r2, zv
+	add  r2, r2, r8
+	la   r3, xv
+	add  r3, r3, r8
+	addi r6, r8, 1       ; first iteration of this thread
+	bnez r8, loop
+	flw  f1, xv          ; thread 0 seeds with X(0)
+	j    body
+loop:	slt  r7, r5, r6      ; i > n: this thread is finished
+	bnez r7, done
+	fmov f1, f28         ; receive X(i-1) from the ring predecessor
+body:	flw  f2, 1(r1)       ; Y(i)
+	flw  f3, 1(r2)       ; Z(i)
+	fsub f4, f2, f1
+	fmul f1, f3, f4      ; X(i)
+	fmov f29, f1         ; forward to the successor iteration
+	fsw  f1, 1(r3)
+	add  r1, r1, r9
+	add  r2, r2, r9
+	add  r3, r3, r9
+	add  r6, r6, r9
+	j    loop
+done:	halt
+`
+}

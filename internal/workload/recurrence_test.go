@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hirata/internal/core"
+	"hirata/internal/exec"
+	"hirata/internal/risc"
+)
+
+func TestRecurrenceSequentialCorrect(t *testing.T) {
+	rc, err := BuildRecurrence(RecurrenceConfig{N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rc.Expected()
+
+	m, err := rc.NewMemory(rc.Seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := exec.NewInterp(rc.Seq.Text, m)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := rc.X(rc.Seq, m)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interp: X(%d) = %g, want %g", i, got[i], want[i])
+		}
+	}
+
+	mr, err := rc.NewMemory(rc.Seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := risc.New(risc.Config{}, rc.Seq.Text, mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gotR := rc.X(rc.Seq, mr)
+	for i := range want {
+		if gotR[i] != want[i] {
+			t.Fatalf("risc: X(%d) = %g, want %g", i, gotR[i], want[i])
+		}
+	}
+}
+
+func TestRecurrenceDoacrossCorrect(t *testing.T) {
+	rc, err := BuildRecurrence(RecurrenceConfig{N: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rc.Expected()
+	for _, slots := range []int{1, 2, 3, 4, 8} {
+		m, err := rc.NewMemory(rc.Par, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.New(core.Config{ThreadSlots: slots, StandbyStations: true}, rc.Par.Text, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.StartThread(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(); err != nil {
+			t.Fatalf("slots=%d: %v", slots, err)
+		}
+		got := rc.X(rc.Par, m)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("slots=%d: X(%d) = %g, want %g (diff %g)",
+					slots, i, got[i], want[i], math.Abs(got[i]-want[i]))
+			}
+		}
+	}
+}
+
+func TestRecurrenceDoacrossSpeedsUp(t *testing.T) {
+	rc, err := BuildRecurrence(RecurrenceConfig{N: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(slots int) uint64 {
+		m, err := rc.NewMemory(rc.Par, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.New(core.Config{ThreadSlots: slots, StandbyStations: true}, rc.Par.Text, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.StartThread(0); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	c1, c2, c4 := run(1), run(2), run(4)
+	if c2 >= c1 {
+		t.Errorf("doacross not faster with 2 slots: %d >= %d", c2, c1)
+	}
+	if c4 >= c2 {
+		t.Errorf("doacross not faster with 4 slots: %d >= %d", c4, c2)
+	}
+	// The recurrence chain bounds the speed-up well below linear.
+	if float64(c1)/float64(c4) > 3.5 {
+		t.Errorf("speed-up %0.2f implausibly high for a serial recurrence", float64(c1)/float64(c4))
+	}
+}

@@ -1,0 +1,386 @@
+package workload
+
+import (
+	"testing"
+
+	"hirata/internal/core"
+	"hirata/internal/exec"
+	"hirata/internal/risc"
+	"hirata/internal/sched"
+)
+
+func TestRayTraceSeqMatchesParallel(t *testing.T) {
+	rt, err := BuildRayTrace(RayTraceConfig{Spheres: 6, Rays: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Golden: functional interpreter on the sequential program.
+	mSeq, err := rt.NewMemory(rt.Seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := exec.NewInterp(rt.Seq.Text, mSeq)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tsGold, hitsGold := rt.Results(rt.Seq, mSeq)
+
+	hitCount := 0
+	for _, h := range hitsGold {
+		if h >= 0 {
+			hitCount++
+		}
+	}
+	if hitCount == 0 || hitCount == len(hitsGold) {
+		t.Errorf("degenerate scene: %d/%d hits — branches untested", hitCount, len(hitsGold))
+	}
+
+	// Baseline RISC machine must agree.
+	mRisc, err := rt.NewMemory(rt.Seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := risc.New(risc.Config{}, rt.Seq.Text, mRisc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tsRisc, hitsRisc := rt.Results(rt.Seq, mRisc)
+
+	// Multithreaded machine on the parallel program, several widths.
+	for _, slots := range []int{1, 2, 4, 8} {
+		mPar, err := rt.NewMemory(rt.Par, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc, err := core.New(core.Config{ThreadSlots: slots, StandbyStations: true, LoadStoreUnits: 2}, rt.Par.Text, mPar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := proc.StartThread(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := proc.Run(); err != nil {
+			t.Fatal(err)
+		}
+		tsPar, hitsPar := rt.Results(rt.Par, mPar)
+		for i := range tsGold {
+			if tsPar[i] != tsGold[i] || hitsPar[i] != hitsGold[i] {
+				t.Fatalf("slots=%d ray %d: core (%g,%d) != golden (%g,%d)",
+					slots, i, tsPar[i], hitsPar[i], tsGold[i], hitsGold[i])
+			}
+			if tsRisc[i] != tsGold[i] || hitsRisc[i] != hitsGold[i] {
+				t.Fatalf("ray %d: risc (%g,%d) != golden (%g,%d)",
+					i, tsRisc[i], hitsRisc[i], tsGold[i], hitsGold[i])
+			}
+		}
+	}
+}
+
+func TestRayTraceInstructionMix(t *testing.T) {
+	// The kernel must be memory-heavy enough to saturate one load/store
+	// unit around 8 threads (~25-40% memory operations), the effect behind
+	// Table 2's plateau.
+	rt, err := BuildRayTrace(RayTraceConfig{Spheres: 6, Rays: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := rt.NewMemory(rt.Seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := exec.NewInterp(rt.Seq.Text, mm)
+	var memOps, total uint64
+	for {
+		pc := ip.PC
+		running, err := ip.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !running {
+			break
+		}
+		total++
+		if rt.Seq.Text[pc].Op.IsMem() {
+			memOps++
+		}
+	}
+	frac := float64(memOps) / float64(total)
+	if frac < 0.22 || frac > 0.45 {
+		t.Errorf("memory-op fraction = %.3f, want 0.22-0.45 for load/store saturation", frac)
+	}
+	t.Logf("dynamic instructions=%d memory fraction=%.3f", total, frac)
+}
+
+func TestLivermoreAllStrategiesCorrect(t *testing.T) {
+	for _, strat := range []sched.Strategy{sched.None, sched.StrategyA, sched.StrategyB} {
+		for _, slots := range []int{1, 2, 4, 8} {
+			lv, err := BuildLivermore(LivermoreConfig{N: 37, Threads: slots, Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := lv.Expected()
+
+			// Sequential on the interpreter.
+			mSeq, err := lv.Seq.NewMemory(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ip := exec.NewInterp(lv.Seq.Text, mSeq)
+			if err := ip.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got := lv.X(lv.Seq, mSeq)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("%v seq: x[%d] = %g, want %g", strat, k, got[k], want[k])
+				}
+			}
+
+			// Parallel on the multithreaded machine.
+			mPar, err := lv.Par.NewMemory(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proc, err := core.New(core.Config{ThreadSlots: slots, StandbyStations: true}, lv.Par.Text, mPar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := proc.StartThread(0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := proc.Run(); err != nil {
+				t.Fatalf("%v slots=%d: %v", strat, slots, err)
+			}
+			gotPar := lv.X(lv.Par, mPar)
+			for k := range want {
+				if gotPar[k] != want[k] {
+					t.Fatalf("%v par slots=%d: x[%d] = %g, want %g", strat, slots, k, gotPar[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestLinkedListSequentialVsEager(t *testing.T) {
+	cases := []LinkedListConfig{
+		{Nodes: 40, BreakAt: -1},
+		{Nodes: 40, BreakAt: 17},
+		{Nodes: 40, BreakAt: 0},
+		{Nodes: 7, BreakAt: 5},
+	}
+	for _, cfg := range cases {
+		ll, err := BuildLinkedList(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mSeq, err := ll.NewMemory(ll.Seq, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip := exec.NewInterp(ll.Seq.Text, mSeq)
+		if err := ip.Run(); err != nil {
+			t.Fatal(err)
+		}
+		wantCount := int64(ll.ExpectedIterations())
+		if got := mSeq.IntAt(ll.Seq.MustSymbol("gcount")); got != wantCount {
+			t.Fatalf("cfg %+v: sequential count = %d, want %d", cfg, got, wantCount)
+		}
+
+		for _, slots := range []int{1, 2, 3, 4, 8} {
+			mPar, err := ll.NewMemory(ll.Par, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proc, err := core.New(core.Config{ThreadSlots: slots, StandbyStations: true}, ll.Par.Text, mPar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := proc.StartThread(0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := proc.Run(); err != nil {
+				t.Fatalf("cfg %+v slots=%d: %v", cfg, slots, err)
+			}
+			if got := mPar.IntAt(ll.Par.MustSymbol("gcount")); got != wantCount {
+				t.Errorf("cfg %+v slots=%d: eager count = %d, want %d", cfg, slots, got, wantCount)
+			}
+			if cfg.BreakAt >= 0 {
+				wantTmp := mSeq.FloatAt(ll.Seq.MustSymbol("gtmp"))
+				if got := mPar.FloatAt(ll.Par.MustSymbol("gtmp")); got != wantTmp {
+					t.Errorf("cfg %+v slots=%d: eager tmp = %g, want %g", cfg, slots, got, wantTmp)
+				}
+			}
+		}
+	}
+}
+
+func TestLinkedListStoreResultsInOrder(t *testing.T) {
+	// With priority stores enabled, every iteration's tmp lands in gout in
+	// iteration order, identical to sequential execution.
+	cfg := LinkedListConfig{Nodes: 24, BreakAt: -1, StoreResults: true}
+	ll, err := BuildLinkedList(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSeq, err := ll.NewMemory(ll.Seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := exec.NewInterp(ll.Seq.Text, mSeq)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mPar, err := ll.NewMemory(ll.Par, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := core.New(core.Config{ThreadSlots: 4, StandbyStations: true}, ll.Par.Text, mPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base := ll.Seq.MustSymbol("gout")
+	basePar := ll.Par.MustSymbol("gout")
+	for i := 0; i < cfg.Nodes; i++ {
+		if mSeq.FloatAt(base+int64(i)) != mPar.FloatAt(basePar+int64(i)) {
+			t.Errorf("gout[%d]: seq %g != eager %g", i,
+				mSeq.FloatAt(base+int64(i)), mPar.FloatAt(basePar+int64(i)))
+		}
+	}
+}
+
+// TestLivermoreUnrolled: unrolled bodies compute identical results and
+// improve cycles per iteration before the load/store unit saturates.
+func TestLivermoreUnrolled(t *testing.T) {
+	const n = 96
+	run := func(unroll, slots int) (float64, []float64) {
+		lv, err := BuildLivermore(LivermoreConfig{
+			N: n, Threads: slots, Strategy: sched.StrategyA, Unroll: unroll,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := lv.Par
+		if slots == 1 {
+			prog = lv.Seq
+		}
+		m, err := prog.NewMemory(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc, err := core.New(core.Config{ThreadSlots: slots, LoadStoreUnits: 1, StandbyStations: true}, prog.Text, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := proc.StartThread(0); err != nil {
+			t.Fatal(err)
+		}
+		res, err := proc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Cycles) / n, lv.X(prog, m)
+	}
+	want := (&Livermore{Cfg: LivermoreConfig{N: n}}).Expected()
+	for _, slots := range []int{1, 2, 4} {
+		base, x1 := run(1, slots)
+		unrolled, x2 := run(2, slots)
+		for k := range want {
+			if x1[k] != want[k] || x2[k] != want[k] {
+				t.Fatalf("slots=%d: wrong results at k=%d", slots, k)
+			}
+		}
+		if slots <= 2 && unrolled >= base {
+			t.Errorf("slots=%d: unroll 2 not faster: %.2f >= %.2f cycles/iter", slots, unrolled, base)
+		}
+		t.Logf("slots=%d: unroll1=%.2f unroll2=%.2f cycles/iter", slots, base, unrolled)
+	}
+	// unroll 3 also stays correct
+	_, x3 := runUnroll3(t, n)
+	for k := range want {
+		if x3[k] != want[k] {
+			t.Fatalf("unroll 3: wrong result at k=%d", k)
+		}
+	}
+	if _, err := BuildLivermore(LivermoreConfig{N: 50, Threads: 4, Unroll: 3}); err == nil {
+		t.Error("indivisible N accepted with unroll")
+	}
+}
+
+func runUnroll3(t *testing.T, n int) (float64, []float64) {
+	t.Helper()
+	lv, err := BuildLivermore(LivermoreConfig{N: n, Threads: 1, Strategy: sched.StrategyB, Unroll: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lv.Seq.NewMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := core.New(core.Config{ThreadSlots: 1, LoadStoreUnits: 1, StandbyStations: true}, lv.Seq.Text, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(res.Cycles) / float64(n), lv.X(lv.Seq, m)
+}
+
+// TestRadiosityCorrect verifies the MinC-compiled radiosity kernel against
+// the Go reference at several thread counts, and that parallelism pays.
+func TestRadiosityCorrect(t *testing.T) {
+	rd, err := BuildRadiosity(RadiosityConfig{Patches: 20, Sweeps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rd.Expected()
+	var cyc1, cyc8 uint64
+	for _, slots := range []int{1, 2, 4, 8} {
+		m, err := rd.NewMemory(slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.New(core.Config{ThreadSlots: slots, LoadStoreUnits: 2, StandbyStations: true}, rd.Prog.Text, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.StartThread(0); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run()
+		if err != nil {
+			t.Fatalf("slots=%d: %v", slots, err)
+		}
+		got := rd.Result(m)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("slots=%d: B[%d] = %g, want %g", slots, i, got[i], want[i])
+			}
+		}
+		switch slots {
+		case 1:
+			cyc1 = res.Cycles
+		case 8:
+			cyc8 = res.Cycles
+		}
+	}
+	if cyc8 >= cyc1 {
+		t.Errorf("radiosity did not speed up: %d >= %d cycles", cyc8, cyc1)
+	}
+	t.Logf("radiosity: 1 slot %d cycles, 8 slots %d cycles (%.2fx)", cyc1, cyc8, float64(cyc1)/float64(cyc8))
+}

@@ -1,0 +1,151 @@
+package hirata
+
+import (
+	"fmt"
+	"strings"
+
+	"hirata/internal/core"
+	"hirata/internal/trace"
+)
+
+// MultiprogramCell is one measurement of heterogeneous multiprogrammed
+// throughput: several different programs' traces replayed simultaneously.
+type MultiprogramCell struct {
+	Slots        int
+	Cycles       uint64
+	SerialRISC   uint64  // the same jobs run back to back on the baseline
+	Throughput   float64 // serial / multithreaded
+	Instructions uint64
+}
+
+// RunMultiprogram records traces of three unrelated jobs (a ray-tracing
+// slice, a Livermore Kernel 1 loop and a linked-list traversal), then
+// replays one trace per thread slot, cycling through the job mix. It
+// reports the throughput gain over running the jobs sequentially on the
+// baseline RISC machine — the multiprogramming view of the paper's
+// throughput argument (§1: the processor is meant as an element of a
+// multiprocessor running many independent threads).
+func RunMultiprogram(slots []int) ([]MultiprogramCell, error) {
+	type job struct {
+		name   string
+		recs   []trace.Record
+		cycles uint64 // baseline RISC cycles
+	}
+	var jobs []job
+
+	// Job 1: a small ray-tracing slice.
+	rt, err := BuildRayTrace(RayTraceConfig{Rays: 24, Spheres: 8})
+	if err != nil {
+		return nil, err
+	}
+	mRT, err := rt.NewMemory(rt.Seq, 1)
+	if err != nil {
+		return nil, err
+	}
+	recsRT, err := trace.RecordProgram(rt.Seq.Text, mRT, 0)
+	if err != nil {
+		return nil, err
+	}
+	mRT2, err := rt.NewMemory(rt.Seq, 1)
+	if err != nil {
+		return nil, err
+	}
+	resRT, err := RunRISC(RISCConfig{LoadStoreUnits: 2}, rt.Seq.Text, mRT2)
+	if err != nil {
+		return nil, err
+	}
+	jobs = append(jobs, job{"raytrace", recsRT, resRT.Cycles})
+
+	// Job 2: Livermore Kernel 1.
+	lv, err := BuildLivermore(LivermoreConfig{N: 120})
+	if err != nil {
+		return nil, err
+	}
+	mLV, err := lv.Seq.NewMemory(64)
+	if err != nil {
+		return nil, err
+	}
+	recsLV, err := trace.RecordProgram(lv.Seq.Text, mLV, 0)
+	if err != nil {
+		return nil, err
+	}
+	mLV2, err := lv.Seq.NewMemory(64)
+	if err != nil {
+		return nil, err
+	}
+	resLV, err := RunRISC(RISCConfig{LoadStoreUnits: 2}, lv.Seq.Text, mLV2)
+	if err != nil {
+		return nil, err
+	}
+	jobs = append(jobs, job{"livermore", recsLV, resLV.Cycles})
+
+	// Job 3: linked-list traversal.
+	ll, err := BuildLinkedList(LinkedListConfig{Nodes: 100, BreakAt: -1})
+	if err != nil {
+		return nil, err
+	}
+	mLL, err := ll.NewMemory(ll.Seq, 1)
+	if err != nil {
+		return nil, err
+	}
+	recsLL, err := trace.RecordProgram(ll.Seq.Text, mLL, 0)
+	if err != nil {
+		return nil, err
+	}
+	mLL2, err := ll.NewMemory(ll.Seq, 1)
+	if err != nil {
+		return nil, err
+	}
+	resLL, err := RunRISC(RISCConfig{LoadStoreUnits: 2}, ll.Seq.Text, mLL2)
+	if err != nil {
+		return nil, err
+	}
+	jobs = append(jobs, job{"linkedlist", recsLL, resLL.Cycles})
+
+	var out []MultiprogramCell
+	for _, s := range slots {
+		traces := make([][]core.TraceInput, s)
+		var serial uint64
+		var instr uint64
+		for i := 0; i < s; i++ {
+			j := jobs[i%len(jobs)]
+			traces[i] = make([]core.TraceInput, len(j.recs))
+			for k, r := range j.recs {
+				traces[i][k] = core.TraceInput{Ins: r.Ins, Addr: r.Addr}
+			}
+			serial += j.cycles
+			instr += uint64(len(j.recs))
+		}
+		p, err := core.NewTraceDriven(core.Config{
+			ThreadSlots:     s,
+			LoadStoreUnits:  2,
+			StandbyStations: true,
+		}, traces)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Run()
+		if err != nil {
+			return nil, fmt.Errorf("multiprogram (%d slots): %w", s, err)
+		}
+		out = append(out, MultiprogramCell{
+			Slots:        s,
+			Cycles:       res.Cycles,
+			SerialRISC:   serial,
+			Throughput:   float64(serial) / float64(res.Cycles),
+			Instructions: res.Instructions,
+		})
+	}
+	return out, nil
+}
+
+// FormatMultiprogram renders the multiprogramming experiment.
+func FormatMultiprogram(cells []MultiprogramCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Heterogeneous multiprogramming (trace replay: raytrace + LK1 + list walk)\n")
+	fmt.Fprintf(&b, "%-6s | %-12s | %-14s | %-10s\n", "slots", "cycles", "serial (risc)", "throughput")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-6d | %-12d | %-14d | %.2fx\n", c.Slots, c.Cycles, c.SerialRISC, c.Throughput)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package hirata
+
+import "hirata/internal/sched"
+
+// Paper-reported reference values, used by the benchmark harness to print
+// paper-vs-measured comparisons and by tests to check reproduction shape.
+// (Absolute agreement is not expected: the paper drives its simulator with
+// traces of a commercial ray tracer compiled by a commercial compiler; this
+// reproduction substitutes a synthetic kernel. See DESIGN.md.)
+
+// PaperTable2 returns the paper's Table 2 speed-up for a configuration, or
+// 0 if the paper does not report it.
+func PaperTable2(slots, lsUnits int, standby bool) float64 {
+	type k struct {
+		s, ls int
+		sb    bool
+	}
+	vals := map[k]float64{
+		{2, 1, false}: 1.79, {2, 1, true}: 1.83,
+		{2, 2, false}: 2.01, {2, 2, true}: 2.02,
+		{4, 1, false}: 2.84, {4, 1, true}: 2.89,
+		{4, 2, false}: 3.68, {4, 2, true}: 3.72,
+		{8, 1, false}: 3.22, {8, 1, true}: 3.22,
+		{8, 2, false}: 5.68, {8, 2, true}: 5.79,
+	}
+	return vals[k{slots, lsUnits, standby}]
+}
+
+// PaperTable3 returns the paper's Table 3 speed-up for a (D,S) processor,
+// or 0 if not reported. The (8,1) entry is unreadable in the source scan.
+func PaperTable3(d, s int) float64 {
+	type k struct{ d, s int }
+	vals := map[k]float64{
+		{1, 2}: 2.02, {2, 1}: 1.31,
+		{1, 4}: 3.72, {2, 2}: 2.43, {4, 1}: 1.52,
+		{1, 8}: 5.79, {2, 4}: 4.37, {4, 2}: 2.79,
+	}
+	return vals[k{d, s}]
+}
+
+// PaperTable4 returns the paper's Table 4 cycles-per-iteration, or 0 where
+// the scanned table is unreadable. Known values: the non-optimized and
+// strategy-A single-slot rows, the ~8.1-8.9 cycle values around six slots,
+// and the 8-cycle saturation at eight slots ((3+1)×2 = 8, §3.4).
+func PaperTable4(slots int, strategy Strategy) float64 {
+	switch strategy {
+	case sched.None:
+		switch slots {
+		case 1:
+			return 50
+		case 6:
+			return 8.83
+		case 8:
+			return 8
+		}
+	case sched.StrategyA:
+		switch slots {
+		case 1:
+			return 42
+		case 6:
+			return 8.87
+		case 8:
+			return 8
+		}
+	case sched.StrategyB:
+		switch slots {
+		case 6:
+			return 8.125
+		case 8:
+			return 8
+		}
+	}
+	return 0
+}
+
+// PaperTable5 returns the paper's Table 5 cycles-per-iteration, or 0 if
+// not reported. The sequential version takes 56 cycles per iteration; the
+// asymptotic speed-up is 56/17 = 3.29.
+func PaperTable5(slots int) float64 {
+	switch slots {
+	case 2:
+		return 32.5
+	case 3:
+		return 21.67
+	case 4:
+		return 17
+	}
+	if slots > 4 {
+		return 17 // "an increase in the number of thread slots" saturates at 17
+	}
+	return 0
+}
+
+// PaperTable5Sequential is the paper's sequential cycles per iteration.
+const PaperTable5Sequential = 56.0

@@ -1,0 +1,195 @@
+package hirata
+
+// Tests for the sample assembly programs under examples/programs/: every
+// shipped .s file must assemble, run, and produce its documented results.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func loadProgram(t *testing.T, name string) *Program {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("examples", "programs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Assemble(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return prog
+}
+
+func TestSampleFib(t *testing.T) {
+	prog := loadProgram(t, "fib.s")
+	for _, machine := range []string{"risc", "mt"} {
+		m, err := prog.NewMemory(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch machine {
+		case "risc":
+			if _, err := RunRISC(RISCConfig{}, prog.Text, m); err != nil {
+				t.Fatal(err)
+			}
+		case "mt":
+			if _, err := RunMT(MTConfig{ThreadSlots: 1, StandbyStations: true}, prog.Text, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := m.IntAt(100); got != 6765 { // fib(20)
+			t.Errorf("%s: fib(20) = %d, want 6765", machine, got)
+		}
+	}
+}
+
+func TestSampleDotprod(t *testing.T) {
+	prog := loadProgram(t, "dotprod.s")
+	m, err := prog.NewMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMT(MTConfig{ThreadSlots: 4, LoadStoreUnits: 2, StandbyStations: true}, prog.Text, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forks != 3 {
+		t.Errorf("forks = %d, want 3", res.Forks)
+	}
+	var total int64
+	base := prog.MustSymbol("partials")
+	for i := int64(0); i < 4; i++ {
+		total += m.IntAt(base + i)
+	}
+	// dot(x, y) with x[i]=i, y[i]=2, n=64: 2 * 63*64/2 = 4032
+	if total != 4032 {
+		t.Errorf("dot product = %d, want 4032", total)
+	}
+}
+
+func TestSamplePipeline(t *testing.T) {
+	prog := loadProgram(t, "pipeline.s")
+	m, err := prog.NewMemory(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMT(MTConfig{ThreadSlots: 3, StandbyStations: true}, prog.Text, m); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		want := (i + 1) * (i + 1)
+		if got := m.IntAt(100 + i); got != want {
+			t.Errorf("stage output[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestAllSamplesAssemble keeps every shipped program assembling even if a
+// test above does not exercise it.
+func TestAllSamplesAssemble(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("examples", "programs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".s" {
+			continue
+		}
+		n++
+		loadProgram(t, e.Name())
+	}
+	if n < 3 {
+		t.Errorf("only %d sample programs found", n)
+	}
+}
+
+func TestSampleMandelMinC(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("examples", "programs", "mandel.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := CompileMinC(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slots := range []int{1, 4, 8} {
+		m, err := prog.NewMemory(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetMinCThreads(prog, m, slots)
+		if _, err := RunMT(MTConfig{ThreadSlots: slots, LoadStoreUnits: 2, StandbyStations: true}, prog.Text, m); err != nil {
+			t.Fatal(err)
+		}
+		// Differential check against the same computation in Go.
+		base := prog.MustSymbol("iters")
+		const width, maxiter = 64, 32
+		for x := 0; x < width; x++ {
+			cr := -2.0 + 2.8*float64(x)/float64(width)
+			ci := 0.1
+			zr, zi := 0.0, 0.0
+			n := 0
+			for n < maxiter && zr*zr+zi*zi < 4.0 {
+				zr, zi = zr*zr-zi*zi+cr, 2.0*zr*zi+ci
+				n++
+			}
+			if got := m.IntAt(base + int64(x)); got != int64(n) {
+				t.Errorf("slots=%d: iters[%d] = %d, want %d", slots, x, got, n)
+			}
+		}
+	}
+}
+
+func TestSampleSort(t *testing.T) {
+	prog := loadProgram(t, "sort.s")
+	m, err := prog.NewMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMT(MTConfig{ThreadSlots: 4, LoadStoreUnits: 2, StandbyStations: true}, prog.Text, m); err != nil {
+		t.Fatal(err)
+	}
+	base := prog.MustSymbol("arr")
+	for i := int64(0); i < 16; i++ {
+		if got := m.IntAt(base + i); got != i {
+			t.Errorf("arr[%d] = %d, want %d (not sorted)", i, got, i)
+		}
+	}
+}
+
+func TestSampleMatmulMinC(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("examples", "programs", "matmul.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := CompileMinC(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim = 12
+	for _, slots := range []int{1, 4} {
+		m, err := prog.NewMemory(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetMinCThreads(prog, m, slots)
+		if _, err := RunMT(MTConfig{ThreadSlots: slots, LoadStoreUnits: 2, StandbyStations: true}, prog.Text, m); err != nil {
+			t.Fatal(err)
+		}
+		base := prog.MustSymbol("c")
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				want := 0.0
+				for k := 0; k < dim; k++ {
+					want += float64(i+k) * float64(k-j)
+				}
+				if got := m.FloatAt(base + int64(i*dim+j)); got != want {
+					t.Fatalf("slots=%d: c[%d][%d] = %g, want %g", slots, i, j, got, want)
+				}
+			}
+		}
+	}
+}

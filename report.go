@@ -1,0 +1,46 @@
+package hirata
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Report aggregates the paper-reproduction measurements in a
+// machine-readable form (see cmd/hirata-bench -json).
+type Report struct {
+	// Workload is the ray-tracing configuration used for Tables 2 and 3.
+	Workload RayTraceConfig
+	Table2   *Table2
+	Table3   *Table3
+	Table4   *Table4
+	Table5   *Table5
+	Curve    []CurveCell
+}
+
+// RunFullReport runs Tables 2-5 and the speed-up curve with the given
+// workload sizes.
+func RunFullReport(w RayTraceConfig, lk1N, listNodes int) (*Report, error) {
+	r := &Report{Workload: w}
+	var err error
+	if r.Table2, err = RunTable2(Table2Config{Workload: w}); err != nil {
+		return nil, fmt.Errorf("table 2: %w", err)
+	}
+	if r.Table3, err = RunTable3(Table3Config{Workload: w}); err != nil {
+		return nil, fmt.Errorf("table 3: %w", err)
+	}
+	if r.Table4, err = RunTable4(Table4Config{N: lk1N}); err != nil {
+		return nil, fmt.Errorf("table 4: %w", err)
+	}
+	if r.Table5, err = RunTable5(Table5Config{Nodes: listNodes}); err != nil {
+		return nil, fmt.Errorf("table 5: %w", err)
+	}
+	if r.Curve, err = RunSpeedupCurve(w, 8); err != nil {
+		return nil, fmt.Errorf("curve: %w", err)
+	}
+	return r, nil
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
