@@ -1,0 +1,36 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+
+.PHONY: all build test race lint vet analyzers verify-examples fuzz fmt
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = every static check: go vet, the repository's custom Go analyzers,
+# and the program verifier over the shipped examples.
+lint: vet analyzers verify-examples
+
+vet:
+	$(GO) vet ./...
+
+analyzers:
+	$(GO) run ./tools/analyzers ./...
+
+verify-examples:
+	$(GO) run ./cmd/hirata-lint examples/programs
+
+# Short fuzz session against the MinC compiler (CI runs seeds only).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzCompile -fuzztime 30s ./internal/minc/
+
+fmt:
+	gofmt -w .

@@ -28,10 +28,11 @@ func main() {
 		dump    = flag.String("dump", "", "comma-free global name to print after -run")
 		dumpN   = flag.Int("dump-n", 1, "number of words to print from -dump")
 		verbose = flag.Bool("v", false, "print full statistics after -run")
+		doLint  = flag.Bool("lint", false, "run the static verifier over the generated code")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hirata-cc [-run] kernel.mc")
+		fmt.Fprintln(os.Stderr, "usage: hirata-cc [-run] [-lint] kernel.mc")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -40,12 +41,23 @@ func main() {
 	if !*run {
 		text, err := minc.CompileToAsm(string(src))
 		check(err)
+		if *doLint {
+			lintGenerated(text)
+		}
 		fmt.Print(text)
 		return
 	}
 
 	prog, err := minc.Compile(string(src))
 	check(err)
+	if *doLint {
+		if ds := hirata.Lint(prog); len(ds) != 0 {
+			for _, d := range ds {
+				fmt.Fprintln(os.Stderr, "hirata-cc: lint:", d)
+			}
+			os.Exit(1)
+		}
+	}
 	m, err := prog.NewMemory(4096)
 	check(err)
 	minc.SetThreads(prog, m, *slots)
@@ -70,6 +82,20 @@ func main() {
 			check(err)
 			fmt.Printf("%s[%d] = %d (float %g)\n", *dump, i, int64(v), m.FloatAt(addr+int64(i)))
 		}
+	}
+}
+
+// lintGenerated verifies compiler output that is only being printed: the
+// diagnostics go to stderr (with positions into the generated assembly)
+// and a finding makes the compile fail.
+func lintGenerated(text string) {
+	prog, err := hirata.Assemble(text)
+	check(err)
+	if ds := hirata.Lint(prog); len(ds) != 0 {
+		for _, d := range ds {
+			fmt.Fprintln(os.Stderr, "hirata-cc: lint:", d)
+		}
+		os.Exit(1)
 	}
 }
 

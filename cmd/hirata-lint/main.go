@@ -1,0 +1,152 @@
+// Command hirata-lint statically verifies assembly (.s) and MinC (.mc)
+// programs without running them: control-flow graph construction, register
+// def-use dataflow, queue-register ring protocol checks, and whole-program
+// checks. See docs/LINT.md for the diagnostic catalogue.
+//
+// Usage:
+//
+//	hirata-lint prog.s kernel.mc      # lint individual files
+//	hirata-lint examples/programs     # lint every .s/.mc under a directory
+//	hirata-lint -json prog.s          # machine-readable findings
+//	hirata-lint -entries 0,12 prog.s  # explicit thread entry PCs
+//
+// Exit status: 0 clean, 1 findings (or unparseable input), 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hirata"
+	"hirata/internal/lint"
+	"hirata/internal/minc"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		entries = flag.String("entries", "", "comma-separated thread entry PCs (default 0)")
+		qdepth  = flag.Int("queue-depth", 0, "queue register FIFO depth assumed by the deadlock check (default 1)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hirata-lint [-json] [-entries pcs] [-queue-depth n] file-or-dir...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := lint.Config{QueueDepth: *qdepth}
+	if *entries != "" {
+		for _, f := range strings.Split(*entries, ",") {
+			pc, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hirata-lint: bad -entries value %q\n", f)
+				os.Exit(2)
+			}
+			cfg.Entries = append(cfg.Entries, pc)
+		}
+	}
+
+	files, err := collectFiles(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hirata-lint:", err)
+		os.Exit(2)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "hirata-lint: no .s or .mc files found")
+		os.Exit(2)
+	}
+
+	type fileFinding struct {
+		File string          `json:"file"`
+		Diag lint.Diagnostic `json:"diag"`
+	}
+	var all []fileFinding
+	report := func(file string, d lint.Diagnostic) {
+		all = append(all, fileFinding{File: file, Diag: d})
+		if !*jsonOut {
+			fmt.Printf("%s: %s\n", file, d)
+		}
+	}
+
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hirata-lint:", err)
+			os.Exit(2)
+		}
+		var prog *hirata.Program
+		switch filepath.Ext(file) {
+		case ".mc":
+			prog, err = minc.Compile(string(src))
+		default:
+			prog, err = hirata.Assemble(string(src))
+		}
+		if err != nil {
+			// Unparseable input is itself a finding: report it positioned
+			// at the whole program and keep going with the other files.
+			report(file, lint.Diagnostic{
+				Code: lint.CodeBadTarget, Name: "parse-error", PC: -1, Msg: err.Error(),
+			})
+			continue
+		}
+		for _, d := range lint.AnalyzeProgram(prog, cfg) {
+			report(file, d)
+		}
+	}
+
+	if *jsonOut {
+		if all == nil {
+			all = []fileFinding{}
+		}
+		out, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hirata-lint:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(out))
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+// collectFiles expands the argument list: files are taken as-is, and
+// directories are walked for .s and .mc sources.
+func collectFiles(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && (strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".mc")) {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}

@@ -31,12 +31,15 @@
 package hirata
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"hirata/internal/asm"
 	"hirata/internal/core"
 	"hirata/internal/exec"
 	"hirata/internal/isa"
+	"hirata/internal/lint"
 	"hirata/internal/mem"
 	"hirata/internal/minc"
 	"hirata/internal/risc"
@@ -79,6 +82,59 @@ const (
 	ScheduleSWP       = sched.StrategySWP
 )
 
+// Static verification (see internal/lint and docs/LINT.md).
+type (
+	// LintDiagnostic is one finding of the static program verifier.
+	LintDiagnostic = lint.Diagnostic
+	// LintConfig tunes the static verifier (thread entry points, queue
+	// depth).
+	LintConfig = lint.Config
+	// LintCode identifies a diagnostic kind (L001..L009).
+	LintCode = lint.Code
+)
+
+// Lint statically verifies an assembled program: CFG construction per
+// thread entry point, must-defined register dataflow, queue-register ring
+// protocol checks, and whole-program checks (unreachable code, bad branch
+// targets, guaranteed queue deadlocks, thread-control misuse). An empty
+// result means the program is clean.
+func Lint(p *Program) []LintDiagnostic { return lint.Analyze(p) }
+
+// LintWithConfig is Lint with explicit entry points and queue depth.
+func LintWithConfig(p *Program, cfg LintConfig) []LintDiagnostic {
+	return lint.AnalyzeProgram(p, cfg)
+}
+
+// LintText verifies a bare instruction sequence (no source positions).
+func LintText(text []Instruction, cfg LintConfig) []LintDiagnostic {
+	return lint.AnalyzeText(text, cfg)
+}
+
+// lintConfigForRun maps a run's queue depth and explicit start PCs onto
+// the verifier's configuration.
+func lintConfigForRun(queueDepth int, startPCs []int64) LintConfig {
+	cfg := LintConfig{QueueDepth: queueDepth}
+	for _, pc := range startPCs {
+		cfg.Entries = append(cfg.Entries, int(pc))
+	}
+	return cfg
+}
+
+// strictVerify runs the verifier over text and returns an error carrying
+// every finding, for the StrictVerify run modes.
+func strictVerify(text []Instruction, cfg LintConfig) error {
+	ds := lint.AnalyzeText(text, cfg)
+	if len(ds) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(ds))
+	for i, d := range ds {
+		msgs[i] = d.String()
+	}
+	return fmt.Errorf("hirata: strict verify found %d issue(s):\n  %s",
+		len(ds), strings.Join(msgs, "\n  "))
+}
+
 // Assemble translates assembly source into a Program.
 func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
 
@@ -97,6 +153,11 @@ func NewMemoryWithRemote(words int, remoteBase int64, latency int) *Memory {
 // RunMT simulates a program on the multithreaded processor. Threads start
 // at the given program counters (default: one thread at 0).
 func RunMT(cfg MTConfig, text []Instruction, m *Memory, startPCs ...int64) (MTResult, error) {
+	if cfg.StrictVerify {
+		if err := strictVerify(text, lintConfigForRun(cfg.QueueDepth, startPCs)); err != nil {
+			return MTResult{}, err
+		}
+	}
 	p, err := core.New(cfg, text, m)
 	if err != nil {
 		return MTResult{}, err
@@ -128,6 +189,11 @@ func RunMTTraced(cfg MTConfig, text []Instruction, m *Memory, w io.Writer, start
 
 // RunRISC simulates a program on the baseline RISC machine.
 func RunRISC(cfg RISCConfig, text []Instruction, m *Memory) (RISCResult, error) {
+	if cfg.StrictVerify {
+		if err := strictVerify(text, LintConfig{}); err != nil {
+			return RISCResult{}, err
+		}
+	}
 	mc, err := risc.New(cfg, text, m)
 	if err != nil {
 		return RISCResult{}, err

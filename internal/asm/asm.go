@@ -244,6 +244,9 @@ func (a *assembler) pass2() error {
 			return a.errf(st.line, "internal: statement size changed between passes (%d != %d)", len(ins), st.size)
 		}
 		a.prog.Text = append(a.prog.Text, ins...)
+		for range ins {
+			a.prog.Lines = append(a.prog.Lines, st.line)
+		}
 	}
 	for i, in := range a.prog.Text {
 		if err := in.Validate(); err != nil {

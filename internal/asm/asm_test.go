@@ -3,7 +3,6 @@ package asm
 import (
 	"math/rand"
 	"strconv"
-	"strings"
 	"testing"
 	"testing/quick"
 
@@ -255,14 +254,8 @@ func TestDisassembleRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dis := Disassemble(p.Text)
-	// Strip the address prefixes and re-assemble.
-	var clean []string
-	for _, line := range strings.Split(dis, "\n") {
-		if i := strings.Index(line, ":"); i >= 0 {
-			clean = append(clean, line[i+1:])
-		}
-	}
-	p2, err := Assemble(strings.Join(clean, "\n"))
+	// The disassembly is directly re-assemblable.
+	p2, err := Assemble(dis)
 	if err != nil {
 		t.Fatalf("re-assembling disassembly: %v\n%s", err, dis)
 	}
@@ -270,7 +263,7 @@ func TestDisassembleRoundTrip(t *testing.T) {
 		t.Fatalf("round trip length %d != %d", len(p2.Text), len(p.Text))
 	}
 	for i := range p.Text {
-		if p.Text[i] != p2.Text[i] {
+		if !p.Text[i].Same(p2.Text[i]) {
 			t.Errorf("instruction %d: %v != %v", i, p.Text[i], p2.Text[i])
 		}
 	}

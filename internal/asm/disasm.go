@@ -2,19 +2,145 @@ package asm
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"hirata/internal/isa"
 )
 
-// Disassemble renders a program's text section as assembly source, one
-// instruction per line, prefixed with its word address. The output
-// round-trips through Assemble up to pseudo-instruction expansion (the
-// disassembler emits only real opcodes).
+// Disassemble renders a program's text section as assembly source that
+// re-assembles to the same instruction sequence. Branch, jump and fork
+// targets inside the text get synthetic `L<pc>` labels and branch operands
+// reference them symbolically; every line carries its word address as a
+// trailing comment. Pseudo-instructions are not reconstructed — the output
+// uses real opcodes only — so the round trip is Text-exact rather than
+// source-exact.
 func Disassemble(text []isa.Instruction) string {
+	labels := collectTargets(text)
 	var b strings.Builder
 	for i, in := range text {
-		fmt.Fprintf(&b, "%6d:  %s\n", i, in)
+		if _, ok := labels[int64(i)]; ok {
+			fmt.Fprintf(&b, "%s:\n", labelName(int64(i)))
+		}
+		fmt.Fprintf(&b, "\t%-28s ; %d\n", formatIns(in, labels), i)
 	}
 	return b.String()
+}
+
+// DisassembleProgram renders the whole program: the data image as .org/.word
+// directives followed by the text section. The output round-trips through
+// Assemble to an identical Text and Data image.
+func DisassembleProgram(p *Program) string {
+	var b strings.Builder
+	if len(p.Data) > 0 {
+		b.WriteString("\t.data\n")
+		// Data is sorted by address (sortData); group contiguous runs.
+		for i := 0; i < len(p.Data); {
+			run := 1
+			for i+run < len(p.Data) && p.Data[i+run].Addr == p.Data[i].Addr+int64(run) {
+				run++
+			}
+			fmt.Fprintf(&b, "\t.org %d\n", p.Data[i].Addr)
+			for k := 0; k < run; k++ {
+				fmt.Fprintf(&b, "\t.word 0x%x\n", p.Data[i+k].Val)
+			}
+			i += run
+		}
+	}
+	b.WriteString("\t.text\n")
+	b.WriteString(Disassemble(p.Text))
+	return b.String()
+}
+
+// collectTargets returns the set of in-range control-transfer targets.
+func collectTargets(text []isa.Instruction) map[int64]bool {
+	labels := make(map[int64]bool)
+	add := func(t int64) {
+		if t >= 0 && t < int64(len(text)) {
+			labels[t] = true
+		}
+	}
+	for i, in := range text {
+		switch {
+		case in.Op.IsBranch() && in.Op != isa.JR:
+			add(int64(in.Imm))
+		case in.Op == isa.FFORK:
+			add(int64(i) + 1)
+		}
+	}
+	return labels
+}
+
+func labelName(pc int64) string { return fmt.Sprintf("L%d", pc) }
+
+// target renders a control-transfer target symbolically when labelled.
+func target(imm int32, labels map[int64]bool) string {
+	if labels[int64(imm)] {
+		return labelName(int64(imm))
+	}
+	return fmt.Sprintf("%d", imm)
+}
+
+// formatIns renders one instruction in re-assemblable syntax.
+func formatIns(in isa.Instruction, labels map[int64]bool) string {
+	op := in.Op.String()
+	switch in.Op.Fmt() {
+	case isa.FmtR:
+		return fmt.Sprintf("%s %s, %s, %s", op, in.Rd, in.Rs1, in.Rs2)
+	case isa.FmtR2:
+		return fmt.Sprintf("%s %s, %s", op, in.Rd, in.Rs1)
+	case isa.FmtI:
+		return fmt.Sprintf("%s %s, %s, %d", op, in.Rd, in.Rs1, in.Imm)
+	case isa.FmtLI:
+		return fmt.Sprintf("%s %s, %d", op, in.Rd, in.Imm)
+	case isa.FmtLd:
+		return fmt.Sprintf("%s %s, %d(%s)", op, in.Rd, in.Imm, in.Rs1)
+	case isa.FmtSt:
+		return fmt.Sprintf("%s %s, %d(%s)", op, in.Rs2, in.Imm, in.Rs1)
+	case isa.FmtB:
+		if in.Op == isa.BEQ || in.Op == isa.BNE {
+			return fmt.Sprintf("%s %s, %s, %s", op, in.Rs1, in.Rs2, target(in.Imm, labels))
+		}
+		return fmt.Sprintf("%s %s, %s", op, in.Rs1, target(in.Imm, labels))
+	case isa.FmtJ:
+		if in.Op == isa.JAL {
+			return fmt.Sprintf("%s %s, %s", op, in.Rd, target(in.Imm, labels))
+		}
+		if in.Op == isa.SETMODE {
+			return fmt.Sprintf("%s %d", op, in.Imm)
+		}
+		return fmt.Sprintf("%s %s", op, target(in.Imm, labels))
+	case isa.FmtJR:
+		return fmt.Sprintf("%s %s", op, in.Rs1)
+	case isa.FmtQ:
+		return fmt.Sprintf("%s %s, %s", op, in.Rs1, in.Rs2)
+	case isa.FmtTID:
+		return fmt.Sprintf("%s %s", op, in.Rd)
+	}
+	return op
+}
+
+// SourceContext formats "file:line" style position info for diagnostics:
+// the instruction's disassembly plus, when the program has line data, the
+// source line it came from.
+func SourceContext(p *Program, pc int) string {
+	if pc < 0 || pc >= len(p.Text) {
+		return fmt.Sprintf("pc %d (out of range)", pc)
+	}
+	s := fmt.Sprintf("pc %d: %s", pc, p.Text[pc])
+	if ln := p.Line(pc); ln > 0 {
+		s = fmt.Sprintf("line %d, %s", ln, s)
+	}
+	return s
+}
+
+// sortedTargets is a small helper for tests: the ascending label addresses.
+func sortedTargets(text []isa.Instruction) []int64 {
+	m := collectTargets(text)
+	out := make([]int64, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

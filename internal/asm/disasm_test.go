@@ -1,0 +1,127 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exampleSources returns every .s program shipped under examples/programs.
+func exampleSources(t *testing.T) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example .s programs found")
+	}
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = string(src)
+	}
+	return out
+}
+
+// TestExamplesRoundTrip assembles every shipped example, disassembles the
+// text, re-assembles the disassembly, and requires a semantically identical
+// instruction sequence (asm -> disasm -> asm).
+func TestExamplesRoundTrip(t *testing.T) {
+	for name, src := range exampleSources(t) {
+		t.Run(name, func(t *testing.T) {
+			p, err := Assemble(src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			dis := Disassemble(p.Text)
+			p2, err := Assemble(dis)
+			if err != nil {
+				t.Fatalf("re-assemble disassembly: %v\n%s", err, dis)
+			}
+			if len(p2.Text) != len(p.Text) {
+				t.Fatalf("round trip length %d != %d", len(p2.Text), len(p.Text))
+			}
+			for i := range p.Text {
+				if !p.Text[i].Same(p2.Text[i]) {
+					t.Errorf("instruction %d: %v != %v", i, p.Text[i], p2.Text[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDisassembleProgramRoundTrip round-trips text and data image together.
+func TestDisassembleProgramRoundTrip(t *testing.T) {
+	src := `
+	.data
+	.org 8
+n:	.word 20
+tab:	.word 1, 2, 3
+	.org 100
+x:	.float 2.5
+	.text
+	lw   r1, n
+loop:	beqz r1, done
+	addi r1, r1, -1
+	j    loop
+done:	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble(DisassembleProgram(p))
+	if err != nil {
+		t.Fatalf("re-assemble: %v\n%s", err, DisassembleProgram(p))
+	}
+	if len(p2.Text) != len(p.Text) {
+		t.Fatalf("text length %d != %d", len(p2.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if !p.Text[i].Same(p2.Text[i]) {
+			t.Errorf("instruction %d: %v != %v", i, p.Text[i], p2.Text[i])
+		}
+	}
+	if len(p2.Data) != len(p.Data) {
+		t.Fatalf("data length %d != %d", len(p2.Data), len(p.Data))
+	}
+	for i := range p.Data {
+		if p.Data[i] != p2.Data[i] {
+			t.Errorf("data %d: %+v != %+v", i, p.Data[i], p2.Data[i])
+		}
+	}
+}
+
+// TestDisassembleLabels checks that branch targets come out symbolic.
+func TestDisassembleLabels(t *testing.T) {
+	p := MustAssemble("start:\taddi r1, r0, 3\nloop:\taddi r1, r1, -1\n\tbnez r1, loop\n\thalt\n")
+	dis := Disassemble(p.Text)
+	if !strings.Contains(dis, "L1:") || !strings.Contains(dis, "bnez r1, L1") {
+		t.Fatalf("expected symbolic branch target L1 in:\n%s", dis)
+	}
+	if got := sortedTargets(p.Text); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("targets = %v, want [1]", got)
+	}
+}
+
+// TestProgramLines checks the source-line map used by lint diagnostics.
+func TestProgramLines(t *testing.T) {
+	p := MustAssemble("\tnop\n\tli r1, 100000\n\thalt\n")
+	want := []int{1, 2, 2, 3} // li expands to two instructions on line 2
+	if len(p.Lines) != len(want) {
+		t.Fatalf("Lines = %v, want %v", p.Lines, want)
+	}
+	for i, w := range want {
+		if p.Lines[i] != w {
+			t.Fatalf("Lines = %v, want %v", p.Lines, want)
+		}
+	}
+	if p.Line(1) != 2 || p.Line(99) != 0 {
+		t.Fatalf("Line lookups wrong: %d %d", p.Line(1), p.Line(99))
+	}
+}

@@ -49,6 +49,20 @@ type Program struct {
 	Data    []DataWord
 	Symbols map[string]int64
 	DataEnd int64 // first word address beyond all data (for sizing memory)
+	// Lines maps each Text index to the 1-based source line of the
+	// statement that emitted it (0 when unknown, e.g. hand-built
+	// programs). Lint diagnostics and the disassembler use it to point
+	// back at the offending source line.
+	Lines []int
+}
+
+// Line returns the 1-based source line of instruction pc, or 0 when the
+// program carries no line information.
+func (p *Program) Line(pc int) int {
+	if pc < 0 || pc >= len(p.Lines) {
+		return 0
+	}
+	return p.Lines[pc]
 }
 
 // InitMemory writes the program's data image into m.

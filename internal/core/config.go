@@ -99,6 +99,10 @@ type Config struct {
 	MaxIssuePerCycle int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
+	// StrictVerify makes the top-level runners (hirata.RunMT) refuse to
+	// simulate a program the static verifier (internal/lint) finds
+	// diagnostics in. The core simulator itself ignores this field.
+	StrictVerify bool
 }
 
 // withDefaults fills unset fields.

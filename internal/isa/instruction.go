@@ -160,6 +160,52 @@ func (in Instruction) Validate() error {
 	return fmt.Errorf("isa: %s: unknown format", in.Op)
 }
 
+// Same reports whether two instructions are semantically identical:
+// equal opcodes and equal values in exactly the operand fields the
+// opcode's format uses. Raw struct comparison (==) is wrong for this —
+// unused operand slots may legitimately differ (NoReg in one encoding, a
+// stale register in another) without changing the instruction's meaning.
+// Use Same instead of == everywhere outside this package; the
+// tools/analyzers instcompare pass enforces that.
+func (in Instruction) Same(o Instruction) bool {
+	if in.Op != o.Op {
+		return false
+	}
+	switch in.Op.Fmt() {
+	case FmtR:
+		return in.Rd == o.Rd && in.Rs1 == o.Rs1 && in.Rs2 == o.Rs2
+	case FmtR2:
+		return in.Rd == o.Rd && in.Rs1 == o.Rs1
+	case FmtI:
+		return in.Rd == o.Rd && in.Rs1 == o.Rs1 && in.Imm == o.Imm
+	case FmtLI:
+		return in.Rd == o.Rd && in.Imm == o.Imm
+	case FmtLd:
+		return in.Rd == o.Rd && in.Rs1 == o.Rs1 && in.Imm == o.Imm
+	case FmtSt:
+		return in.Rs1 == o.Rs1 && in.Rs2 == o.Rs2 && in.Imm == o.Imm
+	case FmtB:
+		if in.Op == BEQ || in.Op == BNE {
+			return in.Rs1 == o.Rs1 && in.Rs2 == o.Rs2 && in.Imm == o.Imm
+		}
+		return in.Rs1 == o.Rs1 && in.Imm == o.Imm
+	case FmtJ:
+		if in.Op == JAL {
+			return in.Rd == o.Rd && in.Imm == o.Imm
+		}
+		return in.Imm == o.Imm
+	case FmtJR:
+		return in.Rs1 == o.Rs1
+	case FmtQ:
+		return in.Rs1 == o.Rs1 && in.Rs2 == o.Rs2
+	case FmtTID:
+		return in.Rd == o.Rd
+	case FmtN:
+		return true
+	}
+	return false
+}
+
 // fpOperands reports whether the instruction's Rs operands are FP registers.
 func (in Instruction) fpOperands() bool {
 	switch in.Op {

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"hirata/internal/isa"
+)
+
+// edgeKind distinguishes how dataflow state crosses a CFG edge.
+type edgeKind uint8
+
+const (
+	edgeNormal edgeKind = iota // fall-through or resolved branch
+	edgeFork                   // ffork continuation: children start fresh
+	edgeReturn                 // jal fall-through via a matching jr (call returns)
+)
+
+// edge is one directed CFG edge between basic blocks.
+type edge struct {
+	to   int
+	kind edgeKind
+}
+
+// block is one basic block: the half-open instruction range [start, end).
+type block struct {
+	start, end int
+	succs      []edge
+	reachable  bool
+
+	// dataflow fixpoint state (see dataflow.go)
+	inDefs regset
+	inQ    qstate
+	seeded bool // an entry block whose initial state is fixed
+}
+
+// cfg is the control-flow graph of one program text.
+type cfg struct {
+	text    []isa.Instruction
+	blocks  []*block
+	blockAt []int // pc -> index of containing block
+	entries []int // block indices of thread entry points (seeded fresh)
+	hasJR   bool
+	hasFork bool
+}
+
+// endsStream reports whether op unconditionally ends or redirects the
+// instruction stream (no fall-through successor).
+func endsStream(op isa.Opcode) bool {
+	return op == isa.J || op == isa.JR || op == isa.HALT
+}
+
+// controlTarget returns the static target of a control transfer, if any.
+// SETMODE shares FmtJ but is not a transfer.
+func controlTarget(in isa.Instruction) (int64, bool) {
+	if in.Op.IsBranch() && in.Op != isa.JR {
+		return int64(in.Imm), true
+	}
+	return 0, false
+}
+
+// buildCFG splits the text into basic blocks and wires successor edges.
+// Out-of-range targets produce no edge (reported separately by the target
+// checks) so the dataflow never indexes outside the text.
+func buildCFG(text []isa.Instruction, entries []int) *cfg {
+	g := &cfg{text: text, blockAt: make([]int, len(text))}
+	if len(text) == 0 {
+		return g
+	}
+
+	// Pass 1: leaders.
+	leader := make([]bool, len(text)+1)
+	leader[0] = true
+	for _, e := range entries {
+		if e >= 0 && e < len(text) {
+			leader[e] = true
+		}
+	}
+	for pc, in := range text {
+		if t, ok := controlTarget(in); ok && t >= 0 && t < int64(len(text)) {
+			leader[t] = true
+		}
+		switch {
+		case in.Op.IsBranch() || in.Op == isa.HALT:
+			if pc+1 < len(text) {
+				leader[pc+1] = true
+			}
+		case in.Op == isa.FFORK:
+			g.hasFork = true
+			if pc+1 < len(text) {
+				leader[pc+1] = true
+			}
+		}
+		if in.Op == isa.JR {
+			g.hasJR = true
+		}
+	}
+
+	// Pass 2: blocks.
+	start := 0
+	for pc := 1; pc <= len(text); pc++ {
+		if pc == len(text) || leader[pc] {
+			b := &block{start: start, end: pc}
+			for i := start; i < pc; i++ {
+				g.blockAt[i] = len(g.blocks)
+			}
+			g.blocks = append(g.blocks, b)
+			start = pc
+		}
+	}
+
+	// Pass 3: edges.
+	for bi, b := range g.blocks {
+		last := g.text[b.end-1]
+		addEdge := func(toPC int64, kind edgeKind) {
+			if toPC >= 0 && toPC < int64(len(text)) {
+				g.blocks[bi].succs = append(g.blocks[bi].succs, edge{to: g.blockAt[toPC], kind: kind})
+			}
+		}
+		switch {
+		case last.Op == isa.HALT || last.Op == isa.JR:
+			// stream ends (jr is treated as a return)
+		case last.Op == isa.J:
+			addEdge(int64(last.Imm), edgeNormal)
+		case last.Op == isa.JAL:
+			addEdge(int64(last.Imm), edgeNormal)
+			if g.hasJR {
+				// The callee returns: the fall-through resumes with
+				// unknown (conservatively all-defined) register state.
+				addEdge(int64(b.end), edgeReturn)
+			}
+		case last.Op.IsConditionalBranch():
+			addEdge(int64(last.Imm), edgeNormal)
+			addEdge(int64(b.end), edgeNormal)
+		case last.Op == isa.FFORK:
+			addEdge(int64(b.end), edgeFork)
+		default:
+			addEdge(int64(b.end), edgeNormal)
+		}
+	}
+
+	for _, e := range entries {
+		if e >= 0 && e < len(text) {
+			bi := g.blockAt[e]
+			g.blocks[bi].seeded = true
+			g.entries = append(g.entries, bi)
+		}
+	}
+	return g
+}
+
+// markReachable flood-fills reachability from the entry blocks.
+func (g *cfg) markReachable() {
+	var stack []int
+	for _, bi := range g.entries {
+		if !g.blocks[bi].reachable {
+			g.blocks[bi].reachable = true
+			stack = append(stack, bi)
+		}
+	}
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.blocks[bi].succs {
+			if !g.blocks[e.to].reachable {
+				g.blocks[e.to].reachable = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+}
+
+// inCycle reports whether block bi can reach itself through one or more
+// edges (the block lies on a CFG cycle).
+func (g *cfg) inCycle(bi int) bool {
+	seen := make([]bool, len(g.blocks))
+	var stack []int
+	for _, e := range g.blocks[bi].succs {
+		if !seen[e.to] {
+			seen[e.to] = true
+			stack = append(stack, e.to)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == bi {
+			return true
+		}
+		for _, e := range g.blocks[n].succs {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"hirata/internal/isa"
+)
+
+// regset is a must-be-defined register bitset: bit r set means every path
+// to this point wrote register r (integer registers occupy bits 0..31, FP
+// registers bits 32..63, matching isa.Reg values).
+type regset uint64
+
+const allDefined = ^regset(0)
+
+func regbit(r isa.Reg) regset { return regset(1) << uint(r) }
+
+func (s regset) has(r isa.Reg) bool { return s&regbit(r) != 0 }
+
+// freshDefs is the register state of a just-started thread: only the
+// hardwired-zero register counts as initialised.
+func freshDefs() regset { return regbit(isa.R0) }
+
+// qUnknown marks a queue-mapping slot whose value differs between
+// converging paths; all queue-specific checks are suppressed under it.
+const qUnknown isa.Reg = 254
+
+// qstate tracks the active queue-register mappings (set by qen/qenf,
+// cleared by qdis) as a forward dataflow value. isa.NoReg means "known
+// unmapped"; qUnknown means "conflicting paths".
+type qstate struct {
+	top           bool // no information yet (identity for meet)
+	inInt, outInt isa.Reg
+	inFP, outFP   isa.Reg
+}
+
+func unmappedQ() qstate {
+	return qstate{inInt: isa.NoReg, outInt: isa.NoReg, inFP: isa.NoReg, outFP: isa.NoReg}
+}
+
+func unknownQ() qstate {
+	return qstate{inInt: qUnknown, outInt: qUnknown, inFP: qUnknown, outFP: qUnknown}
+}
+
+func meetReg(a, b isa.Reg) isa.Reg {
+	if a == b {
+		return a
+	}
+	return qUnknown
+}
+
+func (q qstate) meet(o qstate) qstate {
+	if q.top {
+		return o
+	}
+	if o.top {
+		return q
+	}
+	return qstate{
+		inInt: meetReg(q.inInt, o.inInt), outInt: meetReg(q.outInt, o.outInt),
+		inFP: meetReg(q.inFP, o.inFP), outFP: meetReg(q.outFP, o.outFP),
+	}
+}
+
+// state is the combined dataflow value at one program point.
+type state struct {
+	defs regset
+	q    qstate
+}
+
+// transform applies an edge's state transformation.
+func (st state) transform(kind edgeKind) state {
+	switch kind {
+	case edgeFork:
+		// Forked children start with a fresh register bank and no queue
+		// mappings; the continuation state is the meet of the forker and
+		// its children, which is the children's fresh state.
+		return state{defs: freshDefs(), q: unmappedQ()}
+	case edgeReturn:
+		// Returning from a call: the callee may have written anything, so
+		// everything counts as defined and mappings are unknown.
+		return state{defs: allDefined, q: unknownQ()}
+	}
+	return st
+}
+
+// queueUse records one executed queue-register access, for the whole-
+// program produce/consume balance checks.
+type queueUse struct {
+	pc int
+	fp bool
+}
+
+// stepper runs the transfer function for one instruction, optionally
+// reporting per-instruction diagnostics through the analysis.
+type stepper struct {
+	a      *analysis
+	report bool
+	srcBuf []isa.Reg
+}
+
+// step advances st across the instruction at pc.
+func (sp *stepper) step(st *state, pc int) {
+	in := sp.a.text[pc]
+	known := func(r isa.Reg) bool { return r != qUnknown }
+
+	// Source operands.
+	srcs := in.Sources(sp.srcBuf[:0])
+	sp.srcBuf = srcs[:0]
+	for _, r := range srcs {
+		switch {
+		case r == isa.R0 || !r.Valid():
+			// hardwired zero / unused slot
+		case known(st.q.inInt) && r == st.q.inInt, known(st.q.inFP) && r == st.q.inFP:
+			// queue pop: always "defined" (the interlock supplies data)
+			if sp.report {
+				sp.a.queueReads = append(sp.a.queueReads, queueUse{pc: pc, fp: r.IsFP()})
+			}
+		case known(st.q.outInt) && r == st.q.outInt, known(st.q.outFP) && r == st.q.outFP:
+			if sp.report {
+				sp.a.reportf(CodeQueueProtocol, pc,
+					"read of write-mapped queue register %s returns the stale register-file value, not queue data", r)
+			}
+		case sp.a.qReadRegs.has(r):
+			// This register is read-mapped by some qen/qenf in the
+			// program; suppress uninitialised-read reports for it even
+			// where the mapping state is imprecise.
+		case !st.defs.has(r):
+			if sp.report {
+				sp.a.reportf(CodeUninitRead, pc,
+					"register %s may be read before any instruction writes it (threads start with zeroed banks, but this is almost always a missing initialisation)", r)
+			}
+		}
+	}
+
+	// Destination.
+	if d := in.Dest(); d.Valid() {
+		switch {
+		case d == isa.R0:
+			if sp.report {
+				sp.a.reportf(CodeReadonlyWrite, pc,
+					"r0 is hardwired to zero; the result of %s is silently discarded", in.Op)
+			}
+		case known(st.q.inInt) && d == st.q.inInt, known(st.q.inFP) && d == st.q.inFP:
+			if sp.report {
+				sp.a.reportf(CodeQueueProtocol, pc,
+					"write to read-mapped queue register %s goes to the register file, where reads cannot see it while the mapping is active", d)
+			}
+			st.defs |= regbit(d)
+		case known(st.q.outInt) && d == st.q.outInt, known(st.q.outFP) && d == st.q.outFP:
+			// The write is diverted into the outgoing FIFO; the
+			// architectural register is untouched.
+			if sp.report {
+				sp.a.queueWrites = append(sp.a.queueWrites, queueUse{pc: pc, fp: d.IsFP()})
+			}
+		default:
+			st.defs |= regbit(d)
+		}
+	}
+
+	// Queue-mapping and mode effects.
+	switch in.Op {
+	case isa.QEN:
+		st.q.inInt, st.q.outInt = in.Rs1, in.Rs2
+	case isa.QENF:
+		st.q.inFP, st.q.outFP = in.Rs1, in.Rs2
+	case isa.QDIS:
+		if sp.report && !st.q.top &&
+			st.q.inInt == isa.NoReg && st.q.outInt == isa.NoReg &&
+			st.q.inFP == isa.NoReg && st.q.outFP == isa.NoReg {
+			sp.a.reportf(CodeQueueProtocol, pc, "qdis with no active queue-register mapping")
+		}
+		st.q = unmappedQ()
+	case isa.SETMODE:
+		if sp.report && in.Imm != 0 && in.Imm != 1 {
+			sp.a.reportf(CodeThreadControl, pc,
+				"setmode operand %d is neither 0 (implicit rotation) nor 1 (explicit rotation)", in.Imm)
+		}
+	}
+}
+
+// runDataflow computes the per-block fixpoint, then replays each reachable
+// block once with reporting enabled.
+func (a *analysis) runDataflow() {
+	g := a.g
+	if len(g.blocks) == 0 {
+		return
+	}
+
+	// Initialise: entry blocks start fresh; everything else starts at top
+	// and is lowered by meets.
+	for _, b := range g.blocks {
+		b.inDefs = allDefined
+		b.inQ = qstate{top: true}
+	}
+	entryState := state{defs: freshDefs(), q: unmappedQ()}
+	for _, bi := range g.entries {
+		g.blocks[bi].inDefs = entryState.defs
+		g.blocks[bi].inQ = entryState.q
+	}
+
+	// Precompute predecessors with edge kinds.
+	type pred struct {
+		from int
+		kind edgeKind
+	}
+	preds := make([][]pred, len(g.blocks))
+	for bi, b := range g.blocks {
+		for _, e := range b.succs {
+			preds[e.to] = append(preds[e.to], pred{from: bi, kind: e.kind})
+		}
+	}
+
+	sp := &stepper{a: a, srcBuf: make([]isa.Reg, 0, 4)}
+	outState := func(bi int) state {
+		st := state{defs: g.blocks[bi].inDefs, q: g.blocks[bi].inQ}
+		for pc := g.blocks[bi].start; pc < g.blocks[bi].end; pc++ {
+			sp.step(&st, pc)
+		}
+		return st
+	}
+
+	// Chaotic iteration to fixpoint.
+	inWork := make([]bool, len(g.blocks))
+	var work []int
+	for bi := range g.blocks {
+		if g.blocks[bi].reachable {
+			work = append(work, bi)
+			inWork[bi] = true
+		}
+	}
+	for iter := 0; len(work) > 0 && iter < 64*len(g.blocks)+64; iter++ {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		b := g.blocks[bi]
+
+		in := state{defs: allDefined, q: qstate{top: true}}
+		if b.seeded {
+			in = entryState
+		}
+		for _, p := range preds[bi] {
+			if !g.blocks[p.from].reachable {
+				continue
+			}
+			ps := outState(p.from).transform(p.kind)
+			in.defs &= ps.defs
+			in.q = in.q.meet(ps.q)
+		}
+		if in.defs != b.inDefs || in.q != b.inQ {
+			b.inDefs, b.inQ = in.defs, in.q
+			for _, e := range b.succs {
+				if !inWork[e.to] && g.blocks[e.to].reachable {
+					work = append(work, e.to)
+					inWork[e.to] = true
+				}
+			}
+		}
+	}
+
+	// Reporting pass: one replay per reachable block with the final
+	// in-state.
+	sp.report = true
+	for _, b := range g.blocks {
+		if !b.reachable {
+			continue
+		}
+		st := state{defs: b.inDefs, q: b.inQ}
+		for pc := b.start; pc < b.end; pc++ {
+			sp.step(&st, pc)
+		}
+	}
+}

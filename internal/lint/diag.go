@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Code identifies one diagnostic kind. Codes are stable across releases;
+// docs/LINT.md catalogues every code with a minimal triggering example.
+type Code string
+
+// The diagnostic catalogue.
+const (
+	// CodeUninitRead: a register is read on some path before any
+	// instruction defines it. Registers physically reset to zero, so the
+	// program is deterministic — but reading a never-written register is
+	// almost always a forgotten initialisation or a value that only the
+	// forking thread (not the forked children) computed.
+	CodeUninitRead Code = "L001"
+	// CodeBadTarget: a branch, jump, or fast-fork continuation targets an
+	// instruction index outside the text section.
+	CodeBadTarget Code = "L002"
+	// CodeSplitLI: a control transfer lands between a `lih` and the
+	// `addi` that completes its `li` expansion, executing half of a
+	// constant load.
+	CodeSplitLI Code = "L003"
+	// CodeUnreachable: a basic block can never execute from any entry
+	// point (dead code; usually a mislabelled branch).
+	CodeUnreachable Code = "L004"
+	// CodeQueueProtocol: a queue-register ring protocol violation — a
+	// write to the read-mapped register (the value is diverted to the
+	// register file and can never be read back while the mapping is
+	// active), a read of the write-mapped register (returns the stale
+	// register-file value, not queue data), or `qdis` with no active
+	// mapping.
+	CodeQueueProtocol Code = "L005"
+	// CodeQueueDeadlock: a statically guaranteed queue deadlock — in a
+	// single-threaded program, a queue-register read with no reachable
+	// producer interlocks the decode unit forever, and unmatched
+	// queue-register writes fill the FIFO and stall.
+	CodeQueueDeadlock Code = "L006"
+	// CodeThreadControl: misuse of the thread-control instructions —
+	// `ffork` inside a loop (forked children re-execute the fork),
+	// `setmode` with an operand other than 0 or 1, or `kill` in a
+	// program that can never have more than one thread.
+	CodeThreadControl Code = "L007"
+	// CodeNoHalt: an execution path runs past the end of the text
+	// section without `halt`; the thread slot never retires and the
+	// simulation spins until MaxCycles.
+	CodeNoHalt Code = "L008"
+	// CodeReadonlyWrite: an instruction names r0 — the hardwired-zero
+	// register — as its destination; the result is silently discarded.
+	CodeReadonlyWrite Code = "L009"
+)
+
+// codeNames maps each code to its short slug.
+var codeNames = map[Code]string{
+	CodeUninitRead:    "uninit-read",
+	CodeBadTarget:     "bad-target",
+	CodeSplitLI:       "split-li",
+	CodeUnreachable:   "unreachable",
+	CodeQueueProtocol: "queue-protocol",
+	CodeQueueDeadlock: "queue-deadlock",
+	CodeThreadControl: "thread-control",
+	CodeNoHalt:        "no-halt",
+	CodeReadonlyWrite: "readonly-write",
+}
+
+// Name returns the code's short slug ("uninit-read").
+func (c Code) Name() string {
+	if n, ok := codeNames[c]; ok {
+		return n
+	}
+	return string(c)
+}
+
+// Diagnostic is one finding of the static verifier.
+type Diagnostic struct {
+	Code Code   `json:"code"`
+	Name string `json:"name"`           // short slug of Code
+	PC   int    `json:"pc"`             // instruction index; -1 = whole program
+	Line int    `json:"line,omitempty"` // 1-based source line, 0 unknown
+	Ins  string `json:"ins,omitempty"`  // disassembly of the instruction at PC
+	Msg  string `json:"msg"`
+}
+
+// String renders "L001 (uninit-read) at pc 5 [line 12: add r1, r2, r3]: ...".
+func (d Diagnostic) String() string {
+	pos := ""
+	switch {
+	case d.PC >= 0 && d.Line > 0:
+		pos = fmt.Sprintf(" at pc %d (line %d: %s)", d.PC, d.Line, d.Ins)
+	case d.PC >= 0:
+		pos = fmt.Sprintf(" at pc %d (%s)", d.PC, d.Ins)
+	}
+	return fmt.Sprintf("%s (%s)%s: %s", d.Code, d.Code.Name(), pos, d.Msg)
+}
+
+// MarshalJSONList renders diagnostics as a JSON array (for -json output).
+func MarshalJSONList(ds []Diagnostic) ([]byte, error) {
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	return json.MarshalIndent(ds, "", "  ")
+}
+
+// sortDiags orders findings by position, then code.
+func sortDiags(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].PC != ds[j].PC {
+			return ds[i].PC < ds[j].PC
+		}
+		return ds[i].Code < ds[j].Code
+	})
+}

@@ -1,0 +1,282 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hirata/internal/asm"
+	"hirata/internal/lint"
+)
+
+// diagAt reports whether ds contains a diagnostic with the given code at
+// the given pc.
+func diagAt(ds []lint.Diagnostic, code lint.Code, pc int) bool {
+	for _, d := range ds {
+		if d.Code == code && d.PC == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDiagnosticsFixtures holds one known-bad program per diagnostic code
+// and asserts the exact position (pc and 1-based source line) of each
+// finding.
+func TestDiagnosticsFixtures(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		code    lint.Code
+		pc      int
+		line    int
+		extraOK []lint.Code // other codes allowed to co-fire
+	}{
+		{
+			name: "uninit-read",
+			src: "\taddi r1, r0, 1\n" +
+				"\tadd  r3, r1, r2\n" + // r2 never written
+				"\thalt\n",
+			code: lint.CodeUninitRead, pc: 1, line: 2,
+		},
+		{
+			name: "uninit-read-fp",
+			src: "\tfadd f3, f1, f2\n" + // f1, f2 never written
+				"\thalt\n",
+			code: lint.CodeUninitRead, pc: 0, line: 1,
+		},
+		{
+			name: "bad-target-data-label",
+			src: "\t.data\n" +
+				"\t.org 100\n" +
+				"v:\t.word 1\n" +
+				"\t.text\n" +
+				"\tj v\n" + // jumps to data address 100, text has 2 instructions
+				"\thalt\n",
+			code: lint.CodeBadTarget, pc: 0, line: 5,
+		},
+		{
+			name: "bad-target-ffork-at-end",
+			src: "\tnop\n" +
+				"\tffork\n", // children would start past the end
+			code: lint.CodeBadTarget, pc: 1, line: 2,
+			extraOK: []lint.Code{lint.CodeNoHalt},
+		},
+		{
+			name: "split-li",
+			src: "\t.equ MID 1\n" +
+				"\tli r1, 100000\n" + // expands to lih(0) + addi(1)
+				"\tj MID\n" +
+				"\thalt\n",
+			code: lint.CodeSplitLI, pc: 2, line: 3,
+		},
+		{
+			name: "unreachable",
+			src: "\tj end\n" +
+				"\tadd r1, r0, r0\n" + // skipped forever
+				"end:\thalt\n",
+			code: lint.CodeUnreachable, pc: 1, line: 2,
+		},
+		{
+			name: "queue-write-to-read-mapped",
+			src: "\tqen r20, r21\n" +
+				"\tmov r20, r0\n" + // write lands in the register file, not the queue
+				"\tmov r1, r20\n" +
+				"\thalt\n",
+			code: lint.CodeQueueProtocol, pc: 1, line: 2,
+			extraOK: []lint.Code{lint.CodeQueueDeadlock},
+		},
+		{
+			name: "queue-read-of-write-mapped",
+			src: "\tqen r20, r21\n" +
+				"\tmov r1, r21\n" + // reads the stale register file
+				"\thalt\n",
+			code: lint.CodeQueueProtocol, pc: 1, line: 2,
+		},
+		{
+			name: "qdis-without-mapping",
+			src: "\tqdis\n" +
+				"\thalt\n",
+			code: lint.CodeQueueProtocol, pc: 0, line: 1,
+		},
+		{
+			name: "queue-read-no-producer",
+			src: "\tqen r20, r21\n" +
+				"\tmov r1, r20\n" + // pops forever, nothing pushes
+				"\thalt\n",
+			code: lint.CodeQueueDeadlock, pc: 1, line: 2,
+		},
+		{
+			name: "queue-write-no-consumer-loop",
+			src: "\tqen r20, r21\n" +
+				"loop:\tmov r21, r0\n" + // pushes in a loop, nothing pops
+				"\tj loop\n",
+			code: lint.CodeQueueDeadlock, pc: 1, line: 2,
+		},
+		{
+			name: "setmode-bad-operand",
+			src: "\tsetmode 3\n" +
+				"\thalt\n",
+			code: lint.CodeThreadControl, pc: 0, line: 1,
+		},
+		{
+			name: "kill-single-threaded",
+			src: "\tkill\n" +
+				"\thalt\n",
+			code: lint.CodeThreadControl, pc: 0, line: 1,
+			extraOK: []lint.Code{lint.CodeUnreachable},
+		},
+		{
+			name: "ffork-in-loop",
+			src: "loop:\tffork\n" +
+				"\tj loop\n",
+			code: lint.CodeThreadControl, pc: 0, line: 1,
+		},
+		{
+			name: "no-halt",
+			src:  "\taddi r1, r0, 1\n",
+			code: lint.CodeNoHalt, pc: 0, line: 1,
+		},
+		{
+			name: "readonly-write",
+			src: "\taddi r0, r0, 5\n" +
+				"\thalt\n",
+			code: lint.CodeReadonlyWrite, pc: 0, line: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := asm.Assemble(tc.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			ds := lint.Analyze(p)
+			if !diagAt(ds, tc.code, tc.pc) {
+				t.Fatalf("want %s at pc %d, got: %v", tc.code, tc.pc, ds)
+			}
+			allowed := map[lint.Code]bool{tc.code: true}
+			for _, c := range tc.extraOK {
+				allowed[c] = true
+			}
+			for _, d := range ds {
+				if !allowed[d.Code] {
+					t.Errorf("unexpected extra diagnostic: %v", d)
+				}
+				if d.Code == tc.code && d.PC == tc.pc && d.Line != tc.line {
+					t.Errorf("diagnostic line = %d, want %d (%v)", d.Line, tc.line, d)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanPrograms holds minimal programs that exercise each feature
+// correctly and must produce zero findings.
+func TestCleanPrograms(t *testing.T) {
+	cases := map[string]string{
+		"basic-loop": "\tli r1, 10\n" +
+			"\tli r2, 0\n" +
+			"loop:\tadd r2, r2, r1\n" +
+			"\taddi r1, r1, -1\n" +
+			"\tbnez r1, loop\n" +
+			"\thalt\n",
+		"call-return": "\tli r1, 3\n" +
+			"\tcall fn\n" +
+			"\tmov r2, r1\n" +
+			"\thalt\n" +
+			"fn:\taddi r1, r1, 1\n" +
+			"\tret\n",
+		"fork-queue-ring": "\tffork\n" +
+			"\ttid r1\n" +
+			"\tqen r20, r21\n" +
+			"\tmov r21, r1\n" + // push my tid to the next slot
+			"\tmov r2, r20\n" + // pop the previous slot's tid
+			"\tqdis\n" +
+			"\thalt\n",
+		"fork-kill": "\tffork\n" +
+			"\ttid r1\n" +
+			"\tbeqz r1, primary\n" +
+			"\tkill\n" +
+			"primary:\thalt\n",
+		"setmode-both": "\tsetmode 1\n" +
+			"\tsetmode 0\n" +
+			"\thalt\n",
+		"infinite-loop-with-dead-halt": "loop:\tnop\n" +
+			"\tj loop\n" +
+			"\thalt\n", // compiler-style trailing halt is not flagged
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			p, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			if ds := lint.Analyze(p); len(ds) != 0 {
+				t.Fatalf("expected clean, got: %v", ds)
+			}
+		})
+	}
+}
+
+// TestExamplesLintClean requires every shipped example program to verify
+// with zero findings.
+func TestExamplesLintClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example programs found")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := asm.Assemble(string(src))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			for _, d := range lint.Analyze(p) {
+				t.Errorf("%s: %v", filepath.Base(path), d)
+			}
+		})
+	}
+}
+
+// TestDiagnosticString pins the human-readable rendering.
+func TestDiagnosticString(t *testing.T) {
+	p := asm.MustAssemble("\tadd r3, r1, r2\n\thalt\n")
+	ds := lint.Analyze(p)
+	if len(ds) == 0 {
+		t.Fatal("expected findings")
+	}
+	s := ds[0].String()
+	for _, want := range []string{"L001", "uninit-read", "pc 0", "line 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	js, err := lint.MarshalJSONList(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"code": "L001"`) {
+		t.Errorf("JSON output missing code: %s", js)
+	}
+}
+
+// TestAnalyzeTextEntries checks multi-entry analysis and bad entries.
+func TestAnalyzeTextEntries(t *testing.T) {
+	p := asm.MustAssemble("\thalt\n\thalt\n")
+	ds := lint.AnalyzeProgram(p, lint.Config{Entries: []int{0, 1}})
+	if len(ds) != 0 {
+		t.Fatalf("two-entry program should be clean, got %v", ds)
+	}
+	ds = lint.AnalyzeProgram(p, lint.Config{Entries: []int{5}})
+	if !diagAt(ds, lint.CodeBadTarget, -1) {
+		t.Fatalf("out-of-range entry not flagged: %v", ds)
+	}
+}

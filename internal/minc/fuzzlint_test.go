@@ -1,0 +1,61 @@
+package minc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hirata/internal/lint"
+)
+
+// FuzzCompile feeds MinC sources (seeded from the shipped examples) to the
+// compiler and verifies every successfully compiled program against the
+// structural lint checks: the code generator must never emit branches to
+// nowhere, transfers into a split li expansion, paths that run off the end
+// of the text section, or writes to r0.
+//
+// The value-flow diagnostics (uninitialised reads, queue protocol, queue
+// deadlock, unreachable code) are deliberately not asserted: fuzzed MinC
+// can legitimately describe programs with those properties (for example a
+// qrecv() with no matching qsend), and the verifier is then correct to
+// report them.
+func FuzzCompile(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.mc"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no MinC example corpus found")
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	// Small hand seeds covering features the examples may not hit.
+	f.Add("int x; void main() { x = 1 + 2 * 3; }")
+	f.Add("void main() { int i; for (i = 0; i < 4; i = i + 1) { } }")
+	f.Add("float g; void main() { float a; a = 1.5; if (a < 2.0) { g = a; } }")
+	f.Add("void main() { fork(); qsend(tid()); qrecv(); }")
+	f.Add("int a[8]; void main() { int i; while (i < 8) { a[i] = i; i = i + 1; } }")
+
+	structural := map[lint.Code]bool{
+		lint.CodeBadTarget:     true,
+		lint.CodeSplitLI:       true,
+		lint.CodeNoHalt:        true,
+		lint.CodeReadonlyWrite: true,
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			return // rejecting bad source is fine; crashing is not
+		}
+		for _, d := range lint.AnalyzeProgram(p, lint.Config{}) {
+			if structural[d.Code] {
+				t.Errorf("compiled output fails verification: %v\nsource:\n%s", d, src)
+			}
+		}
+	})
+}

@@ -3,7 +3,6 @@ package minc
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // tokKind classifies tokens.
@@ -55,8 +54,8 @@ func lex(src string) ([]token, error) {
 			for i < len(src) && src[i] != '\n' {
 				i++
 			}
-		case unicode.IsLetter(rune(c)) || c == '_':
-			j := i
+		case isIdentStart(c):
+			j := i + 1
 			for j < len(src) && (isIdentChar(src[j])) {
 				j++
 			}
@@ -99,4 +98,12 @@ func lex(src string) ([]token, error) {
 
 func isIdentChar(c byte) bool {
 	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// isIdentStart must stay consistent with isIdentChar: a byte that starts
+// an identifier but cannot continue one would make the scan loop emit an
+// empty token without advancing. (Non-ASCII bytes land in the punct arm,
+// which rejects them with a position.)
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
 }

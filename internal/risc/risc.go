@@ -37,6 +37,10 @@ type Config struct {
 	ICache, DCache mem.CacheConfig
 	// MaxCycles aborts runaway programs.
 	MaxCycles uint64
+	// StrictVerify makes the top-level runners (hirata.RunRISC) refuse to
+	// simulate a program the static verifier (internal/lint) finds
+	// diagnostics in. The machine itself ignores this field.
+	StrictVerify bool
 }
 
 func (c Config) withDefaults() Config {

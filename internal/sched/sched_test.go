@@ -140,7 +140,7 @@ func TestScheduleDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range a {
-			if a[i] != b[i] {
+			if !a[i].Same(b[i]) {
 				t.Fatalf("%v: nondeterministic at %d: %v != %v", strat, i, a[i], b[i])
 			}
 		}

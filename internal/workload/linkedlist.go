@@ -136,6 +136,8 @@ func linkedListSeq(cfg LinkedListConfig) string {
 	app("\tflw  f10, ga")
 	app("\tflw  f11, gb")
 	app("\tflw  f12, gc")
+	app("\titof f9, r0")    // constant 0.0 for the break test
+	app("\titof f6, r0")    // tmp published at exit, even for an empty list
 	app("\tla   r1, nodes") // ptr
 	app("\tli   r2, 0")     // iteration count
 	app("loop:")
@@ -178,6 +180,7 @@ func linkedListEager(cfg LinkedListConfig) string {
 	app("\tflw  f10, ga")
 	app("\tflw  f11, gb")
 	app("\tflw  f12, gc")
+	app("\titof f9, r0")         // constant 0.0 for the break test
 	app("\tlw   r9, gthreadsll") // stride for the iteration counter
 	app("\tmov  r2, r8")         // this thread's first iteration index
 	app("\tbnez r8, loop")

@@ -178,6 +178,7 @@ func rayTraceText(cfg RayTraceConfig, parallel bool) string {
 	w("\tla   r5, spills")
 	w("\tadd  r11, r11, r5")
 	w("\tmov  r3, r1") // ray index starts at tid
+	w("\titof f9, r0") // constant 0.0 for the discriminant/behind tests
 
 	w("rayloop:")
 	w("\tslt  r5, r3, r12")

@@ -1,0 +1,113 @@
+package hirata_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hirata"
+)
+
+// TestWorkloadsLintClean runs the static verifier over every paper
+// workload program; the generators must emit protocol-clean code.
+func TestWorkloadsLintClean(t *testing.T) {
+	progs := map[string]*hirata.Program{}
+
+	rt, err := hirata.BuildRayTrace(hirata.RayTraceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["raytrace-seq"], progs["raytrace-par"] = rt.Seq, rt.Par
+
+	lk, err := hirata.BuildLivermore(hirata.LivermoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["livermore-seq"], progs["livermore-par"] = lk.Seq, lk.Par
+
+	ll, err := hirata.BuildLinkedList(hirata.LinkedListConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["linkedlist-seq"], progs["linkedlist-par"] = ll.Seq, ll.Par
+
+	rc, err := hirata.BuildRecurrence(hirata.RecurrenceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["recurrence-seq"], progs["recurrence-par"] = rc.Seq, rc.Par
+
+	rd, err := hirata.BuildRadiosity(hirata.RadiosityConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["radiosity"] = rd.Prog
+
+	for name, p := range progs {
+		t.Run(name, func(t *testing.T) {
+			for _, d := range hirata.Lint(p) {
+				t.Errorf("%s: %v", name, d)
+			}
+		})
+	}
+}
+
+// TestExampleMinCLintClean compiles every shipped MinC example and
+// verifies the generated code.
+func TestExampleMinCLintClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("examples", "programs", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no MinC examples found")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := hirata.CompileMinC(string(src))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, d := range hirata.Lint(p) {
+				t.Errorf("%s: %v", filepath.Base(path), d)
+			}
+		})
+	}
+}
+
+// TestStrictVerify checks the StrictVerify run gate on both machines.
+func TestStrictVerify(t *testing.T) {
+	bad := hirata.Program{}
+	{
+		p, err := hirata.Assemble("\tadd r3, r1, r2\n") // uninit reads, no halt
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad = *p
+	}
+	good, err := hirata.Assemble("\tli r1, 2\n\tadd r2, r1, r1\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := hirata.RunMT(hirata.MTConfig{StrictVerify: true}, bad.Text, hirata.NewMemory(16)); err == nil {
+		t.Error("RunMT(StrictVerify) accepted a bad program")
+	} else if !strings.Contains(err.Error(), "L001") {
+		t.Errorf("RunMT error does not carry diagnostics: %v", err)
+	}
+	if _, err := hirata.RunMT(hirata.MTConfig{StrictVerify: true}, good.Text, hirata.NewMemory(16)); err != nil {
+		t.Errorf("RunMT(StrictVerify) rejected a clean program: %v", err)
+	}
+
+	if _, err := hirata.RunRISC(hirata.RISCConfig{StrictVerify: true}, bad.Text, hirata.NewMemory(16)); err == nil {
+		t.Error("RunRISC(StrictVerify) accepted a bad program")
+	}
+	if _, err := hirata.RunRISC(hirata.RISCConfig{StrictVerify: true}, good.Text, hirata.NewMemory(16)); err != nil {
+		t.Errorf("RunRISC(StrictVerify) rejected a clean program: %v", err)
+	}
+}

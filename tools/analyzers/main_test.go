@@ -1,0 +1,119 @@
+package main
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks one synthesized file as package
+// pkgPath, resolving this module's imports through the source importer.
+func typecheckSrc(t *testing.T, pkgPath, src string) (*token.FileSet, []*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {},
+	}
+	if _, err := conf.Check(pkgPath, fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, info
+}
+
+const badFixture = `package p
+
+import (
+	"hirata/internal/core"
+	"hirata/internal/isa"
+)
+
+func f(r core.Result, p *core.Result, a, b isa.Instruction) bool {
+	r.Cycles = 0          // statsmutate
+	r.Slots[0].Issued++   // statsmutate, through an index expression
+	p.Forks += 1          // statsmutate, through a pointer
+	_ = a != b            // instcompare
+	return a == b         // instcompare
+}
+`
+
+const goodFixture = `package p
+
+import (
+	"hirata/internal/core"
+	"hirata/internal/isa"
+)
+
+func f(r core.Result, a, b isa.Instruction) (uint64, bool) {
+	c := r.Cycles          // reading stats is fine
+	local := core.Result{} // composite literals are construction, not mutation
+	_ = local
+	return c, a.Same(b)
+}
+`
+
+func TestBadFixtureFindings(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/tools/analyzers/fixture", badFixture)
+
+	inst := checkInstCompare(fset, "hirata/tools/analyzers/fixture", files, info)
+	if len(inst) != 2 {
+		t.Errorf("instcompare findings = %d, want 2: %v", len(inst), inst)
+	}
+	for _, f := range inst {
+		if !strings.Contains(f, "Instruction.Same") {
+			t.Errorf("instcompare finding does not suggest Same: %s", f)
+		}
+	}
+
+	stats := checkStatsMutate(fset, "hirata/tools/analyzers/fixture", files, info)
+	if len(stats) != 3 {
+		t.Errorf("statsmutate findings = %d, want 3: %v", len(stats), stats)
+	}
+	wantFields := []string{"Result.Cycles", "SlotStat.Issued", "Result.Forks"}
+	for _, want := range wantFields {
+		found := false
+		for _, f := range stats {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no statsmutate finding for %s in %v", want, stats)
+		}
+	}
+}
+
+func TestGoodFixtureClean(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/tools/analyzers/fixture", goodFixture)
+	if fs := checkInstCompare(fset, "hirata/tools/analyzers/fixture", files, info); len(fs) != 0 {
+		t.Errorf("instcompare on clean fixture: %v", fs)
+	}
+	if fs := checkStatsMutate(fset, "hirata/tools/analyzers/fixture", files, info); len(fs) != 0 {
+		t.Errorf("statsmutate on clean fixture: %v", fs)
+	}
+}
+
+// TestExemptPackages checks that the owning packages may keep using raw
+// equality and direct mutation.
+func TestExemptPackages(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/internal/core", badFixture)
+	if fs := checkStatsMutate(fset, "hirata/internal/core", files, info); len(fs) != 0 {
+		t.Errorf("statsmutate inside internal/core: %v", fs)
+	}
+	fset, files, info = typecheckSrc(t, "hirata/internal/isa", badFixture)
+	if fs := checkInstCompare(fset, "hirata/internal/isa", files, info); len(fs) != 0 {
+		t.Errorf("instcompare inside internal/isa: %v", fs)
+	}
+}
