@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet analyzers verify-examples fuzz fmt
+.PHONY: all build test race lint vet analyzers verify-examples lint-interthread fuzz fmt
 
 all: build test lint
 
@@ -17,7 +17,7 @@ race:
 
 # lint = every static check: go vet, the repository's custom Go analyzers,
 # and the program verifier over the shipped examples.
-lint: vet analyzers verify-examples
+lint: vet analyzers verify-examples lint-interthread
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,13 @@ analyzers:
 
 verify-examples:
 	$(GO) run ./cmd/hirata-lint examples/programs
+
+# Cross-thread abstract interpretation (L010-L014) over the shipped example
+# programs and every paper workload's generated assembly (the Go test
+# builds each generator and requires hirata.Lint to come back clean).
+lint-interthread:
+	$(GO) run ./cmd/hirata-lint -interthread examples/programs
+	$(GO) test -run 'TestWorkloadsLintClean|TestExampleMinCLintClean' .
 
 # Short fuzz session against the MinC compiler (CI runs seeds only).
 fuzz:

@@ -1,22 +1,28 @@
 // Command hirata-lint statically verifies assembly (.s) and MinC (.mc)
 // programs without running them: control-flow graph construction, register
-// def-use dataflow, queue-register ring protocol checks, and whole-program
-// checks. See docs/LINT.md for the diagnostic catalogue.
+// def-use dataflow, queue-register ring protocol checks, and — with
+// -interthread — whole-program abstract interpretation (value ranges,
+// happens-before, data-race and address-safety checks). See docs/LINT.md
+// for the diagnostic catalogue.
 //
 // Usage:
 //
-//	hirata-lint prog.s kernel.mc      # lint individual files
-//	hirata-lint examples/programs     # lint every .s/.mc under a directory
-//	hirata-lint -json prog.s          # machine-readable findings
-//	hirata-lint -entries 0,12 prog.s  # explicit thread entry PCs
+//	hirata-lint prog.s kernel.mc        # lint individual files
+//	hirata-lint examples/programs       # lint every .s/.mc under a directory
+//	hirata-lint -interthread prog.s     # add the cross-thread checks L010..L014
+//	hirata-lint -json prog.s            # machine-readable findings
+//	hirata-lint -sarif prog.s           # SARIF 2.1.0 for code-scanning upload
+//	hirata-lint -entries 0,12 prog.s    # explicit thread entry PCs
 //
-// Exit status: 0 clean, 1 findings (or unparseable input), 2 usage error.
+// Exit status: 0 clean, 1 lint findings, 2 usage error, 3 an input failed
+// to assemble or compile at all.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -30,60 +36,78 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("hirata-lint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as JSON")
-		entries = flag.String("entries", "", "comma-separated thread entry PCs (default 0)")
-		qdepth  = flag.Int("queue-depth", 0, "queue register FIFO depth assumed by the deadlock check (default 1)")
+		jsonOut  = flags.Bool("json", false, "emit findings as JSON")
+		sarifOut = flags.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+		entries  = flags.String("entries", "", "comma-separated thread entry PCs (default 0)")
+		qdepth   = flags.Int("queue-depth", 0, "queue register FIFO depth assumed by the deadlock check (default 1)")
+		inter    = flags.Bool("interthread", false, "run the cross-thread abstract interpretation (L010..L014)")
+		slots    = flags.Int("slots", 0, "thread slots assumed by -interthread (default 4; a .lint slots directive in the program overrides)")
+		memSize  = flags.Int64("mem-size", 0, "data-memory size in words for the out-of-range check (0 = size unknown)")
 	)
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: hirata-lint [-json] [-entries pcs] [-queue-depth n] file-or-dir...")
-		flag.PrintDefaults()
+	flags.Usage = func() {
+		fmt.Fprintln(stderr, "usage: hirata-lint [-json|-sarif] [-interthread] [-slots n] [-mem-size words] [-entries pcs] [-queue-depth n] file-or-dir...")
+		flags.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if flags.NArg() == 0 {
+		flags.Usage()
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "hirata-lint: -json and -sarif are mutually exclusive")
+		return 2
 	}
 
-	cfg := lint.Config{QueueDepth: *qdepth}
+	cfg := lint.Config{
+		QueueDepth:  *qdepth,
+		InterThread: *inter,
+		ThreadSlots: *slots,
+		MemWords:    *memSize,
+	}
 	if *entries != "" {
 		for _, f := range strings.Split(*entries, ",") {
 			pc, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "hirata-lint: bad -entries value %q\n", f)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "hirata-lint: bad -entries value %q\n", f)
+				return 2
 			}
 			cfg.Entries = append(cfg.Entries, pc)
 		}
 	}
 
-	files, err := collectFiles(flag.Args())
+	files, err := collectFiles(flags.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hirata-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "hirata-lint:", err)
+		return 2
 	}
 	if len(files) == 0 {
-		fmt.Fprintln(os.Stderr, "hirata-lint: no .s or .mc files found")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "hirata-lint: no .s or .mc files found")
+		return 2
 	}
 
-	type fileFinding struct {
-		File string          `json:"file"`
-		Diag lint.Diagnostic `json:"diag"`
-	}
-	var all []fileFinding
+	var all []lint.FileFinding
 	report := func(file string, d lint.Diagnostic) {
-		all = append(all, fileFinding{File: file, Diag: d})
-		if !*jsonOut {
-			fmt.Printf("%s: %s\n", file, d)
+		all = append(all, lint.FileFinding{File: file, Diag: d})
+		if !*jsonOut && !*sarifOut {
+			fmt.Fprintf(stdout, "%s: %s\n", file, d)
 		}
 	}
 
+	badInput := false
 	for _, file := range files {
 		src, err := os.ReadFile(file)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hirata-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "hirata-lint:", err)
+			return 2
 		}
 		var prog *hirata.Program
 		switch filepath.Ext(file) {
@@ -93,11 +117,12 @@ func main() {
 			prog, err = hirata.Assemble(string(src))
 		}
 		if err != nil {
-			// Unparseable input is itself a finding: report it positioned
-			// at the whole program and keep going with the other files.
-			report(file, lint.Diagnostic{
-				Code: lint.CodeBadTarget, Name: "parse-error", PC: -1, Msg: err.Error(),
-			})
+			// Unparseable input is a different failure class from a lint
+			// finding: the program could not be built at all, so none of
+			// the checks ran. Report on stderr and keep going with the
+			// other files; the exit status distinguishes the two.
+			fmt.Fprintf(stderr, "hirata-lint: %s: does not build: %v\n", file, err)
+			badInput = true
 			continue
 		}
 		for _, d := range lint.AnalyzeProgram(prog, cfg) {
@@ -105,20 +130,33 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		if all == nil {
-			all = []fileFinding{}
+			all = []lint.FileFinding{}
 		}
 		out, err := json.MarshalIndent(all, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hirata-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "hirata-lint:", err)
+			return 2
 		}
-		fmt.Println(string(out))
+		fmt.Fprintln(stdout, string(out))
+	case *sarifOut:
+		out, err := lint.MarshalSARIF(all)
+		if err != nil {
+			fmt.Fprintln(stderr, "hirata-lint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(out))
 	}
-	if len(all) > 0 {
-		os.Exit(1)
+
+	switch {
+	case badInput:
+		return 3
+	case len(all) > 0:
+		return 1
 	}
+	return 0
 }
 
 // collectFiles expands the argument list: files are taken as-is, and

@@ -3,6 +3,8 @@
 	.data
 	.org 90
 n:	.word 20
+	.org 100
+out:	.word 0
 	.text
 	lw   r1, n          ; counter
 	li   r2, 0          ; fib(0)
@@ -13,5 +15,5 @@ loop:	beqz r1, done
 	mov  r3, r4
 	addi r1, r1, -1
 	j    loop
-done:	sw   r2, 100(r0)
+done:	sw   r2, out(r0)
 	halt

@@ -89,16 +89,20 @@ type (
 	// LintConfig tunes the static verifier (thread entry points, queue
 	// depth).
 	LintConfig = lint.Config
-	// LintCode identifies a diagnostic kind (L001..L009).
+	// LintCode identifies a diagnostic kind (L001..L014).
 	LintCode = lint.Code
 )
 
 // Lint statically verifies an assembled program: CFG construction per
 // thread entry point, must-defined register dataflow, queue-register ring
-// protocol checks, and whole-program checks (unreachable code, bad branch
-// targets, guaranteed queue deadlocks, thread-control misuse). An empty
-// result means the program is clean.
-func Lint(p *Program) []LintDiagnostic { return lint.Analyze(p) }
+// protocol checks, whole-program checks (unreachable code, bad branch
+// targets, guaranteed queue deadlocks, thread-control misuse), and the
+// cross-thread abstract interpretation (data races, address safety, dead
+// stores, statically decided branches). An empty result means the program
+// is clean.
+func Lint(p *Program) []LintDiagnostic {
+	return lint.AnalyzeProgram(p, LintConfig{InterThread: true})
+}
 
 // LintWithConfig is Lint with explicit entry points and queue depth.
 func LintWithConfig(p *Program, cfg LintConfig) []LintDiagnostic {
@@ -110,14 +114,22 @@ func LintText(text []Instruction, cfg LintConfig) []LintDiagnostic {
 	return lint.AnalyzeText(text, cfg)
 }
 
-// lintConfigForRun maps a run's queue depth and explicit start PCs onto
-// the verifier's configuration.
-func lintConfigForRun(queueDepth int, startPCs []int64) LintConfig {
-	cfg := LintConfig{QueueDepth: queueDepth}
-	for _, pc := range startPCs {
-		cfg.Entries = append(cfg.Entries, int(pc))
+// lintConfigForRun maps a run's machine configuration and explicit start
+// PCs onto the verifier's configuration, including the cross-thread
+// analysis sized to the machine (thread slots, memory words).
+func lintConfigForRun(cfg MTConfig, m *Memory, startPCs []int64) LintConfig {
+	lc := LintConfig{
+		QueueDepth:  cfg.QueueDepth,
+		ThreadSlots: cfg.ThreadSlots,
+		InterThread: true,
 	}
-	return cfg
+	if m != nil {
+		lc.MemWords = m.Size()
+	}
+	for _, pc := range startPCs {
+		lc.Entries = append(lc.Entries, int(pc))
+	}
+	return lc
 }
 
 // strictVerify runs the verifier over text and returns an error carrying
@@ -154,7 +166,7 @@ func NewMemoryWithRemote(words int, remoteBase int64, latency int) *Memory {
 // at the given program counters (default: one thread at 0).
 func RunMT(cfg MTConfig, text []Instruction, m *Memory, startPCs ...int64) (MTResult, error) {
 	if cfg.StrictVerify {
-		if err := strictVerify(text, lintConfigForRun(cfg.QueueDepth, startPCs)); err != nil {
+		if err := strictVerify(text, lintConfigForRun(cfg, m, startPCs)); err != nil {
 			return MTResult{}, err
 		}
 	}

@@ -25,6 +25,7 @@ func Assemble(src string) (*Program, error) {
 	if err := a.prog.sortData(); err != nil {
 		return nil, err
 	}
+	a.prog.resolveDataExtents()
 	return a.prog, nil
 }
 
@@ -99,6 +100,7 @@ func (a *assembler) pass1(src string) error {
 				a.prog.Symbols[name] = int64(textIndex)
 			} else {
 				a.prog.Symbols[name] = a.loc
+				a.prog.DataSyms = append(a.prog.DataSyms, DataSym{Name: name, Addr: a.loc})
 			}
 			s = s[colon+1:]
 		}
@@ -159,8 +161,16 @@ func (a *assembler) directive(line int, mnem, rest string) error {
 		if len(fields) == 0 {
 			return a.errf(line, "%s needs at least one value", mnem)
 		}
+		class := WordInt
+		if mnem == ".float" {
+			class = WordFloat
+		}
+		if a.prog.WordTypes == nil {
+			a.prog.WordTypes = make(map[int64]WordClass)
+		}
 		for _, f := range fields {
 			a.slots = append(a.slots, dataSlot{line: line, addr: a.loc, expr: f, float: mnem == ".float"})
+			a.prog.WordTypes[a.loc] = class
 			a.loc++
 		}
 		a.bumpDataEnd()
@@ -180,6 +190,23 @@ func (a *assembler) directive(line int, mnem, rest string) error {
 			return a.errf(line, ".equ value %q is not an integer", fields[1])
 		}
 		a.prog.Symbols[fields[0]] = v
+	case ".lint":
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return a.errf(line, ".lint needs `allow CODE...` or `slots N`")
+		}
+		switch fields[0] {
+		case "allow":
+			a.prog.LintAllow = append(a.prog.LintAllow, fields[1:]...)
+		case "slots":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return a.errf(line, ".lint slots needs a positive integer, got %q", fields[1])
+			}
+			a.prog.LintSlots = n
+		default:
+			return a.errf(line, "unknown .lint directive %q", fields[0])
+		}
 	default:
 		return a.errf(line, "unknown directive %s", mnem)
 	}

@@ -336,3 +336,67 @@ func TestPseudoOperandErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestLintDirectives(t *testing.T) {
+	p, err := Assemble(`
+	.lint slots 8
+	.lint allow L010 L014
+	.lint allow L013
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LintSlots != 8 {
+		t.Errorf("LintSlots = %d, want 8", p.LintSlots)
+	}
+	want := []string{"L010", "L014", "L013"}
+	if len(p.LintAllow) != len(want) {
+		t.Fatalf("LintAllow = %v, want %v", p.LintAllow, want)
+	}
+	for i, w := range want {
+		if p.LintAllow[i] != w {
+			t.Errorf("LintAllow[%d] = %q, want %q", i, p.LintAllow[i], w)
+		}
+	}
+
+	for _, bad := range []string{
+		"\t.lint\n\thalt\n",
+		"\t.lint slots\n\thalt\n",
+		"\t.lint slots zero\n\thalt\n",
+		"\t.lint slots 0\n\thalt\n",
+		"\t.lint frobnicate L010\n\thalt\n",
+	} {
+		if _, err := Assemble(bad); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestWordTypes(t *testing.T) {
+	p, err := Assemble(`
+	.data
+	.org 10
+i:	.word 1, 2
+f:	.float 1.5
+s:	.space 3
+	.text
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []struct {
+		addr int64
+		cls  WordClass
+	}{
+		{10, WordInt}, {11, WordInt}, {12, WordFloat},
+		{13, WordUnknown}, // .space words carry no static type
+		{99, WordUnknown}, // never declared
+	}
+	for _, w := range wants {
+		if got := p.WordType(w.addr); got != w.cls {
+			t.Errorf("WordType(%d) = %v, want %v", w.addr, got, w.cls)
+		}
+	}
+}

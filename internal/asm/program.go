@@ -42,6 +42,26 @@ type DataWord struct {
 	Val  uint64
 }
 
+// WordClass records which directive emitted a data word, giving the word a
+// static type: .word words hold integers, .float words hold float64 bit
+// patterns, and .space words (or addresses outside the image) are untyped.
+type WordClass uint8
+
+// Word classes.
+const (
+	WordUnknown WordClass = iota
+	WordInt
+	WordFloat
+)
+
+// DataSym is one data-section label with the extent of the object it
+// names: Size words, up to the next data label or the end of the image.
+type DataSym struct {
+	Name string
+	Addr int64
+	Size int64
+}
+
 // Program is the output of the assembler: the instruction text, the
 // initialised data image, and the resolved symbol table.
 type Program struct {
@@ -54,6 +74,23 @@ type Program struct {
 	// programs). Lint diagnostics and the disassembler use it to point
 	// back at the offending source line.
 	Lines []int
+	// DataSyms lists the data-section labels in address order with the
+	// extent of each labelled object; the verifier's dead-store check
+	// treats labelled words as the program's declared output surface.
+	DataSyms []DataSym
+	// WordTypes records the WordClass of every .word/.float address.
+	// Addresses absent from the map (.space or untyped) are WordUnknown.
+	WordTypes map[int64]WordClass
+	// LintAllow holds diagnostic codes suppressed by `.lint allow` in the
+	// source; LintSlots is the thread-slot count declared by `.lint slots`
+	// (0 = unspecified). See docs/LINT.md.
+	LintAllow []string
+	LintSlots int
+}
+
+// WordType returns the static type of the data word at addr.
+func (p *Program) WordType(addr int64) WordClass {
+	return p.WordTypes[addr]
 }
 
 // Line returns the 1-based source line of instruction pc, or 0 when the
@@ -103,6 +140,22 @@ func (p *Program) MustSymbol(name string) int64 {
 		panic(fmt.Sprintf("asm: undefined symbol %q", name))
 	}
 	return v
+}
+
+// resolveDataExtents sorts DataSyms by address and gives each labelled
+// object its extent: up to the next data label, or to the end of the image.
+func (p *Program) resolveDataExtents() {
+	sort.Slice(p.DataSyms, func(i, j int) bool { return p.DataSyms[i].Addr < p.DataSyms[j].Addr })
+	for i := range p.DataSyms {
+		end := p.DataEnd
+		if i+1 < len(p.DataSyms) {
+			end = p.DataSyms[i+1].Addr
+		}
+		if end < p.DataSyms[i].Addr {
+			end = p.DataSyms[i].Addr
+		}
+		p.DataSyms[i].Size = end - p.DataSyms[i].Addr
+	}
 }
 
 // sortData orders the data image by address and checks for overlaps.

@@ -1,0 +1,412 @@
+package lint
+
+// This file implements the numeric abstract domain of the cross-thread
+// analysis (docs/LINT.md, "Abstract domains and happens-before"). An
+// abstract value describes a set of int64 values as
+//
+//	{ tc*tid + x : lo <= x <= hi, (x - res) mod m in [0, resW] }
+//
+// i.e. an interval combined with a congruence (a wrapped residue window
+// modulo m) plus an optional symbolic multiple of the thread identifier.
+// The tid term is what lets one analysis pass describe all forked threads
+// at once: `tid*8 + base` is a different concrete address per thread, and
+// two such sets for distinct tids can be proven disjoint.
+//
+// Bounds saturate at +/-aInfMag, far beyond any realistic data address but
+// small enough that sums never overflow int64.
+
+const (
+	aInfMag = int64(1) << 42
+	aNegInf = -aInfMag
+	aPosInf = aInfMag
+)
+
+// aval is one abstract value. The zero value is the constant 0.
+type aval struct {
+	bot    bool  // empty set (infeasible path)
+	tc     int64 // coefficient of the thread identifier
+	lo, hi int64 // interval bounds of the offset part (saturating)
+	m      int64 // congruence modulus (>= 1; 1 = no congruence info)
+	res    int64 // window start residue, in [0, m)
+	resW   int64 // window width: residues res..res+resW (mod m)
+}
+
+func topVal() aval { return aval{lo: aNegInf, hi: aPosInf, m: 1} }
+func botVal() aval { return aval{bot: true} }
+func constVal(c int64) aval {
+	if c <= aNegInf || c >= aPosInf {
+		return topVal()
+	}
+	return aval{lo: c, hi: c, m: 1}
+}
+
+func (v aval) isTop() bool {
+	return !v.bot && v.tc == 0 && v.lo == aNegInf && v.hi == aPosInf && v.m <= 1
+}
+
+// isConst reports whether v is a single known constant (no tid term).
+func (v aval) isConst() (int64, bool) {
+	if !v.bot && v.tc == 0 && v.lo == v.hi {
+		return v.lo, true
+	}
+	return 0, false
+}
+
+func pmod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// egcd returns g = gcd(a,b) and x,y with a*x + b*y = g. Inputs must be > 0.
+func egcd(a, b int64) (g, x, y int64) {
+	if b == 0 {
+		return a, 1, 0
+	}
+	g, x1, y1 := egcd(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}
+
+func clampInf(v int64) int64 {
+	if v < aNegInf {
+		return aNegInf
+	}
+	if v > aPosInf {
+		return aPosInf
+	}
+	return v
+}
+
+func satAdd(a, b int64) int64 { return clampInf(a + b) }
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > aPosInf/b {
+		if neg {
+			return aNegInf
+		}
+		return aPosInf
+	}
+	if neg {
+		return -a * b
+	}
+	return a * b
+}
+
+// norm canonicalises v: modulus sanity, window collapse, singleton
+// collapse, and snapping finite bounds to the nearest congruence member
+// (which is what makes interval/congruence disjointness proofs exact for
+// strided array accesses).
+func (v aval) norm() aval {
+	if v.bot {
+		return botVal()
+	}
+	v.lo, v.hi = clampInf(v.lo), clampInf(v.hi)
+	if v.m < 1 {
+		v.m = 1
+	}
+	if v.resW < 0 {
+		v.resW = 0
+	}
+	if v.resW >= v.m-1 {
+		v.m, v.res, v.resW = 1, 0, 0
+	}
+	v.res = pmod(v.res, v.m)
+	if v.m > 1 {
+		if v.lo > aNegInf {
+			if d := pmod(v.lo-v.res, v.m); d > v.resW {
+				v.lo += v.m - d // snap up to the window start
+			}
+		}
+		if v.hi < aPosInf {
+			if d := pmod(v.hi-v.res, v.m); d > v.resW {
+				v.hi -= d - v.resW // snap down to the window end
+			}
+		}
+	}
+	if v.lo > v.hi {
+		return botVal()
+	}
+	if v.lo == v.hi {
+		v.m, v.res, v.resW = 1, 0, 0
+	}
+	return v
+}
+
+// member reports whether concrete x (with tid already folded/substituted,
+// so only for tc==0 values) lies in v.
+func (v aval) member(x int64) bool {
+	if v.bot || x < v.lo || x > v.hi {
+		return false
+	}
+	return pmod(x-v.res, v.m) <= v.resW
+}
+
+// tidRange is a state's bound on the thread identifier.
+type tidRange struct{ lo, hi int64 }
+
+// foldTid removes the tid term by adding tc*[tr.lo, tr.hi] into the
+// interval, weakening the congruence to the part the tid term preserves.
+func (v aval) foldTid(tr tidRange) aval {
+	if v.bot || v.tc == 0 {
+		return v
+	}
+	a, b := satMul(v.tc, tr.lo), satMul(v.tc, tr.hi)
+	if a > b {
+		a, b = b, a
+	}
+	v.lo, v.hi = satAdd(v.lo, a), satAdd(v.hi, b)
+	if g := gcd64(v.m, v.tc); g > 1 {
+		// tc is a multiple of g, so residues mod g are unchanged.
+		v.m, v.res = g, pmod(v.res, g)
+	} else {
+		v.m, v.res, v.resW = 1, 0, 0
+	}
+	v.tc = 0
+	return v.norm()
+}
+
+// substTid substitutes the concrete thread id t for the tid term.
+func (v aval) substTid(t int64) aval {
+	if v.bot || v.tc == 0 {
+		return v
+	}
+	c := satMul(v.tc, t)
+	v.lo, v.hi = satAdd(v.lo, c), satAdd(v.hi, c)
+	v.res = pmod(v.res+c, v.m)
+	v.tc = 0
+	return v.norm()
+}
+
+// windowIn expresses all offset values of v as one wrapped residue window
+// modulo m, when that is possible without losing members.
+func (v aval) windowIn(m int64) (res, resW int64, ok bool) {
+	switch {
+	case v.lo == v.hi:
+		return pmod(v.lo, m), 0, true
+	case v.m%m == 0:
+		return pmod(v.res, m), v.resW, true
+	case v.lo > aNegInf && v.hi < aPosInf && v.hi-v.lo < m:
+		return pmod(v.lo, m), v.hi - v.lo, true
+	}
+	return 0, 0, false
+}
+
+// windowHull returns the smaller wrapped window (mod m) covering both
+// [r1, r1+w1] and [r2, r2+w2].
+func windowHull(m, r1, w1, r2, w2 int64) (res, resW int64) {
+	c1 := w1
+	if d := pmod(r2-r1, m) + w2; d > c1 {
+		c1 = d
+	}
+	c2 := w2
+	if d := pmod(r1-r2, m) + w1; d > c2 {
+		c2 = d
+	}
+	if c1 <= c2 {
+		return r1, c1
+	}
+	return r2, c2
+}
+
+// joinVal computes the least upper bound of a and b. The tid ranges of the
+// states each value came from are needed to fold mismatched tid terms.
+func joinVal(a, b aval, ta, tb tidRange) aval {
+	if a.bot {
+		return b
+	}
+	if b.bot {
+		return a
+	}
+	if a.tc != b.tc {
+		a, b = a.foldTid(ta), b.foldTid(tb)
+		if a.bot {
+			return b
+		}
+		if b.bot {
+			return a
+		}
+	}
+	out := aval{tc: a.tc}
+	out.lo, out.hi = min64(a.lo, b.lo), max64(a.hi, b.hi)
+	switch {
+	case a.lo == a.hi && b.lo == b.hi:
+		// Two constants: their join is an exact arithmetic progression.
+		// This is how loop strides are discovered (base joined with
+		// base+stride gives modulus stride).
+		d := a.lo - b.lo
+		if d < 0 {
+			d = -d
+		}
+		if d == 0 {
+			return a
+		}
+		out.m, out.res, out.resW = d, pmod(a.lo, d), 0
+	case a.lo == a.hi:
+		r, w := windowHull(b.m, pmod(a.lo, b.m), 0, b.res, b.resW)
+		out.m, out.res, out.resW = b.m, r, w
+	case b.lo == b.hi:
+		r, w := windowHull(a.m, a.res, a.resW, pmod(b.lo, a.m), 0)
+		out.m, out.res, out.resW = a.m, r, w
+	default:
+		g := gcd64(a.m, b.m)
+		if g > 1 {
+			r, w := windowHull(g, pmod(a.res, g), a.resW, pmod(b.res, g), b.resW)
+			out.m, out.res, out.resW = g, r, w
+		} else {
+			out.m = 1
+		}
+	}
+	return out.norm()
+}
+
+// addVals computes a + b.
+func addVals(a, b aval) aval {
+	if a.bot || b.bot {
+		return botVal()
+	}
+	out := aval{tc: a.tc + b.tc, lo: satAdd(a.lo, b.lo), hi: satAdd(a.hi, b.hi), m: 1}
+	// Congruence of the sum: try folding one operand into the other's
+	// modulus (exact when possible), falling back to the gcd.
+	type cand struct{ m, res, resW int64 }
+	var cs []cand
+	if b.m > 1 {
+		if r, w, ok := a.windowIn(b.m); ok {
+			cs = append(cs, cand{b.m, pmod(r+b.res, b.m), w + b.resW})
+		}
+	}
+	if a.m > 1 {
+		if r, w, ok := b.windowIn(a.m); ok {
+			cs = append(cs, cand{a.m, pmod(r+a.res, a.m), w + a.resW})
+		}
+	}
+	if g := gcd64(a.m, b.m); g > 1 {
+		cs = append(cs, cand{g, pmod(a.res+b.res, g), a.resW + b.resW})
+	}
+	for _, c := range cs {
+		if c.resW < c.m-1 && c.m > out.m {
+			out.m, out.res, out.resW = c.m, c.res, c.resW
+		}
+	}
+	return out.norm()
+}
+
+// negVal computes -a.
+func negVal(a aval) aval {
+	if a.bot {
+		return a
+	}
+	out := aval{tc: -a.tc, lo: -a.hi, hi: -a.lo, m: a.m, resW: a.resW}
+	out.res = pmod(-(a.res + a.resW), a.m)
+	return out.norm()
+}
+
+func subVals(a, b aval) aval { return addVals(a, negVal(b)) }
+
+// mulConst computes a * k.
+func mulConst(a aval, k int64) aval {
+	if a.bot {
+		return a
+	}
+	switch k {
+	case 0:
+		return constVal(0)
+	case 1:
+		return a
+	}
+	if k < 0 {
+		return negVal(mulConst(a, -k))
+	}
+	out := aval{m: 1}
+	if a.tc != 0 {
+		tc := satMul(a.tc, k)
+		if tc <= aNegInf || tc >= aPosInf {
+			return topVal()
+		}
+		out.tc = tc
+	}
+	out.lo, out.hi = satMul(a.lo, k), satMul(a.hi, k)
+	m, res, resW := satMul(a.m, k), satMul(a.res, k), satMul(a.resW, k)
+	if m < aPosInf && res < aPosInf && resW < aPosInf {
+		out.m, out.res, out.resW = m, pmod(res, m), resW
+	} else {
+		// Every product is a multiple of k.
+		out.m, out.res, out.resW = k, 0, 0
+	}
+	return out.norm()
+}
+
+// divConst computes a / k (Go truncating division) for k > 0, tc == 0.
+func divConst(a aval, k int64) aval {
+	if a.bot {
+		return a
+	}
+	if a.tc != 0 || k <= 0 {
+		return topVal()
+	}
+	out := aval{lo: a.lo, hi: a.hi, m: 1}
+	if out.lo > aNegInf {
+		out.lo = a.lo / k
+	}
+	if out.hi < aPosInf {
+		out.hi = a.hi / k
+	}
+	return out.norm()
+}
+
+// remConst computes a % k (Go sign-follows-dividend) for k > 0, tc == 0.
+func remConst(a aval, k int64) aval {
+	if a.bot {
+		return a
+	}
+	if a.tc != 0 || k <= 0 {
+		return topVal()
+	}
+	if a.lo >= 0 && a.resW == 0 && a.m%k == 0 {
+		return constVal(pmod(a.res, k))
+	}
+	out := aval{lo: 0, hi: k - 1, m: 1}
+	if a.lo < 0 {
+		out.lo = -(k - 1)
+	}
+	out.lo, out.hi = max64(out.lo, a.lo), min64(out.hi, a.hi)
+	return out.norm()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

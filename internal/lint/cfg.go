@@ -13,10 +13,21 @@ const (
 	edgeReturn                 // jal fall-through via a matching jr (call returns)
 )
 
+// brEdge marks which outcome of a conditional branch an edge represents,
+// so the abstract interpreter can refine values along it.
+type brEdge uint8
+
+const (
+	brNone  brEdge = iota // not a conditional-branch edge
+	brTaken               // the branch condition held
+	brFall                // the branch condition failed (fall-through)
+)
+
 // edge is one directed CFG edge between basic blocks.
 type edge struct {
 	to   int
 	kind edgeKind
+	br   brEdge
 }
 
 // block is one basic block: the half-open instruction range [start, end).
@@ -109,30 +120,30 @@ func buildCFG(text []isa.Instruction, entries []int) *cfg {
 	// Pass 3: edges.
 	for bi, b := range g.blocks {
 		last := g.text[b.end-1]
-		addEdge := func(toPC int64, kind edgeKind) {
+		addEdge := func(toPC int64, kind edgeKind, br brEdge) {
 			if toPC >= 0 && toPC < int64(len(text)) {
-				g.blocks[bi].succs = append(g.blocks[bi].succs, edge{to: g.blockAt[toPC], kind: kind})
+				g.blocks[bi].succs = append(g.blocks[bi].succs, edge{to: g.blockAt[toPC], kind: kind, br: br})
 			}
 		}
 		switch {
 		case last.Op == isa.HALT || last.Op == isa.JR:
 			// stream ends (jr is treated as a return)
 		case last.Op == isa.J:
-			addEdge(int64(last.Imm), edgeNormal)
+			addEdge(int64(last.Imm), edgeNormal, brNone)
 		case last.Op == isa.JAL:
-			addEdge(int64(last.Imm), edgeNormal)
+			addEdge(int64(last.Imm), edgeNormal, brNone)
 			if g.hasJR {
 				// The callee returns: the fall-through resumes with
 				// unknown (conservatively all-defined) register state.
-				addEdge(int64(b.end), edgeReturn)
+				addEdge(int64(b.end), edgeReturn, brNone)
 			}
 		case last.Op.IsConditionalBranch():
-			addEdge(int64(last.Imm), edgeNormal)
-			addEdge(int64(b.end), edgeNormal)
+			addEdge(int64(last.Imm), edgeNormal, brTaken)
+			addEdge(int64(b.end), edgeNormal, brFall)
 		case last.Op == isa.FFORK:
-			addEdge(int64(b.end), edgeFork)
+			addEdge(int64(b.end), edgeFork, brNone)
 		default:
-			addEdge(int64(b.end), edgeNormal)
+			addEdge(int64(b.end), edgeNormal, brNone)
 		}
 	}
 

@@ -52,6 +52,30 @@ const (
 	// CodeReadonlyWrite: an instruction names r0 — the hardwired-zero
 	// register — as its destination; the result is silently discarded.
 	CodeReadonlyWrite Code = "L009"
+	// CodeDataRace: two threads can access an overlapping address range
+	// with at least one plain store and no happens-before ordering
+	// (ffork/kill structure, priority stores, or a queue-register
+	// produce/consume chain). Cross-thread analysis (Config.InterThread).
+	CodeDataRace Code = "L010"
+	// CodeOOBAccess: a load or store whose effective-address range lies
+	// entirely outside the data memory (negative, or beyond the
+	// configured memory size). Cross-thread analysis.
+	CodeOOBAccess Code = "L011"
+	// CodeTypedAccess: an integer access (lw/sw/swp) whose whole address
+	// range holds .float words, or an FP access (flw/fsw/fswp) aimed
+	// entirely at .word data — the word-level analogue of a misaligned
+	// access on a byte-addressed machine. Cross-thread analysis.
+	CodeTypedAccess Code = "L012"
+	// CodeDeadStore: a store whose address range no load in the program
+	// can observe and which lies outside every labelled data object
+	// (labelled data is the declared output surface). Cross-thread
+	// analysis.
+	CodeDeadStore Code = "L013"
+	// CodeConstBranch: a conditional branch whose outcome the value
+	// analysis decides identically for every thread and context —
+	// usually a degenerate workload or a forgotten initialisation.
+	// Cross-thread analysis.
+	CodeConstBranch Code = "L014"
 )
 
 // codeNames maps each code to its short slug.
@@ -65,6 +89,11 @@ var codeNames = map[Code]string{
 	CodeThreadControl: "thread-control",
 	CodeNoHalt:        "no-halt",
 	CodeReadonlyWrite: "readonly-write",
+	CodeDataRace:      "data-race",
+	CodeOOBAccess:     "oob-access",
+	CodeTypedAccess:   "typed-access",
+	CodeDeadStore:     "dead-store",
+	CodeConstBranch:   "const-branch",
 }
 
 // Name returns the code's short slug ("uninit-read").

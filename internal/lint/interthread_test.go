@@ -1,0 +1,313 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hirata/internal/asm"
+	"hirata/internal/lint"
+)
+
+// interCfg is the baseline configuration of the cross-thread tests: two
+// thread slots so tid enumeration stays small and fixtures stay readable.
+func interCfg(entries ...int) lint.Config {
+	return lint.Config{Entries: entries, ThreadSlots: 2, InterThread: true}
+}
+
+// TestInterThreadFixtures holds one minimal bad program per cross-thread
+// diagnostic (L010..L014) and asserts the exact pc and source line.
+func TestInterThreadFixtures(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		cfg     lint.Config
+		code    lint.Code
+		pc      int
+		line    int
+		extraOK []lint.Code
+	}{
+		{
+			// Two entries, both plain-store to the labelled word at 10,
+			// nothing orders them. The report lands on the later pc.
+			name: "data-race-two-entries",
+			src: "\t.data\n" +
+				"\t.org 10\n" +
+				"out:\t.word 0\n" +
+				"\t.text\n" +
+				"\tli r1, 5\n" + // pc 0
+				"\tsw r1, 10(r0)\n" + // pc 1
+				"\thalt\n" + // pc 2
+				"\tli r1, 7\n" + // pc 3: second entry
+				"\tsw r1, 10(r0)\n" + // pc 4
+				"\thalt\n", // pc 5
+			cfg:  interCfg(0, 3),
+			code: lint.CodeDataRace, pc: 4, line: 9,
+		},
+		{
+			// ffork clones the pc; every thread stores to the same word.
+			name: "data-race-ffork",
+			src: "\t.data\n" +
+				"\t.org 10\n" +
+				"out:\t.word 0\n" +
+				"\t.text\n" +
+				"\tffork\n" + // pc 0
+				"\tli r1, 5\n" + // pc 1
+				"\tsw r1, 10(r0)\n" + // pc 2
+				"\thalt\n", // pc 3
+			cfg:  interCfg(0),
+			code: lint.CodeDataRace, pc: 2, line: 7,
+		},
+		{
+			name: "oob-negative-address",
+			src: "\tli r1, 1\n" +
+				"\tsw r1, -5(r0)\n" +
+				"\thalt\n",
+			cfg:  interCfg(0),
+			code: lint.CodeOOBAccess, pc: 1, line: 2,
+		},
+		{
+			name: "oob-beyond-memory",
+			src: "\tli r1, 1\n" +
+				"\tsw r1, 500(r0)\n" +
+				"\thalt\n",
+			cfg: func() lint.Config {
+				c := interCfg(0)
+				c.MemWords = 64
+				return c
+			}(),
+			code: lint.CodeOOBAccess, pc: 1, line: 2,
+		},
+		{
+			// Integer load aimed at a .float word.
+			name: "typed-int-load-of-float",
+			src: "\t.data\n" +
+				"v:\t.float 1.5\n" +
+				"\t.text\n" +
+				"\tlw r1, v\n" +
+				"\thalt\n",
+			cfg:  interCfg(0),
+			code: lint.CodeTypedAccess, pc: 0, line: 4,
+		},
+		{
+			// FP store aimed at a .word slot.
+			name: "typed-fp-store-to-word",
+			src: "\t.data\n" +
+				"v:\t.word 3\n" +
+				"\t.text\n" +
+				"\tflw f1, v\n" +
+				"\tfsw f1, v\n" +
+				"\thalt\n",
+			cfg:  interCfg(0),
+			code: lint.CodeTypedAccess, pc: 0, line: 4,
+			extraOK: []lint.Code{lint.CodeTypedAccess},
+		},
+		{
+			// Store to an unlabelled word no load ever reads.
+			name: "dead-store",
+			src: "\tli r1, 1\n" +
+				"\tsw r1, 50(r0)\n" +
+				"\thalt\n",
+			cfg:  interCfg(0),
+			code: lint.CodeDeadStore, pc: 1, line: 2,
+		},
+		{
+			// beqz on a register holding constant 0: always taken.
+			name: "const-branch-always-taken",
+			src: "\tli r1, 0\n" +
+				"\tbeqz r1, end\n" +
+				"\taddi r2, r0, 1\n" +
+				"end:\thalt\n",
+			cfg:  interCfg(0),
+			code: lint.CodeConstBranch, pc: 1, line: 2,
+		},
+		{
+			// bltz on a provably non-negative value: never fires.
+			name: "const-branch-never-fires",
+			src: "\tli r1, 3\n" +
+				"loop:\tbltz r1, bad\n" +
+				"\taddi r1, r1, -1\n" +
+				"\tbnez r1, loop\n" +
+				"\thalt\n" +
+				"bad:\thalt\n",
+			cfg:  interCfg(0),
+			code: lint.CodeConstBranch, pc: 1, line: 2,
+			extraOK: []lint.Code{lint.CodeUnreachable},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := asm.Assemble(tc.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			ds := lint.AnalyzeProgram(p, tc.cfg)
+			found := false
+			allowed := map[lint.Code]bool{tc.code: true}
+			for _, c := range tc.extraOK {
+				allowed[c] = true
+			}
+			for _, d := range ds {
+				if d.Code == tc.code && d.PC == tc.pc {
+					found = true
+					if d.Line != tc.line {
+						t.Errorf("diagnostic line = %d, want %d (%v)", d.Line, tc.line, d)
+					}
+				} else if !allowed[d.Code] {
+					t.Errorf("unexpected extra diagnostic: %v", d)
+				}
+			}
+			if !found {
+				t.Fatalf("want %s at pc %d, got: %v", tc.code, tc.pc, ds)
+			}
+		})
+	}
+}
+
+// TestInterThreadClean holds programs that exercise the same features
+// correctly and must produce zero cross-thread findings.
+func TestInterThreadClean(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		cfg  lint.Config
+	}{
+		{
+			// Each thread stores to its own word: tid-strided addresses
+			// for distinct thread ids never overlap.
+			name: "tid-strided-stores",
+			src: "\t.data\n" +
+				"\t.org 20\n" +
+				"out:\t.word 0, 0\n" +
+				"\t.text\n" +
+				"\tffork\n" +
+				"\ttid r1\n" +
+				"\tsw r1, 20(r1)\n" +
+				"\thalt\n",
+			cfg: interCfg(0),
+		},
+		{
+			// Same race as the bad fixture, but ordered through the
+			// queue-register ring: thread 0 stores then pushes; thread 1
+			// pops (receiving push #1) and only then stores.
+			name: "queue-synchronised-producer-consumer",
+			src: "\t.data\n" +
+				"\t.org 10\n" +
+				"out:\t.word 0\n" +
+				"\t.text\n" +
+				"\tqen r20, r21\n" + // pc 0: thread 0
+				"\tli r1, 5\n" + // pc 1
+				"\tsw r1, 10(r0)\n" + // pc 2: before push #1
+				"\tmov r21, r0\n" + // pc 3: push #1
+				"\tqdis\n" + // pc 4
+				"\thalt\n" + // pc 5
+				"\tqen r20, r21\n" + // pc 6: thread 1
+				"\tmov r2, r20\n" + // pc 7: pop #1
+				"\tli r1, 7\n" + // pc 8
+				"\tsw r1, 10(r0)\n" + // pc 9: after pop #1
+				"\tqdis\n" + // pc 10
+				"\thalt\n", // pc 11
+			cfg: interCfg(0, 6),
+		},
+		{
+			// Priority stores are the ordered-store escape hatch; two
+			// threads swp-ing the same word is not reported.
+			name: "priority-stores-exempt",
+			src: "\t.data\n" +
+				"\t.org 10\n" +
+				"out:\t.word 0\n" +
+				"\t.text\n" +
+				"\tffork\n" +
+				"\ttid r1\n" +
+				"\tswp r1, 10(r0)\n" +
+				"\thalt\n",
+			cfg: interCfg(0),
+		},
+		{
+			// The store before ffork runs while only one thread exists;
+			// the loads after it are ordered by the fork edge.
+			name: "store-before-fork",
+			src: "\t.data\n" +
+				"\t.org 10\n" +
+				"n:\t.word 0\n" +
+				"\t.text\n" +
+				"\tli r1, 8\n" +
+				"\tsw r1, 10(r0)\n" +
+				"\tffork\n" +
+				"\tlw r2, 10(r0)\n" +
+				"\thalt\n",
+			cfg: interCfg(0),
+		},
+		{
+			// In-range, correctly typed, loaded-back store; a loop branch
+			// whose outcome varies. Nothing to report.
+			name: "in-range-typed-live",
+			src: "\t.data\n" +
+				"v:\t.word 3\n" +
+				"w:\t.float 1.5\n" +
+				"\t.text\n" +
+				"\tlw r1, v\n" +
+				"\tflw f1, w\n" +
+				"\tfsw f1, w\n" +
+				"\tli r2, 4\n" +
+				"loop:\tsw r2, v\n" +
+				"\tlw r1, v\n" +
+				"\taddi r2, r2, -1\n" +
+				"\tbnez r2, loop\n" +
+				"\thalt\n",
+			cfg: func() lint.Config {
+				c := interCfg(0)
+				c.MemWords = 64
+				return c
+			}(),
+		},
+		{
+			// `.lint allow L010` suppresses the race report from inside
+			// the program source.
+			name: "lint-allow-directive",
+			src: "\t.lint allow L010\n" +
+				"\t.data\n" +
+				"\t.org 10\n" +
+				"out:\t.word 0\n" +
+				"\t.text\n" +
+				"\tffork\n" +
+				"\tli r1, 5\n" +
+				"\tsw r1, 10(r0)\n" +
+				"\thalt\n",
+			cfg: interCfg(0),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := asm.Assemble(tc.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			if ds := lint.AnalyzeProgram(p, tc.cfg); len(ds) != 0 {
+				t.Fatalf("expected clean, got: %v", ds)
+			}
+		})
+	}
+}
+
+// TestInterThreadTextOnly checks the text-only (StrictVerify) path: no
+// data image, races still found when both addresses have bounded witnesses.
+func TestInterThreadTextOnly(t *testing.T) {
+	src := "\tli r1, 5\n" +
+		"\tsw r1, 10(r0)\n" +
+		"\thalt\n" +
+		"\tli r1, 7\n" +
+		"\tsw r1, 10(r0)\n" +
+		"\thalt\n"
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	ds := lint.AnalyzeText(p.Text, interCfg(0, 3))
+	if !diagAt(ds, lint.CodeDataRace, 4) {
+		t.Fatalf("want %s at pc 4, got: %v", lint.CodeDataRace, ds)
+	}
+	for _, d := range ds {
+		if d.Code == lint.CodeDeadStore {
+			t.Errorf("dead-store must not fire in text-only mode (no data image): %v", d)
+		}
+	}
+}

@@ -4,8 +4,14 @@
 // fixpoint, and reports protocol violations (queue-register ring misuse,
 // uninitialised reads, unreachable code, bad branch targets, guaranteed
 // queue deadlocks, thread-control misuse) as positioned diagnostics.
+// With Config.InterThread it additionally runs a whole-program abstract
+// interpretation across all thread entries — value ranges with a
+// congruence (stride) component and a symbolic thread-id term, plus a
+// happens-before relation from fork/kill structure and the queue-register
+// ring — reporting data races, address-safety violations, dead stores,
+// and statically decided branches (L010..L014).
 //
-// The diagnostic catalogue (L001..L009) is documented in docs/LINT.md.
+// The diagnostic catalogue (L001..L014) is documented in docs/LINT.md.
 package lint
 
 import (
@@ -23,6 +29,20 @@ type Config struct {
 	// QueueDepth is the simulated queue-register FIFO depth, used by the
 	// deadlock check. Zero means the simulator default of 1.
 	QueueDepth int
+	// InterThread enables the cross-thread abstract interpretation
+	// (value ranges, happens-before, diagnostics L010..L014).
+	InterThread bool
+	// ThreadSlots is the number of logical processors the machine runs
+	// (how many threads ffork spawns). Zero means the simulator default
+	// of 4. A program can override it with `.lint slots N`.
+	ThreadSlots int
+	// MemWords is the data-memory size in words for the out-of-range
+	// check (L011). Zero means unknown: only provably negative addresses
+	// are flagged.
+	MemWords int64
+	// Allow suppresses the listed diagnostic codes. Programs can extend
+	// it with `.lint allow CODE...` directives.
+	Allow []Code
 }
 
 func (c Config) entries() []int {
@@ -39,12 +59,20 @@ func (c Config) queueDepth() int {
 	return c.QueueDepth
 }
 
+func (c Config) threadSlots() int {
+	if c.ThreadSlots <= 0 {
+		return 4
+	}
+	return c.ThreadSlots
+}
+
 // analysis carries the shared state of one Analyze run.
 type analysis struct {
 	text  []isa.Instruction
 	lines func(pc int) int // nil when no source map is available
 	cfg   Config
 	g     *cfg
+	prog  *asm.Program // nil for AnalyzeText (no data image / symbols)
 
 	// qReadRegs holds every register named as the read side of any
 	// qen/qenf in the program; uninitialised-read reports are suppressed
@@ -63,9 +91,17 @@ func Analyze(p *asm.Program) []Diagnostic {
 }
 
 // AnalyzeProgram verifies an assembled program, attaching source lines from
-// the program's line map to each diagnostic.
+// the program's line map to each diagnostic. The program's own `.lint`
+// directives are honoured: `.lint slots N` sets ThreadSlots when the
+// config leaves it unset, and `.lint allow CODE...` extends Allow.
 func AnalyzeProgram(p *asm.Program, cfg Config) []Diagnostic {
-	a := &analysis{text: p.Text, lines: p.Line, cfg: cfg}
+	if cfg.ThreadSlots == 0 && p.LintSlots > 0 {
+		cfg.ThreadSlots = p.LintSlots
+	}
+	for _, c := range p.LintAllow {
+		cfg.Allow = append(cfg.Allow, Code(c))
+	}
+	a := &analysis{text: p.Text, lines: p.Line, cfg: cfg, prog: p}
 	return a.run()
 }
 
@@ -97,7 +133,23 @@ func (a *analysis) run() []Diagnostic {
 	a.checkQueueBalance()
 	a.checkThreadControl()
 	a.checkFallOff()
+	if a.cfg.InterThread {
+		a.runInterThread()
+	}
 
+	if len(a.cfg.Allow) > 0 {
+		allowed := make(map[Code]bool, len(a.cfg.Allow))
+		for _, c := range a.cfg.Allow {
+			allowed[c] = true
+		}
+		kept := a.diags[:0]
+		for _, d := range a.diags {
+			if !allowed[d.Code] {
+				kept = append(kept, d)
+			}
+		}
+		a.diags = kept
+	}
 	sortDiags(a.diags)
 	return a.diags
 }

@@ -1,0 +1,135 @@
+package lint
+
+import "encoding/json"
+
+// FileFinding pairs a diagnostic with the file it was found in. It is the
+// element type of hirata-lint's -json output and of SARIF conversion.
+type FileFinding struct {
+	File string     `json:"file"`
+	Diag Diagnostic `json:"diag"`
+}
+
+// ruleHelp gives each code the one-line description embedded in SARIF
+// rule metadata. The full catalogue lives in docs/LINT.md.
+var ruleHelp = map[Code]string{
+	CodeUninitRead:    "A register is read on some path before any instruction defines it.",
+	CodeBadTarget:     "A branch, jump, or fork continuation targets an instruction outside the text section.",
+	CodeSplitLI:       "A control transfer lands between a lih and the addi completing its li expansion.",
+	CodeUnreachable:   "A basic block can never execute from any entry point.",
+	CodeQueueProtocol: "A queue-register ring protocol violation (write to read side, read of write side, or stray qdis).",
+	CodeQueueDeadlock: "A statically guaranteed queue-register deadlock.",
+	CodeThreadControl: "Misuse of the thread-control instructions (ffork in a loop, bad setmode operand, unreachable kill).",
+	CodeNoHalt:        "An execution path runs past the end of the text section without halt.",
+	CodeReadonlyWrite: "An instruction names the hardwired-zero register r0 as its destination.",
+	CodeDataRace:      "Two threads can access an overlapping address range, at least one writing, with no happens-before ordering.",
+	CodeOOBAccess:     "A load or store whose effective-address range lies entirely outside data memory.",
+	CodeTypedAccess:   "An integer access aimed entirely at float words, or an FP access aimed entirely at integer words.",
+	CodeDeadStore:     "A store no load can observe that also lies outside every labelled data object.",
+	CodeConstBranch:   "A conditional branch whose outcome the value analysis decides identically for every thread.",
+}
+
+// sarifLog and friends model the slice of SARIF 2.1.0 this tool emits:
+// one run, one rule per diagnostic code, one result per finding.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	Name             string    `json:"name"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// MarshalSARIF renders findings as a SARIF 2.1.0 log, the interchange
+// format consumed by code-scanning services. Every catalogued code is
+// listed as a rule whether or not it fired, so rule metadata stays stable
+// across runs.
+func MarshalSARIF(findings []FileFinding) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(ruleHelp))
+	for _, c := range allCodes() {
+		rules = append(rules, sarifRule{
+			ID:               string(c),
+			Name:             c.Name(),
+			ShortDescription: sarifText{Text: ruleHelp[c]},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		loc := sarifLocation{PhysicalLocation: sarifPhysical{
+			ArtifactLocation: sarifArtifact{URI: f.File},
+		}}
+		if f.Diag.Line > 0 {
+			loc.PhysicalLocation.Region = &sarifRegion{StartLine: f.Diag.Line}
+		}
+		results = append(results, sarifResult{
+			RuleID:    string(f.Diag.Code),
+			Level:     "warning",
+			Message:   sarifText{Text: f.Diag.String()},
+			Locations: []sarifLocation{loc},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "hirata-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// allCodes returns the catalogue in numeric order.
+func allCodes() []Code {
+	return []Code{
+		CodeUninitRead, CodeBadTarget, CodeSplitLI, CodeUnreachable,
+		CodeQueueProtocol, CodeQueueDeadlock, CodeThreadControl,
+		CodeNoHalt, CodeReadonlyWrite, CodeDataRace, CodeOOBAccess,
+		CodeTypedAccess, CodeDeadStore, CodeConstBranch,
+	}
+}

@@ -199,6 +199,11 @@ func lk1Text(cfg LivermoreConfig, body []isa.Instruction, parallel bool) string 
 	app := func(s string, args ...any) { b = append(b, fmt.Sprintf(s+"\n", args...)...) }
 
 	if parallel {
+		// The stride below is compiled in as an immediate, so the
+		// program is only race-free when run with exactly cfg.Threads
+		// threads; tell the inter-thread lint pass to analyse that
+		// configuration instead of its default slot count.
+		app("\t.lint slots %d", cfg.Threads)
 		app("\tsetmode 1")
 		app("\tffork")
 		app("\ttid  r4")

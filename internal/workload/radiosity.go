@@ -81,6 +81,12 @@ func BuildRadiosity(cfg RadiosityConfig) (*Radiosity, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: radiosity kernel: %w\n%s", err, src)
 	}
+	// The kernel synchronises its sweeps with spin-wait flag barriers
+	// (while (phase[u] < k) {}), a protocol the lint pass's
+	// happens-before engine cannot see: it only orders ffork/kill and
+	// matched queue transfers. Every cross-thread access here is
+	// barrier-separated, so suppress the race check for this program.
+	prog.LintAllow = append(prog.LintAllow, "L010")
 	rd.Prog = prog
 	return rd, nil
 }

@@ -16,6 +16,12 @@
 //     fields, so raw equality distinguishes encodings that are semantically
 //     identical; use Instruction.Same instead.
 //
+//   - diagdoc: every lint diagnostic code declared in internal/lint/diag.go
+//     must have a `### Lxxx` section in docs/LINT.md, and every such
+//     section must correspond to a declared code. The catalogue promises
+//     code stability; an undocumented code (or stale docs for a removed
+//     one) breaks that contract silently.
+//
 // Usage (from the module root):
 //
 //	go run ./tools/analyzers ./...
@@ -61,6 +67,7 @@ func main() {
 			findings = append(findings, checkUnit(fset, dir, unit)...)
 		}
 	}
+	findings = append(findings, checkDiagDoc("internal/lint/diag.go", "docs/LINT.md", &failed)...)
 	sort.Strings(findings)
 	for _, f := range findings {
 		fmt.Println(f)
@@ -272,4 +279,100 @@ func checkStatsMutate(fset *token.FileSet, pkgPath string, files []*ast.File, in
 		})
 	}
 	return findings
+}
+
+// checkDiagDoc runs the diagdoc cross-reference when both the diagnostic
+// source and the catalogue exist under the working directory (they do when
+// the tool runs from the module root; restricted-root runs skip it).
+func checkDiagDoc(diagPath, docPath string, failed *bool) []string {
+	diagSrc, errDiag := os.ReadFile(diagPath)
+	docSrc, errDoc := os.ReadFile(docPath)
+	if os.IsNotExist(errDiag) && os.IsNotExist(errDoc) {
+		return nil
+	}
+	if errDiag != nil || errDoc != nil {
+		// One of the pair exists but the other is unreadable or missing:
+		// that is itself a finding, not a skip.
+		*failed = true
+		fmt.Fprintf(os.Stderr, "analyzers: diagdoc: %v / %v\n", errDiag, errDoc)
+		return nil
+	}
+	fs, err := diagdocCheck(diagPath, diagSrc, docPath, string(docSrc))
+	if err != nil {
+		*failed = true
+		fmt.Fprintln(os.Stderr, "analyzers: diagdoc:", err)
+	}
+	return fs
+}
+
+// diagdocCheck cross-references the Code constants declared in the
+// diagnostic source against the `### Lxxx` sections of the catalogue, in
+// both directions. It is pure so tests can drive it with fixtures.
+func diagdocCheck(diagPath string, diagSrc []byte, docPath, docText string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, diagPath, diagSrc, 0)
+	if err != nil {
+		return nil, err
+	}
+	declared := map[string]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		if id, ok := vs.Type.(*ast.Ident); !ok || id.Name != "Code" {
+			return true
+		}
+		for _, v := range vs.Values {
+			bl, ok := v.(*ast.BasicLit)
+			if !ok || bl.Kind != token.STRING {
+				continue
+			}
+			s := strings.Trim(bl.Value, "`\"")
+			if isDiagCode(s) {
+				declared[s] = bl.Pos()
+			}
+		}
+		return true
+	})
+
+	documented := map[string]int{}
+	for i, line := range strings.Split(docText, "\n") {
+		rest, ok := strings.CutPrefix(line, "### ")
+		if !ok {
+			continue
+		}
+		if fields := strings.Fields(rest); len(fields) > 0 && isDiagCode(fields[0]) {
+			documented[fields[0]] = i + 1
+		}
+	}
+
+	var findings []string
+	for code, pos := range declared {
+		if _, ok := documented[code]; !ok {
+			findings = append(findings, fmt.Sprintf("%s: diagdoc: code %s has no `### %s` section in %s",
+				fset.Position(pos), code, code, docPath))
+		}
+	}
+	for code, line := range documented {
+		if _, ok := declared[code]; !ok {
+			findings = append(findings, fmt.Sprintf("%s:%d: diagdoc: section for %s has no Code constant in %s",
+				docPath, line, code, diagPath))
+		}
+	}
+	return findings, nil
+}
+
+// isDiagCode reports whether s looks like a diagnostic code: "L" followed
+// by exactly three digits.
+func isDiagCode(s string) bool {
+	if len(s) != 4 || s[0] != 'L' {
+		return false
+	}
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }

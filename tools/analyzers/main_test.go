@@ -6,6 +6,7 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"os"
 	"strings"
 	"testing"
 )
@@ -115,5 +116,70 @@ func TestExemptPackages(t *testing.T) {
 	fset, files, info = typecheckSrc(t, "hirata/internal/isa", badFixture)
 	if fs := checkInstCompare(fset, "hirata/internal/isa", files, info); len(fs) != 0 {
 		t.Errorf("instcompare inside internal/isa: %v", fs)
+	}
+}
+
+const diagFixture = `package lint
+
+type Code string
+
+const (
+	CodeOne   Code = "L001"
+	CodeTwo   Code = "L002"
+	CodeThree Code = "L003"
+)
+`
+
+const docFixture = "# catalogue\n" +
+	"### L001 `one` — first\n" +
+	"### L002 `two` — second\n" +
+	"### L099 `ghost` — removed long ago\n" +
+	"#### L003 not a section heading (wrong level)\n"
+
+func TestDiagDocCrossReference(t *testing.T) {
+	findings, err := diagdocCheck("diag.go", []byte(diagFixture), "LINT.md", docFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want 2: %v", len(findings), findings)
+	}
+	joined := strings.Join(findings, "\n")
+	if !strings.Contains(joined, "code L003 has no") {
+		t.Errorf("missing undocumented-code finding for L003:\n%s", joined)
+	}
+	if !strings.Contains(joined, "section for L099 has no") {
+		t.Errorf("missing stale-section finding for L099:\n%s", joined)
+	}
+}
+
+func TestDiagDocClean(t *testing.T) {
+	doc := "### L001 a\n### L002 b\n### L003 c\n"
+	findings, err := diagdocCheck("diag.go", []byte(diagFixture), "LINT.md", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean fixture produced findings: %v", findings)
+	}
+}
+
+func TestDiagDocLiveCatalogue(t *testing.T) {
+	// The real pair must stay in sync; run the check over the repository's
+	// own files.
+	diagSrc, err := os.ReadFile("../../internal/lint/diag.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docSrc, err := os.ReadFile("../../docs/LINT.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := diagdocCheck("internal/lint/diag.go", diagSrc, "docs/LINT.md", string(docSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("live catalogue out of sync:\n%s", strings.Join(findings, "\n"))
 	}
 }
