@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet analyzers verify-examples lint-interthread fuzz fmt
+.PHONY: all build test race lint vet analyzers verify-examples lint-interthread fuzz fmt trace-demo profile bench-report
 
 all: build test lint
 
@@ -41,3 +41,17 @@ fuzz:
 
 fmt:
 	gofmt -w .
+
+# Observability demos (docs/OBSERVABILITY.md). trace-demo writes a Perfetto
+# timeline of the fib example — load fib-trace.json in ui.perfetto.dev.
+trace-demo:
+	$(GO) run ./cmd/hirata-sim -slots 2 -standby -metrics-interval 64 -chrome-trace fib-trace.json examples/programs/fib.s
+
+# profile prints the per-PC hotspot report for the fib example.
+profile:
+	$(GO) run ./cmd/hirata-sim -slots 2 -standby -profile examples/programs/fib.s
+
+# bench-report regenerates the JSON paper-reproduction report and records
+# the 8-slot ray-trace Perfetto timeline (CI uploads both as artifacts).
+bench-report:
+	$(GO) run ./cmd/hirata-bench -chrome-trace raytrace-trace.json -json > bench-report.json

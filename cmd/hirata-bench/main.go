@@ -11,6 +11,11 @@
 //	hirata-bench -table 2        # one table
 //	hirata-bench -extras         # extension experiments only
 //	hirata-bench -rays 240 -n 400 -nodes 200   # workload sizes
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	hirata-bench -chrome-trace rt.json   # Perfetto timeline of the 8-slot ray-trace run
+//	hirata-bench -http :8080             # live /metrics + pprof while the tables run
 package main
 
 import (
@@ -31,10 +36,23 @@ func main() {
 		nodes   = flag.Int("nodes", 200, "linked-list length (Table 5)")
 		curve   = flag.Bool("curve", false, "print the slots-vs-speed-up sweep as CSV and exit")
 		asJSON  = flag.Bool("json", false, "print Tables 2-5 and the speed-up curve as JSON and exit")
+
+		chromeTrace = flag.String("chrome-trace", "", "record the representative 8-slot ray-trace run and write its Chrome Trace Event JSON timeline here")
+		httpAddr    = flag.String("http", "", "serve live /metrics, /trace.json and pprof of the bench process on this address")
 	)
 	flag.Parse()
 
 	rt := hirata.RayTraceConfig{Rays: *rays, Spheres: *spheres}
+	if *chromeTrace != "" || *httpAddr != "" {
+		shutdown, err := recordRepresentative(rt, *chromeTrace, *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hirata-bench:", err)
+			os.Exit(1)
+		}
+		if shutdown != nil {
+			defer func() { _ = shutdown() }()
+		}
+	}
 	if *asJSON {
 		rep, err := hirata.RunFullReport(rt, *n, *nodes)
 		if err != nil {
@@ -215,4 +233,51 @@ func main() {
 			return nil
 		})
 	}
+}
+
+// recordRepresentative runs the parallel ray tracer on the paper's 8-slot
+// machine with a collector attached — the same configuration Table 2
+// measures — writing its Perfetto timeline to tracePath (when set) and
+// serving the collector plus this process's pprof endpoints on httpAddr
+// (when set). The returned shutdown stops the HTTP server; it is nil when
+// httpAddr is empty.
+func recordRepresentative(rt hirata.RayTraceConfig, tracePath, httpAddr string) (func() error, error) {
+	w, err := hirata.BuildRayTrace(rt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := hirata.MTConfig{ThreadSlots: 8, LoadStoreUnits: 2, StandbyStations: true}
+	m, err := w.NewMemory(w.Par, cfg.ThreadSlots)
+	if err != nil {
+		return nil, err
+	}
+	col := hirata.NewCollector(cfg, hirata.CollectorOptions{MetricsInterval: 256})
+	var shutdown func() error
+	if httpAddr != "" {
+		bound, stop, err := hirata.ServeObservability(httpAddr, col, w.Par)
+		if err != nil {
+			return nil, err
+		}
+		shutdown = stop
+		fmt.Fprintf(os.Stderr, "hirata-bench: serving observability at http://%s\n", bound)
+	}
+	res, err := hirata.RunMTObserved(cfg, w.Par.Text, m, []hirata.Observer{col})
+	if err != nil {
+		return shutdown, err
+	}
+	fmt.Fprintf(os.Stderr, "hirata-bench: recorded 8-slot ray trace: %d cycles, ipc %.3f\n", res.Cycles, res.IPC())
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return shutdown, err
+		}
+		if err := col.WriteChromeTrace(f); err != nil {
+			return shutdown, err
+		}
+		if err := f.Close(); err != nil {
+			return shutdown, err
+		}
+		fmt.Fprintf(os.Stderr, "hirata-bench: wrote %s (load in ui.perfetto.dev)\n", tracePath)
+	}
+	return shutdown, nil
 }

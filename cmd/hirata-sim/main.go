@@ -10,12 +10,20 @@
 //	hirata-sim -machine mt -slots 4 -ls 2 -standby prog.s
 //	hirata-sim -machine risc prog.s
 //	hirata-sim -machine interp -dump-mem 100:110 prog.s
+//
+// Observability (mt only; see docs/OBSERVABILITY.md):
+//
+//	hirata-sim -chrome-trace out.json prog.s   Perfetto timeline → out.json
+//	hirata-sim -profile prog.s                 per-PC hotspot report
+//	hirata-sim -metrics-interval 100 prog.s    interval metrics table
+//	hirata-sim -http :8080 prog.s              live /metrics, /trace.json, pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -37,6 +45,11 @@ func main() {
 		dumpMem  = flag.String("dump-mem", "", "memory range to print after the run, e.g. 100:110")
 		pipeline = flag.Bool("pipeline", false, "print a cycle-by-cycle pipeline event trace (mt)")
 		verbose  = flag.Bool("v", false, "print full statistics")
+
+		chromeTrace  = flag.String("chrome-trace", "", "write a Chrome Trace Event JSON timeline to this file (mt; load in ui.perfetto.dev)")
+		profileOut   = flag.Bool("profile", false, "print a per-PC hotspot report after the run (mt)")
+		metricsEvery = flag.Int("metrics-interval", 0, "sample interval metrics every N cycles and print the time series (mt)")
+		httpAddr     = flag.String("http", "", "serve live /metrics, /metrics.json, /trace.json, /profile and pprof on this address during the run (mt)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -77,9 +90,31 @@ func main() {
 		}
 		pcs := make([]int64, *threads)
 		hirata.SetMinCThreads(prog, m, *slots)
-		var res hirata.MTResult
+
+		var observers []hirata.Observer
+		var col *hirata.Collector
+		if *chromeTrace != "" || *profileOut || *metricsEvery > 0 || *httpAddr != "" {
+			col = hirata.NewCollector(cfg, hirata.CollectorOptions{MetricsInterval: *metricsEvery})
+			observers = append(observers, col)
+		}
 		if *pipeline {
-			res, err = hirata.RunMTTraced(cfg, prog.Text, m, os.Stdout, pcs...)
+			observers = append(observers, &hirata.TextTracer{W: os.Stdout})
+		}
+		var shutdown func() error
+		if *httpAddr != "" {
+			// Bind before the run starts so the live endpoints exist for its
+			// whole duration.
+			bound, stop, serr := hirata.ServeObservability(*httpAddr, col, prog)
+			if serr != nil {
+				fail(serr)
+			}
+			shutdown = stop
+			fmt.Fprintf(os.Stderr, "hirata-sim: serving observability at http://%s\n", bound)
+		}
+
+		var res hirata.MTResult
+		if len(observers) > 0 {
+			res, err = hirata.RunMTObserved(cfg, prog.Text, m, observers, pcs...)
 		} else {
 			res, err = hirata.RunMT(cfg, prog.Text, m, pcs...)
 		}
@@ -90,6 +125,37 @@ func main() {
 			fmt.Print(res.String())
 		} else {
 			fmt.Printf("cycles=%d instructions=%d ipc=%.3f\n", res.Cycles, res.Instructions, res.IPC())
+		}
+
+		if *chromeTrace != "" {
+			f, ferr := os.Create(*chromeTrace)
+			if ferr != nil {
+				fail(ferr)
+			}
+			if err := col.WriteChromeTrace(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "hirata-sim: wrote %s (load in ui.perfetto.dev)\n", *chromeTrace)
+		}
+		if *metricsEvery > 0 {
+			fmt.Println()
+			if err := col.WriteIntervalTable(os.Stdout); err != nil {
+				fail(err)
+			}
+		}
+		if *profileOut {
+			fmt.Println()
+			if err := col.Profile().WriteAnnotated(os.Stdout, prog); err != nil {
+				fail(err)
+			}
+		}
+		if shutdown != nil {
+			fmt.Fprintln(os.Stderr, "hirata-sim: run finished; endpoints stay up — interrupt (ctrl-C) to exit")
+			waitForInterrupt()
+			_ = shutdown()
 		}
 	case "risc":
 		res, err := hirata.RunRISC(hirata.RISCConfig{LoadStoreUnits: *ls}, prog.Text, m)
@@ -121,6 +187,12 @@ func main() {
 			fmt.Printf("mem[%d] = %#016x (int %d, float %g)\n", a, v, int64(v), m.FloatAt(a))
 		}
 	}
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
 }
 
 func parseRange(s string) (lo, hi int64, err error) {

@@ -9,7 +9,10 @@
 //	hirata-trace -replay prog.trace -slots 4 -copies 4
 //
 // Replaying N copies of a trace on S thread slots measures multiprogrammed
-// throughput exactly the way the paper measures its ray tracer.
+// throughput exactly the way the paper measures its ray tracer. A replay
+// can additionally export a Perfetto timeline (-chrome-trace) and an
+// interval metrics time series (-metrics-interval); see
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	"hirata"
 	"hirata/internal/core"
+	"hirata/internal/obs"
 	"hirata/internal/trace"
 )
 
@@ -32,6 +36,9 @@ func main() {
 		ls      = flag.Int("ls", 2, "load/store units for -replay")
 		copies  = flag.Int("copies", 0, "trace copies to replay (default: one per slot)")
 		standby = flag.Bool("standby", true, "standby stations for -replay")
+
+		chromeTrace  = flag.String("chrome-trace", "", "write a Chrome Trace Event JSON timeline of the replay (load in ui.perfetto.dev)")
+		metricsEvery = flag.Int("metrics-interval", 0, "sample interval metrics every N cycles during -replay and print the time series")
 	)
 	flag.Parse()
 
@@ -73,16 +80,36 @@ func main() {
 		for i := range traces {
 			traces[i] = in
 		}
-		p, err := core.NewTraceDriven(core.Config{
+		cfg := core.Config{
 			ThreadSlots:     *slots,
 			LoadStoreUnits:  *ls,
 			StandbyStations: *standby,
-		}, traces)
+		}
+		p, err := core.NewTraceDriven(cfg, traces)
 		check(err)
+		var col *obs.Collector
+		if *chromeTrace != "" || *metricsEvery > 0 {
+			col = obs.NewCollector(cfg, obs.Options{MetricsInterval: *metricsEvery})
+			p.Observe(col)
+		}
 		res, err := p.Run()
 		check(err)
+		if col != nil {
+			col.Finalize(res)
+		}
 		fmt.Printf("replayed %d x %d instructions on %d slots\n", n, len(recs), *slots)
 		fmt.Print(res.String())
+		if *chromeTrace != "" {
+			f, err := os.Create(*chromeTrace)
+			check(err)
+			check(col.WriteChromeTrace(f))
+			check(f.Close())
+			fmt.Printf("wrote %s (load in ui.perfetto.dev)\n", *chromeTrace)
+		}
+		if *metricsEvery > 0 {
+			fmt.Println()
+			check(col.WriteIntervalTable(os.Stdout))
+		}
 
 	default:
 		fmt.Fprintln(os.Stderr, "usage: hirata-trace -record prog.s [-o f] | -stats f | -replay f [-slots N -copies N]")

@@ -42,6 +42,7 @@ import (
 	"hirata/internal/lint"
 	"hirata/internal/mem"
 	"hirata/internal/minc"
+	"hirata/internal/obs"
 	"hirata/internal/risc"
 	"hirata/internal/sched"
 	"hirata/internal/trace"
@@ -197,6 +198,67 @@ func RunMTTraced(cfg MTConfig, text []Instruction, m *Memory, w io.Writer, start
 		}
 	}
 	return p.Run()
+}
+
+// Observability (see internal/obs and docs/OBSERVABILITY.md).
+type (
+	// Observer receives the simulator's pipeline event stream.
+	Observer = core.Observer
+	// MultiObserver fans events out to several observers.
+	MultiObserver = core.MultiObserver
+	// Collector records events into a bounded ring and aggregates a per-PC
+	// hotspot profile and interval metrics; it exports Chrome Trace Event
+	// JSON (Perfetto), Prometheus text format, and annotated profiles.
+	Collector = obs.Collector
+	// CollectorOptions configure a Collector (ring capacity, metrics
+	// interval, stall-event retention).
+	CollectorOptions = obs.Options
+	// Profile is a per-PC hotspot profile extracted from a Collector.
+	Profile = obs.Profile
+	// MetricsSample is one closed interval of the metrics time series.
+	MetricsSample = obs.Sample
+	// TextTracer prints pipeline events to a writer, one line per event.
+	TextTracer = core.TextTracer
+)
+
+// NewCollector builds an event collector for a machine of the given shape.
+func NewCollector(cfg MTConfig, opt CollectorOptions) *Collector {
+	return obs.NewCollector(cfg, opt)
+}
+
+// ServeObservability starts an HTTP server exposing a collector's /metrics,
+// /metrics.json, /trace.json, /profile and /debug/pprof endpoints. It
+// returns the bound address (useful with ":0") and a shutdown function.
+func ServeObservability(addr string, c *Collector, prog *Program) (string, func() error, error) {
+	return obs.Serve(addr, c, prog)
+}
+
+// RunMTObserved is RunMT with one or more observers attached to the
+// pipeline event stream (a *Collector, a *core.TextTracer, or any custom
+// Observer). Collectors passed here are finalized against the run result
+// before returning.
+func RunMTObserved(cfg MTConfig, text []Instruction, m *Memory, observers []Observer, startPCs ...int64) (MTResult, error) {
+	p, err := core.New(cfg, text, m)
+	if err != nil {
+		return MTResult{}, err
+	}
+	for _, o := range observers {
+		p.Observe(o)
+	}
+	for _, pc := range startPCs {
+		if err := p.StartThread(pc); err != nil {
+			return MTResult{}, err
+		}
+	}
+	res, err := p.Run()
+	if err == nil {
+		for _, o := range observers {
+			if c, ok := o.(*Collector); ok {
+				c.Finalize(res)
+			}
+		}
+	}
+	return res, err
 }
 
 // RunRISC simulates a program on the baseline RISC machine.

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"hirata/internal/asm"
+)
+
+// allocLoopSrc keeps the pipeline busy for thousands of cycles: an integer
+// countdown with a multiply so both the IntALU and IntMul see traffic.
+const allocLoopSrc = `
+	li   r1, 2000
+	li   r2, 1
+loop:	mul  r2, r2, r1
+	addi r1, r1, -1
+	bnez r1, loop
+	halt
+`
+
+// TestStepCycleNoObserverAllocFree pins the nil-observer fast path: once
+// the pipeline reaches steady state, stepping cycles must not allocate.
+// The observability layer rides on this — attaching a Collector may
+// allocate, but a run without one must stay as cheap as before it existed.
+func TestStepCycleNoObserverAllocFree(t *testing.T) {
+	prog := asm.MustAssemble(allocLoopSrc)
+	m, err := prog.NewMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{ThreadSlots: 2, StandbyStations: true}, prog.Text, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	p.started = true
+	// Warm up past the cold-start allocations (queue growth, first frame
+	// bind) before measuring.
+	for i := 0; i < 200; i++ {
+		if err := p.stepCycle(); err != nil {
+			t.Fatal(err)
+		}
+		p.cycle++
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := p.stepCycle(); err != nil {
+			t.Fatal(err)
+		}
+		p.cycle++
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state stepCycle allocates %.1f objects/cycle with no observer; want 0", allocs)
+	}
+}

@@ -98,6 +98,9 @@ func (p *Processor) decodePhase() error {
 func (p *Processor) issueFromSlot(s *slot) error {
 	if len(s.d2) == 0 {
 		p.stats.Slots[s.id].Stalls[StallEmpty]++
+		if p.observer != nil {
+			p.observer.Stall(p.cycle, s.id, -1, StallEmpty)
+		}
 		return nil
 	}
 	var (
@@ -157,6 +160,9 @@ func (p *Processor) issueFromSlot(s *slot) error {
 		s.d2 = keep
 	} else if firstStall != StallNone {
 		p.stats.Slots[s.id].Stalls[firstStall]++
+		if p.observer != nil {
+			p.observer.Stall(p.cycle, s.id, s.d2[0].pc, firstStall)
+		}
 	}
 	p.pendScratch = pendingDests[:0]
 	p.pendScratch2 = pendingSrcs[:0]

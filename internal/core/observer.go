@@ -9,13 +9,21 @@ import (
 
 // Observer receives the machine's microarchitectural events as they
 // happen. All callbacks run synchronously inside the simulation loop; a
-// nil Observer costs nothing. TextTracer is the ready-made implementation.
+// nil Observer costs nothing. TextTracer is the ready-made implementation;
+// internal/obs builds timelines, profiles and metrics on top of it.
 type Observer interface {
 	// Issue: an instruction left a decode unit (stage D2).
 	Issue(cycle uint64, slot int, pc int64, ins isa.Instruction)
 	// Select: an instruction schedule unit assigned an instruction to a
 	// functional unit; its result is ready at readyAt.
 	Select(cycle uint64, slot int, pc int64, ins isa.Instruction, unit isa.UnitClass, unitIndex int, readyAt uint64)
+	// Complete: a selected instruction's result latency elapsed (the cycle
+	// its result becomes architecturally visible to dependents).
+	Complete(cycle uint64, slot int, pc int64, ins isa.Instruction, unit isa.UnitClass, unitIndex int)
+	// Stall: a decode unit issued nothing this cycle; pc is the head of
+	// the D2 window (-1 when the window is empty and the stall is a fetch
+	// bubble). Reasons mirror SlotStat.Stalls.
+	Stall(cycle uint64, slot int, pc int64, reason StallReason)
 	// Redirect: a branch flushed the slot and refetches from pc.
 	Redirect(cycle uint64, slot int, pc int64)
 	// Bind: a context frame was bound to a thread slot.
@@ -23,14 +31,88 @@ type Observer interface {
 	// Trap: a data-absence trap switched the thread out (remote addr).
 	Trap(cycle uint64, slot, frame int, addr int64)
 	// Rotate: the schedule-unit priorities rotated; prio[0] is highest.
+	// The slice is owned by the processor: copy it to retain it.
 	Rotate(cycle uint64, prio []int)
 	// ThreadEnd: a thread halted or was killed.
 	ThreadEnd(cycle uint64, slot, frame int, killed bool)
 }
 
-// Observe attaches an observer (replacing any previous one). Call before
-// Run.
-func (p *Processor) Observe(o Observer) { p.observer = o }
+// Observe attaches an observer. Repeated calls compose: every attached
+// observer receives every event, in attachment order (a TextTracer and a
+// metrics collector can watch the same run). Call before Run; a nil
+// observer is ignored.
+func (p *Processor) Observe(o Observer) {
+	if o == nil {
+		return
+	}
+	switch cur := p.observer.(type) {
+	case nil:
+		p.observer = o
+	case MultiObserver:
+		p.observer = append(cur, o)
+	default:
+		p.observer = MultiObserver{cur, o}
+	}
+}
+
+// MultiObserver fans every event out to each member, in order. The zero
+// value is usable; Processor.Observe builds one automatically when more
+// than one observer is attached.
+type MultiObserver []Observer
+
+func (m MultiObserver) Issue(cycle uint64, slot int, pc int64, ins isa.Instruction) {
+	for _, o := range m {
+		o.Issue(cycle, slot, pc, ins)
+	}
+}
+
+func (m MultiObserver) Select(cycle uint64, slot int, pc int64, ins isa.Instruction, unit isa.UnitClass, unitIndex int, readyAt uint64) {
+	for _, o := range m {
+		o.Select(cycle, slot, pc, ins, unit, unitIndex, readyAt)
+	}
+}
+
+func (m MultiObserver) Complete(cycle uint64, slot int, pc int64, ins isa.Instruction, unit isa.UnitClass, unitIndex int) {
+	for _, o := range m {
+		o.Complete(cycle, slot, pc, ins, unit, unitIndex)
+	}
+}
+
+func (m MultiObserver) Stall(cycle uint64, slot int, pc int64, reason StallReason) {
+	for _, o := range m {
+		o.Stall(cycle, slot, pc, reason)
+	}
+}
+
+func (m MultiObserver) Redirect(cycle uint64, slot int, pc int64) {
+	for _, o := range m {
+		o.Redirect(cycle, slot, pc)
+	}
+}
+
+func (m MultiObserver) Bind(cycle uint64, slot, frame int, tid int64) {
+	for _, o := range m {
+		o.Bind(cycle, slot, frame, tid)
+	}
+}
+
+func (m MultiObserver) Trap(cycle uint64, slot, frame int, addr int64) {
+	for _, o := range m {
+		o.Trap(cycle, slot, frame, addr)
+	}
+}
+
+func (m MultiObserver) Rotate(cycle uint64, prio []int) {
+	for _, o := range m {
+		o.Rotate(cycle, prio)
+	}
+}
+
+func (m MultiObserver) ThreadEnd(cycle uint64, slot, frame int, killed bool) {
+	for _, o := range m {
+		o.ThreadEnd(cycle, slot, frame, killed)
+	}
+}
 
 // TextTracer is an Observer that writes one line per event, producing a
 // readable cycle-by-cycle pipeline trace:
@@ -38,6 +120,10 @@ func (p *Processor) Observe(o Observer) { p.observer = o }
 //	[   12] slot0  issue    pc=5    add r3, r1, r2
 //	[   13] slot0  select   pc=5    IntALU[0] ready@15
 //	[   17] slot1  redirect pc=9
+//
+// Fetch-bubble stalls (StallEmpty) are suppressed — they dominate most
+// traces and carry no scheduling information; attach an obs.Collector for
+// complete stall accounting.
 type TextTracer struct {
 	W io.Writer
 }
@@ -48,6 +134,17 @@ func (t *TextTracer) Issue(cycle uint64, slot int, pc int64, ins isa.Instruction
 
 func (t *TextTracer) Select(cycle uint64, slot int, pc int64, ins isa.Instruction, unit isa.UnitClass, idx int, readyAt uint64) {
 	fmt.Fprintf(t.W, "[%5d] slot%-2d select   pc=%-5d %s[%d] ready@%d\n", cycle, slot, pc, unit, idx, readyAt)
+}
+
+func (t *TextTracer) Complete(cycle uint64, slot int, pc int64, ins isa.Instruction, unit isa.UnitClass, idx int) {
+	fmt.Fprintf(t.W, "[%5d] slot%-2d complete pc=%-5d %s[%d]\n", cycle, slot, pc, unit, idx)
+}
+
+func (t *TextTracer) Stall(cycle uint64, slot int, pc int64, reason StallReason) {
+	if reason == StallEmpty {
+		return
+	}
+	fmt.Fprintf(t.W, "[%5d] slot%-2d stall    pc=%-5d %s\n", cycle, slot, pc, reason)
 }
 
 func (t *TextTracer) Redirect(cycle uint64, slot int, pc int64) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hirata/internal/asm"
+	"hirata/internal/isa"
 	"hirata/internal/mem"
 )
 
@@ -69,6 +70,102 @@ func TestTracerTrapEvent(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "trap") {
 		t.Errorf("no trap event in trace:\n%s", firstLines(buf.String(), 20))
+	}
+}
+
+// countingObserver tallies events per callback, for composition tests.
+type countingObserver struct {
+	issues, selects, completes, stalls, redirects, binds, traps, rotates, ends int
+}
+
+func (c *countingObserver) Issue(uint64, int, int64, isa.Instruction) { c.issues++ }
+func (c *countingObserver) Select(uint64, int, int64, isa.Instruction, isa.UnitClass, int, uint64) {
+	c.selects++
+}
+func (c *countingObserver) Complete(uint64, int, int64, isa.Instruction, isa.UnitClass, int) {
+	c.completes++
+}
+func (c *countingObserver) Stall(uint64, int, int64, StallReason) { c.stalls++ }
+func (c *countingObserver) Redirect(uint64, int, int64)           { c.redirects++ }
+func (c *countingObserver) Bind(uint64, int, int, int64)          { c.binds++ }
+func (c *countingObserver) Trap(uint64, int, int, int64)          { c.traps++ }
+func (c *countingObserver) Rotate(uint64, []int)                  { c.rotates++ }
+func (c *countingObserver) ThreadEnd(uint64, int, int, bool)      { c.ends++ }
+
+// TestObserveComposes checks that repeated Observe calls fan out instead of
+// replacing the previously attached observer.
+func TestObserveComposes(t *testing.T) {
+	prog := asm.MustAssemble(`
+		addi r1, r0, 3
+	loop:	addi r1, r1, -1
+		bnez r1, loop
+		halt
+	`)
+	m, _ := prog.NewMemory(64)
+	p, err := New(Config{ThreadSlots: 1, StandbyStations: true}, prog.Text, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b countingObserver
+	p.Observe(&a)
+	p.Observe(&b)
+	p.Observe(nil) // ignored
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("composed observers diverge: a=%+v b=%+v", a, b)
+	}
+	if a.issues == 0 || a.selects == 0 || a.binds == 0 || a.ends == 0 {
+		t.Errorf("observer missed events: %+v", a)
+	}
+	if uint64(a.issues) != res.Instructions {
+		t.Errorf("issues = %d, want %d", a.issues, res.Instructions)
+	}
+}
+
+// TestCompleteAndStallEvents checks the write-back and stall callbacks the
+// observability layer's latency/stall attribution depends on.
+func TestCompleteAndStallEvents(t *testing.T) {
+	// The mul chain guarantees data stalls (result latency 5) and the
+	// selected instructions must all complete.
+	prog := asm.MustAssemble(`
+		addi r1, r0, 7
+		mul  r2, r1, r1
+		mul  r3, r2, r2
+		add  r4, r3, r3
+		sw   r4, 100(r0)
+		halt
+	`)
+	m, _ := prog.NewMemory(128)
+	p, err := New(Config{ThreadSlots: 1, StandbyStations: true}, prog.Text, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c countingObserver
+	p.Observe(&c)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.completes != c.selects {
+		t.Errorf("completes = %d, selects = %d; every selected instruction must complete", c.completes, c.selects)
+	}
+	if c.completes == 0 {
+		t.Error("no complete events")
+	}
+	if c.stalls == 0 {
+		t.Error("no stall events despite a dependent mul chain")
+	}
+	var recorded uint64
+	for _, s := range res.Slots {
+		for _, n := range s.Stalls {
+			recorded += n
+		}
+	}
+	if uint64(c.stalls) != recorded {
+		t.Errorf("stall events = %d, Result stall count = %d", c.stalls, recorded)
 	}
 }
 

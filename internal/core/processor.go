@@ -235,8 +235,12 @@ type Processor struct {
 	// maximum possible result latency (Table 1 + remote + cache miss).
 	completions [][]int
 	compMask    uint64
-	intQueues   []*queueFIFO // ring link read by slot i
-	fpQueues    []*queueFIFO
+	// compDetail mirrors completions with the facts Observer.Complete
+	// reports. Allocated lazily by Run only when an observer is attached,
+	// so the nil-observer hot loop never touches it.
+	compDetail [][]compDetail
+	intQueues  []*queueFIFO // ring link read by slot i
+	fpQueues   []*queueFIFO
 
 	outstanding int // total selected-but-incomplete instructions
 	nextTID     int64
@@ -269,6 +273,15 @@ type Processor struct {
 	OnSelect func(slot int, pc int64, cycle uint64)
 
 	observer Observer // optional rich event sink (see Observe)
+}
+
+// compDetail carries one completing instruction to Observer.Complete.
+type compDetail struct {
+	slot      int
+	pc        int64
+	ins       isa.Instruction
+	unit      isa.UnitClass
+	unitIndex int
 }
 
 // TraceInput is one record of a dynamic instruction stream for
@@ -370,6 +383,13 @@ func New(cfg Config, prog []isa.Instruction, m *mem.Memory) (*Processor, error) 
 			p.unitsByCls[cls] = append(p.unitsByCls[cls], u)
 		}
 	}
+	// Scratch for schedulePhase's free-unit scan; sized to the largest
+	// class so the hot loop never reallocates it.
+	for _, us := range p.unitsByCls {
+		if len(us) > cap(p.freeUnits) {
+			p.freeUnits = make([]*funcUnit, 0, len(us))
+		}
+	}
 	for i := 0; i < cfg.FetchUnits; i++ {
 		p.fetchers = append(p.fetchers, &fetchUnit{icache: mem.NewCache(cfg.ICache), target: -1})
 	}
@@ -421,6 +441,9 @@ func (p *Processor) Run() (Result, error) {
 		}
 	}
 	p.started = true
+	if p.observer != nil {
+		p.compDetail = make([][]compDetail, len(p.completions))
+	}
 	for {
 		if p.cycle >= p.cfg.MaxCycles {
 			return p.stats, fmt.Errorf("core: exceeded %d cycles (deadlock or runaway program?)\n%s",
@@ -518,6 +541,12 @@ func (p *Processor) retireCompletions() {
 		p.outstanding--
 	}
 	p.completions[idx] = p.completions[idx][:0]
+	if p.compDetail != nil {
+		for _, d := range p.compDetail[idx] {
+			p.observer.Complete(p.cycle, d.slot, d.pc, d.ins, d.unit, d.unitIndex)
+		}
+		p.compDetail[idx] = p.compDetail[idx][:0]
+	}
 }
 
 // wakeFrames transitions waiting frames whose remote data has arrived.

@@ -84,5 +84,10 @@ func (p *Processor) selectInstr(u *funcUnit, inf *inflight) {
 	}
 	if p.observer != nil {
 		p.observer.Select(p.cycle, inf.slot, inf.pc, inf.ins, u.class, u.index, ready)
+		if p.compDetail != nil {
+			p.compDetail[idx] = append(p.compDetail[idx], compDetail{
+				slot: inf.slot, pc: inf.pc, ins: inf.ins, unit: u.class, unitIndex: u.index,
+			})
+		}
 	}
 }

@@ -22,6 +22,10 @@ const (
 	numStallReasons
 )
 
+// NumStallReasons is the number of distinct stall reasons — the length of
+// SlotStat.Stalls. Metrics exporters iterate StallReason(0..NumStallReasons).
+const NumStallReasons = int(numStallReasons)
+
 // String names the stall reason.
 func (r StallReason) String() string {
 	switch r {

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+
+	"hirata/internal/asm"
+)
+
+// Handler returns the live observability surface for a running (or
+// finished) simulation:
+//
+//	/            index
+//	/metrics     Prometheus text exposition (totals + latest interval)
+//	/metrics.json totals and the interval time series as JSON
+//	/trace.json  Chrome Trace Event JSON of the ring buffer (Perfetto)
+//	/profile     per-PC hotspot report (annotated disassembly)
+//	/debug/pprof/... the standard Go profiler endpoints
+//
+// prog supplies the profiler's source-line map and may be nil. The
+// collector is written by the simulation loop concurrently; every handler
+// works from a consistent snapshot.
+func Handler(c *Collector, prog *asm.Program) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "hirata simulator observability\n\n"+
+			"  /metrics        Prometheus text format\n"+
+			"  /metrics.json   totals + interval time series\n"+
+			"  /trace.json     Chrome Trace Event JSON (load in ui.perfetto.dev)\n"+
+			"  /profile        per-PC hotspot report\n"+
+			"  /debug/pprof/   Go runtime profiles of the simulator itself\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := c.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := c.WriteMetricsJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="hirata-trace.json"`)
+		if err := c.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := c.Profile().WriteAnnotated(w, prog); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves Handler in a background goroutine.
+// It returns once the listener is bound (so "the server is up" is
+// ordered before the simulation starts) along with the bound address —
+// useful with ":0" — and a shutdown function.
+func Serve(addr string, c *Collector, prog *asm.Program) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(c, prog)}
+	go func() {
+		// Serve returns http.ErrServerClosed on shutdown; anything else is
+		// reported through the server's ErrorLog default (stderr).
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}

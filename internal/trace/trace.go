@@ -177,6 +177,16 @@ func Read(r io.Reader) ([]Record, error) {
 		}
 		recs = append(recs, rec)
 	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("trace: after last record: %w", err)
+		}
+		extra, cerr := io.Copy(io.Discard, br)
+		if cerr != nil {
+			return nil, fmt.Errorf("trace: after last record: %w", cerr)
+		}
+		return nil, fmt.Errorf("trace: %d byte(s) of trailing garbage after record %d", extra+1, count)
+	}
 	return recs, nil
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -162,6 +163,32 @@ func TestReadRejectsGarbage(t *testing.T) {
 		if _, err := Read(bytes.NewReader(c)); err == nil {
 			t.Errorf("Read(%q) succeeded", c)
 		}
+	}
+}
+
+// TestReadRejectsTrailingGarbage: a valid trace followed by junk is a
+// corrupt file, not a valid trace — Read must fail with a positioned error
+// rather than silently discard the extra bytes.
+func TestReadRejectsTrailingGarbage(t *testing.T) {
+	recs, _ := record(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	for _, junk := range [][]byte{{0x00}, {0xde, 0xad, 0xbe, 0xef}, bytes.Repeat([]byte{0x55}, 1000)} {
+		corrupt := append(append([]byte{}, buf.Bytes()...), junk...)
+		_, err := Read(bytes.NewReader(corrupt))
+		if err == nil {
+			t.Fatalf("Read accepted %d trailing garbage byte(s)", len(junk))
+		}
+		want := fmt.Sprintf("trace: %d byte(s) of trailing garbage after record %d", len(junk), len(recs))
+		if err.Error() != want {
+			t.Errorf("error = %q, want %q", err, want)
+		}
+	}
+	// The clean file still reads.
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("clean trace rejected: %v", err)
 	}
 }
 
