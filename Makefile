@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet analyzers verify-examples lint-interthread fuzz fmt trace-demo profile bench-report
+.PHONY: all build test race lint vet analyzers verify-examples lint-interthread fuzz fmt trace-demo profile bench-report bench bench-check
 
 all: build test lint
 
@@ -53,5 +53,18 @@ profile:
 
 # bench-report regenerates the JSON paper-reproduction report and records
 # the 8-slot ray-trace Perfetto timeline (CI uploads both as artifacts).
+# PARALLEL controls how many simulation cells run concurrently (0 = all
+# CPUs, 1 = the sequential reference path); output is identical either way.
+PARALLEL ?= 0
 bench-report:
-	$(GO) run ./cmd/hirata-bench -chrome-trace raytrace-trace.json -json > bench-report.json
+	$(GO) run ./cmd/hirata-bench -parallel $(PARALLEL) -chrome-trace raytrace-trace.json -json > bench-report.json
+
+# bench runs the Go microbenchmarks the perf gate watches (docs/PERFORMANCE.md).
+BENCH_COUNT ?= 5
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSimulatorThroughput|BenchmarkRunNoObserver|BenchmarkConcurrentMTSingleRun|BenchmarkSweepParallel' -benchmem -count $(BENCH_COUNT) . ./internal/core | tee bench-out.txt
+
+# bench-check compares bench-out.txt against the committed BENCH_sweep.json
+# baseline and fails on a >10% ns/op regression.
+bench-check: bench
+	$(GO) run ./tools/benchdiff -baseline BENCH_sweep.json -in bench-out.txt

@@ -267,6 +267,64 @@ func BenchmarkConcurrentMT(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentMTSingleRun measures one high-remote-latency
+// concurrent-multithreading simulation — the workload where quiescent-cycle
+// skipping pays: with 300-cycle remote loads most simulated cycles have no
+// running slot and are jumped over instead of stepped.
+func BenchmarkConcurrentMTSingleRun(b *testing.B) {
+	prog, err := Assemble(concurrentMTSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, noskip := range []bool{false, true} {
+		name := "skip"
+		if noskip {
+			name = "noskip"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				m := NewMemoryWithRemote(8192, 4096, 300)
+				for a := int64(4096); a < 8192; a++ {
+					m.SetInt(a, a%97)
+				}
+				res, err := RunMT(MTConfig{
+					ThreadSlots:      1,
+					ContextFrames:    4,
+					StandbyStations:  true,
+					DisableCycleSkip: noskip,
+				}, prog.Text, m, 0, 0, 0, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the Table 2 sweep end to end through the
+// sweep engine, sequentially and at full host parallelism. On a multi-core
+// host the speed-up approaches min(NumCPU, independent cells).
+func BenchmarkSweepParallel(b *testing.B) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 0} {
+		name := "seq"
+		if workers == 0 {
+			name = "ncpu"
+		}
+		b.Run(name, func(b *testing.B) {
+			SetParallelism(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := RunTable2(Table2Config{Workload: benchRT}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed (host cycles
 // per simulated cycle), useful for tracking simulator performance.
 func BenchmarkSimulatorThroughput(b *testing.B) {

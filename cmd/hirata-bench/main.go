@@ -11,6 +11,7 @@
 //	hirata-bench -table 2        # one table
 //	hirata-bench -extras         # extension experiments only
 //	hirata-bench -rays 240 -n 400 -nodes 200   # workload sizes
+//	hirata-bench -parallel 1     # sequential reference run (default: all CPUs)
 //
 // Observability (see docs/OBSERVABILITY.md):
 //
@@ -39,8 +40,10 @@ func main() {
 
 		chromeTrace = flag.String("chrome-trace", "", "record the representative 8-slot ray-trace run and write its Chrome Trace Event JSON timeline here")
 		httpAddr    = flag.String("http", "", "serve live /metrics, /trace.json and pprof of the bench process on this address")
+		parallel    = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS worth, 1 = sequential reference)")
 	)
 	flag.Parse()
+	hirata.SetParallelism(*parallel)
 
 	rt := hirata.RayTraceConfig{Rays: *rays, Spheres: *spheres}
 	if *chromeTrace != "" || *httpAddr != "" {

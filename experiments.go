@@ -69,47 +69,70 @@ func RunTable2(cfg Table2Config) (*Table2, error) {
 	}
 	out := &Table2{Config: cfg}
 
-	for _, ls := range []int{1, 2} {
-		m, err := rt.NewMemory(rt.Seq, 1)
-		if err != nil {
-			return nil, err
-		}
-		res, err := RunRISC(risc.Config{LoadStoreUnits: ls}, rt.Seq.Text, m)
-		if err != nil {
-			return nil, fmt.Errorf("table 2 baseline (%d ls): %w", ls, err)
-		}
-		out.BaselineCycle[ls] = res.Cycles
+	// Every baseline and table cell is an independent simulation; enumerate
+	// them in the original loop order and run the grid on the sweep engine.
+	type spec struct {
+		baseline  bool
+		slots, ls int
+		standby   bool
 	}
-
+	specs := []spec{{baseline: true, ls: 1}, {baseline: true, ls: 2}}
 	for _, slots := range cfg.Slots {
 		for _, ls := range []int{1, 2} {
 			for _, standby := range []bool{false, true} {
-				m, err := rt.NewMemory(rt.Par, slots)
-				if err != nil {
-					return nil, err
-				}
-				res, err := RunMT(core.Config{
-					ThreadSlots:      slots,
-					LoadStoreUnits:   ls,
-					StandbyStations:  standby,
-					RotationInterval: cfg.RotationInterval,
-					PrivateICache:    cfg.PrivateICache,
-				}, rt.Par.Text, m)
-				if err != nil {
-					return nil, fmt.Errorf("table 2 (%d slots, %d ls, standby=%v): %w", slots, ls, standby, err)
-				}
-				busiest := res.BusiestUnit()
-				out.Cells = append(out.Cells, Table2Cell{
-					Slots:          slots,
-					LoadStoreUnits: ls,
-					Standby:        standby,
-					Cycles:         res.Cycles,
-					Speedup:        float64(out.BaselineCycle[ls]) / float64(res.Cycles),
-					BusiestClass:   busiest.Class,
-					BusiestUtil:    busiest.Utilization(res.Cycles),
-				})
+				specs = append(specs, spec{slots: slots, ls: ls, standby: standby})
 			}
 		}
+	}
+	type meas struct {
+		cycles  uint64
+		busiest core.UnitStat
+	}
+	results, err := runCells(len(specs), func(i int) (meas, error) {
+		sp := specs[i]
+		if sp.baseline {
+			m, err := rt.NewMemory(rt.Seq, 1)
+			if err != nil {
+				return meas{}, err
+			}
+			res, err := RunRISC(risc.Config{LoadStoreUnits: sp.ls}, rt.Seq.Text, m)
+			if err != nil {
+				return meas{}, fmt.Errorf("table 2 baseline (%d ls): %w", sp.ls, err)
+			}
+			return meas{cycles: res.Cycles}, nil
+		}
+		m, err := rt.NewMemory(rt.Par, sp.slots)
+		if err != nil {
+			return meas{}, err
+		}
+		res, err := RunMT(core.Config{
+			ThreadSlots:      sp.slots,
+			LoadStoreUnits:   sp.ls,
+			StandbyStations:  sp.standby,
+			RotationInterval: cfg.RotationInterval,
+			PrivateICache:    cfg.PrivateICache,
+		}, rt.Par.Text, m)
+		if err != nil {
+			return meas{}, fmt.Errorf("table 2 (%d slots, %d ls, standby=%v): %w", sp.slots, sp.ls, sp.standby, err)
+		}
+		return meas{cycles: res.Cycles, busiest: res.BusiestUnit()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.BaselineCycle[1] = results[0].cycles
+	out.BaselineCycle[2] = results[1].cycles
+	for i, sp := range specs[2:] {
+		r := results[i+2]
+		out.Cells = append(out.Cells, Table2Cell{
+			Slots:          sp.slots,
+			LoadStoreUnits: sp.ls,
+			Standby:        sp.standby,
+			Cycles:         r.cycles,
+			Speedup:        float64(out.BaselineCycle[sp.ls]) / float64(r.cycles),
+			BusiestClass:   r.busiest.Class,
+			BusiestUtil:    r.busiest.Utilization(r.cycles),
+		})
 	}
 	return out, nil
 }
@@ -166,39 +189,53 @@ func RunTable3(cfg Table3Config) (*Table3, error) {
 	}
 	out := &Table3{Config: cfg}
 
-	m, err := rt.NewMemory(rt.Seq, 1)
-	if err != nil {
-		return nil, err
-	}
-	base, err := RunRISC(risc.Config{LoadStoreUnits: 2}, rt.Seq.Text, m)
-	if err != nil {
-		return nil, err
-	}
-	out.BaselineCycle = base.Cycles
-
+	// Cell 0 is the sequential baseline; the rest sweep the (D,S) grid.
+	type spec struct{ d, s int }
+	specs := []spec{{0, 0}}
 	for _, prod := range cfg.Products {
 		for d := 1; d <= prod; d *= 2 {
-			s := prod / d
-			m, err := rt.NewMemory(rt.Par, s)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunMT(core.Config{
-				ThreadSlots:     s,
-				LoadStoreUnits:  2,
-				StandbyStations: true,
-				IssueWidth:      d,
-			}, rt.Par.Text, m)
-			if err != nil {
-				return nil, fmt.Errorf("table 3 (D=%d, S=%d): %w", d, s, err)
-			}
-			out.Cells = append(out.Cells, Table3Cell{
-				IssueWidth: d,
-				Slots:      s,
-				Cycles:     res.Cycles,
-				Speedup:    float64(out.BaselineCycle) / float64(res.Cycles),
-			})
+			specs = append(specs, spec{d: d, s: prod / d})
 		}
+	}
+	cycles, err := runCells(len(specs), func(i int) (uint64, error) {
+		sp := specs[i]
+		if i == 0 {
+			m, err := rt.NewMemory(rt.Seq, 1)
+			if err != nil {
+				return 0, err
+			}
+			base, err := RunRISC(risc.Config{LoadStoreUnits: 2}, rt.Seq.Text, m)
+			if err != nil {
+				return 0, err
+			}
+			return base.Cycles, nil
+		}
+		m, err := rt.NewMemory(rt.Par, sp.s)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunMT(core.Config{
+			ThreadSlots:     sp.s,
+			LoadStoreUnits:  2,
+			StandbyStations: true,
+			IssueWidth:      sp.d,
+		}, rt.Par.Text, m)
+		if err != nil {
+			return 0, fmt.Errorf("table 3 (D=%d, S=%d): %w", sp.d, sp.s, err)
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.BaselineCycle = cycles[0]
+	for i, sp := range specs[1:] {
+		out.Cells = append(out.Cells, Table3Cell{
+			IssueWidth: sp.d,
+			Slots:      sp.s,
+			Cycles:     cycles[i+1],
+			Speedup:    float64(out.BaselineCycle) / float64(cycles[i+1]),
+		})
 	}
 	return out, nil
 }
@@ -217,42 +254,56 @@ func RunSpeedupCurve(w RayTraceConfig, maxSlots int) ([]CurveCell, error) {
 	if err != nil {
 		return nil, err
 	}
-	var base [3]uint64
-	for _, ls := range []int{1, 2} {
-		m, err := rt.NewMemory(rt.Seq, 1)
-		if err != nil {
-			return nil, err
-		}
-		res, err := RunRISC(risc.Config{LoadStoreUnits: ls}, rt.Seq.Text, m)
-		if err != nil {
-			return nil, err
-		}
-		base[ls] = res.Cycles
+	// Cells 0..1 are the two baselines; then (slots, ls) pairs in curve order.
+	type spec struct {
+		baseline  bool
+		slots, ls int
 	}
-	var out []CurveCell
+	specs := []spec{{baseline: true, ls: 1}, {baseline: true, ls: 2}}
 	for s := 1; s <= maxSlots; s++ {
-		cell := CurveCell{Slots: s}
 		for _, ls := range []int{1, 2} {
-			m, err := rt.NewMemory(rt.Par, s)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunMT(core.Config{
-				ThreadSlots:     s,
-				LoadStoreUnits:  ls,
-				StandbyStations: true,
-			}, rt.Par.Text, m)
-			if err != nil {
-				return nil, fmt.Errorf("curve (%d slots, %d ls): %w", s, ls, err)
-			}
-			sp := float64(base[ls]) / float64(res.Cycles)
-			if ls == 1 {
-				cell.SpeedupL1 = sp
-			} else {
-				cell.SpeedupL2 = sp
-			}
+			specs = append(specs, spec{slots: s, ls: ls})
 		}
-		out = append(out, cell)
+	}
+	cycles, err := runCells(len(specs), func(i int) (uint64, error) {
+		sp := specs[i]
+		if sp.baseline {
+			m, err := rt.NewMemory(rt.Seq, 1)
+			if err != nil {
+				return 0, err
+			}
+			res, err := RunRISC(risc.Config{LoadStoreUnits: sp.ls}, rt.Seq.Text, m)
+			if err != nil {
+				return 0, err
+			}
+			return res.Cycles, nil
+		}
+		m, err := rt.NewMemory(rt.Par, sp.slots)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunMT(core.Config{
+			ThreadSlots:     sp.slots,
+			LoadStoreUnits:  sp.ls,
+			StandbyStations: true,
+		}, rt.Par.Text, m)
+		if err != nil {
+			return 0, fmt.Errorf("curve (%d slots, %d ls): %w", sp.slots, sp.ls, err)
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var base [3]uint64
+	base[1], base[2] = cycles[0], cycles[1]
+	var out []CurveCell
+	for i := 2; i < len(specs); i += 2 {
+		out = append(out, CurveCell{
+			Slots:     specs[i].slots,
+			SpeedupL1: float64(base[1]) / float64(cycles[i]),
+			SpeedupL2: float64(base[2]) / float64(cycles[i+1]),
+		})
 	}
 	return out, nil
 }

@@ -57,37 +57,54 @@ func (t *Table4) Cell(slots int, s Strategy) (Table4Cell, bool) {
 func RunTable4(cfg Table4Config) (*Table4, error) {
 	cfg = cfg.withDefaults()
 	out := &Table4{Config: cfg}
+	// Each (strategy, slots) cell builds its own scheduled program and
+	// machine; the whole grid runs on the sweep engine.
+	type spec struct {
+		strat Strategy
+		slots int
+	}
+	var specs []spec
 	for _, strat := range []Strategy{sched.None, sched.StrategyA, sched.StrategyB} {
 		for _, slots := range cfg.Slots {
-			lv, err := BuildLivermore(LivermoreConfig{
-				N: cfg.N, Threads: slots, Strategy: strat, LoadStoreUnits: 1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			prog := lv.Par
-			if slots == 1 {
-				prog = lv.Seq
-			}
-			m, err := prog.NewMemory(64)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunMT(core.Config{
-				ThreadSlots:     slots,
-				LoadStoreUnits:  1,
-				StandbyStations: true,
-			}, prog.Text, m)
-			if err != nil {
-				return nil, fmt.Errorf("table 4 (%v, %d slots): %w", strat, slots, err)
-			}
-			out.Cells = append(out.Cells, Table4Cell{
-				Slots:         slots,
-				Strategy:      strat,
-				TotalCycles:   res.Cycles,
-				CyclesPerIter: float64(res.Cycles) / float64(cfg.N),
-			})
+			specs = append(specs, spec{strat: strat, slots: slots})
 		}
+	}
+	cycles, err := runCells(len(specs), func(i int) (uint64, error) {
+		sp := specs[i]
+		lv, err := BuildLivermore(LivermoreConfig{
+			N: cfg.N, Threads: sp.slots, Strategy: sp.strat, LoadStoreUnits: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		prog := lv.Par
+		if sp.slots == 1 {
+			prog = lv.Seq
+		}
+		m, err := prog.NewMemory(64)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunMT(core.Config{
+			ThreadSlots:     sp.slots,
+			LoadStoreUnits:  1,
+			StandbyStations: true,
+		}, prog.Text, m)
+		if err != nil {
+			return 0, fmt.Errorf("table 4 (%v, %d slots): %w", sp.strat, sp.slots, err)
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range specs {
+		out.Cells = append(out.Cells, Table4Cell{
+			Slots:         sp.slots,
+			Strategy:      sp.strat,
+			TotalCycles:   cycles[i],
+			CyclesPerIter: float64(cycles[i]) / float64(cfg.N),
+		})
 	}
 	return out, nil
 }
@@ -145,21 +162,23 @@ func RunTable5(cfg Table5Config) (*Table5, error) {
 	}
 	out := &Table5{Config: cfg}
 
-	mSeq, err := ll.NewMemory(ll.Seq, 1)
-	if err != nil {
-		return nil, err
-	}
-	seq, err := RunRISC(risc.Config{LoadStoreUnits: 1}, ll.Seq.Text, mSeq)
-	if err != nil {
-		return nil, fmt.Errorf("table 5 baseline: %w", err)
-	}
-	out.SequentialCycles = seq.Cycles
-	out.SequentialPerIt = float64(seq.Cycles) / float64(cfg.Nodes)
-
-	for _, slots := range cfg.Slots {
+	// Cell 0 is the sequential baseline; cells 1.. sweep the slot counts.
+	cycles, err := runCells(1+len(cfg.Slots), func(i int) (uint64, error) {
+		if i == 0 {
+			mSeq, err := ll.NewMemory(ll.Seq, 1)
+			if err != nil {
+				return 0, err
+			}
+			seq, err := RunRISC(risc.Config{LoadStoreUnits: 1}, ll.Seq.Text, mSeq)
+			if err != nil {
+				return 0, fmt.Errorf("table 5 baseline: %w", err)
+			}
+			return seq.Cycles, nil
+		}
+		slots := cfg.Slots[i-1]
 		m, err := ll.NewMemory(ll.Par, slots)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := RunMT(core.Config{
 			ThreadSlots:     slots,
@@ -167,13 +186,21 @@ func RunTable5(cfg Table5Config) (*Table5, error) {
 			StandbyStations: true,
 		}, ll.Par.Text, m)
 		if err != nil {
-			return nil, fmt.Errorf("table 5 (%d slots): %w", slots, err)
+			return 0, fmt.Errorf("table 5 (%d slots): %w", slots, err)
 		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.SequentialCycles = cycles[0]
+	out.SequentialPerIt = float64(cycles[0]) / float64(cfg.Nodes)
+	for i, slots := range cfg.Slots {
 		out.Cells = append(out.Cells, Table5Cell{
 			Slots:         slots,
-			TotalCycles:   res.Cycles,
-			CyclesPerIter: float64(res.Cycles) / float64(cfg.Nodes),
-			Speedup:       float64(seq.Cycles) / float64(res.Cycles),
+			TotalCycles:   cycles[i+1],
+			CyclesPerIter: float64(cycles[i+1]) / float64(cfg.Nodes),
+			Speedup:       float64(cycles[0]) / float64(cycles[i+1]),
 		})
 	}
 	return out, nil

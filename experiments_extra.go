@@ -25,20 +25,23 @@ func RunRotationSweep(w RayTraceConfig, slots, lsUnits int) ([]RotationSweepCell
 	if err != nil {
 		return nil, err
 	}
-	mSeq, err := rt.NewMemory(rt.Seq, 1)
-	if err != nil {
-		return nil, err
-	}
-	base, err := RunRISC(RISCConfig{LoadStoreUnits: lsUnits}, rt.Seq.Text, mSeq)
-	if err != nil {
-		return nil, err
-	}
-	var out []RotationSweepCell
-	for n := 0; n <= 8; n++ {
-		interval := 1 << n
+	// Cell 0 is the sequential baseline; cells 1..9 sweep intervals 2^0..2^8.
+	cycles, err := runCells(10, func(i int) (uint64, error) {
+		if i == 0 {
+			mSeq, err := rt.NewMemory(rt.Seq, 1)
+			if err != nil {
+				return 0, err
+			}
+			base, err := RunRISC(RISCConfig{LoadStoreUnits: lsUnits}, rt.Seq.Text, mSeq)
+			if err != nil {
+				return 0, err
+			}
+			return base.Cycles, nil
+		}
+		interval := 1 << (i - 1)
 		m, err := rt.NewMemory(rt.Par, slots)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := RunMT(core.Config{
 			ThreadSlots:      slots,
@@ -47,12 +50,19 @@ func RunRotationSweep(w RayTraceConfig, slots, lsUnits int) ([]RotationSweepCell
 			RotationInterval: interval,
 		}, rt.Par.Text, m)
 		if err != nil {
-			return nil, fmt.Errorf("rotation sweep (interval %d): %w", interval, err)
+			return 0, fmt.Errorf("rotation sweep (interval %d): %w", interval, err)
 		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []RotationSweepCell
+	for n := 0; n <= 8; n++ {
 		out = append(out, RotationSweepCell{
-			Interval: interval,
-			Cycles:   res.Cycles,
-			Speedup:  float64(base.Cycles) / float64(res.Cycles),
+			Interval: 1 << n,
+			Cycles:   cycles[n+1],
+			Speedup:  float64(cycles[0]) / float64(cycles[n+1]),
 		})
 	}
 	return out, nil
@@ -83,39 +93,50 @@ func RunPrivateICache(w RayTraceConfig) ([]PrivateICacheCell, error) {
 		{2, 1, false},
 		{8, 2, true},
 	}
+	// Three cells per shape: the baseline, the shared-cache run and the
+	// private-cache run.
+	cycles, err := runCells(3*len(shapes), func(i int) (uint64, error) {
+		sh := shapes[i/3]
+		if i%3 == 0 {
+			mSeq, err := rt.NewMemory(rt.Seq, 1)
+			if err != nil {
+				return 0, err
+			}
+			base, err := RunRISC(RISCConfig{LoadStoreUnits: sh.ls}, rt.Seq.Text, mSeq)
+			if err != nil {
+				return 0, err
+			}
+			return base.Cycles, nil
+		}
+		private := i%3 == 2
+		m, err := rt.NewMemory(rt.Par, sh.slots)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunMT(core.Config{
+			ThreadSlots:     sh.slots,
+			LoadStoreUnits:  sh.ls,
+			StandbyStations: sh.standby,
+			PrivateICache:   private,
+		}, rt.Par.Text, m)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []PrivateICacheCell
-	for _, sh := range shapes {
-		mSeq, err := rt.NewMemory(rt.Seq, 1)
-		if err != nil {
-			return nil, err
-		}
-		base, err := RunRISC(RISCConfig{LoadStoreUnits: sh.ls}, rt.Seq.Text, mSeq)
-		if err != nil {
-			return nil, err
-		}
-		cell := PrivateICacheCell{Slots: sh.slots, LoadStoreUnits: sh.ls, Standby: sh.standby}
-		for _, private := range []bool{false, true} {
-			m, err := rt.NewMemory(rt.Par, sh.slots)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunMT(core.Config{
-				ThreadSlots:     sh.slots,
-				LoadStoreUnits:  sh.ls,
-				StandbyStations: sh.standby,
-				PrivateICache:   private,
-			}, rt.Par.Text, m)
-			if err != nil {
-				return nil, err
-			}
-			sp := float64(base.Cycles) / float64(res.Cycles)
-			if private {
-				cell.PrivateSpeedup = sp
-			} else {
-				cell.SharedSpeedup = sp
-			}
-		}
-		out = append(out, cell)
+	for i, sh := range shapes {
+		base := float64(cycles[3*i])
+		out = append(out, PrivateICacheCell{
+			Slots:          sh.slots,
+			LoadStoreUnits: sh.ls,
+			Standby:        sh.standby,
+			SharedSpeedup:  base / float64(cycles[3*i+1]),
+			PrivateSpeedup: base / float64(cycles[3*i+2]),
+		})
 	}
 	return out, nil
 }
@@ -156,8 +177,6 @@ func RunFiniteCache(w RayTraceConfig, slots int, lines []int) ([]FiniteCacheCell
 	if err != nil {
 		return nil, err
 	}
-	var perfect uint64
-	var out []FiniteCacheCell
 	runOne := func(nLines int) (uint64, error) {
 		m, err := rt.NewMemory(rt.Par, slots)
 		if err != nil {
@@ -174,17 +193,20 @@ func RunFiniteCache(w RayTraceConfig, slots int, lines []int) ([]FiniteCacheCell
 		}
 		return res.Cycles, nil
 	}
-	perfect, err = runOne(0)
+	// Cell 0 is the perfect cache; cells 1.. sweep the finite sizes.
+	cycles, err := runCells(1+len(lines), func(i int) (uint64, error) {
+		if i == 0 {
+			return runOne(0)
+		}
+		return runOne(lines[i-1])
+	})
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, FiniteCacheCell{Lines: 0, Cycles: perfect, Speedup: 1})
-	for _, n := range lines {
-		cyc, err := runOne(n)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, FiniteCacheCell{Lines: n, Cycles: cyc, Speedup: float64(perfect) / float64(cyc)})
+	perfect := cycles[0]
+	out := []FiniteCacheCell{{Lines: 0, Cycles: perfect, Speedup: 1}}
+	for i, n := range lines {
+		out = append(out, FiniteCacheCell{Lines: n, Cycles: cycles[i+1], Speedup: float64(perfect) / float64(cycles[i+1])})
 	}
 	return out, nil
 }
@@ -204,11 +226,11 @@ func RunQueueDepthAblation(nodes, slots int, depths []int) ([]QueueDepthCell, er
 	if err != nil {
 		return nil, err
 	}
-	var out []QueueDepthCell
-	for _, d := range depths {
+	out, err := runCells(len(depths), func(i int) (QueueDepthCell, error) {
+		d := depths[i]
 		m, err := ll.NewMemory(ll.Par, slots)
 		if err != nil {
-			return nil, err
+			return QueueDepthCell{}, err
 		}
 		res, err := RunMT(core.Config{
 			ThreadSlots:     slots,
@@ -217,9 +239,12 @@ func RunQueueDepthAblation(nodes, slots int, depths []int) ([]QueueDepthCell, er
 			QueueDepth:      d,
 		}, ll.Par.Text, m)
 		if err != nil {
-			return nil, fmt.Errorf("queue depth %d: %w", d, err)
+			return QueueDepthCell{}, fmt.Errorf("queue depth %d: %w", d, err)
 		}
-		out = append(out, QueueDepthCell{Depth: d, CyclesPerIter: float64(res.Cycles) / float64(nodes)})
+		return QueueDepthCell{Depth: d, CyclesPerIter: float64(res.Cycles) / float64(nodes)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -241,21 +266,7 @@ type ConcurrentMTCell struct {
 // remote loads, one after another) and once per requested frame count with
 // switching enabled.
 func RunConcurrentMT(threads int, frames []int, remoteLatency int) ([]ConcurrentMTCell, error) {
-	src := `
-		tid  r1
-		slli r2, r1, 4
-		addi r3, r2, 4096     ; this thread's remote block
-		li   r6, 8            ; 8 chained remote loads
-	loop:	lw   r4, 0(r3)
-		add  r5, r5, r4
-		addi r3, r3, 1
-		addi r6, r6, -1
-		bnez r6, loop
-		mul  r5, r5, r5
-		sw   r5, 100(r1)
-		halt
-	`
-	prog, err := Assemble(src)
+	prog, err := Assemble(concurrentMTSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -292,20 +303,37 @@ func RunConcurrentMT(threads int, frames []int, remoteLatency int) ([]Concurrent
 		return ConcurrentMTCell{ContextFrames: nf, Suppressed: suppress, Cycles: res.Cycles, Switches: res.Switches}, nil
 	}
 
-	base, err := runOne(threads, true)
+	// Cell 0 is the stall-through baseline; cells 1.. enable switching.
+	out, err := runCells(1+len(frames), func(i int) (ConcurrentMTCell, error) {
+		if i == 0 {
+			return runOne(threads, true)
+		}
+		return runOne(frames[i-1], false)
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := []ConcurrentMTCell{base}
-	for _, nf := range frames {
-		cell, err := runOne(nf, false)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, cell)
-	}
 	return out, nil
 }
+
+// concurrentMTSrc is RunConcurrentMT's kernel: chained loads from a
+// per-thread remote block with a little compute between them. The
+// cycle-skip differential tests reuse it as the high-remote-latency
+// workload where quiescent stretches dominate.
+const concurrentMTSrc = `
+	tid  r1
+	slli r2, r1, 4
+	addi r3, r2, 4096     ; this thread's remote block
+	li   r6, 8            ; 8 chained remote loads
+loop:	lw   r4, 0(r3)
+	add  r5, r5, r4
+	addi r3, r3, 1
+	addi r6, r6, -1
+	bnez r6, loop
+	mul  r5, r5, r5
+	sw   r5, 100(r1)
+	halt
+`
 
 // unitClassName is re-exported for report rendering.
 func unitClassName(u isa.UnitClass) string { return u.String() }
@@ -328,39 +356,50 @@ func RunIssueBandwidth(w RayTraceConfig, slots []int) ([]IssueBandwidthCell, err
 	if err != nil {
 		return nil, err
 	}
-	mSeq, err := rt.NewMemory(rt.Seq, 1)
-	if err != nil {
-		return nil, err
-	}
-	base, err := RunRISC(RISCConfig{LoadStoreUnits: 2}, rt.Seq.Text, mSeq)
-	if err != nil {
-		return nil, err
-	}
-	var out []IssueBandwidthCell
-	for _, s := range slots {
-		cell := IssueBandwidthCell{Slots: s}
-		for _, cap := range []int{0, 1} {
-			m, err := rt.NewMemory(rt.Par, s)
+	// Cell 0 is the sequential baseline; then (slots, cap) pairs in order.
+	cycles, err := runCells(1+2*len(slots), func(i int) (uint64, error) {
+		if i == 0 {
+			mSeq, err := rt.NewMemory(rt.Seq, 1)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			res, err := RunMT(core.Config{
-				ThreadSlots:      s,
-				LoadStoreUnits:   2,
-				StandbyStations:  true,
-				MaxIssuePerCycle: cap,
-			}, rt.Par.Text, m)
+			base, err := RunRISC(RISCConfig{LoadStoreUnits: 2}, rt.Seq.Text, mSeq)
 			if err != nil {
-				return nil, fmt.Errorf("issue bandwidth (%d slots, cap %d): %w", s, cap, err)
+				return 0, err
 			}
-			sp := float64(base.Cycles) / float64(res.Cycles)
-			if cap == 0 {
-				cell.SimultaneousCycles, cell.Simultaneous = res.Cycles, sp
-			} else {
-				cell.SingleIssueCycles, cell.SingleIssue = res.Cycles, sp
-			}
+			return base.Cycles, nil
 		}
-		out = append(out, cell)
+		s := slots[(i-1)/2]
+		cap := (i - 1) % 2 // 0 = simultaneous, 1 = single-issue
+		m, err := rt.NewMemory(rt.Par, s)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunMT(core.Config{
+			ThreadSlots:      s,
+			LoadStoreUnits:   2,
+			StandbyStations:  true,
+			MaxIssuePerCycle: cap,
+		}, rt.Par.Text, m)
+		if err != nil {
+			return 0, fmt.Errorf("issue bandwidth (%d slots, cap %d): %w", s, cap, err)
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := float64(cycles[0])
+	var out []IssueBandwidthCell
+	for i, s := range slots {
+		simul, single := cycles[1+2*i], cycles[2+2*i]
+		out = append(out, IssueBandwidthCell{
+			Slots:              s,
+			SimultaneousCycles: simul,
+			SingleIssueCycles:  single,
+			Simultaneous:       base / float64(simul),
+			SingleIssue:        base / float64(single),
+		})
 	}
 	return out, nil
 }
@@ -381,32 +420,43 @@ func RunDoacross(n int, slots []int) ([]DoacrossCell, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	mSeq, err := rc.NewMemory(rc.Seq, 1)
-	if err != nil {
-		return nil, 0, err
-	}
-	base, err := RunRISC(RISCConfig{}, rc.Seq.Text, mSeq)
+	// Cell 0 is the sequential baseline; cells 1.. sweep the slot counts.
+	cycles, err := runCells(1+len(slots), func(i int) (uint64, error) {
+		if i == 0 {
+			mSeq, err := rc.NewMemory(rc.Seq, 1)
+			if err != nil {
+				return 0, err
+			}
+			base, err := RunRISC(RISCConfig{}, rc.Seq.Text, mSeq)
+			if err != nil {
+				return 0, err
+			}
+			return base.Cycles, nil
+		}
+		s := slots[i-1]
+		m, err := rc.NewMemory(rc.Par, s)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunMT(core.Config{ThreadSlots: s, StandbyStations: true}, rc.Par.Text, m)
+		if err != nil {
+			return 0, fmt.Errorf("doacross (%d slots): %w", s, err)
+		}
+		return res.Cycles, nil
+	})
 	if err != nil {
 		return nil, 0, err
 	}
 	var out []DoacrossCell
-	for _, s := range slots {
-		m, err := rc.NewMemory(rc.Par, s)
-		if err != nil {
-			return nil, 0, err
-		}
-		res, err := RunMT(core.Config{ThreadSlots: s, StandbyStations: true}, rc.Par.Text, m)
-		if err != nil {
-			return nil, 0, fmt.Errorf("doacross (%d slots): %w", s, err)
-		}
+	for i, s := range slots {
 		out = append(out, DoacrossCell{
 			Slots:         s,
-			Cycles:        res.Cycles,
-			CyclesPerIter: float64(res.Cycles) / float64(n),
-			Speedup:       float64(base.Cycles) / float64(res.Cycles),
+			Cycles:        cycles[i+1],
+			CyclesPerIter: float64(cycles[i+1]) / float64(n),
+			Speedup:       float64(cycles[0]) / float64(cycles[i+1]),
 		})
 	}
-	return out, base.Cycles, nil
+	return out, cycles[0], nil
 }
 
 // SWPAblationCell contrasts strategy B against the software-pipelining
@@ -421,32 +471,35 @@ type SWPAblationCell struct {
 // RunSWPAblation measures LK1 cycles per iteration for strategy B vs the
 // NOP-padding software pipeliner at the given thread-slot counts.
 func RunSWPAblation(n int, slots []int) ([]SWPAblationCell, error) {
-	var out []SWPAblationCell
-	for _, s := range slots {
-		for _, strat := range []Strategy{ScheduleStrategyB, ScheduleSWP} {
-			lv, err := BuildLivermore(LivermoreConfig{N: n, Threads: s, Strategy: strat, LoadStoreUnits: 1})
-			if err != nil {
-				return nil, err
-			}
-			prog := lv.Par
-			if s == 1 {
-				prog = lv.Seq
-			}
-			m, err := prog.NewMemory(64)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunMT(core.Config{ThreadSlots: s, LoadStoreUnits: 1, StandbyStations: true}, prog.Text, m)
-			if err != nil {
-				return nil, fmt.Errorf("swp ablation (%v, %d slots): %w", strat, s, err)
-			}
-			out = append(out, SWPAblationCell{
-				Slots:         s,
-				Strategy:      strat,
-				CyclesPerIter: float64(res.Cycles) / float64(n),
-				CodeSize:      len(prog.Text),
-			})
+	strats := []Strategy{ScheduleStrategyB, ScheduleSWP}
+	out, err := runCells(len(slots)*len(strats), func(i int) (SWPAblationCell, error) {
+		s := slots[i/len(strats)]
+		strat := strats[i%len(strats)]
+		lv, err := BuildLivermore(LivermoreConfig{N: n, Threads: s, Strategy: strat, LoadStoreUnits: 1})
+		if err != nil {
+			return SWPAblationCell{}, err
 		}
+		prog := lv.Par
+		if s == 1 {
+			prog = lv.Seq
+		}
+		m, err := prog.NewMemory(64)
+		if err != nil {
+			return SWPAblationCell{}, err
+		}
+		res, err := RunMT(core.Config{ThreadSlots: s, LoadStoreUnits: 1, StandbyStations: true}, prog.Text, m)
+		if err != nil {
+			return SWPAblationCell{}, fmt.Errorf("swp ablation (%v, %d slots): %w", strat, s, err)
+		}
+		return SWPAblationCell{
+			Slots:         s,
+			Strategy:      strat,
+			CyclesPerIter: float64(res.Cycles) / float64(n),
+			CodeSize:      len(prog.Text),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -466,19 +519,23 @@ func RunStandbyDepth(w RayTraceConfig, slots int, depths []int) ([]StandbyDepthC
 	if err != nil {
 		return nil, err
 	}
-	mSeq, err := rt.NewMemory(rt.Seq, 1)
-	if err != nil {
-		return nil, err
-	}
-	base, err := RunRISC(RISCConfig{LoadStoreUnits: 1}, rt.Seq.Text, mSeq)
-	if err != nil {
-		return nil, err
-	}
-	var out []StandbyDepthCell
-	for _, d := range depths {
+	// Cell 0 is the sequential baseline; cells 1.. sweep the depths.
+	cycles, err := runCells(1+len(depths), func(i int) (uint64, error) {
+		if i == 0 {
+			mSeq, err := rt.NewMemory(rt.Seq, 1)
+			if err != nil {
+				return 0, err
+			}
+			base, err := RunRISC(RISCConfig{LoadStoreUnits: 1}, rt.Seq.Text, mSeq)
+			if err != nil {
+				return 0, err
+			}
+			return base.Cycles, nil
+		}
+		d := depths[i-1]
 		m, err := rt.NewMemory(rt.Par, slots)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := RunMT(core.Config{
 			ThreadSlots:     slots,
@@ -487,12 +544,19 @@ func RunStandbyDepth(w RayTraceConfig, slots int, depths []int) ([]StandbyDepthC
 			StandbyDepth:    d,
 		}, rt.Par.Text, m)
 		if err != nil {
-			return nil, fmt.Errorf("standby depth %d: %w", d, err)
+			return 0, fmt.Errorf("standby depth %d: %w", d, err)
 		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []StandbyDepthCell
+	for i, d := range depths {
 		out = append(out, StandbyDepthCell{
 			Depth:   d,
-			Cycles:  res.Cycles,
-			Speedup: float64(base.Cycles) / float64(res.Cycles),
+			Cycles:  cycles[i+1],
+			Speedup: float64(cycles[0]) / float64(cycles[i+1]),
 		})
 	}
 	return out, nil
@@ -508,31 +572,37 @@ type UnrollCell struct {
 
 // RunUnrollAblation sweeps the unroll factor under strategy A.
 func RunUnrollAblation(n int, slots, unrolls []int) ([]UnrollCell, error) {
-	var out []UnrollCell
+	// Each (slots, unroll) cell builds its own program; run the grid on the
+	// sweep engine.
+	type spec struct{ s, u int }
+	var specs []spec
 	for _, s := range slots {
 		for _, u := range unrolls {
-			lv, err := BuildLivermore(LivermoreConfig{
-				N: n, Threads: s, Strategy: ScheduleStrategyA, Unroll: u, LoadStoreUnits: 1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			prog := lv.Par
-			if s == 1 {
-				prog = lv.Seq
-			}
-			m, err := prog.NewMemory(64)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunMT(core.Config{ThreadSlots: s, LoadStoreUnits: 1, StandbyStations: true}, prog.Text, m)
-			if err != nil {
-				return nil, fmt.Errorf("unroll %d (%d slots): %w", u, s, err)
-			}
-			out = append(out, UnrollCell{Slots: s, Unroll: u, CyclesPerIter: float64(res.Cycles) / float64(n)})
+			specs = append(specs, spec{s: s, u: u})
 		}
 	}
-	return out, nil
+	return runCells(len(specs), func(i int) (UnrollCell, error) {
+		sp := specs[i]
+		lv, err := BuildLivermore(LivermoreConfig{
+			N: n, Threads: sp.s, Strategy: ScheduleStrategyA, Unroll: sp.u, LoadStoreUnits: 1,
+		})
+		if err != nil {
+			return UnrollCell{}, err
+		}
+		prog := lv.Par
+		if sp.s == 1 {
+			prog = lv.Seq
+		}
+		m, err := prog.NewMemory(64)
+		if err != nil {
+			return UnrollCell{}, err
+		}
+		res, err := RunMT(core.Config{ThreadSlots: sp.s, LoadStoreUnits: 1, StandbyStations: true}, prog.Text, m)
+		if err != nil {
+			return UnrollCell{}, fmt.Errorf("unroll %d (%d slots): %w", sp.u, sp.s, err)
+		}
+		return UnrollCell{Slots: sp.s, Unroll: sp.u, CyclesPerIter: float64(res.Cycles) / float64(n)}, nil
+	})
 }
 
 // BranchHidingCell measures how multithreading hides branch delays
@@ -619,53 +689,68 @@ func RunBranchHiding(slots []int) ([]BranchHidingCell, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	mSeq, err := seqProg.NewMemory(64)
-	if err != nil {
-		return nil, 0, err
-	}
-	mSeq.SetInt(seqProg.MustSymbol("gthreadsbh"), 1)
-	base := seqProg.MustSymbol("vals")
-	for i := int64(0); i < 96; i++ {
-		mSeq.SetInt(base+i, 3+i*7%97)
-	}
-	seq, err := RunRISC(RISCConfig{}, seqProg.Text, mSeq)
-	if err != nil {
-		return nil, 0, err
-	}
 
+	// Cell 0 is the RISC baseline; then three fetch variants per slot count.
+	variants := []struct {
+		fetchUnits int
+		private    bool
+	}{{1, false}, {2, false}, {0, true}}
+	cycles, err := runCells(1+len(slots)*len(variants), func(i int) (uint64, error) {
+		if i == 0 {
+			mSeq, err := seqProg.NewMemory(64)
+			if err != nil {
+				return 0, err
+			}
+			mSeq.SetInt(seqProg.MustSymbol("gthreadsbh"), 1)
+			base := seqProg.MustSymbol("vals")
+			for j := int64(0); j < 96; j++ {
+				mSeq.SetInt(base+j, 3+j*7%97)
+			}
+			seq, err := RunRISC(RISCConfig{}, seqProg.Text, mSeq)
+			if err != nil {
+				return 0, err
+			}
+			return seq.Cycles, nil
+		}
+		s := slots[(i-1)/len(variants)]
+		variant := variants[(i-1)%len(variants)]
+		m, err := mkMem(s)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunMT(core.Config{
+			ThreadSlots:     s,
+			StandbyStations: true,
+			FetchUnits:      variant.fetchUnits,
+			PrivateICache:   variant.private,
+		}, prog.Text, m)
+		if err != nil {
+			return 0, fmt.Errorf("branch hiding (%d slots): %w", s, err)
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	seqCycles := cycles[0]
 	var out []BranchHidingCell
-	for _, s := range slots {
+	for si, s := range slots {
 		cell := BranchHidingCell{Slots: s}
-		for _, variant := range []struct {
-			fetchUnits int
-			private    bool
-		}{{1, false}, {2, false}, {0, true}} {
-			m, err := mkMem(s)
-			if err != nil {
-				return nil, 0, err
-			}
-			res, err := RunMT(core.Config{
-				ThreadSlots:     s,
-				StandbyStations: true,
-				FetchUnits:      variant.fetchUnits,
-				PrivateICache:   variant.private,
-			}, prog.Text, m)
-			if err != nil {
-				return nil, 0, fmt.Errorf("branch hiding (%d slots): %w", s, err)
-			}
-			sp := float64(seq.Cycles) / float64(res.Cycles)
+		for vi, variant := range variants {
+			c := cycles[1+si*len(variants)+vi]
+			sp := float64(seqCycles) / float64(c)
 			switch {
 			case variant.private:
 				cell.PrivateSpeedup = sp
 			case variant.fetchUnits == 2:
 				cell.TwoFetch = sp
 			default:
-				cell.Cycles = res.Cycles
+				cell.Cycles = c
 				cell.Speedup = sp
 				cell.PerThreadEff = sp / float64(s)
 			}
 		}
 		out = append(out, cell)
 	}
-	return out, seq.Cycles, nil
+	return out, seqCycles, nil
 }

@@ -135,12 +135,12 @@ func (p *Processor) issueFromSlot(s *slot) error {
 		if firstStall == StallNone && reason != StallNone {
 			firstStall = reason
 		}
-		pendingDests = appendReg(pendingDests, di.ins.Dest())
-		pendingSrcs = di.ins.Sources(pendingSrcs)
-		if di.ins.Op.IsMem() {
+		pendingDests = appendReg(pendingDests, di.pre.dest)
+		pendingSrcs = append(pendingSrcs, di.pre.srcList()...)
+		if di.pre.isMem {
 			memBlocked = true
 		}
-		if di.ins.Op.Unit() == isa.UnitNone && di.ins.Op != isa.NOP {
+		if di.pre.control && di.ins.Op != isa.NOP {
 			ctrlBlocked = true
 		}
 		if p.cfg.IssueWidth == 1 {
@@ -184,26 +184,25 @@ func appendReg(dst []isa.Reg, r isa.Reg) []isa.Reg {
 // or redirected the instruction stream.
 func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, pendingSrcs []isa.Reg, memBlocked bool) (issued bool, reason StallReason, stop bool, err error) {
 	in := di.ins
+	pre := di.pre
 	f := p.frames[s.frame]
 
 	// Window-internal hazards (superscalar widths only).
 	if p.cfg.IssueWidth > 1 {
-		srcs := in.Sources(p.srcScratch[:0])
-		p.srcScratch = srcs[:0]
-		for _, r := range srcs {
+		for _, r := range pre.srcList() {
 			if regIn(pendingDests, r) {
 				return false, StallData, false, nil
 			}
 		}
-		if d := in.Dest(); d.Valid() && (regIn(pendingDests, d) || regIn(pendingSrcs, d)) {
+		if d := pre.dest; d.Valid() && (regIn(pendingDests, d) || regIn(pendingSrcs, d)) {
 			return false, StallData, false, nil
 		}
-		if in.Op.IsMem() && memBlocked {
+		if pre.isMem && memBlocked {
 			return false, StallData, false, nil
 		}
 	}
 
-	if in.Op.Unit() == isa.UnitNone {
+	if pre.control {
 		if !headClear {
 			return false, StallData, false, nil
 		}
@@ -211,12 +210,12 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 	}
 
 	// Priority-interlocked stores (§2.3.3) wait for the highest priority.
-	if in.Op.NeedsHighestPriority() && p.highestActiveSlot() != s.id {
+	if pre.needsPrio && p.highestActiveSlot() != s.id {
 		return false, StallPriority, false, nil
 	}
 
 	// Structural: a free standby station (or the issue latch).
-	cls := in.Op.Unit()
+	cls := pre.class
 	if p.cfg.StandbyStations {
 		if len(s.standby[cls]) >= p.cfg.StandbyDepth {
 			return false, StallStandby, false, nil
@@ -227,15 +226,13 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 
 	// Source operands: queue-register reads need a filled, ready entry;
 	// plain registers consult the scoreboard.
-	srcs := in.Sources(p.srcScratch[:0])
-	p.srcScratch = srcs[:0]
-	if ok, r := p.sourcesReady(s, f, srcs); !ok {
+	if ok, r := p.sourcesReady(s, f, pre.srcList()); !ok {
 		return false, r, false, nil
 	}
 
 	// Destination: queue-register writes need capacity; plain registers
 	// interlock on WAW via the scoreboard.
-	dest := in.Dest()
+	dest := pre.dest
 	destQueue := false
 	if dest.Valid() {
 		switch {
@@ -256,7 +253,7 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 	// stalling. Explicit-rotation mode suppresses context switches. In
 	// trace-driven mode the effective address comes from the trace record.
 	extraLat := 0
-	if in.Op.IsMem() {
+	if pre.isMem {
 		base := in.Rs1
 		haveAddr := p.traceMode || base != s.qInInt // queue-mapped bases cannot be pre-read
 		if haveAddr {
@@ -265,7 +262,7 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 				addr = f.regs.ReadInt(base) + int64(in.Imm)
 			}
 			if p.mem.IsRemote(addr) && !f.satisfied[addr] {
-				if !p.explicit && p.concurrentOn() && !p.traceMode && in.Op.IsLoad() {
+				if !p.explicit && p.concurrentOn() && !p.traceMode && pre.isLoad {
 					p.trapDataAbsence(s, f, di, addr)
 					return true, StallNone, true, nil
 				}
@@ -300,6 +297,7 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 
 	inf := &inflight{
 		ins:      in,
+		pre:      pre,
 		pc:       di.pc,
 		slot:     s.id,
 		frame:    f.id,
@@ -318,6 +316,7 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 	} else {
 		s.latch = inf
 	}
+	p.issuedPending++
 	if di.fromARB {
 		f.arb.Complete(di.arbSeq)
 	}
@@ -372,9 +371,7 @@ func (p *Processor) issueControl(s *slot, f *contextFrame, di dinstr) (bool, Sta
 
 	// Branch conditions and jump targets read registers in the decode
 	// unit; they must be ready.
-	srcs := in.Sources(p.srcScratch[:0])
-	p.srcScratch = srcs[:0]
-	if ok, r := p.sourcesReady(s, f, srcs); !ok {
+	if ok, r := p.sourcesReady(s, f, di.pre.srcList()); !ok {
 		return false, r, false, nil
 	}
 
@@ -410,13 +407,13 @@ func (p *Processor) issueControl(s *slot, f *contextFrame, di dinstr) (bool, Sta
 		return true, StallNone, true, nil
 
 	case exec.EffectHalt:
-		f.state = frameDone
+		p.setFrameState(f, frameDone)
 		s.flushPipeline()
 		s.unmapQueues()
 		if p.observer != nil {
 			p.observer.ThreadEnd(p.cycle, s.id, f.id, false)
 		}
-		s.state = slotIdle
+		p.setSlotState(s, slotIdle)
 		s.frame = -1
 		p.touch(p.cycle)
 		return true, StallNone, true, nil
@@ -459,9 +456,7 @@ func (p *Processor) issueControl(s *slot, f *contextFrame, di dinstr) (bool, Sta
 // flow simply continues with the next trace entry.
 func (p *Processor) issueControlTrace(s *slot, f *contextFrame, di dinstr) (bool, StallReason, bool, error) {
 	in := di.ins
-	srcs := in.Sources(p.srcScratch[:0])
-	p.srcScratch = srcs[:0]
-	if ok, r := p.sourcesReady(s, f, srcs); !ok {
+	if ok, r := p.sourcesReady(s, f, di.pre.srcList()); !ok {
 		return false, r, false, nil
 	}
 	p.noteIssued(s, di)
@@ -469,12 +464,12 @@ func (p *Processor) issueControlTrace(s *slot, f *contextFrame, di dinstr) (bool
 	case in.Op == isa.NOP:
 		return true, StallNone, false, nil
 	case in.Op == isa.HALT:
-		f.state = frameDone
+		p.setFrameState(f, frameDone)
 		s.flushPipeline()
 		if p.observer != nil {
 			p.observer.ThreadEnd(p.cycle, s.id, f.id, false)
 		}
-		s.state = slotIdle
+		p.setSlotState(s, slotIdle)
 		s.frame = -1
 		p.touch(p.cycle)
 		return true, StallNone, true, nil
@@ -513,14 +508,15 @@ func (p *Processor) trapDataAbsence(s *slot, f *contextFrame, di dinstr, addr in
 	f.arbSeq++
 	f.arb.Add(mem.AccessRequirement{Instr: di.ins, PC: di.pc, Seq: f.arbSeq})
 	f.pc = di.pc + 1
-	f.state = frameWaiting
+	p.setFrameState(f, frameWaiting)
 	f.waitUntil = p.cycle + uint64(p.mem.RemoteLatency())
+	p.pushWait(f.waitUntil, f.id)
 	if f.satisfied == nil {
 		f.satisfied = make(map[int64]bool)
 	}
 	f.satisfied[addr] = true
 	s.flushPipeline()
-	s.state = slotDraining
+	p.setSlotState(s, slotDraining)
 	p.stats.Switches++
 	if p.observer != nil {
 		p.observer.Trap(p.cycle, s.id, f.id, addr)
@@ -556,27 +552,28 @@ func (p *Processor) kill(killer *slot) {
 		if s == killer || s.frame < 0 {
 			continue
 		}
-		p.frames[s.frame].state = frameDone
+		p.setFrameState(p.frames[s.frame], frameDone)
 		s.flushPipeline()
-		s.clearIssued()
+		p.issuedPending -= s.clearIssued()
 		s.unmapQueues()
 		if p.observer != nil {
 			p.observer.ThreadEnd(p.cycle, s.id, s.frame, true)
 		}
-		s.state = slotIdle
+		p.setSlotState(s, slotIdle)
 		s.frame = -1
 		p.stats.Kills++
 	}
 	for _, fid := range p.readyQ {
 		if p.frames[fid].state == frameReady {
-			p.frames[fid].state = frameDone
+			p.setFrameState(p.frames[fid], frameDone)
 			p.stats.Kills++
 		}
 	}
 	p.readyQ = p.readyQ[:0]
 	for _, f := range p.frames {
 		if f.state == frameWaiting {
-			f.state = frameDone
+			// The frame's wait-heap entry goes stale; wakeFrames skips it.
+			p.setFrameState(f, frameDone)
 			p.stats.Kills++
 		}
 	}

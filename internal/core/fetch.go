@@ -25,7 +25,7 @@ func (p *Processor) advanceDecodeStages() {
 		for len(s.d1) < w && len(s.buf) > 0 && s.buf[0].minD1 <= p.cycle {
 			e := s.buf[0]
 			s.buf = s.buf[:copy(s.buf, s.buf[1:])] // pop front, keep capacity
-			s.d1 = append(s.d1, dinstr{pc: e.pc, ins: e.ins, fromARB: e.fromARB, arbSeq: e.arbSeq, addr: e.addr})
+			s.d1 = append(s.d1, dinstr{pc: e.pc, ins: e.ins, pre: e.pre, fromARB: e.fromARB, arbSeq: e.arbSeq, addr: e.addr})
 		}
 	}
 }
@@ -133,7 +133,7 @@ func (p *Processor) beginAccess(fu *fetchUnit, slotID int) {
 	fu.insns = fu.insns[:0]
 	for pc := s.fetchPC; pc < end; pc++ {
 		ins, addr := p.streamAt(f, pc)
-		fu.insns = append(fu.insns, bufEntry{pc: pc, ins: ins, addr: addr, minD1: math.MaxUint64})
+		fu.insns = append(fu.insns, bufEntry{pc: pc, ins: ins, pre: p.streamMeta(f, pc), addr: addr, minD1: math.MaxUint64})
 	}
 	s.fetchPC = end
 	if end >= streamLen {

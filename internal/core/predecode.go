@@ -1,0 +1,69 @@
+package core
+
+import "hirata/internal/isa"
+
+// insMeta is per-static-instruction metadata computed once at construction
+// time. The decode path inspects every D2 window entry every cycle; without
+// predecoding it would re-derive operand lists and opcode properties from
+// the instruction word each time (the dominant cost in issueFromSlot and
+// tryIssue). One insMeta exists per program (or trace) position and is
+// shared by reference through bufEntry, dinstr and inflight.
+type insMeta struct {
+	srcs      [2]isa.Reg // source registers (nsrc valid entries)
+	nsrc      uint8
+	dest      isa.Reg // destination register, NoReg if none
+	class     isa.UnitClass
+	issueLat  uint64
+	resultLat uint64
+	isMem     bool
+	isLoad    bool
+	control   bool // executes inside the decode unit (class == UnitNone)
+	needsPrio bool // priority-interlocked (§2.3.3)
+}
+
+// srcList returns the predecoded source operand slice.
+func (m *insMeta) srcList() []isa.Reg { return m.srcs[:m.nsrc] }
+
+// buildMeta derives the metadata for one static instruction.
+func buildMeta(in isa.Instruction) insMeta {
+	m := insMeta{
+		dest:      in.Dest(),
+		class:     in.Op.Unit(),
+		issueLat:  uint64(in.Op.IssueLatency()),
+		resultLat: uint64(in.Op.ResultLatency()),
+		isMem:     in.Op.IsMem(),
+		isLoad:    in.Op.IsLoad(),
+		needsPrio: in.Op.NeedsHighestPriority(),
+	}
+	m.control = m.class == isa.UnitNone
+	srcs := in.Sources(m.srcs[:0]) // at most 2 sources for any format
+	m.nsrc = uint8(len(srcs))
+	return m
+}
+
+// predecode builds the metadata table for an instruction stream.
+func predecode(prog []isa.Instruction) []insMeta {
+	out := make([]insMeta, len(prog))
+	for i, in := range prog {
+		out[i] = buildMeta(in)
+	}
+	return out
+}
+
+// predecodeTrace builds the metadata table for a recorded trace.
+func predecodeTrace(tr []TraceInput) []insMeta {
+	out := make([]insMeta, len(tr))
+	for i, rec := range tr {
+		out[i] = buildMeta(rec.Ins)
+	}
+	return out
+}
+
+// streamMeta returns the predecoded metadata for one position of a frame's
+// instruction stream (program text, or the frame's trace in trace mode).
+func (p *Processor) streamMeta(f *contextFrame, pc int64) *insMeta {
+	if p.traceMode && f.traceID >= 0 {
+		return &p.tracePre[f.traceID][pc]
+	}
+	return &p.pre[pc]
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"hirata/internal/exec"
 	"hirata/internal/isa"
@@ -39,6 +40,12 @@ type contextFrame struct {
 	waitUntil uint64         // when the remote data arrives
 	satisfied map[int64]bool // remote addresses now locally available
 	arbSeq    uint64         // sequence source for arb entries
+}
+
+// frameLive reports whether a frame state counts toward liveFrames: the
+// states that keep the simulation running (ready, running or waiting).
+func frameLive(st frameState) bool {
+	return st == frameReady || st == frameRunning || st == frameWaiting
 }
 
 // sbIndex maps a register to its scoreboard slot.
@@ -96,8 +103,9 @@ const (
 type bufEntry struct {
 	pc      int64
 	ins     isa.Instruction
-	minD1   uint64 // earliest cycle the entry may enter decode stage D1
-	fromARB bool   // re-injected from the access requirement buffer
+	pre     *insMeta // predecoded metadata for ins
+	minD1   uint64   // earliest cycle the entry may enter decode stage D1
+	fromARB bool     // re-injected from the access requirement buffer
 	arbSeq  uint64
 	addr    int64 // recorded effective address (trace-driven mode)
 }
@@ -106,6 +114,7 @@ type bufEntry struct {
 type dinstr struct {
 	pc      int64
 	ins     isa.Instruction
+	pre     *insMeta // predecoded metadata for ins
 	fromARB bool
 	arbSeq  uint64
 	addr    int64 // recorded effective address (trace-driven mode)
@@ -116,6 +125,7 @@ type dinstr struct {
 // architectural effects are already applied; only timing remains.
 type inflight struct {
 	ins      isa.Instruction
+	pre      *insMeta // predecoded metadata for ins
 	pc       int64
 	slot     int
 	frame    int
@@ -160,12 +170,20 @@ func (s *slot) flushPipeline() {
 	s.fetchGen++
 }
 
-// clearIssued drops standby/latch contents (used when a thread is killed).
-func (s *slot) clearIssued() {
+// clearIssued drops standby/latch contents (used when a thread is killed)
+// and returns how many issued-but-unselected instructions were dropped, so
+// the caller can keep the issuedPending counter exact.
+func (s *slot) clearIssued() int {
+	n := 0
 	for i := range s.standby {
+		n += len(s.standby[i])
 		s.standby[i] = s.standby[i][:0]
 	}
-	s.latch = nil
+	if s.latch != nil {
+		n++
+		s.latch = nil
+	}
+	return n
 }
 
 // issuedEmpty reports whether no issued instruction awaits scheduling.
@@ -216,10 +234,12 @@ type fetchUnit struct {
 
 // Processor is one multithreaded physical processor.
 type Processor struct {
-	cfg    Config
-	prog   []isa.Instruction
-	mem    *mem.Memory
-	dcache *mem.Cache
+	cfg      Config
+	prog     []isa.Instruction
+	pre      []insMeta   // predecoded metadata, parallel to prog
+	tracePre [][]insMeta // predecoded metadata per trace (trace mode)
+	mem      *mem.Memory
+	dcache   *mem.Cache
 
 	cycle    uint64
 	slots    []*slot
@@ -227,6 +247,17 @@ type Processor struct {
 	readyQ   []int // frame ids ready to run, FIFO
 	prio     []int // slot ids, highest priority first
 	explicit bool
+
+	// Live aggregates kept in sync by setFrameState/setSlotState and the
+	// issue/select paths. They replace the per-cycle finished()/wakeFrames()
+	// scans and feed the quiescent-cycle horizon (skip.go).
+	liveFrames    int         // frames in ready/running/waiting states
+	runningSlots  int         // slots in slotRunning
+	drainingSlots int         // slots in slotDraining
+	issuedPending int         // standby/latch entries not yet selected
+	waitHeap      []frameWake // min-heap of (waitUntil, frame id)
+	nextRotation  uint64      // next implicit-rotation boundary (multiple of RotationInterval)
+	stepsExecuted uint64      // stepCycle invocations (cycle-skip effectiveness metric)
 
 	units      []*funcUnit
 	unitsByCls [unitClassCount][]*funcUnit
@@ -257,7 +288,6 @@ type Processor struct {
 	// Reusable per-cycle scratch buffers (the simulator is single-
 	// threaded; these avoid per-cycle allocations).
 	freeUnits    []*funcUnit
-	srcScratch   []isa.Reg
 	pendScratch  []isa.Reg
 	pendScratch2 []isa.Reg
 	idxScratch   []int
@@ -326,9 +356,13 @@ func NewTraceDriven(cfg Config, traces [][]TraceInput) (*Processor, error) {
 	}
 	p.traceMode = true
 	p.traces = traces
+	p.tracePre = make([][]insMeta, len(traces))
+	for i, tr := range traces {
+		p.tracePre[i] = predecodeTrace(tr)
+	}
 	for i := range traces {
 		f := p.frames[i]
-		f.state = frameReady
+		p.setFrameState(f, frameReady)
 		f.traceID = i
 		f.tid = int64(i)
 		p.readyQ = append(p.readyQ, f.id)
@@ -349,9 +383,11 @@ func New(cfg Config, prog []isa.Instruction, m *mem.Memory) (*Processor, error) 
 	p := &Processor{
 		cfg:    cfg,
 		prog:   prog,
+		pre:    predecode(prog),
 		mem:    m,
 		dcache: mem.NewCache(cfg.DCache),
 	}
+	p.nextRotation = uint64(cfg.RotationInterval)
 	maxLat := 32 + m.RemoteLatency() + cfg.DCache.MissPenalty + mem.CacheAccessCycles
 	ringSize := 64
 	for ringSize < maxLat+2 {
@@ -414,7 +450,7 @@ func (p *Processor) StartThread(pc int64) error {
 	}
 	for _, f := range p.frames {
 		if f.state == frameFree {
-			f.state = frameReady
+			p.setFrameState(f, frameReady)
 			f.pc = pc
 			f.tid = p.nextTID
 			p.nextTID++
@@ -428,6 +464,94 @@ func (p *Processor) StartThread(pc int64) error {
 // concurrentOn reports whether data-absence traps switch contexts.
 func (p *Processor) concurrentOn() bool {
 	return p.cfg.ContextFrames > p.cfg.ThreadSlots
+}
+
+// setFrameState transitions a frame's lifecycle state while keeping the
+// liveFrames counter exact. Every state change after construction must go
+// through here (frame.reset is exempt: it only runs on free/done frames).
+func (p *Processor) setFrameState(f *contextFrame, st frameState) {
+	if frameLive(f.state) != frameLive(st) {
+		if frameLive(st) {
+			p.liveFrames++
+		} else {
+			p.liveFrames--
+		}
+	}
+	f.state = st
+}
+
+// setSlotState transitions a slot's lifecycle state while keeping the
+// runningSlots/drainingSlots counters exact.
+func (p *Processor) setSlotState(s *slot, st slotState) {
+	switch s.state {
+	case slotRunning:
+		p.runningSlots--
+	case slotDraining:
+		p.drainingSlots--
+	}
+	switch st {
+	case slotRunning:
+		p.runningSlots++
+	case slotDraining:
+		p.drainingSlots++
+	}
+	s.state = st
+}
+
+// frameWake is one waitUntil deadline in the wake heap. Entries order by
+// (when, id) so that frames waking in the same cycle enter the ready queue
+// in frame-id order, exactly as the previous full scan did. Entries can go
+// stale (the frame was killed before its data arrived); wakeFrames and the
+// quiescent horizon tolerate them — a stale deadline can only make the
+// horizon earlier, never later, so it costs one extra step at worst.
+type frameWake struct {
+	when uint64
+	id   int
+}
+
+func wakeLess(a, b frameWake) bool {
+	return a.when < b.when || (a.when == b.when && a.id < b.id)
+}
+
+// pushWait records a frame's wake deadline in the min-heap.
+func (p *Processor) pushWait(when uint64, id int) {
+	h := append(p.waitHeap, frameWake{when: when, id: id})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wakeLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	p.waitHeap = h
+}
+
+// popWait removes and returns the earliest wake deadline.
+func (p *Processor) popWait() frameWake {
+	h := p.waitHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r, small := 2*i+1, 2*i+2, i
+		if l < n && wakeLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && wakeLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	p.waitHeap = h
+	return top
 }
 
 // Run simulates until every thread has finished, and returns statistics.
@@ -455,7 +579,7 @@ func (p *Processor) Run() (Result, error) {
 		if p.finished() {
 			break
 		}
-		p.cycle++
+		p.advanceCycle()
 	}
 	p.stats.Cycles = p.lastEvent + 1
 	for _, u := range p.units {
@@ -467,6 +591,7 @@ func (p *Processor) Run() (Result, error) {
 // stepCycle advances the machine by one cycle, in reverse pipeline order so
 // that each stage sees the previous cycle's downstream state.
 func (p *Processor) stepCycle() error {
+	p.stepsExecuted++
 	p.rotatePriorities()
 	p.retireCompletions()
 	p.wakeFrames()
@@ -480,8 +605,19 @@ func (p *Processor) stepCycle() error {
 	return nil
 }
 
-// finished reports whether the simulation is complete.
+// finished reports whether the simulation is complete. It consults only
+// live counters — O(1) per cycle instead of the frame+slot scan it
+// replaced (kept as finishedScan for the invariant test). Decode stages of
+// non-idle slots need no separate check: d1/d2 are flushed on every
+// transition to idle, and non-idle slots show up in the slot counters.
 func (p *Processor) finished() bool {
+	return p.outstanding == 0 && p.issuedPending == 0 && len(p.readyQ) == 0 &&
+		p.liveFrames == 0 && p.runningSlots == 0 && p.drainingSlots == 0
+}
+
+// finishedScan is the original full-scan implementation of finished. Tests
+// assert it agrees with the counter version every cycle.
+func (p *Processor) finishedScan() bool {
 	if p.outstanding > 0 || len(p.readyQ) > 0 {
 		return false
 	}
@@ -498,14 +634,21 @@ func (p *Processor) finished() bool {
 	return true
 }
 
-// rotatePriorities applies implicit-rotation mode (§2.2).
+// rotatePriorities applies implicit-rotation mode (§2.2). Rotation
+// boundaries are the multiples of RotationInterval; instead of a modulo
+// per cycle, nextRotation holds the next boundary as an absolute cycle
+// number. A boundary is consumed even in explicit mode (matching the old
+// modulo check: a SETMODE flip back to implicit resumes on the original
+// period, not a shifted one).
 func (p *Processor) rotatePriorities() {
-	if p.explicit || p.cycle == 0 {
+	if p.cycle != p.nextRotation {
 		return
 	}
-	if p.cycle%uint64(p.cfg.RotationInterval) == 0 {
-		p.rotateOnce()
+	p.nextRotation += uint64(p.cfg.RotationInterval)
+	if p.explicit {
+		return
 	}
+	p.rotateOnce()
 }
 
 // rotateOnce moves the highest-priority slot to the lowest position.
@@ -550,13 +693,20 @@ func (p *Processor) retireCompletions() {
 }
 
 // wakeFrames transitions waiting frames whose remote data has arrived.
+// Deadlines come from the wait heap instead of a full frame scan; stale
+// entries (frame killed, or re-trapped with a later deadline) are skipped.
+// (when, id) heap order reproduces the scan's frame-id wake order for
+// frames sharing a deadline.
 func (p *Processor) wakeFrames() {
-	for _, f := range p.frames {
-		if f.state == frameWaiting && p.cycle >= f.waitUntil {
-			f.state = frameReady
-			p.readyQ = append(p.readyQ, f.id)
-			p.touch(p.cycle)
+	for len(p.waitHeap) > 0 && p.waitHeap[0].when <= p.cycle {
+		fw := p.popWait()
+		f := p.frames[fw.id]
+		if f.state != frameWaiting || f.waitUntil != fw.when {
+			continue // stale deadline
 		}
+		p.setFrameState(f, frameReady)
+		p.readyQ = append(p.readyQ, f.id)
+		p.touch(p.cycle)
 	}
 }
 
@@ -574,7 +724,7 @@ func (p *Processor) bindSlots() {
 	// issued instructions have been performed (§2.1.3).
 	for _, s := range p.slots {
 		if s.state == slotDraining && s.outstanding == 0 && s.issuedEmpty() {
-			s.state = slotIdle
+			p.setSlotState(s, slotIdle)
 			s.frame = -1
 			s.bindReadyAt = p.cycle + uint64(p.cfg.ContextSwitchCycles)
 			p.touch(s.bindReadyAt)
@@ -585,16 +735,19 @@ func (p *Processor) bindSlots() {
 // bindFrame binds frame f to slot s and restarts its instruction stream,
 // re-injecting any outstanding access requirements first.
 func (p *Processor) bindFrame(s *slot, f *contextFrame) {
-	f.state = frameRunning
-	s.state = slotRunning
+	p.setFrameState(f, frameRunning)
+	p.setSlotState(s, slotRunning)
 	s.frame = f.id
 	s.flushPipeline()
 	s.fetchPC = f.pc
 	s.fetchDone = f.pc >= p.streamLen(f)
 	for _, req := range f.arb.Pending() {
+		// ARB re-injection happens only in execution-driven mode (traps
+		// cannot occur during trace replay), so program metadata applies.
 		s.buf = append(s.buf, bufEntry{
 			pc:      req.PC,
 			ins:     req.Instr,
+			pre:     &p.pre[req.PC],
 			minD1:   p.cycle + 1,
 			fromARB: true,
 			arbSeq:  req.Seq,
@@ -633,16 +786,16 @@ func (p *Processor) touch(cycle uint64) {
 
 // snapshot renders a short machine-state dump for deadlock diagnostics.
 func (p *Processor) snapshot() string {
-	out := ""
+	var out strings.Builder
 	for _, s := range p.slots {
-		out += fmt.Sprintf("slot %d: state=%d frame=%d buf=%d d1=%d d2=%d outstanding=%d",
+		fmt.Fprintf(&out, "slot %d: state=%d frame=%d buf=%d d1=%d d2=%d outstanding=%d",
 			s.id, s.state, s.frame, len(s.buf), len(s.d1), len(s.d2), s.outstanding)
 		if len(s.d2) > 0 {
-			out += fmt.Sprintf(" d2head=%q(pc=%d)", s.d2[0].ins.String(), s.d2[0].pc)
+			fmt.Fprintf(&out, " d2head=%q(pc=%d)", s.d2[0].ins.String(), s.d2[0].pc)
 		}
-		out += "\n"
+		out.WriteByte('\n')
 	}
-	return out
+	return out.String()
 }
 
 // Cycle returns the current cycle (for tests).

@@ -50,15 +50,15 @@ func (p *Processor) schedulePhase() {
 			} else {
 				s.latch = nil
 			}
+			p.issuedPending--
 		}
 	}
 }
 
 // selectInstr commits an issued instruction to a functional unit.
 func (p *Processor) selectInstr(u *funcUnit, inf *inflight) {
-	op := inf.ins.Op
-	issueLat := uint64(op.IssueLatency())
-	resultLat := uint64(op.ResultLatency() + inf.extraLat)
+	issueLat := inf.pre.issueLat
+	resultLat := inf.pre.resultLat + uint64(inf.extraLat)
 
 	u.busyUntil = p.cycle + issueLat - 1
 	u.stat.Invocations++

@@ -1,0 +1,166 @@
+package core
+
+// Quiescent-cycle skipping: when no slot is running a thread, nothing can
+// decode, fetch or retire until a scheduled future event — a completion
+// leaving the ring, a waiting frame's remote data arriving, an idle slot's
+// rebind delay elapsing, a functional or fetch unit going free. Instead of
+// spinning stepCycle through those cycles (the dominant cost of concurrent
+// multithreading runs with 100+-cycle remote latency, §2.1.3), Run jumps
+// p.cycle straight to the earliest such event. Results are cycle-exact:
+// per-cycle stall statistics only accrue on running slots, so a stretch
+// with runningSlots == 0 is observationally identical whether stepped or
+// skipped, provided priority rotation is fast-forwarded the same number of
+// boundaries.
+
+// skipEnabled reports whether quiescent-cycle fast-forwarding is safe.
+// Observers and the OnIssue/OnSelect hooks may watch per-cycle activity
+// (e.g. rotation events), so their presence pins the machine to
+// cycle-by-cycle stepping, as does Config.DisableCycleSkip (the
+// differential-test reference path).
+func (p *Processor) skipEnabled() bool {
+	return !p.cfg.DisableCycleSkip && p.observer == nil && p.OnIssue == nil && p.OnSelect == nil
+}
+
+// advanceCycle moves the machine to the next simulated cycle, jumping over
+// provably quiescent stretches.
+func (p *Processor) advanceCycle() {
+	next := p.cycle + 1
+	if p.runningSlots > 0 || !p.skipEnabled() {
+		p.cycle = next
+		return
+	}
+	t := p.quiescentHorizon()
+	if t > p.cfg.MaxCycles {
+		// Jump to the limit so Run reports the runaway/deadlock error at
+		// the same cycle, with the same statistics, as stepping would.
+		t = p.cfg.MaxCycles
+	}
+	if t <= next {
+		p.cycle = next
+		return
+	}
+	p.fastForwardRotation(t)
+	p.cycle = t
+}
+
+// maxU returns the larger of two cycle numbers.
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// minEvent folds one candidate event cycle into the horizon.
+func minEvent(t, c uint64) uint64 {
+	if c < t {
+		return c
+	}
+	return t
+}
+
+// quiescentHorizon returns the earliest future cycle at which any pipeline
+// activity can occur, given that no slot is running. Every candidate is
+// conservative: reporting an event too early merely costs a normal step,
+// while missing one would alter results — so each machine resource that
+// can wake the pipeline contributes its own bound:
+//
+//   - completion ring: the next non-empty retire list (outstanding > 0);
+//   - wait heap: the earliest frame wake deadline (stale entries are at
+//     worst early, never late);
+//   - ready queue: the earliest rebind time of an idle slot;
+//   - standby stations/latches: for each class with issued-but-unselected
+//     instructions, the first cycle a unit of that class is free
+//     (busyUntil + 1, since schedulePhase requires busyUntil < cycle);
+//   - draining slots that have fully drained: they unbind at the very next
+//     bindSlots, so the horizon collapses to cycle+1;
+//   - busy fetch units: their delivery cycle (deliveries into non-running
+//     slots are dropped, but the drop itself must happen on time so the
+//     unit frees up on the cycle stepping would free it).
+//
+// Idle fetch units need no bound: startFetch only serves running slots.
+// If no resource reports an event the machine can never make progress
+// (and finished() was false), i.e. a genuine deadlock: return MaxCycles so
+// Run raises the same diagnostic the cycle-by-cycle loop would reach.
+func (p *Processor) quiescentHorizon() uint64 {
+	const noEvent = ^uint64(0)
+	floor := p.cycle + 1
+	t := uint64(noEvent)
+
+	if p.outstanding > 0 {
+		for d := uint64(1); d <= p.compMask+1; d++ {
+			if len(p.completions[(p.cycle+d)&p.compMask]) > 0 {
+				t = minEvent(t, p.cycle+d)
+				break
+			}
+		}
+	}
+	if len(p.waitHeap) > 0 {
+		t = minEvent(t, maxU(p.waitHeap[0].when, floor))
+	}
+	if len(p.readyQ) > 0 {
+		for _, s := range p.slots {
+			if s.state == slotIdle {
+				t = minEvent(t, maxU(s.bindReadyAt, floor))
+			}
+		}
+	}
+	if p.issuedPending > 0 {
+		var classes [unitClassCount]bool
+		for _, s := range p.slots {
+			if s.latch != nil {
+				classes[s.latch.class] = true
+			}
+			for cls, st := range s.standby {
+				if len(st) > 0 {
+					classes[cls] = true
+				}
+			}
+		}
+		for cls, need := range classes {
+			if !need {
+				continue
+			}
+			for _, u := range p.unitsByCls[cls] {
+				t = minEvent(t, maxU(u.busyUntil+1, floor))
+			}
+		}
+	}
+	for _, s := range p.slots {
+		if s.state == slotDraining && s.outstanding == 0 && s.issuedEmpty() {
+			t = minEvent(t, floor) // unbinds at the next bindSlots
+		}
+	}
+	for _, fu := range p.fetchers {
+		if fu.busy {
+			t = minEvent(t, maxU(fu.busyUntil, floor))
+		}
+	}
+	if t == noEvent {
+		return p.cfg.MaxCycles
+	}
+	return t
+}
+
+// fastForwardRotation applies the implicit-rotation boundaries in the
+// half-open interval (p.cycle, t) that a cycle-by-cycle walk to t would
+// have crossed, leaving the priority order and the nextRotation counter
+// exactly as stepping would. A boundary landing on t itself stays pending
+// for rotatePriorities at cycle t. Boundaries are consumed even in
+// explicit-rotation mode (matching rotatePriorities); rotations only apply
+// in implicit mode, reduced modulo the priority-list length since rotation
+// is cyclic.
+func (p *Processor) fastForwardRotation(t uint64) {
+	if p.nextRotation >= t {
+		return
+	}
+	interval := uint64(p.cfg.RotationInterval)
+	k := (t-1-p.nextRotation)/interval + 1
+	p.nextRotation += k * interval
+	if p.explicit || len(p.prio) < 2 {
+		return
+	}
+	for i := uint64(0); i < k%uint64(len(p.prio)); i++ {
+		p.rotateOnce()
+	}
+}

@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderStable(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(100, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Cells 3, 17 and 41 fail; every worker count must report cell 3's
+	// error, the one a sequential early-stopping loop would surface.
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(50, workers, func(i int) (int, error) {
+			switch i {
+			case 3, 17, 41:
+				return 0, fmt.Errorf("cell %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Errorf("workers=%d: err = %v, want cell 3 failed", workers, err)
+		}
+	}
+}
+
+func TestMapSequentialStopsEarly(t *testing.T) {
+	// The workers==1 reference path must behave like the loop it replaced:
+	// no cell after the first failure runs.
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	_, err := Map(10, 1, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n != 5 {
+		t.Errorf("sequential path ran %d cells after failure at cell 4; want 5", n)
+	}
+}
+
+func TestMapRunsEveryCellOnce(t *testing.T) {
+	var calls [200]atomic.Int32
+	if _, err := Map(len(calls), 16, func(i int) (int, error) {
+		calls[i].Add(1)
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("cell %d ran %d times, want 1", i, n)
+		}
+	}
+}
+
+func TestMapWorkersClamped(t *testing.T) {
+	// More workers than cells must not deadlock or double-run cells.
+	var ran atomic.Int32
+	got, err := Map(3, 100, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || ran.Load() != 3 {
+		t.Fatalf("got %v (%d calls), want 3 cells once each", got, ran.Load())
+	}
+}

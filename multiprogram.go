@@ -31,79 +31,66 @@ func RunMultiprogram(slots []int) ([]MultiprogramCell, error) {
 		recs   []trace.Record
 		cycles uint64 // baseline RISC cycles
 	}
-	var jobs []job
 
-	// Job 1: a small ray-tracing slice.
-	rt, err := BuildRayTrace(RayTraceConfig{Rays: 24, Spheres: 8})
+	// Phase 1: each job records its trace and runs its RISC baseline in an
+	// independent sweep cell. build returns (program text, fresh memory).
+	jobSpecs := []struct {
+		name  string
+		build func() ([]Instruction, func() (*Memory, error), error)
+	}{
+		{"raytrace", func() ([]Instruction, func() (*Memory, error), error) {
+			rt, err := BuildRayTrace(RayTraceConfig{Rays: 24, Spheres: 8})
+			if err != nil {
+				return nil, nil, err
+			}
+			return rt.Seq.Text, func() (*Memory, error) { return rt.NewMemory(rt.Seq, 1) }, nil
+		}},
+		{"livermore", func() ([]Instruction, func() (*Memory, error), error) {
+			lv, err := BuildLivermore(LivermoreConfig{N: 120})
+			if err != nil {
+				return nil, nil, err
+			}
+			return lv.Seq.Text, func() (*Memory, error) { return lv.Seq.NewMemory(64) }, nil
+		}},
+		{"linkedlist", func() ([]Instruction, func() (*Memory, error), error) {
+			ll, err := BuildLinkedList(LinkedListConfig{Nodes: 100, BreakAt: -1})
+			if err != nil {
+				return nil, nil, err
+			}
+			return ll.Seq.Text, func() (*Memory, error) { return ll.NewMemory(ll.Seq, 1) }, nil
+		}},
+	}
+	jobs, err := runCells(len(jobSpecs), func(i int) (job, error) {
+		sp := jobSpecs[i]
+		text, mkMem, err := sp.build()
+		if err != nil {
+			return job{}, err
+		}
+		mRec, err := mkMem()
+		if err != nil {
+			return job{}, err
+		}
+		recs, err := trace.RecordProgram(text, mRec, 0)
+		if err != nil {
+			return job{}, err
+		}
+		mBase, err := mkMem()
+		if err != nil {
+			return job{}, err
+		}
+		res, err := RunRISC(RISCConfig{LoadStoreUnits: 2}, text, mBase)
+		if err != nil {
+			return job{}, err
+		}
+		return job{sp.name, recs, res.Cycles}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	mRT, err := rt.NewMemory(rt.Seq, 1)
-	if err != nil {
-		return nil, err
-	}
-	recsRT, err := trace.RecordProgram(rt.Seq.Text, mRT, 0)
-	if err != nil {
-		return nil, err
-	}
-	mRT2, err := rt.NewMemory(rt.Seq, 1)
-	if err != nil {
-		return nil, err
-	}
-	resRT, err := RunRISC(RISCConfig{LoadStoreUnits: 2}, rt.Seq.Text, mRT2)
-	if err != nil {
-		return nil, err
-	}
-	jobs = append(jobs, job{"raytrace", recsRT, resRT.Cycles})
 
-	// Job 2: Livermore Kernel 1.
-	lv, err := BuildLivermore(LivermoreConfig{N: 120})
-	if err != nil {
-		return nil, err
-	}
-	mLV, err := lv.Seq.NewMemory(64)
-	if err != nil {
-		return nil, err
-	}
-	recsLV, err := trace.RecordProgram(lv.Seq.Text, mLV, 0)
-	if err != nil {
-		return nil, err
-	}
-	mLV2, err := lv.Seq.NewMemory(64)
-	if err != nil {
-		return nil, err
-	}
-	resLV, err := RunRISC(RISCConfig{LoadStoreUnits: 2}, lv.Seq.Text, mLV2)
-	if err != nil {
-		return nil, err
-	}
-	jobs = append(jobs, job{"livermore", recsLV, resLV.Cycles})
-
-	// Job 3: linked-list traversal.
-	ll, err := BuildLinkedList(LinkedListConfig{Nodes: 100, BreakAt: -1})
-	if err != nil {
-		return nil, err
-	}
-	mLL, err := ll.NewMemory(ll.Seq, 1)
-	if err != nil {
-		return nil, err
-	}
-	recsLL, err := trace.RecordProgram(ll.Seq.Text, mLL, 0)
-	if err != nil {
-		return nil, err
-	}
-	mLL2, err := ll.NewMemory(ll.Seq, 1)
-	if err != nil {
-		return nil, err
-	}
-	resLL, err := RunRISC(RISCConfig{LoadStoreUnits: 2}, ll.Seq.Text, mLL2)
-	if err != nil {
-		return nil, err
-	}
-	jobs = append(jobs, job{"linkedlist", recsLL, resLL.Cycles})
-
-	var out []MultiprogramCell
-	for _, s := range slots {
+	// Phase 2: one replay cell per slot count, each with its own processor.
+	return runCells(len(slots), func(si int) (MultiprogramCell, error) {
+		s := slots[si]
 		traces := make([][]core.TraceInput, s)
 		var serial uint64
 		var instr uint64
@@ -122,21 +109,20 @@ func RunMultiprogram(slots []int) ([]MultiprogramCell, error) {
 			StandbyStations: true,
 		}, traces)
 		if err != nil {
-			return nil, err
+			return MultiprogramCell{}, err
 		}
 		res, err := p.Run()
 		if err != nil {
-			return nil, fmt.Errorf("multiprogram (%d slots): %w", s, err)
+			return MultiprogramCell{}, fmt.Errorf("multiprogram (%d slots): %w", s, err)
 		}
-		out = append(out, MultiprogramCell{
+		return MultiprogramCell{
 			Slots:        s,
 			Cycles:       res.Cycles,
 			SerialRISC:   serial,
 			Throughput:   float64(serial) / float64(res.Cycles),
 			Instructions: res.Instructions,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FormatMultiprogram renders the multiprogramming experiment.

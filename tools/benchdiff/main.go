@@ -1,0 +1,165 @@
+// Command benchdiff gates simulator performance in CI. It parses `go test
+// -bench` output, reduces each benchmark to its best (minimum) ns/op across
+// -count repetitions, and compares that against the committed baseline in
+// BENCH_sweep.json, failing when any benchmark regresses past the
+// tolerance. The best-of-N reduction makes the gate robust to scheduler
+// noise on shared runners; only a consistent slowdown across every
+// repetition can trip it.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -count 5 . | go run ./tools/benchdiff -baseline BENCH_sweep.json
+//	go run ./tools/benchdiff -baseline BENCH_sweep.json -in bench-out.txt -update
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkRunNoObserver-8   534   2128625 ns/op   338480 B/op   4638 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse reduces bench output to the minimum ns/op per benchmark name, with
+// the trailing -GOMAXPROCS suffix stripped so baselines are host-portable.
+func parse(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if cur, ok := best[name]; !ok || ns < cur {
+			best[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark result lines found in input")
+	}
+	return best, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_sweep.json", "baseline JSON file (its \"benchmarks\" map holds ns/op per name)")
+		inPath       = flag.String("in", "", "bench output file (default: stdin)")
+		tolerance    = flag.Float64("tolerance", 1.10, "fail when measured ns/op exceeds baseline*tolerance")
+		update       = flag.Bool("update", false, "rewrite the baseline's benchmarks map with the measured values")
+		outPath      = flag.String("out", "", "also write the measured map as JSON here (CI artifact)")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if *outPath != "" {
+		js, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, append(js, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	// The baseline file may carry other fields (host notes, before/after
+	// measurements); only the "benchmarks" map is read and rewritten.
+	raw := make(map[string]json.RawMessage)
+	if data, err := os.ReadFile(*baselinePath); err == nil {
+		if err := json.Unmarshal(data, &raw); err != nil {
+			fatal(fmt.Errorf("benchdiff: %s: %v", *baselinePath, err))
+		}
+	} else if !*update {
+		fatal(err)
+	}
+	baseline := make(map[string]float64)
+	if b, ok := raw["benchmarks"]; ok {
+		if err := json.Unmarshal(b, &baseline); err != nil {
+			fatal(fmt.Errorf("benchdiff: %s: benchmarks map: %v", *baselinePath, err))
+		}
+	}
+
+	if *update {
+		js, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		raw["benchmarks"] = js
+		out, err := json.MarshalIndent(raw, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: updated %s with %d benchmarks\n", *baselinePath, len(measured))
+		return
+	}
+
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		got := measured[name]
+		want, ok := baseline[name]
+		if !ok {
+			fmt.Printf("  new  %-50s %12.0f ns/op (no baseline)\n", name, got)
+			continue
+		}
+		ratio := got / want
+		status := "ok"
+		if ratio > *tolerance {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %-4s %-50s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
+			status, name, got, want, (ratio-1)*100)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: performance regression beyond %.0f%% tolerance\n", (*tolerance-1)*100)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
