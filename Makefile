@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet analyzers verify-examples lint-interthread fuzz fmt trace-demo profile bench-report bench bench-check
+.PHONY: all build test race lint vet analyzers verify-examples lint-interthread fuzz fmt trace-demo profile cpi-demo bench-report bench bench-check
 
 all: build test lint
 
@@ -50,6 +50,12 @@ trace-demo:
 # profile prints the per-PC hotspot report for the fib example.
 profile:
 	$(GO) run ./cmd/hirata-sim -slots 2 -standby -profile examples/programs/fib.s
+
+# cpi-demo decomposes the 8-slot Table-2 ray trace: folded CPI stacks
+# (feed raytrace-cpi.folded to flamegraph.pl), the critical path as JSON,
+# and bounded what-if estimates for extra hardware on stderr.
+cpi-demo:
+	$(GO) run ./cmd/hirata-bench -table none -cpi-folded raytrace-cpi.folded -critpath-json raytrace-critpath.json -whatif "+1 alu,+1 ls,+1 slot"
 
 # bench-report regenerates the JSON paper-reproduction report and records
 # the 8-slot ray-trace Perfetto timeline (CI uploads both as artifacts).

@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hirata"
@@ -41,13 +42,23 @@ func main() {
 		chromeTrace = flag.String("chrome-trace", "", "record the representative 8-slot ray-trace run and write its Chrome Trace Event JSON timeline here")
 		httpAddr    = flag.String("http", "", "serve live /metrics, /trace.json and pprof of the bench process on this address")
 		parallel    = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS worth, 1 = sequential reference)")
+
+		cpiFolded    = flag.String("cpi-folded", "", "record the representative run and write its CPI stack in collapsed/folded format here")
+		critPathJSON = flag.String("critpath-json", "", "record the representative run and write its critical-path analysis as JSON here")
+		whatIf       = flag.String("whatif", "", "record the representative run and print bounded what-if estimates, e.g. \"+1 alu,+1 ls,+1 slot\"")
 	)
 	flag.Parse()
 	hirata.SetParallelism(*parallel)
 
 	rt := hirata.RayTraceConfig{Rays: *rays, Spheres: *spheres}
-	if *chromeTrace != "" || *httpAddr != "" {
-		shutdown, err := recordRepresentative(rt, *chromeTrace, *httpAddr)
+	if *chromeTrace != "" || *httpAddr != "" || *cpiFolded != "" || *critPathJSON != "" || *whatIf != "" {
+		shutdown, err := recordRepresentative(rt, representativeOutputs{
+			tracePath:    *chromeTrace,
+			httpAddr:     *httpAddr,
+			cpiFolded:    *cpiFolded,
+			critPathJSON: *critPathJSON,
+			whatIf:       *whatIf,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hirata-bench:", err)
 			os.Exit(1)
@@ -238,13 +249,22 @@ func main() {
 	}
 }
 
+// representativeOutputs selects the artifacts of the representative run.
+type representativeOutputs struct {
+	tracePath    string // Perfetto timeline JSON
+	httpAddr     string // live observability server
+	cpiFolded    string // folded CPI stacks (flamegraph.pl input)
+	critPathJSON string // critical-path analysis JSON
+	whatIf       string // comma-separated what-if scenario list
+}
+
 // recordRepresentative runs the parallel ray tracer on the paper's 8-slot
 // machine with a collector attached — the same configuration Table 2
-// measures — writing its Perfetto timeline to tracePath (when set) and
-// serving the collector plus this process's pprof endpoints on httpAddr
-// (when set). The returned shutdown stops the HTTP server; it is nil when
-// httpAddr is empty.
-func recordRepresentative(rt hirata.RayTraceConfig, tracePath, httpAddr string) (func() error, error) {
+// measures — and writes whichever artifacts out selects: the Perfetto
+// timeline, folded CPI stacks, the critical-path JSON, bounded what-if
+// estimates, and/or a live HTTP server. The returned shutdown stops the
+// HTTP server; it is nil when httpAddr is empty.
+func recordRepresentative(rt hirata.RayTraceConfig, out representativeOutputs) (func() error, error) {
 	w, err := hirata.BuildRayTrace(rt)
 	if err != nil {
 		return nil, err
@@ -256,8 +276,8 @@ func recordRepresentative(rt hirata.RayTraceConfig, tracePath, httpAddr string) 
 	}
 	col := hirata.NewCollector(cfg, hirata.CollectorOptions{MetricsInterval: 256})
 	var shutdown func() error
-	if httpAddr != "" {
-		bound, stop, err := hirata.ServeObservability(httpAddr, col, w.Par)
+	if out.httpAddr != "" {
+		bound, stop, err := hirata.ServeObservability(out.httpAddr, col, w.Par)
 		if err != nil {
 			return nil, err
 		}
@@ -269,18 +289,45 @@ func recordRepresentative(rt hirata.RayTraceConfig, tracePath, httpAddr string) 
 		return shutdown, err
 	}
 	fmt.Fprintf(os.Stderr, "hirata-bench: recorded 8-slot ray trace: %d cycles, ipc %.3f\n", res.Cycles, res.IPC())
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	writeFile := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	if out.tracePath != "" {
+		if err := writeFile(out.tracePath, col.WriteChromeTrace); err != nil {
+			return shutdown, err
+		}
+		fmt.Fprintf(os.Stderr, "hirata-bench: wrote %s (load in ui.perfetto.dev)\n", out.tracePath)
+	}
+	if out.cpiFolded != "" {
+		if err := writeFile(out.cpiFolded, col.CPIStack().WriteCPIFolded); err != nil {
+			return shutdown, err
+		}
+		fmt.Fprintf(os.Stderr, "hirata-bench: wrote %s (feed to flamegraph.pl or speedscope)\n", out.cpiFolded)
+	}
+	if out.critPathJSON != "" {
+		cp, err := col.CritPath()
 		if err != nil {
 			return shutdown, err
 		}
-		if err := col.WriteChromeTrace(f); err != nil {
+		cp.Annotate(w.Par)
+		if err := writeFile(out.critPathJSON, cp.WriteJSON); err != nil {
 			return shutdown, err
 		}
-		if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hirata-bench: wrote %s\n", out.critPathJSON)
+	}
+	if out.whatIf != "" {
+		ests, err := col.WhatIfAll(out.whatIf)
+		if err != nil {
 			return shutdown, err
 		}
-		fmt.Fprintf(os.Stderr, "hirata-bench: wrote %s (load in ui.perfetto.dev)\n", tracePath)
+		fmt.Fprint(os.Stderr, hirata.FormatWhatIfEstimates(ests))
 	}
 	return shutdown, nil
 }

@@ -17,6 +17,10 @@
 //	hirata-sim -profile prog.s                 per-PC hotspot report
 //	hirata-sim -metrics-interval 100 prog.s    interval metrics table
 //	hirata-sim -http :8080 prog.s              live /metrics, /trace.json, pprof
+//	hirata-sim -cpi-stack prog.s               per-slot CPI-stack accounting
+//	hirata-sim -cpi-folded out.folded prog.s   folded stacks for flamegraph.pl
+//	hirata-sim -critpath prog.s                dynamic critical path + breakdown
+//	hirata-sim -whatif "+1 alu,+1 slot" prog.s bounded what-if estimates
 package main
 
 import (
@@ -50,6 +54,11 @@ func main() {
 		profileOut   = flag.Bool("profile", false, "print a per-PC hotspot report after the run (mt)")
 		metricsEvery = flag.Int("metrics-interval", 0, "sample interval metrics every N cycles and print the time series (mt)")
 		httpAddr     = flag.String("http", "", "serve live /metrics, /metrics.json, /trace.json, /profile and pprof on this address during the run (mt)")
+		cpiStack     = flag.Bool("cpi-stack", false, "print the per-slot CPI-stack cycle-accounting table (mt)")
+		cpiFolded    = flag.String("cpi-folded", "", "write the CPI stack in collapsed/folded format to this file (mt; feed to flamegraph.pl)")
+		critPathOut  = flag.Bool("critpath", false, "print the dynamic critical path with breakdown (mt)")
+		critPathJSON = flag.String("critpath-json", "", "write the critical-path analysis as JSON to this file (mt)")
+		whatIf       = flag.String("whatif", "", "comma-separated what-if scenarios to estimate, e.g. \"+1 alu,+1 ls,+1 slot\" (mt)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -93,7 +102,8 @@ func main() {
 
 		var observers []hirata.Observer
 		var col *hirata.Collector
-		if *chromeTrace != "" || *profileOut || *metricsEvery > 0 || *httpAddr != "" {
+		if *chromeTrace != "" || *profileOut || *metricsEvery > 0 || *httpAddr != "" ||
+			*cpiStack || *cpiFolded != "" || *critPathOut || *critPathJSON != "" || *whatIf != "" {
 			col = hirata.NewCollector(cfg, hirata.CollectorOptions{MetricsInterval: *metricsEvery})
 			observers = append(observers, col)
 		}
@@ -151,6 +161,59 @@ func main() {
 			if err := col.Profile().WriteAnnotated(os.Stdout, prog); err != nil {
 				fail(err)
 			}
+		}
+		if *cpiStack {
+			fmt.Println()
+			if err := col.CPIStack().WriteCPITable(os.Stdout); err != nil {
+				fail(err)
+			}
+		}
+		if *cpiFolded != "" {
+			f, ferr := os.Create(*cpiFolded)
+			if ferr != nil {
+				fail(ferr)
+			}
+			if err := col.CPIStack().WriteCPIFolded(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "hirata-sim: wrote %s (feed to flamegraph.pl or speedscope)\n", *cpiFolded)
+		}
+		if *critPathOut || *critPathJSON != "" {
+			cp, cerr := col.CritPath()
+			if cerr != nil {
+				fail(cerr)
+			}
+			if *critPathOut {
+				fmt.Println()
+				if err := cp.WriteText(os.Stdout, prog); err != nil {
+					fail(err)
+				}
+			}
+			if *critPathJSON != "" {
+				cp.Annotate(prog)
+				f, ferr := os.Create(*critPathJSON)
+				if ferr != nil {
+					fail(ferr)
+				}
+				if err := cp.WriteJSON(f); err != nil {
+					fail(err)
+				}
+				if err := f.Close(); err != nil {
+					fail(err)
+				}
+				fmt.Fprintf(os.Stderr, "hirata-sim: wrote %s\n", *critPathJSON)
+			}
+		}
+		if *whatIf != "" {
+			ests, werr := col.WhatIfAll(*whatIf)
+			if werr != nil {
+				fail(werr)
+			}
+			fmt.Println()
+			fmt.Print(hirata.FormatWhatIfEstimates(ests))
 		}
 		if shutdown != nil {
 			fmt.Fprintln(os.Stderr, "hirata-sim: run finished; endpoints stay up — interrupt (ctrl-C) to exit")

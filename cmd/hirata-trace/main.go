@@ -39,6 +39,9 @@ func main() {
 
 		chromeTrace  = flag.String("chrome-trace", "", "write a Chrome Trace Event JSON timeline of the replay (load in ui.perfetto.dev)")
 		metricsEvery = flag.Int("metrics-interval", 0, "sample interval metrics every N cycles during -replay and print the time series")
+		cpiStack     = flag.Bool("cpi-stack", false, "print the per-slot CPI-stack cycle accounting of the replay")
+		critPathOut  = flag.Bool("critpath", false, "print the replay's dynamic critical path with breakdown")
+		whatIf       = flag.String("whatif", "", "comma-separated what-if scenarios to estimate from the replay, e.g. \"+1 alu,+1 ls,+1 slot\"")
 	)
 	flag.Parse()
 
@@ -88,7 +91,7 @@ func main() {
 		p, err := core.NewTraceDriven(cfg, traces)
 		check(err)
 		var col *obs.Collector
-		if *chromeTrace != "" || *metricsEvery > 0 {
+		if *chromeTrace != "" || *metricsEvery > 0 || *cpiStack || *critPathOut || *whatIf != "" {
 			col = obs.NewCollector(cfg, obs.Options{MetricsInterval: *metricsEvery})
 			p.Observe(col)
 		}
@@ -109,6 +112,22 @@ func main() {
 		if *metricsEvery > 0 {
 			fmt.Println()
 			check(col.WriteIntervalTable(os.Stdout))
+		}
+		if *cpiStack {
+			fmt.Println()
+			check(col.CPIStack().WriteCPITable(os.Stdout))
+		}
+		if *critPathOut {
+			cp, err := col.CritPath()
+			check(err)
+			fmt.Println()
+			check(cp.WriteText(os.Stdout, nil))
+		}
+		if *whatIf != "" {
+			ests, err := col.WhatIfAll(*whatIf)
+			check(err)
+			fmt.Println()
+			fmt.Print(obs.FormatEstimates(ests))
 		}
 
 	default:

@@ -219,7 +219,24 @@ type (
 	MetricsSample = obs.Sample
 	// TextTracer prints pipeline events to a writer, one line per event.
 	TextTracer = core.TextTracer
+	// CPIStack is the per-slot cycle-accounting result: every (slot, cycle)
+	// classified into a hierarchical CPI bucket.
+	CPIStack = obs.CPIStack
+	// CritPath is the run's dynamic critical path with a per-cause
+	// breakdown and per-instruction attribution.
+	CritPath = obs.CritPath
+	// WhatIfScenario is one parsed what-if question ("+1 alu", "+1 slot").
+	WhatIfScenario = obs.Scenario
+	// WhatIfEstimate bounds a scenario's effect as a cycle interval.
+	WhatIfEstimate = obs.Estimate
 )
+
+// ParseWhatIfScenario parses a what-if scenario string such as "+1 alu",
+// "+1 ls", "+1 slot" or "+1 standby".
+func ParseWhatIfScenario(s string) (WhatIfScenario, error) { return obs.ParseScenario(s) }
+
+// FormatWhatIfEstimates renders what-if estimates as an aligned text block.
+func FormatWhatIfEstimates(ests []WhatIfEstimate) string { return obs.FormatEstimates(ests) }
 
 // NewCollector builds an event collector for a machine of the given shape.
 func NewCollector(cfg MTConfig, opt CollectorOptions) *Collector {

@@ -97,6 +97,14 @@ type Config struct {
 	// interleaving, Farrens & Pleszkun's competing streams), where multiple
 	// threads share one instruction issue slot.
 	MaxIssuePerCycle int
+	// ExtraUnits adds functional units beyond the paper's base pool,
+	// indexed by isa.UnitClass: ExtraUnits[isa.UnitIntALU] = 1 gives the
+	// machine two integer ALUs. Load/store extras stack on top of
+	// LoadStoreUnits. A fixed-size array keeps Config comparable, which the
+	// experiment sweeps rely on. This exists for what-if validation and
+	// ablations (docs/OBSERVABILITY.md); the paper's configurations leave it
+	// zero.
+	ExtraUnits [isa.NumUnitClasses + 1]int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
 	// DisableCycleSkip pins the simulator to cycle-by-cycle stepping even
@@ -168,17 +176,37 @@ func (c Config) validate() error {
 	if c.StandbyDepth > 16 {
 		return fmt.Errorf("core: standby depth %d is above the supported maximum of 16", c.StandbyDepth)
 	}
+	for cls := isa.UnitClass(1); int(cls) <= isa.NumUnitClasses; cls++ {
+		if c.ExtraUnits[cls] < 0 {
+			return fmt.Errorf("core: negative extra unit count %d for %s", c.ExtraUnits[cls], cls)
+		}
+		if n := c.unitCount(cls); n > 8 {
+			return fmt.Errorf("core: %d %s units is above the supported maximum of 8", n, cls)
+		}
+	}
 	return nil
 }
 
 // unitCount returns how many functional units of a class the machine has.
 func (c Config) unitCount(u isa.UnitClass) int {
-	switch u {
-	case isa.UnitNone:
+	if u == isa.UnitNone {
 		return 0
-	case isa.UnitLoadStore:
-		return c.LoadStoreUnits
-	default:
-		return 1
 	}
+	base := 1
+	if u == isa.UnitLoadStore {
+		base = c.LoadStoreUnits
+	}
+	extra := 0
+	if int(u) < len(c.ExtraUnits) && c.ExtraUnits[u] > 0 {
+		extra = c.ExtraUnits[u]
+	}
+	return base + extra
+}
+
+// UnitCount is the exported unit census; the obs collector sizes its
+// per-unit track and metrics series from it so unit ordinals line up with
+// the scheduler's.
+func (c Config) UnitCount(u isa.UnitClass) int {
+	d := c.withDefaults()
+	return d.unitCount(u)
 }

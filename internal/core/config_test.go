@@ -1,0 +1,109 @@
+package core
+
+// Config.ExtraUnits: the unit census must grow per class, the scheduler
+// must actually build (and use) the extra instances, and validation must
+// reject nonsense. What-if bottleneck validation (internal/obs) re-runs
+// workloads through this knob, so it has to be cycle-visible: an
+// ALU-saturated kernel must get faster with a second ALU.
+
+import (
+	"strings"
+	"testing"
+
+	"hirata/internal/asm"
+	"hirata/internal/isa"
+	"hirata/internal/mem"
+)
+
+func TestExtraUnitsCensus(t *testing.T) {
+	var cfg Config
+	cfg.ExtraUnits[isa.UnitIntALU] = 1
+	cfg.LoadStoreUnits = 2
+	cfg.ExtraUnits[isa.UnitLoadStore] = 1
+	if got := cfg.UnitCount(isa.UnitIntALU); got != 2 {
+		t.Errorf("UnitCount(IntALU) = %d, want 2", got)
+	}
+	if got := cfg.UnitCount(isa.UnitLoadStore); got != 3 {
+		t.Errorf("UnitCount(LoadStore) = %d, want 3", got)
+	}
+	if got := cfg.UnitCount(isa.UnitFPAdd); got != 1 {
+		t.Errorf("UnitCount(FPAdd) = %d, want 1", got)
+	}
+	if got := cfg.UnitCount(isa.UnitNone); got != 0 {
+		t.Errorf("UnitCount(UnitNone) = %d, want 0", got)
+	}
+
+	prog := []isa.Instruction{{Op: isa.HALT}}
+	p, err := New(cfg, prog, mem.NewMemory(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.unitsByCls[isa.UnitIntALU]); got != 2 {
+		t.Errorf("built %d IntALU units, want 2", got)
+	}
+	if got := len(p.unitsByCls[isa.UnitLoadStore]); got != 3 {
+		t.Errorf("built %d LoadStore units, want 3", got)
+	}
+}
+
+func TestExtraUnitsValidate(t *testing.T) {
+	var cfg Config
+	cfg.ExtraUnits[isa.UnitIntALU] = -1
+	if _, err := New(cfg, []isa.Instruction{{Op: isa.HALT}}, mustMem(t)); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative ExtraUnits: got err %v, want negative-count error", err)
+	}
+	cfg = Config{}
+	cfg.ExtraUnits[isa.UnitShifter] = 8
+	if _, err := New(cfg, []isa.Instruction{{Op: isa.HALT}}, mustMem(t)); err == nil || !strings.Contains(err.Error(), "maximum of 8") {
+		t.Errorf("9 shifters: got err %v, want above-maximum error", err)
+	}
+}
+
+func mustMem(t *testing.T) *mem.Memory {
+	t.Helper()
+	return mem.NewMemory(64)
+}
+
+// aluBoundProg issues long dependent-free ADD streams from every slot so
+// the single shared integer ALU is the bottleneck.
+const aluBoundSrc = `
+	.text
+start:
+	ADDI r1, r0, 200
+loop:
+	ADD r2, r1, r1
+	ADD r3, r1, r1
+	ADD r4, r1, r1
+	ADD r5, r1, r1
+	ADDI r1, r1, -1
+	BNE r1, r0, loop
+	HALT
+`
+
+func TestExtraALUSpeedsUpALUBoundRun(t *testing.T) {
+	prog := asm.MustAssemble(aluBoundSrc)
+	run := func(extraALU int) uint64 {
+		var cfg Config
+		cfg.ThreadSlots = 4
+		cfg.StandbyStations = true
+		cfg.ExtraUnits[isa.UnitIntALU] = extraALU
+		p, err := New(cfg, prog.Text, mem.NewMemory(4096))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cfg.ThreadSlots; i++ {
+			if err := p.StartThread(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	base, faster := run(0), run(1)
+	if faster >= base {
+		t.Errorf("2 ALUs took %d cycles, 1 ALU took %d; expected a speedup on an ALU-bound kernel", faster, base)
+	}
+}

@@ -1,0 +1,300 @@
+// Cycle accounting: classify every (thread slot, cycle) of a run into a
+// hierarchical CPI stack. The paper argues about where cycles go (§3,
+// Tables 3-5) via end-of-run utilization; this pass gives the same budget
+// per slot-cycle, exactly — for every slot, the buckets sum to the run's
+// cycle count:
+//
+//	issued                     ≥1 instruction left decode this cycle
+//	stalled/data-dep           scoreboard interlock (StallData)
+//	stalled/standby-full       standby station occupied (StallStandby)
+//	stalled/queue/queue-empty  queue register had no word (StallQueueEmpty)
+//	stalled/queue/queue-full   queue register full on write (StallQueueFull)
+//	stalled/priority-lost      lost schedule-unit arbitration (StallPriority)
+//	stalled/fetch-empty        instruction queue buffer empty (StallEmpty)
+//	unbound/remote-wait        slot drained by a data-absence trap
+//	unbound/idle               no runnable thread bound to the slot
+//	other                      residual (e.g. MaxIssuePerCycle budget cuts,
+//	                           drain cycles after HALT enters decode)
+//
+// The accounting is computed incrementally from the event stream (never
+// from the bounded ring), so it is exact even when the ring dropped
+// events.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"hirata/internal/core"
+)
+
+// CPIBucket indexes one leaf of the CPI stack.
+type CPIBucket int
+
+// CPI stack leaves, in exposition order.
+const (
+	CPIIssued CPIBucket = iota
+	CPIDataDep
+	CPIStandbyFull
+	CPIQueueEmpty
+	CPIQueueFull
+	CPIPriorityLost
+	CPIFetchEmpty
+	CPIRemoteWait
+	CPIIdle
+	CPIOther
+	NumCPIBuckets
+)
+
+// String names the bucket leaf (stable: used as the Prometheus label).
+func (b CPIBucket) String() string {
+	switch b {
+	case CPIIssued:
+		return "issued"
+	case CPIDataDep:
+		return "data-dep"
+	case CPIStandbyFull:
+		return "standby-full"
+	case CPIQueueEmpty:
+		return "queue-empty"
+	case CPIQueueFull:
+		return "queue-full"
+	case CPIPriorityLost:
+		return "priority-lost"
+	case CPIFetchEmpty:
+		return "fetch-empty"
+	case CPIRemoteWait:
+		return "remote-wait"
+	case CPIIdle:
+		return "idle"
+	case CPIOther:
+		return "other"
+	}
+	return "unknown"
+}
+
+// Path is the bucket's position in the hierarchy, leaf last — the folded
+// stack frames of the flamegraph export.
+func (b CPIBucket) Path() []string {
+	switch b {
+	case CPIIssued, CPIOther:
+		return []string{b.String()}
+	case CPIQueueEmpty, CPIQueueFull:
+		return []string{"stalled", "queue", b.String()}
+	case CPIRemoteWait, CPIIdle:
+		return []string{"unbound", b.String()}
+	default:
+		return []string{"stalled", b.String()}
+	}
+}
+
+// cpiBucketForStall maps a decode stall reason onto its CPI leaf.
+// StallNone is not a stall and has no bucket (ok=false).
+func cpiBucketForStall(r core.StallReason) (CPIBucket, bool) {
+	switch r {
+	case core.StallData:
+		return CPIDataDep, true
+	case core.StallStandby:
+		return CPIStandbyFull, true
+	case core.StallQueueEmpty:
+		return CPIQueueEmpty, true
+	case core.StallQueueFull:
+		return CPIQueueFull, true
+	case core.StallPriority:
+		return CPIPriorityLost, true
+	case core.StallEmpty:
+		return CPIFetchEmpty, true
+	}
+	return 0, false
+}
+
+// SlotCPI is one slot's cycle budget.
+type SlotCPI struct {
+	Slot    int // -1 = whole machine
+	Cycles  [NumCPIBuckets]uint64
+	Issued  uint64 // instructions issued (can exceed Cycles[CPIIssued] with IssueWidth > 1)
+	Unbound uint64 // convenience: remote-wait + idle
+}
+
+// Total sums the budget; per construction it equals the run's cycle count
+// (times ThreadSlots for the machine aggregate).
+func (s SlotCPI) Total() uint64 {
+	var t uint64
+	for _, v := range s.Cycles {
+		t += v
+	}
+	return t
+}
+
+// CPIStack is the run's full cycle-accounting result.
+type CPIStack struct {
+	Cycles  uint64 // run length in cycles
+	Dropped uint64 // ring drops (the accounting itself is exact regardless)
+	Slots   []SlotCPI
+}
+
+// Machine aggregates all slots (Slot = -1).
+func (st CPIStack) Machine() SlotCPI {
+	m := SlotCPI{Slot: -1}
+	for _, s := range st.Slots {
+		for b, v := range s.Cycles {
+			m.Cycles[b] += v
+		}
+		m.Issued += s.Issued
+		m.Unbound += s.Unbound
+	}
+	return m
+}
+
+// CPIStack snapshots the cycle accounting. Safe during a live run; the
+// residual "other" bucket absorbs the not-yet-finalized tail.
+func (c *Collector) CPIStack() CPIStack {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cpiStackLocked()
+}
+
+// cpiStackLocked builds the stack. Call with c.mu held.
+func (c *Collector) cpiStackLocked() CPIStack {
+	t := c.cyclesLocked()
+	st := CPIStack{Cycles: t, Dropped: c.dropped, Slots: make([]SlotCPI, c.slots)}
+	for i := range st.Slots {
+		s := &st.Slots[i]
+		s.Slot = i
+		a := c.acct[i] // copy; close any open gap against the snapshot end
+		a.closeGap(t)
+		s.Cycles[CPIIssued] = a.issueCycles
+		s.Cycles[CPIRemoteWait] = a.remoteWait
+		s.Cycles[CPIIdle] = a.idle
+		if i < len(c.totals.SlotStalls) {
+			for r := core.StallReason(0); int(r) < core.NumStallReasons; r++ {
+				if r == core.StallNone {
+					continue
+				}
+				if b, ok := cpiBucketForStall(r); ok {
+					s.Cycles[b] += c.totals.SlotStalls[i][r]
+				}
+			}
+		}
+		if i < len(c.totals.SlotIssued) {
+			s.Issued = c.totals.SlotIssued[i]
+		}
+		s.Unbound = s.Cycles[CPIRemoteWait] + s.Cycles[CPIIdle]
+		// Residual: slot-cycles no event classified (issue-budget cuts,
+		// post-HALT drain). Clamped — a mid-cycle snapshot can transiently
+		// overcount the open gap.
+		sum := s.Total()
+		if t > sum {
+			s.Cycles[CPIOther] = t - sum
+		}
+	}
+	return st
+}
+
+// WriteCPIFolded writes the stack in collapsed/folded format — one
+// "slotN;frame;...;leaf count" line per non-zero bucket — the input format
+// of flamegraph.pl and speedscope.
+func (st CPIStack) WriteCPIFolded(w io.Writer) error {
+	for _, s := range st.Slots {
+		for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+			v := s.Cycles[b]
+			if v == 0 {
+				continue
+			}
+			frames := append([]string{fmt.Sprintf("slot%d", s.Slot)}, b.Path()...)
+			if _, err := fmt.Fprintf(w, "%s %d\n", strings.Join(frames, ";"), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// cpiJSON is the JSON document of WriteCPIJSON and /cpistack.json.
+type cpiJSON struct {
+	Cycles  uint64              `json:"cycles"`
+	Dropped uint64              `json:"events_dropped"`
+	Machine map[string]uint64   `json:"machine"`
+	Slots   []map[string]uint64 `json:"slots"`
+}
+
+func (st CPIStack) jsonDoc() cpiJSON {
+	row := func(s SlotCPI) map[string]uint64 {
+		m := make(map[string]uint64, int(NumCPIBuckets)+2)
+		for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+			m[b.String()] = s.Cycles[b]
+		}
+		m["instructions"] = s.Issued
+		if s.Slot >= 0 {
+			m["slot"] = uint64(s.Slot)
+		}
+		return m
+	}
+	doc := cpiJSON{Cycles: st.Cycles, Dropped: st.Dropped, Machine: row(st.Machine())}
+	for _, s := range st.Slots {
+		doc.Slots = append(doc.Slots, row(s))
+	}
+	return doc
+}
+
+// WriteCPIJSON writes the stack as one JSON document.
+func (st CPIStack) WriteCPIJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st.jsonDoc())
+}
+
+// WriteCPITable renders the stack as an aligned table, slots as rows and
+// buckets as percentage columns, with the machine aggregate last.
+func (st CPIStack) WriteCPITable(w io.Writer) error {
+	if st.Dropped > 0 {
+		fmt.Fprintf(w, "note: event ring dropped %d events; accounting is exact (computed from aggregates), timeline views are truncated\n", st.Dropped)
+	}
+	fmt.Fprintf(w, "cycle accounting over %d cycles\n", st.Cycles)
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "slot\tcycles\t")
+	for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+		fmt.Fprintf(tw, "%s\t", b)
+	}
+	fmt.Fprint(tw, "cpi\t\n")
+	pct := func(v, total uint64) string {
+		if total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(total))
+	}
+	row := func(name string, s SlotCPI, cycles uint64) {
+		fmt.Fprintf(tw, "%s\t%d\t", name, cycles)
+		for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+			fmt.Fprintf(tw, "%s\t", pct(s.Cycles[b], s.Total()))
+		}
+		if s.Issued > 0 {
+			fmt.Fprintf(tw, "%.2f\t\n", float64(s.Total())/float64(s.Issued))
+		} else {
+			fmt.Fprint(tw, "-\t\n")
+		}
+	}
+	for _, s := range st.Slots {
+		row(fmt.Sprintf("%d", s.Slot), s, st.Cycles)
+	}
+	row("all", st.Machine(), st.Cycles)
+	return tw.Flush()
+}
+
+// TopBuckets returns the machine-level buckets sorted by weight, heaviest
+// first — the "where do cycles go" answer in one slice.
+func (st CPIStack) TopBuckets() []CPIBucket {
+	m := st.Machine()
+	order := make([]CPIBucket, 0, NumCPIBuckets)
+	for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+		order = append(order, b)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return m.Cycles[order[i]] > m.Cycles[order[j]]
+	})
+	return order
+}

@@ -1,0 +1,141 @@
+package obs
+
+// Cycle-accounting invariants: the CPI stack must account for every
+// (slot, cycle) of the run exactly — buckets per slot sum to the cycle
+// count — and the exports (folded stacks, JSON, table, Prometheus) must
+// agree with each other and never mention the StallNone pseudo-reason.
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hirata/internal/core"
+)
+
+func TestCPIStackSumsToRunLength(t *testing.T) {
+	c, res, _ := runFib(t, Options{})
+	st := c.CPIStack()
+	if st.Cycles != res.Cycles {
+		t.Fatalf("CPIStack.Cycles = %d, Result.Cycles = %d", st.Cycles, res.Cycles)
+	}
+	if len(st.Slots) != 2 {
+		t.Fatalf("expected 2 slots, got %d", len(st.Slots))
+	}
+	for _, s := range st.Slots {
+		if got := s.Total(); got != st.Cycles {
+			t.Errorf("slot %d buckets sum to %d, want %d: %+v", s.Slot, got, st.Cycles, s.Cycles)
+		}
+	}
+	m := st.Machine()
+	if got, want := m.Total(), st.Cycles*uint64(len(st.Slots)); got != want {
+		t.Errorf("machine total = %d, want slots×cycles = %d", got, want)
+	}
+	// fib runs one thread: slot 0 issues, slot 1 never binds and is idle
+	// for the whole run.
+	if st.Slots[0].Cycles[CPIIssued] == 0 {
+		t.Error("slot 0 has no issued cycles")
+	}
+	if got := st.Slots[1].Cycles[CPIIdle]; got != st.Cycles {
+		t.Errorf("slot 1 idle = %d, want the whole run %d", got, st.Cycles)
+	}
+	if m.Issued != res.Instructions {
+		t.Errorf("machine issued %d instructions, Result says %d", m.Issued, res.Instructions)
+	}
+}
+
+var foldedLine = regexp.MustCompile(`^slot\d+(;[a-z-]+)+ \d+$`)
+
+func TestCPIFoldedFormat(t *testing.T) {
+	c, res, _ := runFib(t, Options{})
+	var buf bytes.Buffer
+	if err := c.CPIStack().WriteCPIFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty folded output")
+	}
+	for _, line := range lines {
+		if !foldedLine.MatchString(line) {
+			t.Fatalf("folded line %q does not match the collapsed-stack grammar", line)
+		}
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if want := res.Cycles * 2; total != want {
+		t.Errorf("folded stacks sum to %d, want slots×cycles = %d", total, want)
+	}
+}
+
+func TestCPIJSONAndTable(t *testing.T) {
+	c, _, _ := runFib(t, Options{})
+	st := c.CPIStack()
+	var buf bytes.Buffer
+	if err := st.WriteCPIJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cycles  uint64              `json:"cycles"`
+		Dropped uint64              `json:"events_dropped"`
+		Machine map[string]uint64   `json:"machine"`
+		Slots   []map[string]uint64 `json:"slots"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Cycles != st.Cycles || len(doc.Slots) != len(st.Slots) {
+		t.Errorf("JSON doc (%d cycles, %d slots) disagrees with stack (%d, %d)",
+			doc.Cycles, len(doc.Slots), st.Cycles, len(st.Slots))
+	}
+	for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+		if _, ok := doc.Machine[b.String()]; !ok {
+			t.Errorf("machine JSON lacks bucket %q", b)
+		}
+	}
+	if _, ok := doc.Machine["none"]; ok {
+		t.Error("machine JSON contains a \"none\" bucket")
+	}
+	var tbl bytes.Buffer
+	if err := st.WriteCPITable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "cycle accounting") || !strings.Contains(out, "issued") {
+		t.Errorf("table output missing expected headers:\n%s", out)
+	}
+	if strings.Contains(out, "none") {
+		t.Errorf("table output mentions the StallNone pseudo-bucket:\n%s", out)
+	}
+}
+
+// The stall-reason → bucket map must cover every real reason exactly once
+// and reject StallNone (the satellite fix: exporters iterating
+// StallReason(0..NumStallReasons) must skip it).
+func TestCPIBucketForStallCoversAllReasons(t *testing.T) {
+	seen := map[CPIBucket]core.StallReason{}
+	for r := core.StallReason(0); int(r) < core.NumStallReasons; r++ {
+		b, ok := cpiBucketForStall(r)
+		if r == core.StallNone {
+			if ok {
+				t.Fatal("StallNone mapped to a CPI bucket")
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("stall reason %v has no CPI bucket", r)
+			continue
+		}
+		if prev, dup := seen[b]; dup {
+			t.Errorf("bucket %v claimed by both %v and %v", b, prev, r)
+		}
+		seen[b] = r
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+// The dropped-event counter must be exact and surfaced on every exposition
+// path: Prometheus, the JSON metrics, the CPI-stack document, and the
+// profile report header — and the ring-replay analyses must refuse
+// (CritPath) while the incremental ones stay exact (CPI accounting).
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hirata/internal/core"
+	"hirata/internal/isa"
+)
+
+func TestRingOverflowCountsDrops(t *testing.T) {
+	c := NewCollector(core.Config{ThreadSlots: 1}, Options{RingCapacity: 8})
+	ins := isa.Instruction{Op: isa.ADDI, Rd: isa.R1, Rs1: isa.R0, Imm: 1}
+	const issues = 20
+	for i := 0; i < issues; i++ {
+		c.Issue(uint64(i), 0, int64(i%4), ins)
+	}
+	const wantDropped = issues - 8
+	if got := c.Dropped(); got != wantDropped {
+		t.Fatalf("Dropped() = %d, want %d (20 events into an 8-slot ring)", got, wantDropped)
+	}
+	if got := len(c.Events()); got != 8 {
+		t.Errorf("ring holds %d events, want its capacity 8", got)
+	}
+
+	var prom bytes.Buffer
+	if err := c.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "hirata_events_dropped_total 12") {
+		t.Error("/metrics does not report the dropped-event count")
+	}
+
+	var mj bytes.Buffer
+	if err := c.WriteMetricsJSON(&mj); err != nil {
+		t.Fatal(err)
+	}
+	var mdoc struct {
+		Dropped uint64 `json:"events_dropped"`
+	}
+	if err := json.Unmarshal(mj.Bytes(), &mdoc); err != nil {
+		t.Fatal(err)
+	}
+	if mdoc.Dropped != wantDropped {
+		t.Errorf("/metrics.json events_dropped = %d, want %d", mdoc.Dropped, wantDropped)
+	}
+
+	if st := c.CPIStack(); st.Dropped != wantDropped {
+		t.Errorf("CPIStack.Dropped = %d, want %d", st.Dropped, wantDropped)
+	}
+
+	p := c.Profile()
+	if p.Dropped != wantDropped {
+		t.Errorf("Profile.Dropped = %d, want %d", p.Dropped, wantDropped)
+	}
+	if p.TotalIssues != issues {
+		t.Errorf("profile counted %d issues, want %d: aggregation must not lose dropped events", p.TotalIssues, issues)
+	}
+	var rep bytes.Buffer
+	if err := p.WriteAnnotated(&rep, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "dropped 12 events") {
+		t.Errorf("profile report header does not warn about drops:\n%s", rep.String())
+	}
+}

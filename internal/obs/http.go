@@ -34,6 +34,8 @@ func Handler(c *Collector, prog *asm.Program) http.Handler {
 			"  /metrics.json   totals + interval time series\n"+
 			"  /trace.json     Chrome Trace Event JSON (load in ui.perfetto.dev)\n"+
 			"  /profile        per-PC hotspot report\n"+
+			"  /cpistack.json  per-slot CPI-stack cycle accounting\n"+
+			"  /critpath.json  dynamic critical path with breakdown\n"+
 			"  /debug/pprof/   Go runtime profiles of the simulator itself\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -58,6 +60,26 @@ func Handler(c *Collector, prog *asm.Program) http.Handler {
 	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := c.Profile().WriteAnnotated(w, prog); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/cpistack.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := c.CPIStack().WriteCPIJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/critpath.json", func(w http.ResponseWriter, r *http.Request) {
+		cp, err := c.CritPath()
+		if err != nil {
+			// The ring dropped events; the analysis refuses rather than
+			// serving a fictional path.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		cp.Annotate(prog)
+		w.Header().Set("Content-Type", "application/json")
+		if err := cp.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

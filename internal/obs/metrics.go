@@ -18,11 +18,13 @@ import (
 func (c *Collector) WritePrometheus(w io.Writer) error {
 	c.mu.Lock()
 	cycles := c.cyclesLocked()
-	t := c.totals
+	t := c.totalsLocked()
 	units := c.units
-	samples := c.samples
+	samples := make([]Sample, len(c.samples))
+	copy(samples, c.samples)
 	dropped := c.dropped
 	bound := c.bound
+	cpi := c.cpiStackLocked()
 	c.mu.Unlock()
 
 	var err error
@@ -68,6 +70,19 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 			p("hirata_stall_cycles_total{slot=\"%d\",reason=%q} %d\n", s, reason.String(), n)
 		}
 	}
+	p("# HELP hirata_cpi_slot_cycles_total Slot-cycle accounting by CPI-stack bucket (account.go; buckets per slot sum to hirata_cycles).\n# TYPE hirata_cpi_slot_cycles_total counter\n")
+	for _, s := range cpi.Slots {
+		for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+			p("hirata_cpi_slot_cycles_total{slot=\"%d\",bucket=%q} %d\n", s.Slot, b.String(), s.Cycles[b])
+		}
+	}
+	p("# HELP hirata_cpi_machine_fraction Fraction of all slot-cycles in each CPI-stack bucket.\n# TYPE hirata_cpi_machine_fraction gauge\n")
+	machine := cpi.Machine()
+	if total := machine.Total(); total > 0 {
+		for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+			p("hirata_cpi_machine_fraction{bucket=%q} %g\n", b.String(), float64(machine.Cycles[b])/float64(total))
+		}
+	}
 	p("# HELP hirata_slots_bound Thread slots currently bound to a context frame.\n# TYPE hirata_slots_bound gauge\nhirata_slots_bound %d\n", bits.OnesCount64(bound))
 	p("# HELP hirata_events_dropped_total Events dropped from the bounded ring buffer.\n# TYPE hirata_events_dropped_total counter\nhirata_events_dropped_total %d\n", dropped)
 	p("# HELP hirata_metrics_samples Closed interval-metrics samples.\n# TYPE hirata_metrics_samples gauge\nhirata_metrics_samples %d\n", len(samples))
@@ -76,6 +91,65 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		p("# HELP hirata_interval_ipc IPC of the most recent closed metrics interval.\n# TYPE hirata_interval_ipc gauge\nhirata_interval_ipc %g\n", last.IPC)
 	}
 	return err
+}
+
+// sampleJSON is Sample's wire form: stall counts keyed by reason name with
+// the meaningless StallNone slot (and zero counts) omitted, instead of an
+// array positionally indexed by core.StallReason.
+type sampleJSON struct {
+	StartCycle uint64            `json:"start_cycle"`
+	EndCycle   uint64            `json:"end_cycle"`
+	Issued     uint64            `json:"issued"`
+	IPC        float64           `json:"ipc"`
+	UnitBusy   []uint64          `json:"unit_busy"`
+	Stalls     map[string]uint64 `json:"stalls,omitempty"`
+	SlotsBound int               `json:"slots_bound"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Sample) MarshalJSON() ([]byte, error) {
+	doc := sampleJSON{
+		StartCycle: s.StartCycle,
+		EndCycle:   s.EndCycle,
+		Issued:     s.Issued,
+		IPC:        s.IPC,
+		UnitBusy:   s.UnitBusy,
+		SlotsBound: s.SlotsBound,
+	}
+	for r, n := range s.Stalls {
+		if reason := core.StallReason(r); reason != core.StallNone && n > 0 {
+			if doc.Stalls == nil {
+				doc.Stalls = make(map[string]uint64)
+			}
+			doc.Stalls[reason.String()] = n
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler (the inverse of MarshalJSON).
+func (s *Sample) UnmarshalJSON(b []byte) error {
+	var doc sampleJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	*s = Sample{
+		StartCycle: doc.StartCycle,
+		EndCycle:   doc.EndCycle,
+		Issued:     doc.Issued,
+		IPC:        doc.IPC,
+		UnitBusy:   doc.UnitBusy,
+		Stalls:     make([]uint64, core.NumStallReasons),
+		SlotsBound: doc.SlotsBound,
+	}
+	for name, n := range doc.Stalls {
+		for r := core.StallReason(0); int(r) < core.NumStallReasons; r++ {
+			if r.String() == name {
+				s.Stalls[r] = n
+			}
+		}
+	}
+	return nil
 }
 
 // metricsJSON is the JSON exposition document.
@@ -107,7 +181,7 @@ type slotMetricJSON struct {
 func (c *Collector) WriteMetricsJSON(w io.Writer) error {
 	c.mu.Lock()
 	cycles := c.cyclesLocked()
-	t := c.totals
+	t := c.totalsLocked()
 	units := c.units
 	samples := make([]Sample, len(c.samples))
 	copy(samples, c.samples)

@@ -174,11 +174,58 @@ type Collector struct {
 	samples   []Sample
 	finalized bool
 	final     core.Result
+
+	// acct is the per-slot cycle-accounting state behind CPIStack
+	// (account.go): which cycles issued at least one instruction, and how
+	// long each slot sat unbound (and why).
+	acct []slotAccount
+}
+
+// slotAccount tracks one slot's CPI-stack inputs incrementally, so the
+// accounting costs O(1) per event instead of a ring replay (the ring may
+// have dropped events; the accounting never does).
+type slotAccount struct {
+	issueCycles uint64 // distinct cycles with ≥1 issue from this slot
+	lastIssue   uint64
+	haveIssue   bool
+	lastStall   uint64
+	haveStall   bool
+	bound       bool
+	gapStart    uint64 // cycle the slot became unbound (or 0 at reset)
+	gapRemote   bool   // gap opened by a data-absence trap, not a thread end
+	remoteWait  uint64 // closed-gap cycles waiting on a remote access
+	idle        uint64 // closed-gap cycles with no thread to run
+}
+
+// closeGap charges an open unbound gap ending at cycle.
+func (a *slotAccount) closeGap(cycle uint64) {
+	if a.bound || cycle <= a.gapStart {
+		return
+	}
+	if a.gapRemote {
+		a.remoteWait += cycle - a.gapStart
+	} else {
+		a.idle += cycle - a.gapStart
+	}
+}
+
+// unbind opens a gap at cycle. A HALT issues (and a kill can land after a
+// stall) on the unbind cycle itself; that cycle is already accounted, so
+// the gap starts one later. A data-absence trap consumes its cycle with no
+// issue or stall event, so there the gap covers the trap cycle too.
+func (a *slotAccount) unbind(cycle uint64, remote bool) {
+	a.bound = false
+	a.gapStart = cycle
+	if (a.haveIssue && a.lastIssue == cycle) || (a.haveStall && a.lastStall == cycle) {
+		a.gapStart = cycle + 1
+	}
+	a.gapRemote = remote
 }
 
 // NewCollector builds a collector for a machine of the given shape. Only
-// ThreadSlots and LoadStoreUnits are read from cfg (they size the slot and
-// functional-unit track sets); zero values default like core does.
+// ThreadSlots and the unit census (LoadStoreUnits + ExtraUnits) are read
+// from cfg (they size the slot and functional-unit track sets); zero values
+// default like core does.
 func NewCollector(cfg core.Config, opt Options) *Collector {
 	if opt.RingCapacity <= 0 {
 		opt.RingCapacity = 1 << 20
@@ -187,16 +234,9 @@ func NewCollector(cfg core.Config, opt Options) *Collector {
 	if slots <= 0 {
 		slots = 1
 	}
-	ls := cfg.LoadStoreUnits
-	if ls <= 0 {
-		ls = 1
-	}
 	c := &Collector{opt: opt, slots: slots, profile: make(map[int64]*PCStat)}
 	for cls := isa.UnitClass(1); int(cls) <= isa.NumUnitClasses; cls++ {
-		n := 1
-		if cls == isa.UnitLoadStore {
-			n = ls
-		}
+		n := cfg.UnitCount(cls)
 		for i := 0; i < n; i++ {
 			c.unitOrd[cls] = append(c.unitOrd[cls], len(c.units))
 			c.units = append(c.units, UnitInfo{Class: cls, Index: i, Name: unitName(cls, i)})
@@ -209,6 +249,7 @@ func NewCollector(cfg core.Config, opt Options) *Collector {
 	for i := range c.totals.SlotStalls {
 		c.totals.SlotStalls[i] = make([]uint64, core.NumStallReasons)
 	}
+	c.acct = make([]slotAccount, slots)
 	c.interval = c.newSample(0)
 	return c
 }
@@ -298,6 +339,12 @@ func (c *Collector) Issue(cycle uint64, slot int, pc int64, ins isa.Instruction)
 	c.totals.Issues++
 	if slot >= 0 && slot < len(c.totals.SlotIssued) {
 		c.totals.SlotIssued[slot]++
+		a := &c.acct[slot]
+		if !a.haveIssue || a.lastIssue != cycle {
+			a.issueCycles++
+			a.lastIssue = cycle
+			a.haveIssue = true
+		}
 	}
 	c.interval.Issued++
 	st := c.pcStat(pc)
@@ -348,6 +395,9 @@ func (c *Collector) Stall(cycle uint64, slot int, pc int64, reason core.StallRea
 	c.totals.StallCount++
 	if slot >= 0 && slot < len(c.totals.SlotStalls) && int(reason) < len(c.totals.SlotStalls[slot]) {
 		c.totals.SlotStalls[slot][reason]++
+		a := &c.acct[slot]
+		a.lastStall = cycle
+		a.haveStall = true
 	}
 	if int(reason) < len(c.interval.Stalls) {
 		c.interval.Stalls[reason]++
@@ -377,6 +427,11 @@ func (c *Collector) Bind(cycle uint64, slot, frame int, tid int64) {
 	if slot >= 0 && slot < 64 {
 		c.bound |= 1 << uint(slot)
 	}
+	if slot >= 0 && slot < len(c.acct) {
+		a := &c.acct[slot]
+		a.closeGap(cycle)
+		a.bound = true
+	}
 	c.push(Event{Kind: KindBind, Cycle: cycle, Slot: int16(slot), Frame: int16(frame), Aux: tid, PC: -1})
 	c.mu.Unlock()
 }
@@ -387,6 +442,9 @@ func (c *Collector) Trap(cycle uint64, slot, frame int, addr int64) {
 	c.advance(cycle)
 	if slot >= 0 && slot < 64 {
 		c.bound &^= 1 << uint(slot)
+	}
+	if slot >= 0 && slot < len(c.acct) && c.acct[slot].bound {
+		c.acct[slot].unbind(cycle, true)
 	}
 	c.push(Event{Kind: KindTrap, Cycle: cycle, Slot: int16(slot), Frame: int16(frame), Aux: addr, PC: -1})
 	c.mu.Unlock()
@@ -410,6 +468,9 @@ func (c *Collector) ThreadEnd(cycle uint64, slot, frame int, killed bool) {
 	c.advance(cycle)
 	if slot >= 0 && slot < 64 {
 		c.bound &^= 1 << uint(slot)
+	}
+	if slot >= 0 && slot < len(c.acct) && c.acct[slot].bound {
+		c.acct[slot].unbind(cycle, false)
 	}
 	c.push(Event{Kind: KindThreadEnd, Cycle: cycle, Slot: int16(slot), Frame: int16(frame), Killed: killed, PC: -1})
 	c.mu.Unlock()
@@ -487,6 +548,13 @@ func (c *Collector) Samples() []Sample {
 func (c *Collector) TotalsSnapshot() Totals {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.totalsLocked()
+}
+
+// totalsLocked deep-copies the run totals. The slices must be copied, not
+// aliased: a caller that unlocks before rendering would otherwise race
+// with a live run's observer callbacks.
+func (c *Collector) totalsLocked() Totals {
 	t := c.totals
 	t.UnitBusy = append([]uint64(nil), c.totals.UnitBusy...)
 	t.UnitInvocs = append([]uint64(nil), c.totals.UnitInvocs...)

@@ -18,13 +18,17 @@ type Profile struct {
 	TotalIssues uint64
 	TotalBusy   uint64
 	TotalStalls uint64
+	// Dropped counts ring-buffer drops. The profile itself aggregates
+	// incrementally and stays exact; the field surfaces that event-replay
+	// views (Chrome trace, critical path) of the same run are truncated.
+	Dropped uint64
 }
 
 // Profile snapshots the collector's per-PC attribution.
 func (c *Collector) Profile() Profile {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := Profile{PCs: make([]PCStat, 0, len(c.profile))}
+	p := Profile{PCs: make([]PCStat, 0, len(c.profile)), Dropped: c.dropped}
 	for _, st := range c.profile {
 		p.PCs = append(p.PCs, *st)
 		p.TotalIssues += st.Issues
@@ -57,6 +61,12 @@ func (p Profile) WriteAnnotated(w io.Writer, prog *asm.Program) error {
 	if _, err := fmt.Fprintf(w, "hotspot profile: %d issues, %d unit-busy cycles, %d stall cycles attributed\n",
 		p.TotalIssues, p.TotalBusy, p.TotalStalls); err != nil {
 		return err
+	}
+	if p.Dropped > 0 {
+		if _, err := fmt.Fprintf(w, "warning: event ring dropped %d events; this profile is exact, but timeline and critical-path views are truncated\n",
+			p.Dropped); err != nil {
+			return err
+		}
 	}
 	if len(p.PCs) == 0 {
 		_, err := fmt.Fprintln(w, "  (no events collected)")

@@ -1,0 +1,134 @@
+package obs
+
+// Promlint-style checks on the Prometheus text exposition: every sample
+// preceded by matching # HELP and # TYPE lines, counter names end in
+// _total and gauges do not, label order stable across runs, no
+// reason="none" pseudo-labels, and the hirata_cpi_* series present. A
+// golden file pins the entire exposition for the fib example (regenerate
+// with -update).
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var promSample = regexp.MustCompile(`^([a-z_]+)(\{[^}]*\})? [-+0-9.eE]+$`)
+
+func TestPrometheusExpositionLint(t *testing.T) {
+	c, _, _ := runFib(t, Options{MetricsInterval: 64})
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	type meta struct{ help, typ string }
+	metas := map[string]meta{}
+	var current string
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) != 2 || fields[1] == "" {
+				t.Errorf("line %d: HELP without text: %q", i+1, line)
+				continue
+			}
+			current = fields[0]
+			m := metas[current]
+			m.help = fields[1]
+			metas[current] = m
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Errorf("line %d: malformed TYPE: %q", i+1, line)
+				continue
+			}
+			if fields[0] != current {
+				t.Errorf("line %d: TYPE %s does not follow its HELP (current %s)", i+1, fields[0], current)
+			}
+			if fields[1] != "counter" && fields[1] != "gauge" {
+				t.Errorf("line %d: unknown metric type %q", i+1, fields[1])
+			}
+			m := metas[fields[0]]
+			m.typ = fields[1]
+			metas[fields[0]] = m
+		case line == "":
+			t.Errorf("line %d: blank line in exposition", i+1)
+		default:
+			match := promSample.FindStringSubmatch(line)
+			if match == nil {
+				t.Errorf("line %d: unparsable sample: %q", i+1, line)
+				continue
+			}
+			name := match[1]
+			m, ok := metas[name]
+			if !ok || m.help == "" || m.typ == "" {
+				t.Errorf("line %d: sample %s has no preceding # HELP/# TYPE pair", i+1, name)
+				continue
+			}
+			if !strings.HasPrefix(name, "hirata_") {
+				t.Errorf("line %d: metric %s outside the hirata_ namespace", i+1, name)
+			}
+			switch m.typ {
+			case "counter":
+				if !strings.HasSuffix(name, "_total") {
+					t.Errorf("line %d: counter %s does not end in _total", i+1, name)
+				}
+			case "gauge":
+				if strings.HasSuffix(name, "_total") {
+					t.Errorf("line %d: gauge %s ends in _total", i+1, name)
+				}
+			}
+			if strings.Contains(match[2], `"none"`) {
+				t.Errorf("line %d: sample carries the StallNone pseudo-label: %q", i+1, line)
+			}
+		}
+	}
+	for _, want := range []string{"hirata_cpi_slot_cycles_total", "hirata_cpi_machine_fraction", "hirata_events_dropped_total"} {
+		if _, ok := metas[want]; !ok {
+			t.Errorf("exposition lacks %s", want)
+		}
+	}
+
+	// Stable output (label order included): a second identical run must
+	// produce identical bytes.
+	c2, _, _ := runFib(t, Options{MetricsInterval: 64})
+	var buf2 bytes.Buffer
+	if err := c2.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("Prometheus exposition is not byte-stable across identical runs")
+	}
+
+	golden := filepath.Join("testdata", "fib_metrics.golden.prom")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s (run with -update to regenerate);\ngot:\n%s", golden, diffHead(buf.Bytes(), want))
+	}
+}
+
+// diffHead returns the first differing line pair for a readable failure.
+func diffHead(got, want []byte) string {
+	g := strings.Split(string(got), "\n")
+	w := strings.Split(string(want), "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("length differs: got %d lines, want %d", len(g), len(w))
+}
