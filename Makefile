@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet analyzers verify-examples lint-interthread fuzz fmt trace-demo profile cpi-demo bench-report bench bench-check
+.PHONY: all build test race lint vet analyzers verify-examples lint-interthread lint-bounds fuzz fmt trace-demo profile cpi-demo bench-report bench bench-check
 
 all: build test lint
 
@@ -17,7 +17,7 @@ race:
 
 # lint = every static check: go vet, the repository's custom Go analyzers,
 # and the program verifier over the shipped examples.
-lint: vet analyzers verify-examples lint-interthread
+lint: vet analyzers verify-examples lint-interthread lint-bounds
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,15 @@ verify-examples:
 lint-interthread:
 	$(GO) run ./cmd/hirata-lint -interthread examples/programs
 	$(GO) test -run 'TestWorkloadsLintClean|TestExampleMinCLintClean' .
+
+# Queue-protocol deadlock verification (L015-L017) and static performance
+# bounds (docs/LINT.md, "Static performance bounds") over the shipped
+# examples and every paper workload. The Go tests also check the
+# differential property: static bound <= measured cycles on every program.
+lint-bounds:
+	$(GO) run ./cmd/hirata-lint -deadlock examples/programs
+	$(GO) run ./cmd/hirata-lint -bound examples/programs
+	$(GO) test -run 'TestWorkloadsDeadlockClean|TestBoundExamples|TestBoundWorkloads' .
 
 # Short fuzz session against the MinC compiler (CI runs seeds only).
 fuzz:

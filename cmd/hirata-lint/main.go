@@ -10,6 +10,8 @@
 //	hirata-lint prog.s kernel.mc        # lint individual files
 //	hirata-lint examples/programs       # lint every .s/.mc under a directory
 //	hirata-lint -interthread prog.s     # add the cross-thread checks L010..L014
+//	hirata-lint -deadlock prog.s        # queue-protocol liveness checks L015..L017
+//	hirata-lint -bound prog.s           # static lower bound on execution cycles
 //	hirata-lint -json prog.s            # machine-readable findings
 //	hirata-lint -sarif prog.s           # SARIF 2.1.0 for code-scanning upload
 //	hirata-lint -entries 0,12 prog.s    # explicit thread entry PCs
@@ -48,11 +50,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		entries  = flags.String("entries", "", "comma-separated thread entry PCs (default 0)")
 		qdepth   = flags.Int("queue-depth", 0, "queue register FIFO depth assumed by the deadlock check (default 1)")
 		inter    = flags.Bool("interthread", false, "run the cross-thread abstract interpretation (L010..L014)")
-		slots    = flags.Int("slots", 0, "thread slots assumed by -interthread (default 4; a .lint slots directive in the program overrides)")
+		deadlock = flags.Bool("deadlock", false, "run the queue-protocol liveness checks L015..L017 (implies -interthread)")
+		bound    = flags.Bool("bound", false, "print the static lower bound on execution cycles per file")
+		width    = flags.Int("issue-width", 1, "per-slot superscalar issue width assumed by -bound")
+		slots    = flags.Int("slots", 0, "thread slots assumed by -interthread, -deadlock and -bound (default 4; a .lint slots directive in the program overrides)")
 		memSize  = flags.Int64("mem-size", 0, "data-memory size in words for the out-of-range check (0 = size unknown)")
 	)
 	flags.Usage = func() {
-		fmt.Fprintln(stderr, "usage: hirata-lint [-json|-sarif] [-interthread] [-slots n] [-mem-size words] [-entries pcs] [-queue-depth n] file-or-dir...")
+		fmt.Fprintln(stderr, "usage: hirata-lint [-json|-sarif] [-interthread] [-deadlock] [-bound] [-slots n] [-issue-width n] [-mem-size words] [-entries pcs] [-queue-depth n] file-or-dir...")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
@@ -66,10 +71,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hirata-lint: -json and -sarif are mutually exclusive")
 		return 2
 	}
+	if *bound && (*jsonOut || *sarifOut) {
+		fmt.Fprintln(stderr, "hirata-lint: -bound writes a human-readable report; it cannot be combined with -json or -sarif")
+		return 2
+	}
 
 	cfg := lint.Config{
 		QueueDepth:  *qdepth,
-		InterThread: *inter,
+		InterThread: *inter || *deadlock,
+		Deadlock:    *deadlock,
 		ThreadSlots: *slots,
 		MemWords:    *memSize,
 	}
@@ -128,6 +138,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, d := range lint.AnalyzeProgram(prog, cfg) {
 			report(file, d)
 		}
+		if *bound {
+			m := lint.Machine{ThreadSlots: cfg.ThreadSlots, IssueWidth: *width}
+			if m.ThreadSlots == 0 && prog.LintSlots > 0 {
+				m.ThreadSlots = prog.LintSlots
+			}
+			if m.ThreadSlots == 0 {
+				m.ThreadSlots = 4
+			}
+			b := lint.ComputeBounds(prog.Text, cfg.Entries, m)
+			fmt.Fprintf(stdout, "%s: %s", file, b.Format())
+		}
 	}
 
 	switch {
@@ -142,7 +163,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, string(out))
 	case *sarifOut:
-		out, err := lint.MarshalSARIF(all)
+		// One run covering every scanned file: clean files still appear
+		// as run-level artifacts so code scanning knows they were covered.
+		out, err := lint.MarshalSARIFFiles(files, all)
 		if err != nil {
 			fmt.Fprintln(stderr, "hirata-lint:", err)
 			return 2

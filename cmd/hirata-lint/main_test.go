@@ -189,8 +189,8 @@ func TestSARIFOutput(t *testing.T) {
 	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "hirata-lint" {
 		t.Fatalf("SARIF runs/tool malformed: %+v", log.Runs)
 	}
-	if n := len(log.Runs[0].Tool.Driver.Rules); n != 14 {
-		t.Errorf("SARIF rule count = %d, want 14 (L001..L014)", n)
+	if n := len(log.Runs[0].Tool.Driver.Rules); n != 17 {
+		t.Errorf("SARIF rule count = %d, want 17 (L001..L017)", n)
 	}
 	rs := log.Runs[0].Results
 	if len(rs) == 0 || rs[0].RuleID != "L001" {
@@ -212,5 +212,106 @@ func TestSARIFOutput(t *testing.T) {
 	}
 	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 {
 		t.Errorf("clean SARIF should have one run with zero results")
+	}
+}
+
+// sarifLog mirrors the slice of SARIF 2.1.0 the golden fixture test needs:
+// one run, per-file artifact entries, and results whose locations carry
+// both the artifact index and the source line.
+type sarifLog struct {
+	Runs []struct {
+		Artifacts []struct {
+			Location struct {
+				URI string `json:"uri"`
+			} `json:"location"`
+		} `json:"artifacts"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI   string `json:"uri"`
+						Index *int   `json:"index"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+// TestDeadlockFixturesSARIF pins the L015/L016 diagnostics for the shipped
+// intentionally-deadlocked fixtures: rule, file, artifact index, and source
+// line are all part of the contract (CI consumes this SARIF directly).
+func TestDeadlockFixturesSARIF(t *testing.T) {
+	deadlock := filepath.Join("testdata", "deadlock.s")
+	overflow := filepath.Join("testdata", "overflow.s")
+	code, stdout, stderr := runLint(t,
+		"-deadlock", "-slots", "2", "-entries", "0,4", "-sarif",
+		deadlock, overflow)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("bad SARIF JSON: %v\n%s", err, stdout)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("SARIF runs = %d, want exactly 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if len(run.Artifacts) != 2 ||
+		run.Artifacts[0].Location.URI != deadlock ||
+		run.Artifacts[1].Location.URI != overflow {
+		t.Fatalf("artifacts = %+v, want [%s %s]", run.Artifacts, deadlock, overflow)
+	}
+
+	want := []struct {
+		rule string
+		uri  string
+		idx  int
+		line int
+	}{
+		{"L015", deadlock, 0, 6},
+		{"L016", overflow, 1, 10},
+	}
+	if len(run.Results) != len(want) {
+		t.Fatalf("results = %d, want %d:\n%s", len(run.Results), len(want), stdout)
+	}
+	for i, w := range want {
+		r := run.Results[i]
+		if r.RuleID != w.rule {
+			t.Errorf("result %d rule = %s, want %s", i, r.RuleID, w.rule)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != w.uri {
+			t.Errorf("result %d uri = %s, want %s", i, loc.ArtifactLocation.URI, w.uri)
+		}
+		if loc.ArtifactLocation.Index == nil || *loc.ArtifactLocation.Index != w.idx {
+			t.Errorf("result %d artifact index = %v, want %d", i, loc.ArtifactLocation.Index, w.idx)
+		}
+		if loc.Region.StartLine != w.line {
+			t.Errorf("result %d line = %d, want %d", i, loc.Region.StartLine, w.line)
+		}
+	}
+}
+
+// TestBoundFlag smoke-tests the human-readable bound report.
+func TestBoundFlag(t *testing.T) {
+	clean := writeTemp(t, "clean.s", cleanSrc)
+	code, stdout, _ := runLint(t, "-bound", clean)
+	if code != 0 {
+		t.Fatalf("-bound exit %d, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "static lower bound") {
+		t.Errorf("-bound output missing report:\n%s", stdout)
+	}
+	if code, _, _ := runLint(t, "-bound", "-sarif", clean); code != 2 {
+		t.Errorf("-bound -sarif: exit %d, want 2", code)
 	}
 }

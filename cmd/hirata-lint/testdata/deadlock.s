@@ -1,0 +1,9 @@
+; deadlock.s — intentionally deadlocked L015 fixture.
+; Slot 0 pops from its in-queue, but its ring producer (slot 1, entry at
+; pc 4) never pushes anything: the pop at pc 1 blocks forever.
+; Lint with:  hirata-lint -deadlock -slots 2 -entries 0,4 deadlock.s
+	qen  r20, r21        ; pc 0: map the queue ring
+	add  r1, r20, r0     ; pc 1: pop — L015, producer never pushes
+	halt                 ; pc 2
+	halt                 ; pc 3: padding, keeps both fixtures' consumer at pc 4
+	halt                 ; pc 4: slot 1 entry, no queue use

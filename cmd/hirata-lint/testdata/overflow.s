@@ -1,0 +1,12 @@
+; overflow.s — intentional L016 fixture.
+; Slot 0 pushes twice toward slot 1, which never pops; with the default
+; depth-1 FIFO the second push at pc 2 must stall forever. The consumer
+; needs its own entry (pc 4, unreachable from slot 0): an entry block the
+; producer can fall into would merge mapped and unmapped queue states and
+; make the analysis bail out as uncertain.
+; Lint with:  hirata-lint -deadlock -slots 2 -entries 0,4 overflow.s
+	qen  r20, r21        ; pc 0: map the queue ring
+	add  r21, r0, r0     ; pc 1: push 1 fills the FIFO
+	add  r21, r0, r0     ; pc 2: push 2 — L016, consumer never pops
+	halt                 ; pc 3: producer done
+	halt                 ; pc 4: slot 1 entry; it never pops

@@ -21,6 +21,9 @@
 //	hirata-sim -cpi-folded out.folded prog.s   folded stacks for flamegraph.pl
 //	hirata-sim -critpath prog.s                dynamic critical path + breakdown
 //	hirata-sim -whatif "+1 alu,+1 slot" prog.s bounded what-if estimates
+//	hirata-sim -static-check prog.s            verify first (refuse on provable
+//	                                           deadlocks), then print the static
+//	                                           cycle bound next to the measured run
 package main
 
 import (
@@ -36,19 +39,20 @@ import (
 
 func main() {
 	var (
-		machine  = flag.String("machine", "mt", "machine model: mt, risc, or interp")
-		slots    = flag.Int("slots", 1, "thread slots (mt)")
-		ls       = flag.Int("ls", 1, "load/store units")
-		standby  = flag.Bool("standby", true, "standby stations (mt)")
-		width    = flag.Int("width", 1, "superscalar issue width per slot (mt)")
-		rotation = flag.Int("rotation", 8, "priority rotation interval in cycles (mt)")
-		explicit = flag.Bool("explicit", false, "start in explicit-rotation mode (mt)")
-		frames   = flag.Int("frames", 0, "context frames (mt; 0 = one per slot)")
-		threads  = flag.Int("threads", 1, "threads started at pc 0 (mt)")
-		headroom = flag.Int("headroom", 4096, "extra data-memory words beyond the data image")
-		dumpMem  = flag.String("dump-mem", "", "memory range to print after the run, e.g. 100:110")
-		pipeline = flag.Bool("pipeline", false, "print a cycle-by-cycle pipeline event trace (mt)")
-		verbose  = flag.Bool("v", false, "print full statistics")
+		machine   = flag.String("machine", "mt", "machine model: mt, risc, or interp")
+		slots     = flag.Int("slots", 1, "thread slots (mt)")
+		ls        = flag.Int("ls", 1, "load/store units")
+		standby   = flag.Bool("standby", true, "standby stations (mt)")
+		width     = flag.Int("width", 1, "superscalar issue width per slot (mt)")
+		rotation  = flag.Int("rotation", 8, "priority rotation interval in cycles (mt)")
+		explicit  = flag.Bool("explicit", false, "start in explicit-rotation mode (mt)")
+		frames    = flag.Int("frames", 0, "context frames (mt; 0 = one per slot)")
+		threads   = flag.Int("threads", 1, "threads started at pc 0 (mt)")
+		headroom  = flag.Int("headroom", 4096, "extra data-memory words beyond the data image")
+		dumpMem   = flag.String("dump-mem", "", "memory range to print after the run, e.g. 100:110")
+		pipeline  = flag.Bool("pipeline", false, "print a cycle-by-cycle pipeline event trace (mt)")
+		statCheck = flag.Bool("static-check", false, "verify before running: refuse on statically provable deadlocks (L015..L017), warn on other findings, and print the static cycle bound next to the measured result (mt)")
+		verbose   = flag.Bool("v", false, "print full statistics")
 
 		chromeTrace  = flag.String("chrome-trace", "", "write a Chrome Trace Event JSON timeline to this file (mt; load in ui.perfetto.dev)")
 		profileOut   = flag.Bool("profile", false, "print a per-PC hotspot report after the run (mt)")
@@ -100,6 +104,12 @@ func main() {
 		pcs := make([]int64, *threads)
 		hirata.SetMinCThreads(prog, m, *slots)
 
+		if *statCheck {
+			if err := staticCheck(prog, cfg, m, pcs); err != nil {
+				fail(err)
+			}
+		}
+
 		var observers []hirata.Observer
 		var col *hirata.Collector
 		if *chromeTrace != "" || *profileOut || *metricsEvery > 0 || *httpAddr != "" ||
@@ -135,6 +145,9 @@ func main() {
 			fmt.Print(res.String())
 		} else {
 			fmt.Printf("cycles=%d instructions=%d ipc=%.3f\n", res.Cycles, res.Instructions, res.IPC())
+		}
+		if *statCheck {
+			printStaticBound(cfg, prog, res.Cycles, pcs)
 		}
 
 		if *chromeTrace != "" {
@@ -250,6 +263,57 @@ func main() {
 			fmt.Printf("mem[%d] = %#016x (int %d, float %g)\n", a, v, int64(v), m.FloatAt(a))
 		}
 	}
+}
+
+// staticCheck runs the verifier with the queue-protocol liveness checks
+// enabled before simulating. A provable deadlock (L015..L017) refuses the
+// run — simulating it would only spin to MaxCycles — while every other
+// finding is reported as a warning and the run proceeds.
+func staticCheck(prog *hirata.Program, cfg hirata.MTConfig, m *hirata.Memory, pcs []int64) error {
+	lc := hirata.LintConfig{
+		QueueDepth:  cfg.QueueDepth,
+		ThreadSlots: cfg.ThreadSlots,
+		InterThread: true,
+		Deadlock:    true,
+		MemWords:    m.Size(),
+	}
+	seen := map[int]bool{}
+	for _, pc := range pcs {
+		if !seen[int(pc)] {
+			seen[int(pc)] = true
+			lc.Entries = append(lc.Entries, int(pc))
+		}
+	}
+	fatal := 0
+	for _, d := range hirata.LintWithConfig(prog, lc) {
+		switch d.Code {
+		case "L015", "L016", "L017":
+			fatal++
+			fmt.Fprintf(os.Stderr, "hirata-sim: static-check: %s\n", d)
+		default:
+			fmt.Fprintf(os.Stderr, "hirata-sim: static-check warning: %s\n", d)
+		}
+	}
+	if fatal > 0 {
+		return fmt.Errorf("static-check found %d provable deadlock(s); refusing to run", fatal)
+	}
+	return nil
+}
+
+// printStaticBound puts the static lower bound next to the measured cycle
+// count; the gap is the schedule-quality headroom the machine left on the
+// table.
+func printStaticBound(cfg hirata.MTConfig, prog *hirata.Program, measured uint64, pcs []int64) {
+	b := hirata.StaticBounds(cfg, prog.Text, pcs...)
+	if b.Unbounded {
+		fmt.Println("static-bound=unbounded (some thread never reaches halt)")
+		return
+	}
+	gap := 0.0
+	if b.Bound > 0 {
+		gap = (float64(measured) - float64(b.Bound)) / float64(b.Bound) * 100
+	}
+	fmt.Printf("static-bound=%d measured=%d headroom=%.1f%%\n", b.Bound, measured, gap)
 }
 
 func waitForInterrupt() {

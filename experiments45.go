@@ -31,6 +31,10 @@ type Table4Cell struct {
 	Strategy      Strategy
 	TotalCycles   uint64
 	CyclesPerIter float64
+	// StaticBound is the provable lower bound on TotalCycles for this
+	// cell's scheduled program and machine shape (StaticBounds); the gap
+	// to TotalCycles is the headroom the schedule left on the table.
+	StaticBound uint64
 }
 
 // Table4 is the full reproduction of Table 4.
@@ -99,11 +103,33 @@ func RunTable4(cfg Table4Config) (*Table4, error) {
 		return nil, err
 	}
 	for i, sp := range specs {
+		// Rebuild the cell's program to compute its static lower bound —
+		// scheduling strategy and slot count both change the text.
+		lv, err := BuildLivermore(LivermoreConfig{
+			N: cfg.N, Threads: sp.slots, Strategy: sp.strat, LoadStoreUnits: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prog := lv.Par
+		if sp.slots == 1 {
+			prog = lv.Seq
+		}
+		sb := StaticBounds(core.Config{
+			ThreadSlots:     sp.slots,
+			LoadStoreUnits:  1,
+			StandbyStations: true,
+		}, prog.Text)
+		bound := uint64(0)
+		if !sb.Unbounded {
+			bound = uint64(sb.Bound)
+		}
 		out.Cells = append(out.Cells, Table4Cell{
 			Slots:         sp.slots,
 			Strategy:      sp.strat,
 			TotalCycles:   cycles[i],
 			CyclesPerIter: float64(cycles[i]) / float64(cfg.N),
+			StaticBound:   bound,
 		})
 	}
 	return out, nil

@@ -57,18 +57,24 @@ func FormatTable3(t *Table3) string {
 func FormatTable4(t *Table4) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 4: static code scheduling, Livermore Kernel 1 (cycles per iteration)\n")
-	fmt.Fprintf(&b, "%-6s | %-22s | %-22s | %-22s\n", "", "non-optimized", "strategy A", "strategy B")
-	fmt.Fprintf(&b, "%-6s | %-10s %-10s | %-10s %-10s | %-10s %-10s\n",
-		"slots", "paper", "ours", "paper", "ours", "paper", "ours")
+	fmt.Fprintf(&b, "bound = static lower bound per iteration (docs/LINT.md, \"Static performance bounds\")\n")
+	fmt.Fprintf(&b, "%-6s | %-26s | %-26s | %-26s\n", "", "non-optimized", "strategy A", "strategy B")
+	fmt.Fprintf(&b, "%-6s | %-8s %-8s %-8s | %-8s %-8s %-8s | %-8s %-8s %-8s\n",
+		"slots", "paper", "ours", "bound", "paper", "ours", "bound", "paper", "ours", "bound")
 	for _, slots := range t.Config.Slots {
 		fmt.Fprintf(&b, "%-6d", slots)
 		for _, strat := range []Strategy{sched.None, sched.StrategyA, sched.StrategyB} {
 			cell, ok := t.Cell(slots, strat)
 			if !ok {
-				fmt.Fprintf(&b, " | %-10s %-10s", "-", "-")
+				fmt.Fprintf(&b, " | %-8s %-8s %-8s", "-", "-", "-")
 				continue
 			}
-			fmt.Fprintf(&b, " | %-10s %-10.2f", paperStr(PaperTable4(slots, strat)), cell.CyclesPerIter)
+			bound := "-"
+			if cell.StaticBound > 0 {
+				bound = fmt.Sprintf("%.2f", float64(cell.StaticBound)/float64(t.Config.N))
+			}
+			fmt.Fprintf(&b, " | %-8s %-8.2f %-8s",
+				paperStr(PaperTable4(slots, strat)), cell.CyclesPerIter, bound)
 		}
 		b.WriteByte('\n')
 	}

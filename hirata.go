@@ -90,8 +90,13 @@ type (
 	// LintConfig tunes the static verifier (thread entry points, queue
 	// depth).
 	LintConfig = lint.Config
-	// LintCode identifies a diagnostic kind (L001..L014).
+	// LintCode identifies a diagnostic kind (L001..L017).
 	LintCode = lint.Code
+	// LintBounds is the static lower-bound report (lint.ComputeBounds).
+	LintBounds = lint.Bounds
+	// LintMachine is the machine shape the static bound is computed
+	// against.
+	LintMachine = lint.Machine
 )
 
 // Lint statically verifies an assembled program: CFG construction per
@@ -113,6 +118,28 @@ func LintWithConfig(p *Program, cfg LintConfig) []LintDiagnostic {
 // LintText verifies a bare instruction sequence (no source positions).
 func LintText(text []Instruction, cfg LintConfig) []LintDiagnostic {
 	return lint.AnalyzeText(text, cfg)
+}
+
+// StaticBounds computes the static lower bound on execution cycles for a
+// program text on the given machine configuration and thread start PCs
+// (nil means one thread at PC 0). The bound is a certificate: no run of
+// the program on that machine finishes in fewer cycles, so the gap to a
+// measured Result.Cycles is the schedule-quality headroom.
+func StaticBounds(cfg MTConfig, text []Instruction, startPCs ...int64) LintBounds {
+	eff := cfg.Effective()
+	m := LintMachine{
+		ThreadSlots:      eff.ThreadSlots,
+		IssueWidth:       eff.IssueWidth,
+		MaxIssuePerCycle: eff.MaxIssuePerCycle,
+	}
+	for u := isa.UnitClass(1); int(u) <= isa.NumUnitClasses; u++ {
+		m.Units[u] = eff.UnitCount(u)
+	}
+	entries := make([]int, 0, len(startPCs))
+	for _, pc := range startPCs {
+		entries = append(entries, int(pc))
+	}
+	return lint.ComputeBounds(text, entries, m)
 }
 
 // lintConfigForRun maps a run's machine configuration and explicit start

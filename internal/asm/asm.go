@@ -197,6 +197,11 @@ func (a *assembler) directive(line int, mnem, rest string) error {
 		}
 		switch fields[0] {
 		case "allow":
+			for _, c := range fields[1:] {
+				if !KnownLintCodes[c] {
+					return a.errf(line, ".lint allow: unknown diagnostic code %q (known: L001..L017)", c)
+				}
+			}
 			a.prog.LintAllow = append(a.prog.LintAllow, fields[1:]...)
 		case "slots":
 			n, err := strconv.Atoi(fields[1])

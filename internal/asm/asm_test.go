@@ -3,6 +3,7 @@ package asm
 import (
 	"math/rand"
 	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -366,9 +367,27 @@ func TestLintDirectives(t *testing.T) {
 		"\t.lint slots zero\n\thalt\n",
 		"\t.lint slots 0\n\thalt\n",
 		"\t.lint frobnicate L010\n\thalt\n",
+		"\t.lint allow L099\n\thalt\n",     // no such code
+		"\t.lint allow l010\n\thalt\n",     // case-sensitive
+		"\t.lint allow L010 bad\n\thalt\n", // one bad code poisons the line
 	} {
 		if _, err := Assemble(bad); err == nil {
 			t.Errorf("Assemble(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestLintAllowUnknownCodePositioned: a typo'd suppression fails at
+// assembly time with the offending line and code in the message.
+func TestLintAllowUnknownCodePositioned(t *testing.T) {
+	_, err := Assemble("\thalt\n\t.lint allow L042\n")
+	if err == nil {
+		t.Fatal("Assemble succeeded, want unknown-code error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"line 2", `"L042"`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %s", msg, want)
 		}
 	}
 }

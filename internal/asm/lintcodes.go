@@ -1,0 +1,27 @@
+package asm
+
+// KnownLintCodes is the catalogue of diagnostic codes the static verifier
+// (internal/lint) can emit. The assembler validates `.lint allow`
+// arguments against it so a typo'd suppression fails at assembly time
+// instead of silently suppressing nothing. The table lives here because
+// the dependency points the other way — lint imports asm — and lint's
+// TestKnownLintCodesInSync keeps the two catalogues identical.
+var KnownLintCodes = map[string]bool{
+	"L001": true, // uninit-read
+	"L002": true, // bad-target
+	"L003": true, // split-li
+	"L004": true, // unreachable
+	"L005": true, // queue-protocol
+	"L006": true, // queue-deadlock
+	"L007": true, // thread-control
+	"L008": true, // no-halt
+	"L009": true, // readonly-write
+	"L010": true, // data-race
+	"L011": true, // oob-access
+	"L012": true, // typed-access
+	"L013": true, // dead-store
+	"L014": true, // const-branch
+	"L015": true, // queue-ring-deadlock
+	"L016": true, // queue-overflow
+	"L017": true, // unbounded-spin
+}

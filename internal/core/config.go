@@ -210,3 +210,10 @@ func (c Config) UnitCount(u isa.UnitClass) int {
 	d := c.withDefaults()
 	return d.unitCount(u)
 }
+
+// Effective returns the configuration with every unset field resolved to
+// its simulator default — the shape the machine actually runs with. The
+// static bound analysis reads its machine model from this.
+func (c Config) Effective() Config {
+	return c.withDefaults()
+}

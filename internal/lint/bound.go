@@ -1,0 +1,525 @@
+package lint
+
+// Static lower bounds on execution cycles (docs/LINT.md, "Static
+// performance bounds"). The analysis walks the whole-program CFG and
+// combines two families of bounds, both provable without simulating:
+//
+//   - a dependence bound: per basic block, the longest latency-weighted
+//     path through the block's dependence DAG (sched.DepSpan), summed
+//     along the cheapest CFG path from a thread start to a halt. In-order
+//     decode makes per-block spans additive along any executed path, and
+//     taking the cheapest path keeps the result a lower bound for every
+//     real execution.
+//   - a resource bound: the paper's U = N·L/T inverted. Each functional-
+//     unit class must absorb at least the issue-latency demand of the
+//     cheapest path of every thread that provably runs, and a class with
+//     k units absorbs at most k cycles of demand per cycle.
+//
+// Both are combined with the decode-bandwidth bound (ThreadSlots ×
+// IssueWidth decodes per cycle, optionally capped by MaxIssuePerCycle)
+// on top of the fixed pipeline-fill startup. The reported Bound is the
+// maximum of the three — a certificate that no execution of the program
+// on that machine shape finishes in fewer cycles. The differential test
+// bound_validation_test.go asserts Bound <= measured cycles across every
+// example, paper workload, and fuzz-corpus program.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hirata/internal/isa"
+	"hirata/internal/sched"
+)
+
+// Machine is the hardware shape the bound is computed against: the subset
+// of core.Config that static analysis can see. hirata.StaticBounds fills
+// it from a resolved core.Config (Config.Effective / Config.UnitCount).
+type Machine struct {
+	// ThreadSlots is S, the number of logical processors.
+	ThreadSlots int
+	// IssueWidth is D, the per-slot superscalar decode width.
+	IssueWidth int
+	// Units holds the functional-unit count per isa.UnitClass
+	// (Units[isa.UnitIntALU] etc.; index 0, UnitNone, is unused).
+	Units [isa.NumUnitClasses + 1]int
+	// MaxIssuePerCycle caps total decode issues per cycle (0 = unbounded).
+	MaxIssuePerCycle int
+}
+
+func (m Machine) normalized() Machine {
+	if m.ThreadSlots <= 0 {
+		m.ThreadSlots = 1
+	}
+	if m.IssueWidth <= 0 {
+		m.IssueWidth = 1
+	}
+	for c := 1; c <= isa.NumUnitClasses; c++ {
+		if m.Units[c] <= 0 {
+			m.Units[c] = 1
+		}
+	}
+	return m
+}
+
+const (
+	// startupCycles is the pipeline-fill floor: IF1 IF2 D1 D2 put the
+	// first decode completion no earlier than cycle 4 (a bare `halt`
+	// measures 5 cycles on the simulator), and every bound rides on it.
+	startupCycles = 4
+	// boundInf marks an unreachable exit: the thread never retires.
+	boundInf = int64(1) << 60
+)
+
+// ThreadBound is the per-start lower bound: one entry point, or one
+// fast-fork continuation (the start PC of forked children).
+type ThreadBound struct {
+	Start       int   `json:"start"`       // start PC
+	Forked      bool  `json:"forked"`      // a ffork continuation, not an entry
+	Count       int64 `json:"count"`       // cheapest-path instruction count
+	DepCycles   int64 `json:"depCycles"`   // cheapest-path dependence span
+	CountCycles int64 `json:"countCycles"` // ceil(Count/IssueWidth) - 1
+	Cycles      int64 `json:"cycles"`      // startup + max(dep, count)
+	Unbounded   bool  `json:"unbounded"`   // no halt reachable from Start
+}
+
+// ClassBound is one row of the static CPI stack: the whole-program
+// minimum demand on a functional-unit class.
+type ClassBound struct {
+	Class  isa.UnitClass `json:"-"`
+	Name   string        `json:"class"`
+	Count  int64         `json:"count"`  // minimum instruction census
+	Demand int64         `json:"demand"` // minimum issue-cycle demand
+	Units  int           `json:"units"`
+	Cycles int64         `json:"cycles"` // ceil(Demand/Units)
+}
+
+// Bounds is the full static lower-bound report.
+type Bounds struct {
+	Machine Machine       `json:"machine"`
+	Threads []ThreadBound `json:"threads"`
+	Classes []ClassBound  `json:"classes"`
+
+	// TotalCount is the minimum whole-program instruction census
+	// (decode events) every execution must pay for.
+	TotalCount int64 `json:"totalCount"`
+	// DepBound, ResourceBound and IssueBound are the three component
+	// lower bounds in cycles, each including the startup floor.
+	DepBound      int64 `json:"depBound"`
+	ResourceBound int64 `json:"resourceBound"`
+	IssueBound    int64 `json:"issueBound"`
+	// Bound is the final certificate: max of the three components.
+	Bound int64 `json:"bound"`
+
+	// Unbounded: some thread that provably runs can never reach a halt,
+	// so no finite execution exists and Bound saturates.
+	Unbounded bool `json:"unbounded"`
+	// KillReachable weakens the combination to the last-surviving-thread
+	// floor: a reachable kill may terminate every other thread early.
+	KillReachable bool `json:"killReachable"`
+	// MustFork: every terminating path of some entry passes a ffork, so
+	// the ThreadSlots-1 forked children provably run and their demand
+	// counts toward the resource bound.
+	MustFork bool `json:"mustFork"`
+}
+
+// blockWeights carries the per-block costs the shortest-path runs consume.
+type blockWeights struct {
+	span   []int64                         // dependence span (sched.DepSpan)
+	count  []int64                         // instruction count
+	demand [isa.NumUnitClasses + 1][]int64 // per-class issue-latency sum
+}
+
+// ComputeBounds computes static lower bounds on execution cycles for an
+// instruction text on a machine shape. entries are the thread start PCs
+// (nil means a single thread at PC 0), matching hirata.RunMT's startPCs.
+func ComputeBounds(text []isa.Instruction, entries []int, m Machine) Bounds {
+	m = m.normalized()
+	b := Bounds{Machine: m}
+	if len(text) == 0 {
+		return b
+	}
+	if len(entries) == 0 {
+		entries = []int{0}
+	}
+	var starts []int
+	for _, e := range entries {
+		if e >= 0 && e < len(text) {
+			starts = append(starts, e)
+		}
+	}
+	if len(starts) == 0 {
+		return b
+	}
+	g := buildCFG(text, starts)
+	g.markReachable()
+
+	// Queue-mapped registers communicate through the inter-slot FIFOs,
+	// not the register file; dependence edges through them are dropped.
+	var qRegs regset
+	for _, in := range text {
+		switch in.Op {
+		case isa.QEN, isa.QENF:
+			if in.Rs1.Valid() {
+				qRegs |= regbit(in.Rs1)
+			}
+			if in.Rs2.Valid() {
+				qRegs |= regbit(in.Rs2)
+			}
+		}
+	}
+	skip := func(r isa.Reg) bool { return qRegs.has(r) }
+
+	w := blockWeights{
+		span:  make([]int64, len(g.blocks)),
+		count: make([]int64, len(g.blocks)),
+	}
+	for c := 1; c <= isa.NumUnitClasses; c++ {
+		w.demand[c] = make([]int64, len(g.blocks))
+	}
+	killReachable := false
+	exits := make([]bool, len(g.blocks))
+	for bi, blk := range g.blocks {
+		frag := text[blk.start:blk.end]
+		w.span[bi] = int64(sched.DepSpan(frag, m.IssueWidth, skip))
+		w.count[bi] = int64(len(frag))
+		for _, in := range frag {
+			if u := in.Op.Unit(); u != isa.UnitNone {
+				w.demand[u][bi] += int64(in.Op.IssueLatency())
+			}
+			if in.Op == isa.KILL && blk.reachable {
+				killReachable = true
+			}
+		}
+		exits[bi] = text[blk.end-1].Op == isa.HALT
+	}
+	b.KillReachable = killReachable
+
+	// Per-start bounds: entry blocks, plus every reachable ffork
+	// continuation (the start of forked children).
+	entryBlocks := make([]int, 0, len(starts))
+	for _, e := range starts {
+		entryBlocks = append(entryBlocks, g.blockAt[e])
+	}
+	var forkBlocks []int
+	seenFork := map[int]bool{}
+	for bi, blk := range g.blocks {
+		if !blk.reachable || text[blk.end-1].Op != isa.FFORK {
+			continue
+		}
+		for _, e := range blk.succs {
+			if e.kind == edgeFork && !seenFork[e.to] {
+				seenFork[e.to] = true
+				forkBlocks = append(forkBlocks, e.to)
+			}
+		}
+		_ = bi
+	}
+
+	threadBound := func(start int, forked bool) ThreadBound {
+		tb := ThreadBound{Start: g.blocks[start].start, Forked: forked}
+		dep := minPathToExit(g, start, w.span, exits)
+		cnt := minPathToExit(g, start, w.count, exits)
+		if dep < 0 || cnt < 0 {
+			tb.Unbounded = true
+			tb.Cycles = boundInf
+			return tb
+		}
+		tb.DepCycles = dep
+		tb.Count = cnt
+		tb.CountCycles = ceilDiv(cnt, int64(m.IssueWidth)) - 1
+		if tb.CountCycles < 0 {
+			tb.CountCycles = 0
+		}
+		tb.Cycles = startupCycles + max64(tb.DepCycles, tb.CountCycles)
+		return tb
+	}
+	for _, eb := range entryBlocks {
+		b.Threads = append(b.Threads, threadBound(eb, false))
+	}
+	for _, fb := range forkBlocks {
+		b.Threads = append(b.Threads, threadBound(fb, true))
+	}
+
+	// Dependence bound. Without a reachable kill, every entry thread must
+	// run from its entry to a halt, so the slowest entry's floor holds.
+	// With a kill, only the eventual killer provably runs to completion,
+	// and it may have started anywhere: take the min over all starts.
+	if killReachable {
+		b.DepBound = boundInf
+		for _, tb := range b.Threads {
+			if tb.Cycles < b.DepBound {
+				b.DepBound = tb.Cycles
+			}
+		}
+		b.Unbounded = b.DepBound >= boundInf
+	} else {
+		for i, tb := range b.Threads {
+			if tb.Forked {
+				continue
+			}
+			if tb.Cycles > b.DepBound {
+				b.DepBound = tb.Cycles
+			}
+			b.Unbounded = b.Unbounded || tb.Unbounded
+			_ = i
+		}
+	}
+	if b.Unbounded {
+		b.DepBound = boundInf
+	}
+
+	// MustFork: some entry's every terminating path crosses a fork edge,
+	// so the children provably run (they must retire for the program to
+	// end when no kill can reap them).
+	if !killReachable && len(forkBlocks) > 0 {
+		for _, eb := range entryBlocks {
+			if minPathToExitNoFork(g, eb, w.count, exits) < 0 &&
+				minPathToExit(g, eb, w.count, exits) >= 0 {
+				b.MustFork = true
+				break
+			}
+		}
+	}
+
+	// Whole-program census and per-class demand: sum of the cheapest
+	// paths of every thread that provably runs.
+	combine := func(weight []int64) int64 {
+		if killReachable {
+			// Last-survivor floor: the cheapest possible single thread.
+			best := int64(-1)
+			all := append(append([]int{}, entryBlocks...), forkBlocks...)
+			for _, s := range all {
+				if v := minPathToExit(g, s, weight, exits); v >= 0 && (best < 0 || v < best) {
+					best = v
+				}
+			}
+			if best < 0 {
+				return 0
+			}
+			return best
+		}
+		total := int64(0)
+		for _, eb := range entryBlocks {
+			if v := minPathToExit(g, eb, weight, exits); v >= 0 {
+				total += v
+			}
+		}
+		if b.MustFork && m.ThreadSlots > 1 {
+			best := int64(-1)
+			for _, fb := range forkBlocks {
+				if v := minPathToExit(g, fb, weight, exits); v >= 0 && (best < 0 || v < best) {
+					best = v
+				}
+			}
+			if best > 0 {
+				total += int64(m.ThreadSlots-1) * best
+			}
+		}
+		return total
+	}
+
+	b.TotalCount = combine(w.count)
+	fuCount := int64(0)
+	for c := isa.UnitClass(1); int(c) <= isa.NumUnitClasses; c++ {
+		cb := ClassBound{
+			Class:  c,
+			Name:   c.String(),
+			Count:  combine(classCountWeights(g, text, c)),
+			Demand: combine(w.demand[c]),
+			Units:  m.Units[c],
+		}
+		cb.Cycles = ceilDiv(cb.Demand, int64(cb.Units))
+		fuCount += cb.Count
+		b.Classes = append(b.Classes, cb)
+	}
+
+	resource := int64(0)
+	for _, cb := range b.Classes {
+		if cb.Cycles > resource {
+			resource = cb.Cycles
+		}
+	}
+	b.ResourceBound = startupCycles + resource
+
+	issue := ceilDiv(b.TotalCount, int64(m.ThreadSlots*m.IssueWidth)) - 1
+	if m.MaxIssuePerCycle > 0 {
+		// The cap applies to at least the functional-unit instructions,
+		// a subset of all decodes, so this stays a lower bound.
+		if v := ceilDiv(fuCount, int64(m.MaxIssuePerCycle)) - 1; v > issue {
+			issue = v
+		}
+	}
+	if issue < 0 {
+		issue = 0
+	}
+	b.IssueBound = startupCycles + issue
+
+	b.Bound = max64(b.DepBound, max64(b.ResourceBound, b.IssueBound))
+	if b.Unbounded {
+		b.Bound = boundInf
+	}
+	return b
+}
+
+// classCountWeights builds the per-block instruction count restricted to
+// one functional-unit class (for the census rows of the CPI stack).
+func classCountWeights(g *cfg, text []isa.Instruction, c isa.UnitClass) []int64 {
+	w := make([]int64, len(g.blocks))
+	for bi, blk := range g.blocks {
+		for pc := blk.start; pc < blk.end; pc++ {
+			if text[pc].Op.Unit() == c {
+				w[bi]++
+			}
+		}
+	}
+	return w
+}
+
+// minPathToExit returns the minimum sum of block weights over any CFG
+// path from start to a halt-terminated block (weights of both endpoints
+// included), or -1 when no exit is reachable. Dijkstra over non-negative
+// node weights.
+func minPathToExit(g *cfg, start int, weight []int64, exits []bool) int64 {
+	return minPath(g, start, weight, exits, false)
+}
+
+// minPathToExitNoFork is minPathToExit with fork edges removed, for the
+// must-fork test: a start that loses all exits without fork edges must
+// fork on every terminating path.
+func minPathToExitNoFork(g *cfg, start int, weight []int64, exits []bool) int64 {
+	return minPath(g, start, weight, exits, true)
+}
+
+func minPath(g *cfg, start int, weight []int64, exits []bool, skipFork bool) int64 {
+	const unseen = int64(-1)
+	dist := make([]int64, len(g.blocks))
+	done := make([]bool, len(g.blocks))
+	for i := range dist {
+		dist[i] = unseen
+	}
+	dist[start] = weight[start]
+	h := &blockHeap{}
+	h.push(start, dist[start])
+	for h.len() > 0 {
+		bi, d := h.pop()
+		if done[bi] {
+			continue
+		}
+		done[bi] = true
+		if exits[bi] {
+			return d
+		}
+		for _, e := range g.blocks[bi].succs {
+			if skipFork && e.kind == edgeFork {
+				continue
+			}
+			nd := d + weight[e.to]
+			if dist[e.to] == unseen || nd < dist[e.to] {
+				dist[e.to] = nd
+				h.push(e.to, nd)
+			}
+		}
+	}
+	return -1
+}
+
+// blockHeap is a minimal binary min-heap of (block, distance) pairs.
+type blockHeap struct {
+	bi []int
+	d  []int64
+}
+
+func (h *blockHeap) len() int { return len(h.bi) }
+
+func (h *blockHeap) push(bi int, d int64) {
+	h.bi = append(h.bi, bi)
+	h.d = append(h.d, d)
+	i := len(h.bi) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.d[p] <= h.d[i] {
+			break
+		}
+		h.bi[p], h.bi[i] = h.bi[i], h.bi[p]
+		h.d[p], h.d[i] = h.d[i], h.d[p]
+		i = p
+	}
+}
+
+func (h *blockHeap) pop() (int, int64) {
+	bi, d := h.bi[0], h.d[0]
+	last := len(h.bi) - 1
+	h.bi[0], h.d[0] = h.bi[last], h.d[last]
+	h.bi, h.d = h.bi[:last], h.d[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h.bi) && h.d[l] < h.d[s] {
+			s = l
+		}
+		if r < len(h.bi) && h.d[r] < h.d[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.bi[s], h.bi[i] = h.bi[i], h.bi[s]
+		h.d[s], h.d[i] = h.d[i], h.d[s]
+		i = s
+	}
+	return bi, d
+}
+
+// Format renders the bounds as a static CPI-stack-style report.
+func (b Bounds) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "static lower bound: %s cycles (machine: %d slots x width %d)\n",
+		boundStr(b.Bound), b.Machine.ThreadSlots, b.Machine.IssueWidth)
+	fmt.Fprintf(&sb, "  dependence bound: %s  resource bound: %s  issue bound: %s\n",
+		boundStr(b.DepBound), boundStr(b.ResourceBound), boundStr(b.IssueBound))
+	flags := []string{}
+	if b.KillReachable {
+		flags = append(flags, "kill reachable: last-survivor floor")
+	}
+	if b.MustFork {
+		flags = append(flags, fmt.Sprintf("must-fork: %d children counted", b.Machine.ThreadSlots-1))
+	}
+	if b.Unbounded {
+		flags = append(flags, "unbounded: some thread never reaches halt")
+	}
+	if len(flags) > 0 {
+		fmt.Fprintf(&sb, "  %s\n", strings.Join(flags, "; "))
+	}
+	threads := append([]ThreadBound(nil), b.Threads...)
+	sort.SliceStable(threads, func(i, j int) bool { return threads[i].Start < threads[j].Start })
+	for _, t := range threads {
+		kind := "entry"
+		if t.Forked {
+			kind = "fork child"
+		}
+		if t.Unbounded {
+			fmt.Fprintf(&sb, "  thread %-10s pc %-5d unbounded (no reachable halt)\n", kind, t.Start)
+			continue
+		}
+		fmt.Fprintf(&sb, "  thread %-10s pc %-5d >= %d cycles (dep %d, count %d/%d-wide)\n",
+			kind, t.Start, t.Cycles, t.DepCycles, t.Count, b.Machine.IssueWidth)
+	}
+	fmt.Fprintf(&sb, "  instruction census (minimum): %d total\n", b.TotalCount)
+	fmt.Fprintf(&sb, "  %-10s %8s %8s %6s %8s\n", "class", "count", "demand", "units", "cycles")
+	for _, cb := range b.Classes {
+		if cb.Count == 0 && cb.Demand == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-10s %8d %8d %6d %8d\n", cb.Name, cb.Count, cb.Demand, cb.Units, cb.Cycles)
+	}
+	return sb.String()
+}
+
+func boundStr(v int64) string {
+	if v >= boundInf {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,223 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"hirata/internal/asm"
+	"hirata/internal/isa"
+	"hirata/internal/lint"
+)
+
+func mustAssemble(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func scalarMachine() lint.Machine {
+	return lint.Machine{ThreadSlots: 1, IssueWidth: 1}
+}
+
+// TestBoundsHalt: a bare halt is decoded at cycle 4 and nothing else
+// constrains it, so every component bound is the startup floor.
+func TestBoundsHalt(t *testing.T) {
+	p := mustAssemble(t, "\thalt\n")
+	b := lint.ComputeBounds(p.Text, nil, scalarMachine())
+	if b.Bound != 4 {
+		t.Fatalf("bound = %d, want 4 (startup floor)", b.Bound)
+	}
+	if b.Unbounded || b.KillReachable || b.MustFork {
+		t.Fatalf("unexpected flags: %+v", b)
+	}
+}
+
+// TestBoundsDependenceChain: a RAW chain through the integer multiplier
+// must pay the producer's result latency plus the dependent-decode cycle.
+func TestBoundsDependenceChain(t *testing.T) {
+	p := mustAssemble(t, `
+	li r1, 3
+	mul r2, r1, r1
+	mul r3, r2, r2
+	halt
+`)
+	b := lint.ComputeBounds(p.Text, nil, scalarMachine())
+	// li (an ADDI) -> mul: ALU result latency + 1; mul -> mul: IntMul
+	// result latency + 1. The exact value is pinned so regressions in the
+	// edge model surface here.
+	want := int64(4 + (isa.ADDI.ResultLatency() + 1) + (isa.MUL.ResultLatency() + 1))
+	if b.DepBound != want {
+		t.Fatalf("dependence bound = %d, want %d", b.DepBound, want)
+	}
+	if b.Bound != want {
+		t.Fatalf("bound = %d, want %d (dependence-limited)", b.Bound, want)
+	}
+}
+
+// TestBoundsResourceLimited: independent loads queue on the single
+// load/store unit (issue latency 2), so the resource bound dominates the
+// dependence bound.
+func TestBoundsResourceLimited(t *testing.T) {
+	p := mustAssemble(t, `
+	lw r1, 0(r0)
+	lw r2, 1(r0)
+	lw r3, 2(r0)
+	lw r4, 3(r0)
+	halt
+`)
+	b := lint.ComputeBounds(p.Text, nil, scalarMachine())
+	want := int64(4 + 4*isa.LW.IssueLatency()) // 4 loads x issue latency / 1 unit
+	if b.ResourceBound != want {
+		t.Fatalf("resource bound = %d, want %d", b.ResourceBound, want)
+	}
+	if b.Bound != want {
+		t.Fatalf("bound = %d, want %d (resource-limited)", b.Bound, want)
+	}
+	// Doubling the load/store units halves the class cycles.
+	m := scalarMachine()
+	m.Units[isa.UnitLoadStore] = 2
+	b2 := lint.ComputeBounds(p.Text, nil, m)
+	if b2.ResourceBound >= b.ResourceBound {
+		t.Fatalf("resource bound with 2 LS units = %d, want < %d", b2.ResourceBound, b.ResourceBound)
+	}
+}
+
+// TestBoundsCheapestPath: with a two-way branch the bound must follow the
+// cheaper side — the expensive arm cannot raise a lower bound.
+func TestBoundsCheapestPath(t *testing.T) {
+	p := mustAssemble(t, `
+	li r1, 1
+	beqz r1, done
+	mul r2, r1, r1
+	mul r3, r2, r2
+	mul r4, r3, r3
+done:
+	halt
+`)
+	b := lint.ComputeBounds(p.Text, nil, scalarMachine())
+	// The cheap path is li; beqz -> halt: no mul latency may appear.
+	if b.Bound >= int64(4+isa.MUL.ResultLatency()) {
+		t.Fatalf("bound = %d follows the expensive arm", b.Bound)
+	}
+	if len(b.Threads) != 1 || b.Threads[0].Count != 3 {
+		t.Fatalf("cheapest-path count = %+v, want 3 (li, beqz, halt)", b.Threads)
+	}
+}
+
+// TestBoundsUnbounded: a loop with no reachable halt can never retire.
+func TestBoundsUnbounded(t *testing.T) {
+	p := mustAssemble(t, "loop:\n\tj loop\n")
+	b := lint.ComputeBounds(p.Text, nil, scalarMachine())
+	if !b.Unbounded {
+		t.Fatal("expected Unbounded for a haltless loop")
+	}
+	if b.Bound < int64(1)<<59 {
+		t.Fatalf("unbounded bound = %d, want saturated", b.Bound)
+	}
+}
+
+// TestBoundsKillFloor: with a reachable kill only the last survivor
+// provably runs to completion, so the combined bound drops to the
+// cheapest thread, not the sum.
+func TestBoundsKillFloor(t *testing.T) {
+	src := `
+	mul r2, r1, r1
+	mul r3, r2, r2
+	kill
+	halt
+`
+	p := mustAssemble(t, src)
+	b := lint.ComputeBounds(p.Text, []int{0, 3}, lint.Machine{ThreadSlots: 2, IssueWidth: 1})
+	if !b.KillReachable {
+		t.Fatal("kill not marked reachable")
+	}
+	// Entry at pc 3 is a bare halt; the floor must be its cost, 4.
+	if b.DepBound != 4 {
+		t.Fatalf("kill-floor dependence bound = %d, want 4", b.DepBound)
+	}
+}
+
+// TestBoundsMustFork: when every terminating path of the entry crosses a
+// ffork, the children's demand counts toward the whole-program census.
+func TestBoundsMustFork(t *testing.T) {
+	src := `
+	ffork
+	tid r1
+	beqz r1, parent
+	lw r2, 0(r0)
+	halt
+parent:
+	lw r3, 1(r0)
+	halt
+`
+	p := mustAssemble(t, src)
+	b := lint.ComputeBounds(p.Text, []int{0}, lint.Machine{ThreadSlots: 4, IssueWidth: 1})
+	if !b.MustFork {
+		t.Fatal("must-fork not detected")
+	}
+	// Entry census >= 5 (ffork tid beqz lw halt on the cheap arm) plus 3
+	// forked children at >= 4 each.
+	if b.TotalCount < 5+3*4 {
+		t.Fatalf("census = %d, want >= 17 with 3 forked children", b.TotalCount)
+	}
+}
+
+// TestBoundsIssueWidth: a wider decoder relaxes the per-thread count
+// term; the bound must not increase with width.
+func TestBoundsIssueWidth(t *testing.T) {
+	p := mustAssemble(t, `
+	li r1, 1
+	li r2, 2
+	li r3, 3
+	li r4, 4
+	li r5, 5
+	li r6, 6
+	li r7, 7
+	halt
+`)
+	m1 := scalarMachine()
+	m2 := scalarMachine()
+	m2.IssueWidth = 4
+	b1 := lint.ComputeBounds(p.Text, nil, m1)
+	b2 := lint.ComputeBounds(p.Text, nil, m2)
+	if b2.Bound > b1.Bound {
+		t.Fatalf("wider issue raised the bound: %d -> %d", b1.Bound, b2.Bound)
+	}
+	if b1.Threads[0].CountCycles != 7 {
+		t.Fatalf("scalar count cycles = %d, want 7", b1.Threads[0].CountCycles)
+	}
+}
+
+// TestBoundsQueueRegsSkipped: queue-mapped registers communicate through
+// the FIFOs, so apparent RAW chains through them must not inflate the
+// dependence span.
+func TestBoundsQueueRegsSkipped(t *testing.T) {
+	src := `
+	qen r20, r21
+	mul r21, r1, r1
+	add r2, r20, r20
+	halt
+`
+	p := mustAssemble(t, src)
+	b := lint.ComputeBounds(p.Text, nil, scalarMachine())
+	// Without the skip, mul(r21) -> read would chain the multiplier
+	// latency; with it, only the shallow remainder is left.
+	if b.DepBound >= int64(4+isa.MUL.ResultLatency()+1) {
+		t.Fatalf("dependence bound = %d; queue registers not skipped", b.DepBound)
+	}
+}
+
+// TestBoundsFormat smoke-tests the CPI-stack report rendering.
+func TestBoundsFormat(t *testing.T) {
+	p := mustAssemble(t, "\tlw r1, 0(r0)\n\tadd r2, r1, r1\n\thalt\n")
+	b := lint.ComputeBounds(p.Text, nil, scalarMachine())
+	out := b.Format()
+	for _, want := range []string{"static lower bound", "dependence bound", "census", "class"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

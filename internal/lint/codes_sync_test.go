@@ -1,0 +1,30 @@
+package lint
+
+import (
+	"testing"
+
+	"hirata/internal/asm"
+)
+
+// TestKnownLintCodesInSync pins asm.KnownLintCodes — the table the
+// assembler validates `.lint allow` arguments against — to this package's
+// diagnostic catalogue. The table is duplicated in asm because the import
+// points the other way (lint imports asm); this test is the lock that
+// keeps the copies identical when a code is added to either side.
+func TestKnownLintCodesInSync(t *testing.T) {
+	catalogue := allCodes()
+	for _, c := range catalogue {
+		if !asm.KnownLintCodes[string(c)] {
+			t.Errorf("asm.KnownLintCodes is missing %s (%s)", c, c.Name())
+		}
+		if ruleHelp[c] == "" {
+			t.Errorf("ruleHelp is missing %s (%s)", c, c.Name())
+		}
+	}
+	if got, want := len(asm.KnownLintCodes), len(catalogue); got != want {
+		t.Errorf("asm.KnownLintCodes has %d codes, the lint catalogue has %d", got, want)
+	}
+	if got, want := len(codeNames), len(catalogue); got != want {
+		t.Errorf("codeNames has %d codes, allCodes returns %d", got, want)
+	}
+}

@@ -1,0 +1,727 @@
+package lint
+
+// Queue-protocol deadlock verification (Config.Deadlock): L015, L016 and
+// L017 (docs/LINT.md).
+//
+// The queue-register ring connects slot s's outgoing FIFO to slot
+// (s+1) mod T's incoming side, so slot s's reads are satisfied only by
+// pushes from slot (s-1+T) mod T. runDeadlock assigns each slot the set
+// of start points it may execute (its entry, plus every fast-fork
+// continuation) and solves a may-push fixpoint around the ring:
+//
+//	mayPush[s] = writeFirst[s] OR (reachesWrite[s] AND mayPush[s-1])
+//
+// A slot may push either because some path reaches a queue write with no
+// read before it (it needs no input), or because it can reach a write
+// after reads that its own producer may satisfy. The fixpoint starts
+// all-false and only adds facts, so NOT mayPush[p] is a proof that slot p
+// never completes a push — every first read in its consumer then blocks
+// the decode stage forever (L015). This uniformly covers the missing-
+// producer case and cyclic cross-thread waits (every slot reads before
+// writing: the fixpoint stays all-false around the ring).
+//
+// L016 is the converse: a slot pushing toward a consumer that provably
+// never pops. FIFO capacity is queueDepth words, so a write preceded by
+// depth earlier writes (or lying on a cycle) eventually stalls forever.
+//
+// L017 (checkSpins, run from the cross-thread analysis so it can reuse
+// the folded address sets) flags wait loops that poll memory no store in
+// the whole program can reach: the loop's exit conditions are invariant
+// across iterations, so once entered with a non-exiting value the thread
+// spins until MaxCycles.
+
+import (
+	"hirata/internal/isa"
+)
+
+// slotRing holds the per-slot facts of one queue class (integer or FP).
+type slotRing struct {
+	known      []bool  // slot has at least one start context
+	writeFirst []bool  // may reach a write with no earlier queue op
+	reachWrite []bool  // may reach a write at all
+	hasRead    []bool  // may reach a read
+	firstReads [][]int // read pcs reachable with no earlier read
+	mayPush    []bool  // ring fixpoint result
+	writePCs   [][]int // write pcs reachable from the slot's starts
+	starts     [][]int // block indices the slot may start at
+}
+
+// runDeadlock performs the L015/L016 ring analysis. It only applies to
+// multi-thread shapes; the single-entry no-fork case is covered by the
+// simpler whole-text balance check (L006).
+func (a *analysis) runDeadlock() {
+	if a.g == nil || len(a.g.blocks) == 0 {
+		return
+	}
+	entries := a.cfg.entries()
+	if !a.g.hasFork && len(entries) <= 1 {
+		return
+	}
+	T := a.cfg.threadSlots()
+	if len(entries) > T {
+		T = len(entries)
+	}
+	if T < 2 {
+		return
+	}
+	// A reachable kill may reap a blocked thread, so "blocks forever" is
+	// no longer provable; workers legitimately wait on queues until a
+	// master kills them.
+	for pc, in := range a.text {
+		if in.Op == isa.KILL && a.g.blocks[a.g.blockAt[pc]].reachable {
+			return
+		}
+	}
+
+	starts := a.slotStarts(T)
+	for class := 0; class < 2; class++ {
+		if a.queueStateUncertain(class) {
+			continue // imprecise mapping: pushes may be invisible, no proofs
+		}
+		a.checkRing(class, T, starts)
+	}
+}
+
+// slotStarts assigns each slot the block indices it may begin executing
+// at: entry i runs on slot i, and every reachable ffork continuation may
+// land on any slot.
+func (a *analysis) slotStarts(T int) [][]int {
+	starts := make([][]int, T)
+	for i, e := range a.cfg.entries() {
+		if i < T && e >= 0 && e < len(a.text) {
+			starts[i] = append(starts[i], a.g.blockAt[e])
+		}
+	}
+	if a.g.hasFork {
+		for _, b := range a.g.blocks {
+			if !b.reachable || a.text[b.end-1].Op != isa.FFORK {
+				continue
+			}
+			for _, e := range b.succs {
+				if e.kind != edgeFork {
+					continue
+				}
+				for s := 0; s < T; s++ {
+					dup := false
+					for _, have := range starts[s] {
+						if have == e.to {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						starts[s] = append(starts[s], e.to)
+					}
+				}
+			}
+		}
+	}
+	return starts
+}
+
+// queueStateUncertain reports whether any reachable block's queue-mapping
+// in-state is unknown for the class; queue reads/writes under an unknown
+// mapping are not collected, so no never-pushes proof is possible.
+func (a *analysis) queueStateUncertain(class int) bool {
+	for _, b := range a.g.blocks {
+		if !b.reachable {
+			continue
+		}
+		if class == 0 && (b.inQ.inInt == qUnknown || b.inQ.outInt == qUnknown) {
+			return true
+		}
+		if class == 1 && (b.inQ.inFP == qUnknown || b.inQ.outFP == qUnknown) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRing computes the per-slot facts and the mayPush fixpoint for one
+// queue class and reports L015/L016.
+func (a *analysis) checkRing(class, T int, starts [][]int) {
+	isRead := make([]bool, len(a.text))
+	isWrite := make([]bool, len(a.text))
+	any := false
+	for _, u := range a.queueReads {
+		if classOf(u.fp) == class {
+			isRead[u.pc] = true
+			any = true
+		}
+	}
+	for _, u := range a.queueWrites {
+		if classOf(u.fp) == class {
+			isWrite[u.pc] = true
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+
+	r := slotRing{
+		known:      make([]bool, T),
+		writeFirst: make([]bool, T),
+		reachWrite: make([]bool, T),
+		hasRead:    make([]bool, T),
+		firstReads: make([][]int, T),
+		mayPush:    make([]bool, T),
+		writePCs:   make([][]int, T),
+		starts:     starts,
+	}
+	for s := 0; s < T; s++ {
+		if len(starts[s]) == 0 {
+			// The slot never runs a thread we can see. Treat it as able to
+			// do anything so its neighbours are never falsely flagged.
+			r.writeFirst[s], r.reachWrite[s], r.hasRead[s] = true, true, true
+			continue
+		}
+		r.known[s] = true
+		a.scanSlot(&r, s, isRead, isWrite)
+	}
+
+	// Ring fixpoint, least solution from all-false.
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < T; s++ {
+			v := r.writeFirst[s] || (r.reachWrite[s] && r.mayPush[(s-1+T)%T])
+			if v && !r.mayPush[s] {
+				r.mayPush[s] = true
+				changed = true
+			}
+		}
+	}
+
+	className := "integer"
+	if class == 1 {
+		className = "FP"
+	}
+
+	// L015: first reads whose producer provably never pushes.
+	for s := 0; s < T; s++ {
+		if !r.known[s] {
+			continue
+		}
+		p := (s - 1 + T) % T
+		if r.mayPush[p] {
+			continue
+		}
+		for _, pc := range r.firstReads[s] {
+			a.reportf(CodeQueueRingDeadlock, pc,
+				"%s queue-register read in thread slot %d can never be satisfied: producer slot %d never pushes onto the connecting FIFO (ring deadlock)",
+				className, s, p)
+		}
+	}
+
+	// L016: writes toward a consumer that provably never pops, once the
+	// depth-bounded FIFO must be full.
+	depth := a.cfg.queueDepth()
+	for s := 0; s < T; s++ {
+		if !r.known[s] {
+			continue
+		}
+		c := (s + 1) % T
+		if r.hasRead[c] {
+			continue
+		}
+		prior := a.maxWritesBefore(starts[s], isWrite, depth)
+		for _, pc := range r.writePCs[s] {
+			bi := a.g.blockAt[pc]
+			if prior[pc] >= depth || a.g.inCycle(bi) {
+				a.reportf(CodeQueueOverflow, pc,
+					"%s queue-register write in thread slot %d overflows: consumer slot %d never pops, and the depth-%d FIFO fills",
+					className, s, c, depth)
+			}
+		}
+	}
+}
+
+// scanSlot fills the per-slot facts by traversing the CFG from the slot's
+// start blocks. The first-op walk stops at the first queue operation on a
+// path: a write there proves writeFirst, a read is recorded as a blocking
+// point (later operations on that path are secondary).
+func (a *analysis) scanSlot(r *slotRing, s int, isRead, isWrite []bool) {
+	g := a.g
+	firstOp := func(bi int) (pc int, write, ok bool) {
+		for pc := g.blocks[bi].start; pc < g.blocks[bi].end; pc++ {
+			if isWrite[pc] {
+				return pc, true, true
+			}
+			if isRead[pc] {
+				return pc, false, true
+			}
+		}
+		return 0, false, false
+	}
+
+	// Plain reachability for reachWrite / hasRead / writePCs.
+	seen := make([]bool, len(g.blocks))
+	stack := append([]int{}, r.starts[s]...)
+	for _, bi := range stack {
+		seen[bi] = true
+	}
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for pc := g.blocks[bi].start; pc < g.blocks[bi].end; pc++ {
+			if isWrite[pc] {
+				r.reachWrite[s] = true
+				r.writePCs[s] = append(r.writePCs[s], pc)
+			}
+			if isRead[pc] {
+				r.hasRead[s] = true
+			}
+		}
+		for _, e := range g.blocks[bi].succs {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+
+	// First-op walk.
+	seenF := make([]bool, len(g.blocks))
+	stack = append(stack[:0], r.starts[s]...)
+	for _, bi := range stack {
+		seenF[bi] = true
+	}
+	firstReadSet := map[int]bool{}
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if pc, write, ok := firstOp(bi); ok {
+			if write {
+				r.writeFirst[s] = true
+			} else {
+				firstReadSet[pc] = true
+			}
+			continue
+		}
+		for _, e := range g.blocks[bi].succs {
+			if !seenF[e.to] {
+				seenF[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	for pc := range firstReadSet {
+		r.firstReads[s] = append(r.firstReads[s], pc)
+	}
+	sortInts(r.firstReads[s])
+}
+
+// maxWritesBefore computes, per pc, the maximum number of marked writes
+// executed before pc on any path from the given start blocks, saturated
+// at cap+1 (values beyond the FIFO depth are all equivalent). Fork edges
+// reset the count (children start with an empty FIFO); return edges pass
+// the caller's count through, under-approximating the callee's pushes —
+// sound for flagging. Unreached pcs report -1.
+func (a *analysis) maxWritesBefore(startBlocks []int, isWrite []bool, cap int) []int {
+	g := a.g
+	sat := cap + 1
+	in := make([]int, len(g.blocks))
+	for i := range in {
+		in[i] = -1
+	}
+	var work []int
+	for _, bi := range startBlocks {
+		if in[bi] < 0 {
+			in[bi] = 0
+			work = append(work, bi)
+		}
+	}
+	blockCount := func(bi int) int {
+		n := 0
+		for pc := g.blocks[bi].start; pc < g.blocks[bi].end; pc++ {
+			if isWrite[pc] {
+				n++
+			}
+		}
+		return n
+	}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[bi] + blockCount(bi)
+		if out > sat {
+			out = sat
+		}
+		for _, e := range g.blocks[bi].succs {
+			contrib := out
+			if e.kind == edgeFork {
+				contrib = 0
+			}
+			if contrib > in[e.to] {
+				in[e.to] = contrib
+				work = append(work, e.to)
+			}
+		}
+	}
+	out := make([]int, len(a.text))
+	for pc := range out {
+		out[pc] = -1
+	}
+	for bi, b := range g.blocks {
+		if in[bi] < 0 {
+			continue
+		}
+		n := in[bi]
+		for pc := b.start; pc < b.end; pc++ {
+			out[pc] = n
+			if isWrite[pc] {
+				if n++; n > sat {
+					n = sat
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// --- L017: unbounded spin ---
+
+// checkSpins flags wait loops whose every exit condition is invariant
+// across iterations and depends on at least one load from memory no store
+// in the whole program can reach. It runs from the cross-thread analysis
+// (after the constant-folding fixpoint) so it can consult the folded
+// address sets and the per-branch decidability mask.
+func (ia *interAnalysis) checkSpins() {
+	if ia.gaveUp {
+		return
+	}
+	g := ia.a.g
+	for _, scc := range sccBlocks(g) {
+		ia.checkSpinSCC(scc)
+	}
+}
+
+// sccBlocks returns the nontrivial strongly connected components of the
+// reachable CFG (size > 1, or a single block with a self edge), excluding
+// fork edges: a forked child's start is a fresh thread, not a back edge.
+func sccBlocks(g *cfg) [][]int {
+	n := len(g.blocks)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+
+	type frame struct{ v, ei int }
+	var dfs func(root int)
+	dfs = func(root int) {
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(g.blocks[v].succs) {
+				e := g.blocks[v].succs[f.ei]
+				f.ei++
+				if e.kind == edgeFork {
+					continue
+				}
+				w := e.to
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				selfLoop := false
+				if len(comp) == 1 {
+					for _, e := range g.blocks[comp[0]].succs {
+						if e.kind != edgeFork && e.to == comp[0] {
+							selfLoop = true
+						}
+					}
+				}
+				if (len(comp) > 1 || selfLoop) && g.blocks[comp[0]].reachable {
+					sccs = append(sccs, comp)
+				}
+			}
+		}
+	}
+	for bi := range g.blocks {
+		if g.blocks[bi].reachable && index[bi] == -1 {
+			dfs(bi)
+		}
+	}
+	return sccs
+}
+
+// checkSpinSCC analyses one loop (SCC) for the unbounded-spin pattern.
+func (ia *interAnalysis) checkSpinSCC(scc []int) {
+	g := ia.a.g
+	inSCC := map[int]bool{}
+	for _, bi := range scc {
+		inSCC[bi] = true
+	}
+
+	// Structural gates: the loop must exit only through conditional
+	// branches (calls and forks inside make invariance unprovable), and
+	// must not fork or kill.
+	type exitBr struct {
+		pc          int
+		takenLeaves bool
+		fallLeaves  bool
+	}
+	var exits []exitBr
+	for _, bi := range scc {
+		for pc := g.blocks[bi].start; pc < g.blocks[bi].end; pc++ {
+			switch ia.a.text[pc].Op {
+			case isa.FFORK, isa.KILL, isa.JAL, isa.JR, isa.QDIS:
+				return
+			}
+		}
+		last := ia.a.text[g.blocks[bi].end-1]
+		var eb exitBr
+		leaves := false
+		for _, e := range g.blocks[bi].succs {
+			if e.kind == edgeFork {
+				continue
+			}
+			if !inSCC[e.to] {
+				leaves = true
+				switch e.br {
+				case brTaken:
+					eb.takenLeaves = true
+				case brFall:
+					eb.fallLeaves = true
+				}
+			}
+		}
+		if !leaves {
+			continue
+		}
+		if !last.Op.IsConditionalBranch() {
+			return // leaves through something we cannot reason about
+		}
+		eb.pc = g.blocks[bi].end - 1
+		exits = append(exits, eb)
+	}
+	if len(exits) == 0 {
+		return // intentional infinite loop: no exit to wait for
+	}
+
+	inv := ia.invariantRegs(scc, inSCC)
+
+	// Every exit condition must be invariant, and none may already be
+	// statically decided to exit (then the loop terminates immediately
+	// and is not a spin).
+	var condRegs []isa.Reg
+	var srcBuf []isa.Reg
+	for _, eb := range exits {
+		in := ia.a.text[eb.pc]
+		srcBuf = in.Sources(srcBuf[:0])
+		for _, r := range srcBuf {
+			if !r.Valid() || (r.IsInt() && r.Index() == 0) {
+				continue
+			}
+			if !inv.has(r) {
+				return
+			}
+			condRegs = append(condRegs, r)
+		}
+		switch mask := ia.brMask[eb.pc]; {
+		case mask == 2 && eb.takenLeaves:
+			return // always taken, and taken exits
+		case mask == 1 && eb.fallLeaves:
+			return // always falls through, and the fall-through exits
+		}
+	}
+
+	// The backward slice of the exit conditions (within the loop) must
+	// contain at least one poll load: a load from memory no store in the
+	// whole program overlaps. Without one this is a constant-condition
+	// loop, not a wait.
+	slice := regset(0)
+	for _, r := range condRegs {
+		slice |= regbit(r)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range scc {
+			for pc := g.blocks[bi].start; pc < g.blocks[bi].end; pc++ {
+				in := ia.a.text[pc]
+				d := in.Dest()
+				if !d.Valid() || !slice.has(d) {
+					continue
+				}
+				srcBuf = in.Sources(srcBuf[:0])
+				for _, r := range srcBuf {
+					if r.Valid() && !slice.has(r) {
+						slice |= regbit(r)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	pollPC := -1
+	for _, bi := range scc {
+		for pc := g.blocks[bi].start; pc < g.blocks[bi].end; pc++ {
+			in := ia.a.text[pc]
+			if in.Op.IsLoad() && in.Dest().Valid() && slice.has(in.Dest()) && ia.loadNeverStored(pc) {
+				pollPC = pc
+			}
+		}
+	}
+	if pollPC < 0 {
+		return
+	}
+
+	for _, eb := range exits {
+		ia.a.reportf(CodeUnboundedSpin, eb.pc,
+			"wait loop can spin forever: its exit condition polls memory (load at pc %d) that no store in the program ever writes, so no thread can release it",
+			pollPC)
+	}
+}
+
+// invariantRegs computes the registers provably invariant across loop
+// iterations, as a least fixpoint from a well-founded seed: registers
+// with no definition inside the loop (and not queue-read-mapped, since a
+// pop renews those at every read). A register with definitions joins only
+// when every definition is justified by already-invariant inputs — a pure
+// computation over invariant sources, or a load through an invariant base
+// from never-stored memory. Self-justification (i = i + 1) is impossible:
+// the definition's own destination is not invariant when examined.
+func (ia *interAnalysis) invariantRegs(scc []int, inSCC map[int]bool) regset {
+	g := ia.a.g
+	defs := map[isa.Reg][]int{}
+	for _, bi := range scc {
+		for pc := g.blocks[bi].start; pc < g.blocks[bi].end; pc++ {
+			if d := ia.a.text[pc].Dest(); d.Valid() {
+				defs[d] = append(defs[d], pc)
+			}
+		}
+	}
+	inv := regset(0)
+	var r isa.Reg
+	for r = 0; r < 64; r++ {
+		if !r.Valid() {
+			continue
+		}
+		if len(defs[r]) == 0 && !ia.a.qReadRegs.has(r) {
+			inv |= regbit(r)
+		}
+	}
+
+	var srcBuf []isa.Reg
+	justified := func(pc int) bool {
+		in := ia.a.text[pc]
+		switch {
+		case in.Op.IsLoad():
+			base := in.Rs1
+			baseInv := !base.Valid() || (base.IsInt() && base.Index() == 0) || inv.has(base)
+			return baseInv && ia.loadNeverStored(pc)
+		case in.Op.IsMem() || in.Op.IsBranch():
+			return false
+		case in.Op == isa.QEN || in.Op == isa.QENF:
+			return false
+		case in.Op == isa.TID:
+			return true // constant within a thread
+		default:
+			srcBuf = in.Sources(srcBuf[:0])
+			for _, s := range srcBuf {
+				if !s.Valid() || (s.IsInt() && s.Index() == 0) {
+					continue
+				}
+				if !inv.has(s) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for r, pcs := range defs {
+			if inv.has(r) || ia.a.qReadRegs.has(r) {
+				continue
+			}
+			ok := true
+			for _, pc := range pcs {
+				if !justified(pc) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				inv |= regbit(r)
+				changed = true
+			}
+		}
+	}
+	return inv
+}
+
+// loadNeverStored reports whether the load at pc was observed by the
+// cross-thread analysis and its every possible address is disjoint from
+// every store in the program. An unobserved pc (unreached in the abstract
+// run) yields false: no proof.
+func (ia *interAnalysis) loadNeverStored(pc int) bool {
+	seen := false
+	for _, ac := range ia.accesses {
+		if ac.pc != pc || ac.store {
+			continue
+		}
+		seen = true
+		la := ia.foldAccess(ac)
+		if la.bot {
+			continue
+		}
+		for _, st := range ia.accesses {
+			if !st.store {
+				continue
+			}
+			if setsOverlap(la, ia.foldAccess(st)) {
+				return false
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,211 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hirata/internal/asm"
+	"hirata/internal/lint"
+)
+
+// dlCfg is the baseline configuration of the deadlock tests: two thread
+// slots so ring arithmetic stays readable.
+func dlCfg(entries ...int) lint.Config {
+	return lint.Config{Entries: entries, ThreadSlots: 2, Deadlock: true}
+}
+
+func runLint(t *testing.T, src string, cfg lint.Config) []lint.Diagnostic {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return lint.AnalyzeProgram(p, cfg)
+}
+
+func codesAt(ds []lint.Diagnostic, code lint.Code) []int {
+	var pcs []int
+	for _, d := range ds {
+		if d.Code == code {
+			pcs = append(pcs, d.PC)
+		}
+	}
+	return pcs
+}
+
+// TestRingDeadlockNoProducer: slot 0 pops from its in-queue, but its ring
+// producer (slot 1) never pushes anything.
+func TestRingDeadlockNoProducer(t *testing.T) {
+	src := "\tqen r20, r21\n" + // pc 0
+		"\tadd r1, r20, r0\n" + // pc 1: pop — blocks forever
+		"\thalt\n" + // pc 2
+		"\thalt\n" // pc 3: slot 1 entry, no queue use
+	ds := runLint(t, src, dlCfg(0, 3))
+	if pcs := codesAt(ds, lint.CodeQueueRingDeadlock); len(pcs) != 1 || pcs[0] != 1 {
+		t.Fatalf("L015 pcs = %v, want [1]\nall: %v", pcs, ds)
+	}
+}
+
+// TestRingDeadlockCyclicWait: both slots read before writing — the ring
+// fixpoint proves neither can ever push, and both first reads are flagged.
+func TestRingDeadlockCyclicWait(t *testing.T) {
+	src := "\tqen r20, r21\n" + // pc 0: slot 0
+		"\tadd r1, r20, r0\n" + // pc 1: pop before any push
+		"\tadd r21, r1, r0\n" + // pc 2: push (too late)
+		"\thalt\n" + // pc 3
+		"\tqen r20, r21\n" + // pc 4: slot 1
+		"\tadd r1, r20, r0\n" + // pc 5: pop before any push
+		"\tadd r21, r1, r0\n" + // pc 6: push (too late)
+		"\thalt\n" // pc 7
+	ds := runLint(t, src, dlCfg(0, 4))
+	pcs := codesAt(ds, lint.CodeQueueRingDeadlock)
+	if len(pcs) != 2 || pcs[0] != 1 || pcs[1] != 5 {
+		t.Fatalf("L015 pcs = %v, want [1 5]\nall: %v", pcs, ds)
+	}
+}
+
+// TestRingDeadlockCleanPipeline: slot 0 pushes before it pops, so both
+// slots make progress; the ring fixpoint clears everything.
+func TestRingDeadlockCleanPipeline(t *testing.T) {
+	src := "\tqen r20, r21\n" + // slot 0: producer
+		"\tadd r21, r0, r0\n" + // push first
+		"\tadd r1, r20, r0\n" + // then pop the reply
+		"\thalt\n" +
+		"\tqen r20, r21\n" + // pc 4: slot 1: relay
+		"\tadd r1, r20, r0\n" + // pop
+		"\tadd r21, r1, r0\n" + // push back
+		"\thalt\n"
+	ds := runLint(t, src, dlCfg(0, 4))
+	for _, code := range []lint.Code{lint.CodeQueueRingDeadlock, lint.CodeQueueOverflow} {
+		if pcs := codesAt(ds, code); len(pcs) != 0 {
+			t.Fatalf("%s pcs = %v, want none\nall: %v", code, pcs, ds)
+		}
+	}
+}
+
+// TestQueueOverflow: slot 0 pushes twice toward slot 1, which never pops;
+// with the default depth-1 FIFO the second push must stall forever.
+func TestQueueOverflow(t *testing.T) {
+	src := "\tqen r20, r21\n" + // pc 0
+		"\tadd r21, r0, r0\n" + // pc 1: push 1 (fills the FIFO)
+		"\tadd r21, r0, r0\n" + // pc 2: push 2 (stalls forever)
+		"\thalt\n" + // pc 3
+		"\thalt\n" // pc 4: slot 1, never pops
+	ds := runLint(t, src, dlCfg(0, 4))
+	if pcs := codesAt(ds, lint.CodeQueueOverflow); len(pcs) != 1 || pcs[0] != 2 {
+		t.Fatalf("L016 pcs = %v, want [2]\nall: %v", pcs, ds)
+	}
+}
+
+// TestQueueOverflowLoop: a push on a control-flow cycle toward a
+// non-popping consumer is flagged regardless of static count.
+func TestQueueOverflowLoop(t *testing.T) {
+	src := "\tqen r20, r21\n" + // pc 0
+		"loop:\tadd r21, r0, r0\n" + // pc 1: push in a loop
+		"\tj loop\n" + // pc 2
+		"\thalt\n" + // pc 3: slot 1
+		"" // (slot 0 never halts; L008 does not apply to loops)
+	ds := runLint(t, src, dlCfg(0, 3))
+	if pcs := codesAt(ds, lint.CodeQueueOverflow); len(pcs) != 1 || pcs[0] != 1 {
+		t.Fatalf("L016 pcs = %v, want [1]\nall: %v", pcs, ds)
+	}
+}
+
+// TestRingDeadlockKillSuppresses: a reachable kill may reap the blocked
+// reader, so the forever-block proof no longer holds and nothing is
+// reported.
+func TestRingDeadlockKillSuppresses(t *testing.T) {
+	src := "\tqen r20, r21\n" +
+		"\tadd r1, r20, r0\n" + // pop with a dead producer…
+		"\thalt\n" +
+		"\tkill\n" + // …but slot 1 kills everyone
+		"\thalt\n"
+	ds := runLint(t, src, dlCfg(0, 3))
+	if pcs := codesAt(ds, lint.CodeQueueRingDeadlock); len(pcs) != 0 {
+		t.Fatalf("L015 pcs = %v, want none (kill reachable)\nall: %v", pcs, ds)
+	}
+}
+
+// spinCfg enables the spin check: L017 needs the cross-thread value
+// analysis for its folded address sets.
+func spinCfg(entries ...int) lint.Config {
+	return lint.Config{Entries: entries, ThreadSlots: 2, Deadlock: true, InterThread: true}
+}
+
+// TestUnboundedSpin: a wait loop polling a word no store in the program
+// ever writes can never be released.
+func TestUnboundedSpin(t *testing.T) {
+	src := "\t.data\n" +
+		"\t.org 10\n" +
+		"flag:\t.word 0\n" +
+		"\t.text\n" +
+		"loop:\tlw r1, 10(r0)\n" + // pc 0: poll
+		"\tbeqz r1, loop\n" + // pc 1: spin while zero — nobody sets it
+		"\thalt\n" // pc 2
+	ds := runLint(t, src, spinCfg(0))
+	if pcs := codesAt(ds, lint.CodeUnboundedSpin); len(pcs) != 1 || pcs[0] != 1 {
+		t.Fatalf("L017 pcs = %v, want [1]\nall: %v", pcs, ds)
+	}
+}
+
+// TestUnboundedSpinReleasedByStore: the same loop with a second thread
+// that stores the flag is a legitimate wait and must stay clean.
+func TestUnboundedSpinReleasedByStore(t *testing.T) {
+	src := "\t.data\n" +
+		"\t.org 10\n" +
+		"flag:\t.word 0\n" +
+		"\t.text\n" +
+		"loop:\tlw r1, 10(r0)\n" + // pc 0
+		"\tbeqz r1, loop\n" + // pc 1
+		"\thalt\n" + // pc 2
+		"\tli r2, 1\n" + // pc 3: slot 1 releases the spin
+		"\tsw r2, 10(r0)\n" + // pc 4
+		"\thalt\n" // pc 5
+	ds := runLint(t, src, spinCfg(0, 3))
+	if pcs := codesAt(ds, lint.CodeUnboundedSpin); len(pcs) != 0 {
+		t.Fatalf("L017 pcs = %v, want none (a store releases the wait)\nall: %v", pcs, ds)
+	}
+}
+
+// TestCountedLoopNotSpin: a plain counted loop must not be mistaken for a
+// spin — the counter is defined inside the loop, so it is not invariant.
+func TestCountedLoopNotSpin(t *testing.T) {
+	src := "\tli r1, 10\n" + // pc 0
+		"loop:\taddi r1, r1, -1\n" + // pc 1
+		"\tbnez r1, loop\n" + // pc 2
+		"\thalt\n" // pc 3
+	ds := runLint(t, src, spinCfg(0))
+	if pcs := codesAt(ds, lint.CodeUnboundedSpin); len(pcs) != 0 {
+		t.Fatalf("L017 pcs = %v, want none (counted loop)\nall: %v", pcs, ds)
+	}
+}
+
+// TestLoadBoundedLoopNotSpin: a loop whose exit depends on a load with an
+// in-loop varying address (walking a list) is not invariant either.
+func TestLoadBoundedLoopNotSpin(t *testing.T) {
+	src := "\t.data\n" +
+		"\t.org 10\n" +
+		"list:\t.word 11, 12, 0\n" +
+		"\t.text\n" +
+		"\tli r1, 10\n" + // pc 0
+		"loop:\tlw r1, 0(r1)\n" + // pc 1: next pointer
+		"\tbnez r1, loop\n" + // pc 2
+		"\thalt\n" // pc 3
+	ds := runLint(t, src, spinCfg(0))
+	if pcs := codesAt(ds, lint.CodeUnboundedSpin); len(pcs) != 0 {
+		t.Fatalf("L017 pcs = %v, want none (varying load address)\nall: %v", pcs, ds)
+	}
+}
+
+// TestDeadlockAllowDirective: `.lint allow L015` suppresses the ring
+// deadlock like any other code.
+func TestDeadlockAllowDirective(t *testing.T) {
+	src := "\t.lint allow L015\n" +
+		"\tqen r20, r21\n" +
+		"\tadd r1, r20, r0\n" +
+		"\thalt\n" +
+		"\thalt\n"
+	ds := runLint(t, src, dlCfg(0, 3))
+	if pcs := codesAt(ds, lint.CodeQueueRingDeadlock); len(pcs) != 0 {
+		t.Fatalf("L015 pcs = %v, want none (allowed)\nall: %v", pcs, ds)
+	}
+}

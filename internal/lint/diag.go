@@ -76,6 +76,22 @@ const (
 	// usually a degenerate workload or a forgotten initialisation.
 	// Cross-thread analysis.
 	CodeConstBranch Code = "L014"
+	// CodeQueueRingDeadlock: a queue-register read whose producer slot on
+	// the ring provably never pushes — either no reachable send, or a
+	// cyclic cross-thread wait where every slot reads before writing.
+	// The blocked read interlocks the decode stage forever. Deadlock
+	// analysis (Config.Deadlock).
+	CodeQueueRingDeadlock Code = "L015"
+	// CodeQueueOverflow: a queue-register write toward a consumer slot
+	// that provably never pops, at a point where the depth-bounded FIFO
+	// must already be full (depth earlier writes on some path, or the
+	// write lies on a cycle). The push stalls forever. Deadlock analysis.
+	CodeQueueOverflow Code = "L016"
+	// CodeUnboundedSpin: a wait loop whose every exit condition is
+	// invariant across iterations and polls memory no store in the whole
+	// program can reach — no thread can ever release the spin. Deadlock
+	// analysis (requires Config.InterThread).
+	CodeUnboundedSpin Code = "L017"
 )
 
 // codeNames maps each code to its short slug.
@@ -94,6 +110,10 @@ var codeNames = map[Code]string{
 	CodeTypedAccess:   "typed-access",
 	CodeDeadStore:     "dead-store",
 	CodeConstBranch:   "const-branch",
+
+	CodeQueueRingDeadlock: "queue-ring-deadlock",
+	CodeQueueOverflow:     "queue-overflow",
+	CodeUnboundedSpin:     "unbounded-spin",
 }
 
 // Name returns the code's short slug ("uninit-read").

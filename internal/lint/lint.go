@@ -32,6 +32,10 @@ type Config struct {
 	// InterThread enables the cross-thread abstract interpretation
 	// (value ranges, happens-before, diagnostics L010..L014).
 	InterThread bool
+	// Deadlock enables the queue-protocol deadlock verification (L015,
+	// L016) and — together with InterThread — the unbounded-spin check
+	// (L017). See deadlock.go.
+	Deadlock bool
 	// ThreadSlots is the number of logical processors the machine runs
 	// (how many threads ffork spawns). Zero means the simulator default
 	// of 4. A program can override it with `.lint slots N`.
@@ -133,6 +137,9 @@ func (a *analysis) run() []Diagnostic {
 	a.checkQueueBalance()
 	a.checkThreadControl()
 	a.checkFallOff()
+	if a.cfg.Deadlock {
+		a.runDeadlock()
+	}
 	if a.cfg.InterThread {
 		a.runInterThread()
 	}

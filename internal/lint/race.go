@@ -82,6 +82,9 @@ func (a *analysis) runInterThread() {
 	ia.checkRaces()
 	ia.checkAddresses()
 	ia.checkBranches()
+	if ia.a.cfg.Deadlock {
+		ia.checkSpins()
+	}
 }
 
 // runAll runs fixpoint and replay for every context under the current

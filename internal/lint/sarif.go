@@ -26,6 +26,10 @@ var ruleHelp = map[Code]string{
 	CodeTypedAccess:   "An integer access aimed entirely at float words, or an FP access aimed entirely at integer words.",
 	CodeDeadStore:     "A store no load can observe that also lies outside every labelled data object.",
 	CodeConstBranch:   "A conditional branch whose outcome the value analysis decides identically for every thread.",
+
+	CodeQueueRingDeadlock: "A queue-register read whose producer slot on the ring provably never pushes (missing sends or a cyclic cross-thread wait).",
+	CodeQueueOverflow:     "A queue-register write toward a consumer slot that provably never pops, once the depth-bounded FIFO must be full.",
+	CodeUnboundedSpin:     "A wait loop whose exit condition polls memory no store in the program can reach; no thread can release it.",
 }
 
 // sarifLog and friends model the slice of SARIF 2.1.0 this tool emits:
@@ -37,8 +41,15 @@ type sarifLog struct {
 }
 
 type sarifRun struct {
-	Tool    sarifTool     `json:"tool"`
-	Results []sarifResult `json:"results"`
+	Tool      sarifTool            `json:"tool"`
+	Artifacts []sarifArtifactEntry `json:"artifacts,omitempty"`
+	Results   []sarifResult        `json:"results"`
+}
+
+// sarifArtifactEntry is one run-level artifact: a file the run analysed,
+// listed whether or not anything was found in it.
+type sarifArtifactEntry struct {
+	Location sarifArtifact `json:"location"`
 }
 
 type sarifTool struct {
@@ -78,7 +89,8 @@ type sarifPhysical struct {
 }
 
 type sarifArtifact struct {
-	URI string `json:"uri"`
+	URI   string `json:"uri"`
+	Index *int   `json:"index,omitempty"` // into the run's artifacts array
 }
 
 type sarifRegion struct {
@@ -86,10 +98,28 @@ type sarifRegion struct {
 }
 
 // MarshalSARIF renders findings as a SARIF 2.1.0 log, the interchange
-// format consumed by code-scanning services. Every catalogued code is
+// format consumed by code-scanning services. The artifact list is derived
+// from the findings; use MarshalSARIFFiles to also list analysed files
+// that came up clean.
+func MarshalSARIF(findings []FileFinding) ([]byte, error) {
+	var files []string
+	seen := map[string]bool{}
+	for _, f := range findings {
+		if !seen[f.File] {
+			seen[f.File] = true
+			files = append(files, f.File)
+		}
+	}
+	return MarshalSARIFFiles(files, findings)
+}
+
+// MarshalSARIFFiles renders one SARIF 2.1.0 run covering all the given
+// files: every analysed file appears as a run-level artifact entry (clean
+// files included, so code scanning knows they were covered), and each
+// result references its file by artifact index. Every catalogued code is
 // listed as a rule whether or not it fired, so rule metadata stays stable
 // across runs.
-func MarshalSARIF(findings []FileFinding) ([]byte, error) {
+func MarshalSARIFFiles(files []string, findings []FileFinding) ([]byte, error) {
 	rules := make([]sarifRule, 0, len(ruleHelp))
 	for _, c := range allCodes() {
 		rules = append(rules, sarifRule{
@@ -98,10 +128,25 @@ func MarshalSARIF(findings []FileFinding) ([]byte, error) {
 			ShortDescription: sarifText{Text: ruleHelp[c]},
 		})
 	}
+	artifacts := make([]sarifArtifactEntry, 0, len(files))
+	index := map[string]int{}
+	addFile := func(uri string) int {
+		if i, ok := index[uri]; ok {
+			return i
+		}
+		i := len(artifacts)
+		index[uri] = i
+		artifacts = append(artifacts, sarifArtifactEntry{Location: sarifArtifact{URI: uri}})
+		return i
+	}
+	for _, f := range files {
+		addFile(f)
+	}
 	results := make([]sarifResult, 0, len(findings))
 	for _, f := range findings {
+		idx := addFile(f.File)
 		loc := sarifLocation{PhysicalLocation: sarifPhysical{
-			ArtifactLocation: sarifArtifact{URI: f.File},
+			ArtifactLocation: sarifArtifact{URI: f.File, Index: &idx},
 		}}
 		if f.Diag.Line > 0 {
 			loc.PhysicalLocation.Region = &sarifRegion{StartLine: f.Diag.Line}
@@ -117,8 +162,9 @@ func MarshalSARIF(findings []FileFinding) ([]byte, error) {
 		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
 		Version: "2.1.0",
 		Runs: []sarifRun{{
-			Tool:    sarifTool{Driver: sarifDriver{Name: "hirata-lint", Rules: rules}},
-			Results: results,
+			Tool:      sarifTool{Driver: sarifDriver{Name: "hirata-lint", Rules: rules}},
+			Artifacts: artifacts,
+			Results:   results,
 		}},
 	}
 	return json.MarshalIndent(log, "", "  ")
@@ -131,5 +177,6 @@ func allCodes() []Code {
 		CodeQueueProtocol, CodeQueueDeadlock, CodeThreadControl,
 		CodeNoHalt, CodeReadonlyWrite, CodeDataRace, CodeOOBAccess,
 		CodeTypedAccess, CodeDeadStore, CodeConstBranch,
+		CodeQueueRingDeadlock, CodeQueueOverflow, CodeUnboundedSpin,
 	}
 }

@@ -38,6 +38,20 @@ type edge struct {
 	lat int
 }
 
+// depOpts tunes the dependence-edge model for the DAG's two consumers:
+// the list schedulers (exact machine model of one basic block) and the
+// static lower-bound analysis (provable minimum decode distances over
+// arbitrary fragments, including control-flow instructions).
+type depOpts struct {
+	rawExtra     int  // added to the producer's result latency on RAW edges
+	ordLat       int  // WAR/WAW and memory-ordering edge latency
+	allowControl bool // tolerate branches and decode-unit instructions
+	// skip excludes registers from dependence edges; the bound analysis
+	// passes the queue-mapped registers, whose reads and writes go through
+	// the inter-slot FIFOs rather than the register file.
+	skip func(isa.Reg) bool
+}
+
 // buildDAG constructs the dependence DAG of a basic block.
 //
 // Dependences: RAW (latency = producer result latency + 1, the machine's
@@ -45,13 +59,53 @@ type edge struct {
 // conservative memory ordering (stores are barriers against all other
 // memory operations; loads may reorder among themselves).
 func buildDAG(block []isa.Instruction) ([]*node, error) {
+	return buildDAGOpts(block, depOpts{rawExtra: 1, ordLat: 1})
+}
+
+// DepSpan returns the minimum number of cycles the machine's dependences
+// force between decoding the first and the last instruction of a
+// straight-line fragment: the longest latency-weighted path through the
+// fragment's dependence DAG. Unlike the schedulers it tolerates control
+// flow and decode-unit instructions, so it applies to any basic block of
+// a whole-program CFG; internal/lint's static cycle bound sums it along
+// shortest CFG paths.
+//
+// The edge model is chosen so the result is a sound lower bound: RAW
+// edges carry the producer's result latency (plus one, the dependent-
+// decode distance, when issueWidth is 1), and ordering edges (WAR, WAW,
+// conservative memory ordering) carry 1 cycle at issue width 1 — in-order
+// decode retires at most one instruction per cycle — and 0 beyond.
+func DepSpan(frag []isa.Instruction, issueWidth int, skip func(isa.Reg) bool) int {
+	o := depOpts{rawExtra: 1, ordLat: 1, allowControl: true, skip: skip}
+	if issueWidth > 1 {
+		// A wider decoder may retire a dependent pair closer together;
+		// only the raw result latency is provable.
+		o.rawExtra, o.ordLat = 0, 0
+	}
+	nodes, err := buildDAGOpts(frag, o)
+	if err != nil {
+		return 0 // unreachable with allowControl set; stay conservative
+	}
+	span := 0
+	for _, n := range nodes {
+		if n.priority > span {
+			span = n.priority
+		}
+	}
+	return span
+}
+
+// buildDAGOpts is the shared DAG-construction core behind buildDAG and
+// DepSpan.
+func buildDAGOpts(block []isa.Instruction, o depOpts) ([]*node, error) {
 	nodes := make([]*node, len(block))
 	for i, in := range block {
-		if in.Op.IsBranch() || in.Op.Unit() == isa.UnitNone && in.Op != isa.NOP {
+		if !o.allowControl && (in.Op.IsBranch() || in.Op.Unit() == isa.UnitNone && in.Op != isa.NOP) {
 			return nil, fmt.Errorf("sched: instruction %d (%s) is control flow; schedule basic blocks only", i, in.Op)
 		}
 		nodes[i] = &node{idx: i, ins: in}
 	}
+	skip := func(r isa.Reg) bool { return o.skip != nil && o.skip(r) }
 	addEdge := func(from, to, lat int) {
 		for _, e := range nodes[from].succs {
 			if e.to == to {
@@ -95,21 +149,21 @@ func buildDAG(block []isa.Instruction) ([]*node, error) {
 		srcs = srcs[:0]
 		srcs = in.Sources(srcs)
 		for _, r := range srcs {
-			if !r.Valid() || (r.IsInt() && r.Index() == 0) {
+			if !r.Valid() || (r.IsInt() && r.Index() == 0) || skip(r) {
 				continue
 			}
 			if w, ok := lastWrite[r]; ok {
-				addEdge(w, i, block[w].Op.ResultLatency()+1) // RAW
+				addEdge(w, i, block[w].Op.ResultLatency()+o.rawExtra) // RAW
 			}
 			lastReads[r] = append(lastReads[r], i)
 		}
-		if d := in.Dest(); d.Valid() && !(d.IsInt() && d.Index() == 0) {
+		if d := in.Dest(); d.Valid() && !(d.IsInt() && d.Index() == 0) && !skip(d) {
 			if w, ok := lastWrite[d]; ok {
-				addEdge(w, i, 1) // WAW
+				addEdge(w, i, o.ordLat) // WAW
 			}
 			for _, rd := range lastReads[d] {
 				if rd != i {
-					addEdge(rd, i, 1) // WAR
+					addEdge(rd, i, o.ordLat) // WAR
 				}
 			}
 			lastWrite[d] = i
@@ -122,12 +176,12 @@ func buildDAG(block []isa.Instruction) ([]*node, error) {
 				// A store orders against every earlier access it may alias.
 				for _, m := range priorLoads {
 					if !disjoint(m, i) {
-						addEdge(m, i, 1)
+						addEdge(m, i, o.ordLat)
 					}
 				}
 				for _, m := range priorStores {
 					if !disjoint(m, i) {
-						addEdge(m, i, 1)
+						addEdge(m, i, o.ordLat)
 					}
 				}
 				priorStores = append(priorStores, i)
@@ -135,7 +189,7 @@ func buildDAG(block []isa.Instruction) ([]*node, error) {
 				// A load orders against earlier possibly-aliasing stores.
 				for _, s := range priorStores {
 					if !disjoint(s, i) {
-						addEdge(s, i, 1)
+						addEdge(s, i, o.ordLat)
 					}
 				}
 				priorLoads = append(priorLoads, i)

@@ -53,6 +53,54 @@ func TestWorkloadsLintClean(t *testing.T) {
 	}
 }
 
+// TestWorkloadsDeadlockClean runs the queue-protocol deadlock verifier
+// (L015-L017, docs/LINT.md) over every paper workload: the generators'
+// queue rings must be provably free of ring deadlocks, overflows and
+// unbounded spins. CI runs this alongside `hirata-lint -deadlock` over the
+// shipped examples (make lint-bounds).
+func TestWorkloadsDeadlockClean(t *testing.T) {
+	progs := map[string]*hirata.Program{}
+
+	rt, err := hirata.BuildRayTrace(hirata.RayTraceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["raytrace-seq"], progs["raytrace-par"] = rt.Seq, rt.Par
+
+	lk, err := hirata.BuildLivermore(hirata.LivermoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["livermore-seq"], progs["livermore-par"] = lk.Seq, lk.Par
+
+	ll, err := hirata.BuildLinkedList(hirata.LinkedListConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["linkedlist-seq"], progs["linkedlist-par"] = ll.Seq, ll.Par
+
+	rc, err := hirata.BuildRecurrence(hirata.RecurrenceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["recurrence-seq"], progs["recurrence-par"] = rc.Seq, rc.Par
+
+	rd, err := hirata.BuildRadiosity(hirata.RadiosityConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["radiosity"] = rd.Prog
+
+	for name, p := range progs {
+		t.Run(name, func(t *testing.T) {
+			cfg := hirata.LintConfig{InterThread: true, Deadlock: true}
+			for _, d := range hirata.LintWithConfig(p, cfg) {
+				t.Errorf("%s: %v", name, d)
+			}
+		})
+	}
+}
+
 // TestExampleMinCLintClean compiles every shipped MinC example and
 // verifies the generated code.
 func TestExampleMinCLintClean(t *testing.T) {

@@ -16,6 +16,12 @@
 //     fields, so raw equality distinguishes encodings that are semantically
 //     identical; use Instruction.Same instead.
 //
+//   - sharecopy: a shallow copy of a slice-bearing struct taken from
+//     pointer-reached shared state inside a lock boundary must deep-copy
+//     (reassign) every slice field before the value escapes — otherwise the
+//     copy aliases the guarded backing arrays and readers race with the
+//     writers once the lock is released.
+//
 //   - diagdoc: every lint diagnostic code declared in internal/lint/diag.go
 //     must have a `### Lxxx` section in docs/LINT.md, and every such
 //     section must correspond to a declared code. The catalogue promises
@@ -166,6 +172,8 @@ func checkUnit(fset *token.FileSet, dir string, u unit) []string {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
 	}
 	conf := types.Config{
 		Importer: importer.ForCompiler(fset, "source", nil),
@@ -178,6 +186,7 @@ func checkUnit(fset *token.FileSet, dir string, u unit) []string {
 	var findings []string
 	findings = append(findings, checkInstCompare(fset, pkgPath, u.files, info)...)
 	findings = append(findings, checkStatsMutate(fset, pkgPath, u.files, info)...)
+	findings = append(findings, checkShareCopy(fset, pkgPath, u.files, info)...)
 	return findings
 }
 

@@ -23,6 +23,8 @@ func typecheckSrc(t *testing.T, pkgPath, src string) (*token.FileSet, []*ast.Fil
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
 	}
 	conf := types.Config{
 		Importer: importer.ForCompiler(fset, "source", nil),
@@ -116,6 +118,86 @@ func TestExemptPackages(t *testing.T) {
 	fset, files, info = typecheckSrc(t, "hirata/internal/isa", badFixture)
 	if fs := checkInstCompare(fset, "hirata/internal/isa", files, info); len(fs) != 0 {
 		t.Errorf("instcompare inside internal/isa: %v", fs)
+	}
+}
+
+const shareCopyFixture = `package p
+
+import "sync"
+
+type Totals struct {
+	Issues   uint64
+	UnitBusy []uint64
+	Stalls   [][]uint64
+}
+
+type Collector struct {
+	mu      sync.Mutex
+	totals  Totals
+	pending Totals
+	sink    Totals
+}
+
+// bad: returns a shallow copy while holding the lock.
+func (c *Collector) Snapshot() Totals {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totals
+}
+
+// bad: reassigns one slice field but leaves Stalls aliased.
+func (c *Collector) snapshotLocked() Totals {
+	t := c.totals
+	t.UnitBusy = append([]uint64(nil), c.totals.UnitBusy...)
+	return t
+}
+
+// bad: copied straight into another shared field, nothing reassignable.
+func (c *Collector) mirrorLocked() {
+	c.sink = c.totals
+}
+
+// good: deep-copies every slice field (the totalsLocked pattern).
+func (c *Collector) deepLocked() Totals {
+	t := c.totals
+	t.UnitBusy = append([]uint64(nil), c.totals.UnitBusy...)
+	t.Stalls = make([][]uint64, len(c.totals.Stalls))
+	return t
+}
+
+// good: ownership transfer — the shared slot itself is replaced.
+func (c *Collector) rotateLocked() Totals {
+	t := c.pending
+	c.pending = Totals{UnitBusy: make([]uint64, 8)}
+	return t
+}
+
+// good: no lock boundary in sight.
+type Plain struct{ v Totals }
+
+func free(p *Plain) Totals { return p.v }
+`
+
+func TestShareCopyFindings(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/tools/analyzers/fixture", shareCopyFixture)
+	fs := checkShareCopy(fset, "hirata/tools/analyzers/fixture", files, info)
+	if len(fs) != 3 {
+		t.Fatalf("sharecopy findings = %d, want 3:\n%s", len(fs), strings.Join(fs, "\n"))
+	}
+	joined := strings.Join(fs, "\n")
+	// The full-copy sites report both slice fields; the partial deep copy
+	// reports only the one still aliased.
+	if !strings.Contains(joined, "Stalls, UnitBusy") {
+		t.Errorf("no finding listing both slice fields:\n%s", joined)
+	}
+	partial := false
+	for _, f := range fs {
+		if strings.Contains(f, "Stalls") && !strings.Contains(f, "UnitBusy") {
+			partial = true
+		}
+	}
+	if !partial {
+		t.Errorf("no finding for the partially deep-copied snapshotLocked:\n%s", joined)
 	}
 }
 

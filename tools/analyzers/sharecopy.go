@@ -1,0 +1,245 @@
+package main
+
+// sharecopy: a shallow copy of a slice-bearing struct taken from shared
+// state inside a lock boundary aliases the slice backing arrays. Once the
+// copy escapes the critical section, readers race with the writers that
+// mutate the shared original — the exact bug class behind the Totals
+// metrics race fixed in the observability layer: `t := c.totals` copies
+// the struct header but shares every slice, so the copy must reassign
+// (deep-copy) each slice field before it leaves the lock.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkShareCopy flags shallow copies of slice-bearing structs made from
+// pointer-reached shared state inside a lock boundary, when at least one
+// slice field is never reassigned before the copy can escape. A function
+// is a lock boundary when it locks a sync.Mutex/RWMutex itself or is a
+// method of a type carrying one (the "fooLocked" helper convention, where
+// the caller holds the lock).
+func checkShareCopy(fset *token.FileSet, pkgPath string, files []*ast.File, info *types.Info) []string {
+	var findings []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !locksMutex(fn.Body, info) && !receiverHasMutex(fn, info) {
+				continue
+			}
+			findings = append(findings, shareCopiesIn(fset, fn, info)...)
+		}
+	}
+	return findings
+}
+
+// locksMutex reports whether the body calls Lock or RLock on a sync mutex.
+func locksMutex(body *ast.BlockStmt, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if s, ok := info.Selections[sel]; ok {
+			if isNamedType(s.Recv(), "sync", "Mutex") || isNamedType(s.Recv(), "sync", "RWMutex") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// receiverHasMutex reports whether fn is a method whose receiver struct
+// directly carries a sync.Mutex or sync.RWMutex field — the convention
+// under which unexported "fooLocked" helpers run with the lock held.
+func receiverHasMutex(fn *ast.FuncDecl, info *types.Info) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	st, ok := derefStruct(tv.Type)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isNamedType(ft, "sync", "Mutex") || isNamedType(ft, "sync", "RWMutex") {
+			return true
+		}
+	}
+	return false
+}
+
+// derefStruct unwraps pointers and names down to a struct type.
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// sliceFields returns the names of a struct's directly slice-typed fields.
+func sliceFields(st *types.Struct) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := st.Field(i).Type().Underlying().(*types.Slice); ok {
+			out = append(out, st.Field(i).Name())
+		}
+	}
+	return out
+}
+
+// shareCopiesIn scans one lock-boundary function for struct copies whose
+// slice fields stay aliased to the shared original.
+func shareCopiesIn(fset *token.FileSet, fn *ast.FuncDecl, info *types.Info) []string {
+	// Pass 1: every `t.F = ...` reassignment of a slice field, keyed by
+	// the copy variable's object. Order within the function is not
+	// tracked: reassigning anywhere before the copy could escape is what
+	// the totalsLocked pattern does, and a reassignment after an escape
+	// would be flagged by vet-style ordering analyses, not this one.
+	reassigned := map[types.Object]map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if reassigned[obj] == nil {
+				reassigned[obj] = map[string]bool{}
+			}
+			reassigned[obj][sel.Sel.Name] = true
+		}
+		return true
+	})
+
+	flag := func(pos token.Pos, typeName string, missing []string) string {
+		sort.Strings(missing)
+		return fmt.Sprintf(
+			"%s: sharecopy: shallow copy of %s aliases slice field(s) %s with the lock-guarded original; deep-copy them before the value escapes",
+			fset.Position(pos), typeName, strings.Join(missing, ", "))
+	}
+
+	var findings []string
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				name, fields, ok := sharedSliceStructCopy(rhs, info)
+				if !ok {
+					continue
+				}
+				if sourceReassigned(rhs, reassigned, info) {
+					// Ownership transfer: the shared field itself is
+					// replaced in this function (c.interval = fresh after
+					// s := c.interval), so the copy keeps the old backing
+					// arrays exclusively.
+					continue
+				}
+				id, isIdent := st.Lhs[i].(*ast.Ident)
+				if !isIdent {
+					// Copying straight into another field or index keeps
+					// no chance to fix the aliasing up afterwards.
+					findings = append(findings, flag(rhs.Pos(), name, fields))
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				var missing []string
+				for _, f := range fields {
+					if obj == nil || !reassigned[obj][f] {
+						missing = append(missing, f)
+					}
+				}
+				if len(missing) > 0 {
+					findings = append(findings, flag(rhs.Pos(), name, missing))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if name, fields, ok := sharedSliceStructCopy(res, info); ok {
+					findings = append(findings, flag(res.Pos(), name, fields))
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// sourceReassigned reports whether the copied field itself (base.field of
+// the source selector) is assigned somewhere in the same function — the
+// ownership-transfer idiom, where the shared slot is replaced with a fresh
+// value and the copy keeps the old backing arrays exclusively.
+func sourceReassigned(e ast.Expr, reassigned map[types.Object]map[string]bool, info *types.Info) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	return obj != nil && reassigned[obj][sel.Sel.Name]
+}
+
+// sharedSliceStructCopy reports whether e is a by-value read of a
+// slice-bearing struct field reached through a pointer (shared state). It
+// returns the struct type name and its slice field names.
+func sharedSliceStructCopy(e ast.Expr, info *types.Info) (string, []string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || !s.Indirect() {
+		return "", nil, false
+	}
+	tv, ok := info.Types[e]
+	if !ok {
+		return "", nil, false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return "", nil, false
+	}
+	fields := sliceFields(st)
+	if len(fields) == 0 {
+		return "", nil, false
+	}
+	return types.TypeString(tv.Type, func(p *types.Package) string { return p.Name() }), fields, true
+}
