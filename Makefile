@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet analyzers verify-examples lint-interthread lint-bounds fuzz fmt trace-demo profile cpi-demo bench-report bench bench-check
+.PHONY: all build test race lint vet analyzers verify-examples lint-interthread lint-bounds fuzz fmt trace-demo profile cpi-demo explore-demo bench-report bench bench-check
 
 all: build test lint
 
@@ -65,6 +65,14 @@ profile:
 # and bounded what-if estimates for extra hardware on stderr.
 cpi-demo:
 	$(GO) run ./cmd/hirata-bench -table none -cpi-folded raytrace-cpi.folded -critpath-json raytrace-critpath.json -whatif "+1 alu,+1 ls,+1 slot"
+
+# explore-demo runs the analytic design-space engine (docs/MODEL.md) on a
+# CI-sized ray trace: calibrate on 4 runs, predict 1152 configurations,
+# re-simulate the Pareto frontier, validate against Tables 2-5
+# reproductions, and fail if any model error exceeds 15%. The JSON report
+# (explore-report.json) is the CI artifact.
+explore-demo:
+	$(GO) run ./cmd/hirata-bench -explore -rays 48 -spheres 6 -n 50 -nodes 40 -explore-max-err 15 -explore-json explore-report.json
 
 # bench-report regenerates the JSON paper-reproduction report and records
 # the 8-slot ray-trace Perfetto timeline (CI uploads both as artifacts).

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hirata"
+)
+
+// exploreArtifact is the JSON artifact -explore-json writes: the
+// design-space search plus the Tables 2-5 model validation.
+type exploreArtifact struct {
+	Explore    *hirata.ExploreReport   `json:"explore"`
+	Validation *hirata.ModelValidation `json:"validation"`
+}
+
+// runExplore drives the analytic design-space search: predict the whole
+// grid, re-simulate the Pareto frontier, validate the model against
+// Tables 2-5 reproductions at the bench's workload sizes, and optionally
+// gate on the worst error.
+func runExplore(w io.Writer, rt hirata.RayTraceConfig, lk1N, listNodes int, jsonPath string, maxErr float64) error {
+	rep, err := hirata.RunExplore(hirata.ExploreConfig{Workload: rt})
+	if err != nil {
+		return fmt.Errorf("explore: %w", err)
+	}
+	fmt.Fprint(w, rep.Format())
+	fmt.Fprintln(w)
+
+	val, err := hirata.ValidateModel(hirata.ModelValidationConfig{
+		Rays:      rt.Rays,
+		Spheres:   rt.Spheres,
+		LK1N:      lk1N,
+		ListNodes: listNodes,
+	})
+	if err != nil {
+		return fmt.Errorf("model validation: %w", err)
+	}
+	fmt.Fprint(w, val.Format())
+
+	if jsonPath != "" {
+		out, err := json.MarshalIndent(exploreArtifact{Explore: rep, Validation: val}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", jsonPath)
+	}
+
+	if rep.BoundViolations > 0 || val.BoundViolations > 0 {
+		return fmt.Errorf("predictions below the certified lower bound: explore=%d validation=%d",
+			rep.BoundViolations, val.BoundViolations)
+	}
+	if maxErr > 0 {
+		worst := rep.MaxAbsErrPct
+		if val.MaxAbsErrPct > worst {
+			worst = val.MaxAbsErrPct
+		}
+		if worst > maxErr {
+			return fmt.Errorf("model error %.1f%% exceeds -explore-max-err %.1f%%", worst, maxErr)
+		}
+		fmt.Fprintf(w, "\nmodel error gate: worst %.1f%% <= %.1f%% threshold\n", worst, maxErr)
+	}
+	return nil
+}

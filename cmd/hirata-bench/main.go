@@ -46,11 +46,22 @@ func main() {
 		cpiFolded    = flag.String("cpi-folded", "", "record the representative run and write its CPI stack in collapsed/folded format here")
 		critPathJSON = flag.String("critpath-json", "", "record the representative run and write its critical-path analysis as JSON here")
 		whatIf       = flag.String("whatif", "", "record the representative run and print bounded what-if estimates, e.g. \"+1 alu,+1 ls,+1 slot\"")
+
+		explore       = flag.Bool("explore", false, "search the design space with the analytic model, re-simulate the Pareto frontier, and validate the model against Tables 2-5 (docs/MODEL.md)")
+		exploreJSON   = flag.String("explore-json", "", "with -explore, also write the exploration + validation report as JSON here")
+		exploreMaxErr = flag.Float64("explore-max-err", 0, "with -explore, exit nonzero if any model error (frontier or Tables 2-5) exceeds this percentage (0 = no gate)")
 	)
 	flag.Parse()
 	hirata.SetParallelism(*parallel)
 
 	rt := hirata.RayTraceConfig{Rays: *rays, Spheres: *spheres}
+	if *explore {
+		if err := runExplore(os.Stdout, rt, *n, *nodes, *exploreJSON, *exploreMaxErr); err != nil {
+			fmt.Fprintln(os.Stderr, "hirata-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *chromeTrace != "" || *httpAddr != "" || *cpiFolded != "" || *critPathJSON != "" || *whatIf != "" {
 		shutdown, err := recordRepresentative(rt, representativeOutputs{
 			tracePath:    *chromeTrace,

@@ -12,6 +12,7 @@
 //	hirata-lint -interthread prog.s     # add the cross-thread checks L010..L014
 //	hirata-lint -deadlock prog.s        # queue-protocol liveness checks L015..L017
 //	hirata-lint -bound prog.s           # static lower bound on execution cycles
+//	hirata-lint -model prog.s           # analytic model's static performance prediction
 //	hirata-lint -json prog.s            # machine-readable findings
 //	hirata-lint -sarif prog.s           # SARIF 2.1.0 for code-scanning upload
 //	hirata-lint -entries 0,12 prog.s    # explicit thread entry PCs
@@ -33,8 +34,10 @@ import (
 	"strings"
 
 	"hirata"
+	"hirata/internal/core"
 	"hirata/internal/lint"
 	"hirata/internal/minc"
+	"hirata/internal/model"
 )
 
 func main() {
@@ -52,12 +55,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inter    = flags.Bool("interthread", false, "run the cross-thread abstract interpretation (L010..L014)")
 		deadlock = flags.Bool("deadlock", false, "run the queue-protocol liveness checks L015..L017 (implies -interthread)")
 		bound    = flags.Bool("bound", false, "print the static lower bound on execution cycles per file")
-		width    = flags.Int("issue-width", 1, "per-slot superscalar issue width assumed by -bound")
-		slots    = flags.Int("slots", 0, "thread slots assumed by -interthread, -deadlock and -bound (default 4; a .lint slots directive in the program overrides)")
+		modelOut = flags.Bool("model", false, "print the analytic model's static-only performance prediction per file (docs/MODEL.md)")
+		width    = flags.Int("issue-width", 1, "per-slot superscalar issue width assumed by -bound and -model")
+		slots    = flags.Int("slots", 0, "thread slots assumed by -interthread, -deadlock, -bound and -model (default 4; a .lint slots directive in the program overrides)")
 		memSize  = flags.Int64("mem-size", 0, "data-memory size in words for the out-of-range check (0 = size unknown)")
 	)
 	flags.Usage = func() {
-		fmt.Fprintln(stderr, "usage: hirata-lint [-json|-sarif] [-interthread] [-deadlock] [-bound] [-slots n] [-issue-width n] [-mem-size words] [-entries pcs] [-queue-depth n] file-or-dir...")
+		fmt.Fprintln(stderr, "usage: hirata-lint [-json|-sarif] [-interthread] [-deadlock] [-bound] [-model] [-slots n] [-issue-width n] [-mem-size words] [-entries pcs] [-queue-depth n] file-or-dir...")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
@@ -71,8 +75,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hirata-lint: -json and -sarif are mutually exclusive")
 		return 2
 	}
-	if *bound && (*jsonOut || *sarifOut) {
-		fmt.Fprintln(stderr, "hirata-lint: -bound writes a human-readable report; it cannot be combined with -json or -sarif")
+	if (*bound || *modelOut) && (*jsonOut || *sarifOut) {
+		fmt.Fprintln(stderr, "hirata-lint: -bound and -model write human-readable reports; they cannot be combined with -json or -sarif")
 		return 2
 	}
 
@@ -138,16 +142,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, d := range lint.AnalyzeProgram(prog, cfg) {
 			report(file, d)
 		}
-		if *bound {
-			m := lint.Machine{ThreadSlots: cfg.ThreadSlots, IssueWidth: *width}
-			if m.ThreadSlots == 0 && prog.LintSlots > 0 {
-				m.ThreadSlots = prog.LintSlots
+		if *bound || *modelOut {
+			machineSlots := cfg.ThreadSlots
+			if machineSlots == 0 && prog.LintSlots > 0 {
+				machineSlots = prog.LintSlots
 			}
-			if m.ThreadSlots == 0 {
-				m.ThreadSlots = 4
+			if machineSlots == 0 {
+				machineSlots = 4
 			}
-			b := lint.ComputeBounds(prog.Text, cfg.Entries, m)
-			fmt.Fprintf(stdout, "%s: %s", file, b.Format())
+			if *bound {
+				m := lint.Machine{ThreadSlots: machineSlots, IssueWidth: *width}
+				b := lint.ComputeBounds(prog.Text, cfg.Entries, m)
+				fmt.Fprintf(stdout, "%s: %s", file, b.Format())
+			}
+			if *modelOut {
+				w := model.NewWorkload(file, prog.Text, cfg.Entries)
+				p := w.Predict(core.Config{ThreadSlots: machineSlots, IssueWidth: *width})
+				fmt.Fprintf(stdout, "%s: %s", file, p.Format())
+			}
 		}
 	}
 

@@ -1,0 +1,506 @@
+package hirata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hirata/internal/core"
+	"hirata/internal/model"
+	"hirata/internal/workload"
+)
+
+// Design-space exploration (hirata-bench -explore, docs/MODEL.md): the
+// analytic model from internal/model searches thousands of (slots, units,
+// standby, issue-width) configurations without simulating them, then only
+// the Pareto-optimal cost/cycles frontier is re-simulated exactly to
+// measure the model's error where it matters.
+
+// Model-layer aliases, following the export pattern of the other
+// subsystems (lint, obs).
+type (
+	// ModelWorkload is a characterized + calibrated program the analytic
+	// model predicts from.
+	ModelWorkload = model.Workload
+	// ModelPrediction is one analytic prediction.
+	ModelPrediction = model.Prediction
+	// ModelGrid is a design-space enumeration.
+	ModelGrid = model.Grid
+	// ModelPoint is one explored design point (prediction + cost).
+	ModelPoint = model.Point
+	// StaticModelProfile is the static workload characterization.
+	StaticModelProfile = model.StaticProfile
+)
+
+// NewModelWorkload characterizes a program text for the analytic model.
+func NewModelWorkload(name string, text []Instruction, startPCs ...int64) *ModelWorkload {
+	entries := make([]int, 0, len(startPCs))
+	for _, pc := range startPCs {
+		entries = append(entries, int(pc))
+	}
+	return model.NewWorkload(name, text, entries)
+}
+
+// ExploreConfig parameterises RunExplore.
+type ExploreConfig struct {
+	// Workload sizes the ray-trace program being explored.
+	Workload RayTraceConfig
+	// Grid is the enumeration to search; zero value means
+	// model.DefaultGrid over the paper's base machine.
+	Grid *ModelGrid
+	// SkipFrontierSim skips the exact re-simulation of the frontier
+	// (predictions only; Simulated/ErrPct stay zero).
+	SkipFrontierSim bool
+}
+
+// ExplorePoint is a frontier point: the analytic prediction plus the
+// exact re-simulation it is checked against.
+type ExplorePoint struct {
+	model.Point
+	// Simulated is the exact cycle count of this configuration.
+	Simulated uint64 `json:"simulated"`
+	// ErrPct is the signed model error: 100·(predicted−simulated)/simulated.
+	ErrPct float64 `json:"errPct"`
+}
+
+// ExploreReport is the full design-space exploration result.
+type ExploreReport struct {
+	Workload string `json:"workload"`
+	// Searched is the number of configurations predicted analytically.
+	Searched int `json:"searched"`
+	// Anchors is the number of calibration simulations run.
+	Anchors int `json:"anchors"`
+	// Frontier is the Pareto-optimal set, cheapest first, re-simulated.
+	Frontier []ExplorePoint `json:"frontier"`
+	// MaxAbsErrPct is the worst |ErrPct| across the frontier.
+	MaxAbsErrPct float64 `json:"maxAbsErrPct"`
+	// BoundViolations counts predictions below their certified lower
+	// bound — always zero (predictions are clamped); reported so the
+	// differential guarantee is visible in the artifact.
+	BoundViolations int `json:"boundViolations"`
+}
+
+// exploreAnchors is the calibration protocol: one low-contention run
+// (pins the dependence and fetch-bubble rates), one high-contention run
+// (pins the knee sharpness), and two single-slot wide-issue runs (pin the
+// width scaling).
+func exploreAnchors() []core.Config {
+	return []core.Config{
+		{ThreadSlots: 2, LoadStoreUnits: 2, StandbyStations: true},
+		{ThreadSlots: 8, LoadStoreUnits: 1, StandbyStations: true},
+		{ThreadSlots: 1, IssueWidth: 2, LoadStoreUnits: 2, StandbyStations: true},
+		{ThreadSlots: 1, IssueWidth: 4, LoadStoreUnits: 2, StandbyStations: true},
+	}
+}
+
+// RunExplore searches the configuration grid analytically, re-simulates
+// the Pareto frontier exactly, and reports the model error against those
+// exact runs.
+func RunExplore(cfg ExploreConfig) (*ExploreReport, error) {
+	rt, err := BuildRayTrace(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	runCfg := func(c core.Config) (core.Result, error) {
+		m, err := rt.NewMemory(rt.Par, c.Effective().ThreadSlots)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return RunMT(c, rt.Par.Text, m)
+	}
+
+	w := model.NewWorkload("raytrace", rt.Par.Text, nil)
+	anchors := exploreAnchors()
+	anchorRes, err := runCells(len(anchors), func(i int) (core.Result, error) {
+		return runCfg(anchors[i])
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore calibration: %w", err)
+	}
+	for i, a := range anchors {
+		w.AddAnchor(a, anchorRes[i])
+	}
+
+	grid := model.DefaultGrid(core.Config{})
+	if cfg.Grid != nil {
+		grid = *cfg.Grid
+	}
+	points := w.Explore(grid)
+	frontier := model.Pareto(points)
+
+	rep := &ExploreReport{
+		Workload: "raytrace",
+		Searched: len(points),
+		Anchors:  len(anchors),
+	}
+	for _, p := range points {
+		if !p.Unbounded && int64(p.Cycles) < p.Bound {
+			rep.BoundViolations++
+		}
+	}
+
+	if cfg.SkipFrontierSim {
+		for _, p := range frontier {
+			rep.Frontier = append(rep.Frontier, ExplorePoint{Point: p})
+		}
+		return rep, nil
+	}
+
+	sims, err := runCells(len(frontier), func(i int) (uint64, error) {
+		res, err := runCfg(frontier[i].Config)
+		if err != nil {
+			return 0, fmt.Errorf("explore frontier re-simulation %d: %w", i, err)
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range frontier {
+		ep := ExplorePoint{Point: p, Simulated: sims[i]}
+		if ep.Simulated > 0 {
+			ep.ErrPct = 100 * (float64(p.Cycles) - float64(ep.Simulated)) / float64(ep.Simulated)
+		}
+		if abs := ep.ErrPct; abs < 0 {
+			if -abs > rep.MaxAbsErrPct {
+				rep.MaxAbsErrPct = -abs
+			}
+		} else if abs > rep.MaxAbsErrPct {
+			rep.MaxAbsErrPct = abs
+		}
+		rep.Frontier = append(rep.Frontier, ep)
+	}
+	return rep, nil
+}
+
+// Format renders the exploration report as text.
+func (r *ExploreReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Design-space exploration: %s\n", r.Workload)
+	fmt.Fprintf(&b, "  %d configurations searched analytically, %d calibration runs, %d on the Pareto frontier\n",
+		r.Searched, r.Anchors, len(r.Frontier))
+	fmt.Fprintf(&b, "  bound violations: %d (every prediction is clamped to its certified lower bound)\n\n", r.BoundViolations)
+	fmt.Fprintf(&b, "  %-6s %-44s %-9s %-9s %s\n", "cost", "configuration", "predicted", "simulated", "err")
+	for _, p := range r.Frontier {
+		sim, errs := "-", "-"
+		if p.Simulated > 0 {
+			sim = fmt.Sprintf("%d", p.Simulated)
+			errs = fmt.Sprintf("%+.1f%%", p.ErrPct)
+		}
+		fmt.Fprintf(&b, "  %-6.2f %-44s %-9d %-9s %s\n", p.Cost, describeConfig(p.Config), p.Cycles, sim, errs)
+	}
+	if len(r.Frontier) > 0 && r.Frontier[0].Simulated > 0 {
+		fmt.Fprintf(&b, "\n  max |model error| on the frontier: %.1f%%\n", r.MaxAbsErrPct)
+	}
+	return b.String()
+}
+
+func describeConfig(cfg core.Config) string {
+	eff := cfg.Effective()
+	sb := "off"
+	if eff.StandbyStations {
+		sb = fmt.Sprintf("on/d%d", eff.StandbyDepth)
+	}
+	extras := ""
+	for c := 1; c <= len(cfg.ExtraUnits)-1; c++ {
+		if n := cfg.ExtraUnits[c]; n > 0 {
+			extras += fmt.Sprintf(" +%d%s", n, UnitClass(c))
+		}
+	}
+	return fmt.Sprintf("S=%d D=%d ls=%d standby=%s%s",
+		eff.ThreadSlots, eff.IssueWidth, eff.LoadStoreUnits, sb, extras)
+}
+
+// ModelValidationPoint is one Tables 2–5 cell: the model's prediction
+// against the exact re-simulation.
+type ModelValidationPoint struct {
+	Table     string  `json:"table"`
+	Label     string  `json:"label"`
+	Predicted uint64  `json:"predicted"`
+	Simulated uint64  `json:"simulated"`
+	ErrPct    float64 `json:"errPct"`
+	Bound     int64   `json:"bound"`
+	Anchor    bool    `json:"anchor"` // cell doubled as a calibration run
+}
+
+// ModelValidation is the model-vs-simulator comparison across scaled-down
+// reproductions of the paper's Tables 2–5.
+type ModelValidation struct {
+	Points []ModelValidationPoint `json:"points"`
+	// PerTable maps each table to its worst |error| in percent.
+	PerTable map[string]float64 `json:"perTable"`
+	// MaxAbsErrPct is the worst |error| across every cell.
+	MaxAbsErrPct float64 `json:"maxAbsErrPct"`
+	// BoundViolations counts predictions below the certificate (always 0).
+	BoundViolations int `json:"boundViolations"`
+}
+
+// ModelValidationConfig sizes the Tables 2–5 reproductions the model is
+// validated against. The zero value picks sizes small enough for CI while
+// preserving each table's contention structure.
+type ModelValidationConfig struct {
+	Rays      int // ray-trace rays (Tables 2 and 3); default 48
+	Spheres   int // ray-trace spheres; default 6
+	LK1N      int // Livermore Kernel 1 iterations (Table 4); default 50
+	ListNodes int // linked-list nodes (Table 5); default 40
+}
+
+func (c ModelValidationConfig) withDefaults() ModelValidationConfig {
+	if c.Rays <= 0 {
+		c.Rays = 48
+	}
+	if c.Spheres <= 0 {
+		c.Spheres = 6
+	}
+	if c.LK1N <= 0 {
+		c.LK1N = 50
+	}
+	if c.ListNodes <= 0 {
+		c.ListNodes = 40
+	}
+	return c
+}
+
+// ValidateModel re-simulates scaled-down Tables 2–5, calibrates the
+// analytic model on a handful of anchor cells per table, predicts every
+// remaining cell, and reports per-point and per-table errors.
+func ValidateModel(cfg ModelValidationConfig) (*ModelValidation, error) {
+	cfg = cfg.withDefaults()
+	v := &ModelValidation{PerTable: make(map[string]float64)}
+
+	record := func(table, label string, p model.Prediction, simulated uint64, anchor bool) {
+		pt := ModelValidationPoint{
+			Table: table, Label: label,
+			Predicted: p.Cycles, Simulated: simulated,
+			Bound: p.Bound, Anchor: anchor,
+		}
+		if simulated > 0 {
+			pt.ErrPct = 100 * (float64(p.Cycles) - float64(simulated)) / float64(simulated)
+		}
+		if int64(p.Cycles) < p.Bound {
+			v.BoundViolations++
+		}
+		abs := pt.ErrPct
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs > v.PerTable[table] {
+			v.PerTable[table] = abs
+		}
+		if abs > v.MaxAbsErrPct {
+			v.MaxAbsErrPct = abs
+		}
+		v.Points = append(v.Points, pt)
+	}
+
+	// Tables 2 and 3: the ray tracer across slots × load/store units ×
+	// standby and issue-width × slots products, one shared workload
+	// calibrated once.
+	rt, err := BuildRayTrace(RayTraceConfig{Rays: cfg.Rays, Spheres: cfg.Spheres})
+	if err != nil {
+		return nil, err
+	}
+	runRT := func(c core.Config) (uint64, error) {
+		m, err := rt.NewMemory(rt.Par, c.Effective().ThreadSlots)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunMT(c, rt.Par.Text, m)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	}
+	wrt := model.NewWorkload("raytrace", rt.Par.Text, nil)
+	anchorSet := make(map[core.Config]bool)
+	for _, a := range exploreAnchors() {
+		m, err := rt.NewMemory(rt.Par, a.Effective().ThreadSlots)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunMT(a, rt.Par.Text, m)
+		if err != nil {
+			return nil, err
+		}
+		wrt.AddAnchor(a, res)
+		anchorSet[a] = true
+	}
+	type rtCell struct {
+		label string
+		cfg   core.Config
+	}
+	var t2 []rtCell
+	for _, s := range []int{2, 4, 8} {
+		for _, ls := range []int{1, 2} {
+			for _, sb := range []bool{false, true} {
+				t2 = append(t2, rtCell{
+					fmt.Sprintf("S=%d ls=%d standby=%v", s, ls, sb),
+					core.Config{ThreadSlots: s, LoadStoreUnits: ls, StandbyStations: sb},
+				})
+			}
+		}
+	}
+	var t3 []rtCell
+	for _, prod := range []int{2, 4, 8} {
+		for d := 1; d <= prod; d *= 2 {
+			t3 = append(t3, rtCell{
+				fmt.Sprintf("D=%d S=%d", d, prod/d),
+				core.Config{ThreadSlots: prod / d, IssueWidth: d, LoadStoreUnits: 2, StandbyStations: true},
+			})
+		}
+	}
+	for _, tbl := range []struct {
+		name  string
+		cells []rtCell
+	}{{"table2", t2}, {"table3", t3}} {
+		sims, err := runCells(len(tbl.cells), func(i int) (uint64, error) {
+			return runRT(tbl.cells[i].cfg)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("model validation %s: %w", tbl.name, err)
+		}
+		for i, c := range tbl.cells {
+			record(tbl.name, c.label, wrt.Predict(c.cfg), sims[i], anchorSet[c.cfg])
+		}
+	}
+
+	// Table 4: Livermore Kernel 1 under the three scheduling strategies.
+	// Each (strategy, slots) cell schedules its own text, so the cell's
+	// workload characterizes that text while the strategy's anchor runs
+	// (2 and 8 slots) pin the family's stall rates and N(S) trend.
+	for _, strat := range []Strategy{ScheduleNone, ScheduleStrategyA, ScheduleStrategyB} {
+		strat := strat
+		buildLV := func(slots int) (*workload.Livermore, []Instruction, error) {
+			lv, err := BuildLivermore(LivermoreConfig{
+				N: cfg.LK1N, Threads: slots, Strategy: strat, LoadStoreUnits: 1,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			prog := lv.Par
+			if slots == 1 {
+				prog = lv.Seq
+			}
+			return lv, prog.Text, nil
+		}
+		runLV := func(slots int) (core.Result, error) {
+			lv, text, err := buildLV(slots)
+			if err != nil {
+				return core.Result{}, err
+			}
+			prog := lv.Par
+			if slots == 1 {
+				prog = lv.Seq
+			}
+			m, err := prog.NewMemory(64)
+			if err != nil {
+				return core.Result{}, err
+			}
+			return RunMT(core.Config{
+				ThreadSlots: slots, LoadStoreUnits: 1, StandbyStations: true,
+			}, text, m)
+		}
+		slotsList := []int{1, 2, 3, 4, 5, 6, 7, 8}
+		results, err := runCells(len(slotsList), func(i int) (core.Result, error) {
+			return runLV(slotsList[i])
+		})
+		if err != nil {
+			return nil, fmt.Errorf("model validation table4 (%v): %w", strat, err)
+		}
+		resBySlots := make(map[int]core.Result, len(slotsList))
+		for i, s := range slotsList {
+			resBySlots[s] = results[i]
+		}
+		for _, slots := range slotsList {
+			_, text, err := buildLV(slots)
+			if err != nil {
+				return nil, err
+			}
+			w := model.NewWorkload(fmt.Sprintf("lk1-%v", strat), text, nil)
+			// The parallel cells share one text family (the same kernel
+			// rescheduled per slot count), so the 2- and 8-slot anchors
+			// transfer. The single-slot row executes the *sequential*
+			// program — a different text — and anchors on itself.
+			anchorSlots := []int{2, 8}
+			if slots == 1 {
+				anchorSlots = []int{1}
+			}
+			for _, as := range anchorSlots {
+				w.AddAnchor(core.Config{
+					ThreadSlots: as, LoadStoreUnits: 1, StandbyStations: true,
+				}, resBySlots[as])
+			}
+			c := core.Config{ThreadSlots: slots, LoadStoreUnits: 1, StandbyStations: true}
+			record("table4", fmt.Sprintf("%v S=%d", strat, slots),
+				w.Predict(c), resBySlots[slots].Cycles, slots == 1 || slots == 2 || slots == 8)
+		}
+	}
+
+	// Table 5: the doacross linked-list traversal, whose saturation is a
+	// queue-coupling floor rather than a unit or dependence limit.
+	ll, err := BuildLinkedList(LinkedListConfig{Nodes: cfg.ListNodes, BreakAt: -1})
+	if err != nil {
+		return nil, err
+	}
+	runLL := func(slots int) (core.Result, error) {
+		m, err := ll.NewMemory(ll.Par, slots)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return RunMT(core.Config{
+			ThreadSlots: slots, LoadStoreUnits: 1, StandbyStations: true,
+		}, ll.Par.Text, m)
+	}
+	llSlots := []int{2, 3, 4, 6, 8}
+	llRes, err := runCells(len(llSlots), func(i int) (core.Result, error) {
+		return runLL(llSlots[i])
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model validation table5: %w", err)
+	}
+	wll := model.NewWorkload("linkedlist", ll.Par.Text, nil)
+	for i, s := range llSlots {
+		if s == 2 || s == 8 {
+			wll.AddAnchor(core.Config{
+				ThreadSlots: s, LoadStoreUnits: 1, StandbyStations: true,
+			}, llRes[i])
+		}
+	}
+	for i, s := range llSlots {
+		c := core.Config{ThreadSlots: s, LoadStoreUnits: 1, StandbyStations: true}
+		record("table5", fmt.Sprintf("S=%d", s), wll.Predict(c), llRes[i].Cycles, s == 2 || s == 8)
+	}
+
+	return v, nil
+}
+
+// Format renders the validation as text, per-point errors included.
+func (v *ModelValidation) Format() string {
+	var b strings.Builder
+	b.WriteString("Analytic model vs exact simulation (Tables 2-5 reproductions)\n")
+	last := ""
+	for _, p := range v.Points {
+		if p.Table != last {
+			fmt.Fprintf(&b, "\n%s (worst |err| %.1f%%)\n", p.Table, v.PerTable[p.Table])
+			last = p.Table
+		}
+		mark := " "
+		if p.Anchor {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "  %s %-28s pred=%-8d sim=%-8d err=%+6.1f%%  bound=%d\n",
+			mark, p.Label, p.Predicted, p.Simulated, p.ErrPct, p.Bound)
+	}
+	tables := make([]string, 0, len(v.PerTable))
+	for t := range v.PerTable {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	b.WriteString("\nper-table worst |err|:")
+	for _, t := range tables {
+		fmt.Fprintf(&b, " %s=%.1f%%", t, v.PerTable[t])
+	}
+	fmt.Fprintf(&b, "\nmax |err| = %.1f%%  (* = calibration anchor cell)  bound violations = %d\n",
+		v.MaxAbsErrPct, v.BoundViolations)
+	return b.String()
+}

@@ -183,10 +183,14 @@ func ComputeBounds(text []isa.Instruction, entries []int, m Machine) Bounds {
 		frag := text[blk.start:blk.end]
 		w.span[bi] = int64(sched.DepSpan(frag, m.IssueWidth, skip))
 		w.count[bi] = int64(len(frag))
+		// Per-class demand comes from the shared census (sched.CensusOf)
+		// so this resource bound and internal/model's characterizer count
+		// functional-unit time identically.
+		census := sched.CensusOf(frag)
+		for c := 1; c <= isa.NumUnitClasses; c++ {
+			w.demand[c][bi] = census[c].Demand
+		}
 		for _, in := range frag {
-			if u := in.Op.Unit(); u != isa.UnitNone {
-				w.demand[u][bi] += int64(in.Op.IssueLatency())
-			}
 			if in.Op == isa.KILL && blk.reachable {
 				killReachable = true
 			}
@@ -363,15 +367,12 @@ func ComputeBounds(text []isa.Instruction, entries []int, m Machine) Bounds {
 }
 
 // classCountWeights builds the per-block instruction count restricted to
-// one functional-unit class (for the census rows of the CPI stack).
+// one functional-unit class (for the census rows of the CPI stack), using
+// the same shared census as the demand weights.
 func classCountWeights(g *cfg, text []isa.Instruction, c isa.UnitClass) []int64 {
 	w := make([]int64, len(g.blocks))
 	for bi, blk := range g.blocks {
-		for pc := blk.start; pc < blk.end; pc++ {
-			if text[pc].Op.Unit() == c {
-				w[bi]++
-			}
-		}
+		w[bi] = sched.CensusOf(text[blk.start:blk.end])[c].Count
 	}
 	return w
 }

@@ -1,0 +1,183 @@
+// Package model is the analytic performance model: a static workload
+// characterizer plus a calibrated queuing predictor for the Hirata
+// multithreaded processor (docs/MODEL.md).
+//
+// Where internal/lint.ComputeBounds proves a *certified lower bound* on
+// cycles, this package aims at the *expected* cycle count, per-unit
+// utilization, saturation set and speed-up of an arbitrary (slots, units,
+// standby, issue-width) configuration — accurate enough to rank thousands
+// of design points without simulating them (hirata-bench -explore), yet
+// never below the certificate: every prediction is clamped to the
+// lint.ComputeBounds bound, and a differential test enforces it.
+//
+// The model has two operating points:
+//
+//   - static only (no calibration runs): the three bound components
+//     (dependence, resource, issue bandwidth) are combined with a smooth
+//     maximum, so relative rankings reflect which resource saturates first.
+//   - calibrated: one or more measured runs (core.Result, optionally an
+//     obs CPI stack) pin the dynamic instruction count N(S), per-class
+//     demand, the per-instruction data-stall and fetch-bubble rates, the
+//     knee sharpness of the dependence/resource crossover, and the
+//     queue-coupling saturation floor. See docs/MODEL.md for the
+//     equations and the measured error against Tables 2–5.
+package model
+
+import (
+	"hirata/internal/isa"
+	"hirata/internal/sched"
+)
+
+// StaticProfile is what the characterizer can extract from program text
+// alone: instruction mix, per-class issue-latency demand, the
+// dependence-chain ILP profile at each decode width, and queue-coupling
+// structure.
+type StaticProfile struct {
+	// Text and Entries identify the program; bounds are recomputed
+	// against them for every predicted configuration.
+	Text    []isa.Instruction
+	Entries []int
+
+	// Census is the whole-text per-class demand census (shared with the
+	// lint resource bound through sched.CensusOf).
+	Census sched.Census
+
+	// Blocks is the number of basic blocks the text splits into.
+	Blocks int
+
+	// UsesQueues: the text maps queue registers (QEN/QENF), so threads
+	// are coupled through the inter-slot FIFO ring and a doacross
+	// saturation floor can apply.
+	UsesQueues bool
+	// HasFork / HasKill mirror the control structure lint keys on.
+	HasFork bool
+	HasKill bool
+
+	// spans caches the summed per-block dependence span at each decode
+	// width (spans[1] is the serial dependence height of the text).
+	spans map[int]int64
+
+	blocks []blockSpan
+	qskip  func(isa.Reg) bool
+}
+
+type blockSpan struct{ start, end int }
+
+// Characterize extracts the static profile of a program text. entries are
+// the thread start PCs (empty means PC 0, matching lint.ComputeBounds).
+func Characterize(text []isa.Instruction, entries []int) *StaticProfile {
+	p := &StaticProfile{
+		Text:    text,
+		Entries: append([]int(nil), entries...),
+		Census:  sched.CensusOf(text),
+		spans:   make(map[int]int64),
+	}
+
+	// Queue-mapped registers communicate through the FIFOs, not the
+	// register file; dependence edges through them are dropped, exactly
+	// as the lint dependence bound does.
+	var qregs map[isa.Reg]bool
+	for _, in := range text {
+		switch in.Op {
+		case isa.QEN, isa.QENF:
+			p.UsesQueues = true
+			if qregs == nil {
+				qregs = make(map[isa.Reg]bool)
+			}
+			if in.Rs1.Valid() {
+				qregs[in.Rs1] = true
+			}
+			if in.Rs2.Valid() {
+				qregs[in.Rs2] = true
+			}
+		case isa.FFORK:
+			p.HasFork = true
+		case isa.KILL:
+			p.HasKill = true
+		}
+	}
+	if qregs != nil {
+		p.qskip = func(r isa.Reg) bool { return qregs[r] }
+	}
+
+	// Basic-block segmentation (same leader rules as the lint CFG:
+	// entries, branch targets, and fall-throughs of branches, HALT and
+	// FFORK start blocks). Per-block dependence spans are additive along
+	// any executed path under in-order decode, so their text-wide sum is
+	// the width-dependent ILP profile the model scales by.
+	if len(text) == 0 {
+		return p
+	}
+	leader := make([]bool, len(text)+1)
+	leader[0], leader[len(text)] = true, true
+	for _, e := range entries {
+		if e >= 0 && e < len(text) {
+			leader[e] = true
+		}
+	}
+	for pc, in := range text {
+		if in.Op.IsBranch() && in.Op != isa.JR {
+			if t := int(in.Imm); t >= 0 && t < len(text) {
+				leader[t] = true
+			}
+		}
+		if in.Op.IsBranch() || in.Op == isa.HALT || in.Op == isa.FFORK {
+			if pc+1 < len(text) {
+				leader[pc+1] = true
+			}
+		}
+	}
+	start := 0
+	for pc := 1; pc <= len(text); pc++ {
+		if leader[pc] {
+			p.blocks = append(p.blocks, blockSpan{start, pc})
+			start = pc
+		}
+	}
+	p.Blocks = len(p.blocks)
+	return p
+}
+
+// span returns the summed per-block dependence span of the text at the
+// given decode width (memoized).
+func (p *StaticProfile) span(width int) int64 {
+	if width < 1 {
+		width = 1
+	}
+	if s, ok := p.spans[width]; ok {
+		return s
+	}
+	var sum int64
+	for _, b := range p.blocks {
+		sum += int64(sched.DepSpan(p.Text[b.start:b.end], width, p.qskip))
+	}
+	p.spans[width] = sum
+	return sum
+}
+
+// WidthRatio estimates how much of the width-1 dependence cost survives at
+// decode width D: the ratio of summed block spans. 1.0 at D = 1, shrinking
+// toward the critical-path floor as D grows. Used to extrapolate the
+// calibrated data-dependence CPI to widths no anchor run measured.
+func (p *StaticProfile) WidthRatio(width int) float64 {
+	base := p.span(1)
+	if base == 0 {
+		return 1
+	}
+	return float64(p.span(width)) / float64(base)
+}
+
+// DepCPI is the static dependence-limited CPI of the text at a decode
+// width: span cycles per dispatched instruction. It seeds the uncalibrated
+// model's data-dependence term.
+func (p *StaticProfile) DepCPI(width int) float64 {
+	n := p.Census.Total().Count
+	if n == 0 {
+		return 1
+	}
+	cpi := float64(p.span(width)) / float64(n)
+	if cpi < 1/float64(width) {
+		cpi = 1 / float64(width)
+	}
+	return cpi
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"sort"
+
+	"hirata/internal/core"
+	"hirata/internal/isa"
+)
+
+// Grid is a design-space enumeration: the cartesian product of the listed
+// axis values over a base configuration. Axes left nil collapse to the
+// base config's value.
+//
+// NOTE(configfield): this is the one place in the tree that legitimately
+// builds core.Config values field by field — enumeration axes must name
+// the fields they sweep. The configfield analyzer exempts this package;
+// when Config grows a field that should be explorable, add an axis here.
+type Grid struct {
+	// Base supplies every field the axes don't sweep.
+	Base core.Config
+
+	Slots         []int  // ThreadSlots
+	Widths        []int  // IssueWidth
+	LoadStore     []int  // LoadStoreUnits
+	Standby       []bool // StandbyStations
+	StandbyDepths []int  // StandbyDepth (only applied when standby is on)
+	ExtraALU      []int  // ExtraUnits[isa.UnitIntALU]
+	ExtraFPAdd    []int  // ExtraUnits[isa.UnitFPAdd]
+	ExtraFPMul    []int  // ExtraUnits[isa.UnitFPMul]
+}
+
+// DefaultGrid spans the paper's design space and its nearby ablations:
+// 8 slot counts × 3 issue widths × 4 load/store pools × standby
+// {off, depth 1, depth 2} × 2 ALU pools × 2 FP-adder pools = 1152
+// distinct configurations.
+func DefaultGrid(base core.Config) Grid {
+	return Grid{
+		Base:          base,
+		Slots:         []int{1, 2, 3, 4, 5, 6, 7, 8},
+		Widths:        []int{1, 2, 4},
+		LoadStore:     []int{1, 2, 3, 4},
+		Standby:       []bool{false, true},
+		StandbyDepths: []int{1, 2},
+		ExtraALU:      []int{0, 1},
+		ExtraFPAdd:    []int{0, 1},
+	}
+}
+
+func axis[T any](vals []T, base T) []T {
+	if len(vals) == 0 {
+		return []T{base}
+	}
+	return vals
+}
+
+// Configs enumerates the grid. Standby depths beyond the first are
+// skipped when standby stations are off (the depth is meaningless there),
+// so every returned config is distinct.
+func (g Grid) Configs() []core.Config {
+	slots := axis(g.Slots, g.Base.ThreadSlots)
+	widths := axis(g.Widths, g.Base.IssueWidth)
+	ls := axis(g.LoadStore, g.Base.LoadStoreUnits)
+	standby := axis(g.Standby, g.Base.StandbyStations)
+	depths := axis(g.StandbyDepths, g.Base.StandbyDepth)
+	alu := axis(g.ExtraALU, g.Base.ExtraUnits[isa.UnitIntALU])
+	fpa := axis(g.ExtraFPAdd, g.Base.ExtraUnits[isa.UnitFPAdd])
+	fpm := axis(g.ExtraFPMul, g.Base.ExtraUnits[isa.UnitFPMul])
+
+	var out []core.Config
+	for _, s := range slots {
+		for _, d := range widths {
+			for _, l := range ls {
+				for _, sb := range standby {
+					for di, dep := range depths {
+						if !sb && di > 0 {
+							continue
+						}
+						for _, a := range alu {
+							for _, fa := range fpa {
+								for _, fm := range fpm {
+									cfg := g.Base
+									cfg.ThreadSlots = s
+									cfg.IssueWidth = d
+									cfg.LoadStoreUnits = l
+									cfg.StandbyStations = sb
+									cfg.StandbyDepth = dep
+									cfg.ExtraUnits[isa.UnitIntALU] = a
+									cfg.ExtraUnits[isa.UnitFPAdd] = fa
+									cfg.ExtraUnits[isa.UnitFPMul] = fm
+									out = append(out, cfg)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Cost is the hardware-cost heuristic the Pareto frontier trades cycles
+// against: one unit of cost per decode datapath (S·D), per functional
+// unit, and a quarter unit per standby latch (S·D·depth latches).
+func Cost(cfg core.Config) float64 {
+	eff := cfg.Effective()
+	cost := float64(eff.ThreadSlots * eff.IssueWidth)
+	for c := 1; c <= isa.NumUnitClasses; c++ {
+		cost += float64(eff.UnitCount(isa.UnitClass(c)))
+	}
+	if eff.StandbyStations {
+		depth := eff.StandbyDepth
+		if depth < 1 {
+			depth = 1
+		}
+		cost += 0.25 * float64(eff.ThreadSlots*eff.IssueWidth*depth)
+	}
+	return cost
+}
+
+// Point is one explored design point: a prediction plus its cost.
+type Point struct {
+	Prediction
+	Cost float64 `json:"cost"`
+}
+
+// Explore predicts every configuration in the grid. Points are returned
+// in enumeration order; unboundable configs (no finite execution) keep
+// Unbounded set and predict zero cycles.
+func (w *Workload) Explore(g Grid) []Point {
+	cfgs := g.Configs()
+	pts := make([]Point, len(cfgs))
+	for i, cfg := range cfgs {
+		pts[i] = Point{Prediction: w.Predict(cfg), Cost: Cost(cfg)}
+	}
+	return pts
+}
+
+// Pareto returns the non-dominated frontier of (cost, cycles): the points
+// for which no other point is both cheaper-or-equal and faster-or-equal.
+// The frontier is sorted by ascending cost (descending cycles). Unbounded
+// points never make the frontier.
+func Pareto(pts []Point) []Point {
+	sorted := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if !p.Unbounded && p.Cycles > 0 {
+			sorted = append(sorted, p)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Cost != sorted[j].Cost {
+			return sorted[i].Cost < sorted[j].Cost
+		}
+		return sorted[i].Cycles < sorted[j].Cycles
+	})
+	var front []Point
+	best := uint64(0)
+	for _, p := range sorted {
+		if len(front) == 0 || p.Cycles < best {
+			// Equal-cost ties keep only the first (fastest) point.
+			if len(front) > 0 && front[len(front)-1].Cost == p.Cost {
+				continue
+			}
+			front = append(front, p)
+			best = p.Cycles
+		}
+	}
+	return front
+}

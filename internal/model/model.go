@@ -1,0 +1,703 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hirata/internal/core"
+	"hirata/internal/isa"
+	"hirata/internal/lint"
+	"hirata/internal/obs"
+)
+
+const (
+	// startupCycles mirrors lint's pipeline-fill floor (IF1 IF2 D1 D2).
+	startupCycles = 4
+	// defaultKnee is the crossover sharpness used when no anchor shows a
+	// measurable overshoot above its max component: a sharp (max-like)
+	// combination. Calibration lowers it when runs show dependence and
+	// resource limits interfering.
+	defaultKnee = kneeMax
+	kneeMin     = 1.05
+	kneeMax     = 64.0
+	// satUtil is the utilization (percent) above which a unit class is
+	// reported as saturated.
+	satUtil = 90.0
+	// floorStallFrac: when queue-empty/full stalls exceed this fraction of
+	// an anchor run's slot-cycles, the run is treated as sitting on the
+	// doacross coupling floor and its cycle count becomes a saturation
+	// floor for larger machines.
+	floorStallFrac = 0.25
+	// standbyOffPenalty inflates the contention overshoot when the config
+	// has no standby stations (decode blocks until a unit accepts), and
+	// standbyDepthGain discounts it per extra station of depth.
+	standbyOffPenalty = 1.10
+	standbyDepthGain  = 0.25
+)
+
+// Anchor is one measured calibration run: a configuration, its simulated
+// result, and optionally the machine row of an obs CPI stack, which pins
+// the issue-cycle count exactly at issue widths above 1.
+type Anchor struct {
+	Config core.Config
+	Result core.Result
+	CPI    *obs.SlotCPI
+}
+
+// Workload is a characterized program plus its calibration state. Zero or
+// more anchor runs refine the static profile into a calibrated predictor;
+// all fitted parameters are re-derived lazily when anchors change.
+//
+// Anchors do not have to execute the workload's exact text: for workload
+// families whose text varies with the thread count (the Livermore builds),
+// anchors from sibling configurations pin the family's stall rates and the
+// linear N(S) trend while bounds still come from this workload's own text.
+type Workload struct {
+	Name   string
+	Static *StaticProfile
+
+	anchors []Anchor
+
+	mu       sync.Mutex
+	fitted   *fit
+	boundsMu sync.Mutex
+	bounds   map[lint.Machine]lint.Bounds
+}
+
+// fit is the calibrated parameter set derived from the anchors.
+type fit struct {
+	calibrated bool
+
+	// nA + nB·S: dynamic instruction count as a function of thread count.
+	nA, nB float64
+	// demand[c] = a + b·S: per-class issue-cycle demand trend.
+	demA, demB [isa.NumUnitClasses + 1]float64
+
+	// widthCPI maps each anchored issue width to the measured
+	// dependence-limited CPI (issue cycles + data stalls per instruction).
+	widthCPI map[int]float64
+	// fetchCPI is the per-instruction fetch-bubble + priority-stall rate.
+	fetchCPI float64
+
+	// knee is the fitted dependence/resource crossover sharpness.
+	knee float64
+	// floor is the doacross coupling floor in cycles (0 = none observed).
+	floor float64
+
+	// base caches the 1-slot single-issue reference prediction for the
+	// speed-up column.
+	baseCycles float64
+}
+
+// NewWorkload characterizes text and returns an uncalibrated workload.
+func NewWorkload(name string, text []isa.Instruction, entries []int) *Workload {
+	return &Workload{Name: name, Static: Characterize(text, entries)}
+}
+
+// AddAnchor records a measured run for calibration.
+func (w *Workload) AddAnchor(cfg core.Config, res core.Result) {
+	w.addAnchor(Anchor{Config: cfg, Result: res})
+}
+
+// AddAnchorCPI records a measured run together with the machine row of its
+// CPI stack (obs.CPIStack.Machine()), which replaces the estimated
+// issue-cycle count with the exact one.
+func (w *Workload) AddAnchorCPI(cfg core.Config, res core.Result, cpi obs.SlotCPI) {
+	w.addAnchor(Anchor{Config: cfg, Result: res, CPI: &cpi})
+}
+
+func (w *Workload) addAnchor(a Anchor) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.anchors = append(w.anchors, a)
+	w.fitted = nil
+}
+
+// Anchors returns the calibration runs recorded so far.
+func (w *Workload) Anchors() []Anchor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Anchor(nil), w.anchors...)
+}
+
+// Calibrated reports whether at least one anchor run refines the model.
+func (w *Workload) Calibrated() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.anchors) > 0
+}
+
+// Bounds returns the lint certificate for this workload's text on the
+// given configuration, memoized per machine shape.
+func (w *Workload) Bounds(cfg core.Config) lint.Bounds {
+	m := machineFor(cfg)
+	w.boundsMu.Lock()
+	defer w.boundsMu.Unlock()
+	if w.bounds == nil {
+		w.bounds = make(map[lint.Machine]lint.Bounds)
+	}
+	if b, ok := w.bounds[m]; ok {
+		return b
+	}
+	b := lint.ComputeBounds(w.Static.Text, w.Static.Entries, m)
+	w.bounds[m] = b
+	return b
+}
+
+// machineFor maps a resolved core.Config onto the static analyses'
+// machine shape (the same mapping as hirata.StaticBounds; replicated here
+// because the model package sits below the root package).
+func machineFor(cfg core.Config) lint.Machine {
+	eff := cfg.Effective()
+	m := lint.Machine{
+		ThreadSlots:      eff.ThreadSlots,
+		IssueWidth:       eff.IssueWidth,
+		MaxIssuePerCycle: eff.MaxIssuePerCycle,
+	}
+	for u := isa.UnitClass(1); int(u) <= isa.NumUnitClasses; u++ {
+		m.Units[u] = eff.UnitCount(u)
+	}
+	return m
+}
+
+// anchorStats is the per-anchor digest the fit works from.
+type anchorStats struct {
+	slots, width   int
+	cycles         float64
+	n              float64 // instructions issued
+	demand         [isa.NumUnitClasses + 1]float64
+	depCPI         float64 // (issue cycles + data stalls) / N
+	fetchCPI       float64 // (fetch-empty + priority stalls) / N
+	queueStallFrac float64 // queue stalls / (S · T)
+}
+
+func digestAnchor(a Anchor) (anchorStats, bool) {
+	eff := a.Config.Effective()
+	st := anchorStats{
+		slots:  eff.ThreadSlots,
+		width:  eff.IssueWidth,
+		cycles: float64(a.Result.Cycles),
+		n:      float64(a.Result.Instructions),
+	}
+	if st.n <= 0 || st.cycles <= 0 {
+		return st, false
+	}
+	var data, fetch, queue, total float64
+	for _, s := range a.Result.Slots {
+		data += float64(s.Stalls[core.StallData])
+		fetch += float64(s.Stalls[core.StallEmpty] + s.Stalls[core.StallPriority])
+		queue += float64(s.Stalls[core.StallQueueEmpty] + s.Stalls[core.StallQueueFull])
+		for _, v := range s.Stalls {
+			total += float64(v)
+		}
+	}
+	for _, u := range a.Result.Units {
+		st.demand[u.Class] += float64(u.BusyCycles)
+	}
+
+	// Issue cycles: exact from the CPI stack when present; at width 1
+	// every issued instruction spends exactly one decode cycle; at wider
+	// decode, estimate from the slot-time identity T·S = issued + stalls
+	// + idle, assuming negligible idle (anchor runs keep all slots busy),
+	// clamped to the feasible [N/D, N] band.
+	issueCycles := st.n
+	if a.CPI != nil {
+		issueCycles = float64(a.CPI.Cycles[obs.CPIIssued])
+	} else if st.width > 1 {
+		issueCycles = st.cycles*float64(st.slots) - total
+		if lo := st.n / float64(st.width); issueCycles < lo {
+			issueCycles = lo
+		}
+		if issueCycles > st.n {
+			issueCycles = st.n
+		}
+	}
+	st.depCPI = (issueCycles + data) / st.n
+	st.fetchCPI = fetch / st.n
+	st.queueStallFrac = queue / (st.cycles * float64(st.slots))
+	return st, true
+}
+
+// linfit least-squares fits y = a + b·x; a lone point (or identical xs)
+// degenerates to the mean with zero slope.
+func linfit(xs, ys []float64) (a, b float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+func (w *Workload) fit() *fit {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fitted != nil {
+		return w.fitted
+	}
+	f := &fit{widthCPI: make(map[int]float64), knee: defaultKnee}
+	w.fitted = f
+
+	var digests []anchorStats
+	for _, a := range w.anchors {
+		if d, ok := digestAnchor(a); ok {
+			digests = append(digests, d)
+		}
+	}
+	if len(digests) == 0 {
+		return f
+	}
+	f.calibrated = true
+
+	// N(S) and per-class demand trends across thread counts.
+	var xs, ys []float64
+	for _, d := range digests {
+		xs = append(xs, float64(d.slots))
+		ys = append(ys, d.n)
+	}
+	f.nA, f.nB = linfit(xs, ys)
+	for c := 1; c <= isa.NumUnitClasses; c++ {
+		ys = ys[:0]
+		for _, d := range digests {
+			ys = append(ys, d.demand[c])
+		}
+		f.demA[c], f.demB[c] = linfit(xs, ys)
+	}
+
+	// Per-width dependence CPI and the fetch-bubble rate: averaged over
+	// the anchors measuring each width.
+	widthSum, widthCnt := map[int]float64{}, map[int]int{}
+	var fetchSum float64
+	for _, d := range digests {
+		widthSum[d.width] += d.depCPI
+		widthCnt[d.width]++
+		fetchSum += d.fetchCPI
+	}
+	for wd, s := range widthSum {
+		f.widthCPI[wd] = s / float64(widthCnt[wd])
+	}
+	f.fetchCPI = fetchSum / float64(len(digests))
+
+	// Coupling floor: any anchor dominated by queue-register stalls is
+	// sitting on the doacross ring's serial limit; the smallest such
+	// cycle count is a floor no larger machine can beat.
+	if w.Static.UsesQueues {
+		for _, d := range digests {
+			if d.queueStallFrac >= floorStallFrac {
+				if f.floor == 0 || d.cycles < f.floor {
+					f.floor = d.cycles
+				}
+			}
+		}
+	}
+
+	// Knee sharpness: pick the p minimizing the worst relative error
+	// across the anchors. A soft knee (small p) models dependence and
+	// resource limits interfering (cycles overshoot the max component);
+	// a sharp knee (large p) models them overlapping cleanly. Fitting
+	// minimax over every anchor keeps one contended anchor from softening
+	// the knee so far that it inflates anchors where a single component
+	// dominates. Anchors riding the coupling floor are excluded: their
+	// excess is the doacross ring's serial limit, which the floor term
+	// models, not dependence/resource interference.
+	type kneeObs struct{ dep, res, eta, measured float64 }
+	var kobs []kneeObs
+	for i, d := range digests {
+		if d.queueStallFrac >= floorStallFrac {
+			continue
+		}
+		c := w.componentsLocked(f, d.slots, d.width, machineFromAnchor(w.anchors[i]))
+		kobs = append(kobs, kneeObs{
+			dep: c.dep, res: c.res,
+			eta:      contentionEta(w.anchors[i].Config.Effective()),
+			measured: d.cycles,
+		})
+	}
+	if len(kobs) > 0 {
+		worstAt := func(p float64) float64 {
+			worst := 0.0
+			for _, o := range kobs {
+				maxc := math.Max(o.dep, o.res)
+				t := maxc + o.eta*(pnorm(o.dep, o.res, p)-maxc)
+				if e := math.Abs(t-o.measured) / o.measured; e > worst {
+					worst = e
+				}
+			}
+			return worst
+		}
+		const steps = 120
+		bestP, bestErr := kneeMax, worstAt(kneeMax)
+		ratio := math.Pow(kneeMax/kneeMin, 1.0/steps)
+		for p := kneeMin; p < kneeMax; p *= ratio {
+			if e := worstAt(p); e < bestErr {
+				bestP, bestErr = p, e
+			}
+		}
+		f.knee = bestP
+	}
+
+	// Reference point for the speed-up column: the same workload on one
+	// thread slot, single issue, base units.
+	f.baseCycles = 0
+	return f
+}
+
+func machineFromAnchor(a Anchor) lint.Machine { return machineFor(a.Config) }
+
+// components holds the analytic time components for one configuration.
+type components struct {
+	n               float64 // predicted dynamic instruction count
+	dep, res, issue float64
+	demand          [isa.NumUnitClasses + 1]float64
+	resClass        isa.UnitClass
+}
+
+func (c components) maxComponent() float64 {
+	return math.Max(c.dep, math.Max(c.res, c.issue))
+}
+
+// componentsLocked computes the calibrated time components for a machine
+// shape. Caller holds w.mu (or f is fully built).
+func (w *Workload) componentsLocked(f *fit, slots, width int, m lint.Machine) components {
+	var c components
+	c.n = f.nA + f.nB*float64(slots)
+	if c.n < 1 {
+		c.n = 1
+	}
+	perThread := c.n / float64(slots)
+
+	// Dependence / pipeline component: per-thread instructions times the
+	// per-instruction decode + data-stall + fetch-bubble cost.
+	c.dep = startupCycles + perThread*(w.widthDepCPI(f, width)+f.fetchCPI)
+
+	// Resource component: the most loaded unit class at its service rate.
+	c.res = startupCycles
+	for cls := 1; cls <= isa.NumUnitClasses; cls++ {
+		dem := f.demA[cls] + f.demB[cls]*float64(slots)
+		if dem < 0 {
+			dem = 0
+		}
+		c.demand[cls] = dem
+		units := m.Units[cls]
+		if units < 1 {
+			units = 1
+		}
+		if t := startupCycles + dem/float64(units); t > c.res {
+			c.res, c.resClass = t, isa.UnitClass(cls)
+		}
+	}
+
+	// Issue-bandwidth component: S·D decodes per cycle, optionally capped
+	// by the machine-wide issue limit.
+	c.issue = startupCycles + c.n/float64(slots*width)
+	if m.MaxIssuePerCycle > 0 {
+		if t := startupCycles + c.n/float64(m.MaxIssuePerCycle); t > c.issue {
+			c.issue = t
+		}
+	}
+	return c
+}
+
+// widthDepCPI returns the calibrated dependence CPI at an issue width,
+// interpolating between anchored widths on the 1−1/D axis and
+// extrapolating beyond them with the static span ratio.
+func (w *Workload) widthDepCPI(f *fit, width int) float64 {
+	if v, ok := f.widthCPI[width]; ok {
+		return v
+	}
+	widths := make([]int, 0, len(f.widthCPI))
+	for d := range f.widthCPI {
+		widths = append(widths, d)
+	}
+	sort.Ints(widths)
+	x := func(d int) float64 { return 1 - 1/float64(d) }
+	clamp := func(v float64) float64 {
+		if lo := 1 / float64(width); v < lo {
+			return lo
+		}
+		return v
+	}
+	// Between two anchored widths: linear interpolation.
+	for i := 0; i+1 < len(widths); i++ {
+		lo, hi := widths[i], widths[i+1]
+		if lo < width && width < hi {
+			t := (x(width) - x(lo)) / (x(hi) - x(lo))
+			return clamp(f.widthCPI[lo] + t*(f.widthCPI[hi]-f.widthCPI[lo]))
+		}
+	}
+	// Outside the anchored range: scale the nearest anchored point by the
+	// static dependence-span ratio.
+	near := widths[0]
+	if width > widths[len(widths)-1] {
+		near = widths[len(widths)-1]
+	}
+	rs := w.Static.WidthRatio(near)
+	if rs == 0 {
+		return clamp(f.widthCPI[near])
+	}
+	return clamp(f.widthCPI[near] * w.Static.WidthRatio(width) / rs)
+}
+
+// contentionEta scales the knee overshoot by the config's ability to
+// absorb contention: standby stations hide unit-busy backpressure, deeper
+// stations hide more, and no stations at all cost a little extra.
+func contentionEta(eff core.Config) float64 {
+	if !eff.StandbyStations {
+		return standbyOffPenalty
+	}
+	depth := eff.StandbyDepth
+	if depth < 1 {
+		depth = 1
+	}
+	eta := 1 / (1 + standbyDepthGain*float64(depth-1))
+	if eta < 0.5 {
+		eta = 0.5
+	}
+	return eta
+}
+
+// pnorm is the smooth maximum (x^p + y^p)^(1/p), computed in log space to
+// stay finite for large components.
+func pnorm(x, y, p float64) float64 {
+	if x <= 0 {
+		return y
+	}
+	if y <= 0 {
+		return x
+	}
+	m := math.Max(x, y)
+	return m * math.Pow(math.Pow(x/m, p)+math.Pow(y/m, p), 1/p)
+}
+
+// Prediction is the model's output for one configuration.
+type Prediction struct {
+	Config  core.Config  `json:"config"`
+	Machine lint.Machine `json:"machine"`
+
+	// Cycles is the final prediction, clamped to Bound.
+	Cycles uint64 `json:"cycles"`
+	// Raw is the unclamped model output in cycles.
+	Raw float64 `json:"raw"`
+	// Bound is the lint.ComputeBounds certificate (lower bound).
+	Bound int64 `json:"bound"`
+	// Clamped: Raw fell below the certificate and was raised to it.
+	Clamped bool `json:"clamped,omitempty"`
+	// Unbounded: the static analysis proves no finite execution exists.
+	Unbounded bool `json:"unbounded,omitempty"`
+	// Calibrated: anchors refined the static model.
+	Calibrated bool `json:"calibrated"`
+
+	// Instructions is the predicted dynamic instruction count.
+	Instructions float64 `json:"instructions"`
+	// DepTime, ResTime, IssueTime are the component times; Knee is their
+	// smooth combination before clamping, Floor the doacross coupling
+	// floor when one applies.
+	DepTime   float64 `json:"depTime"`
+	ResTime   float64 `json:"resTime"`
+	IssueTime float64 `json:"issueTime"`
+	Knee      float64 `json:"knee"`
+	Floor     float64 `json:"floor,omitempty"`
+
+	// Util is the predicted utilization percentage per unit class
+	// (U = N·L/T over the class's units); Saturated lists classes above
+	// the 90% saturation threshold, most loaded first.
+	Util      [isa.NumUnitClasses + 1]float64 `json:"util"`
+	Saturated []isa.UnitClass                 `json:"saturated,omitempty"`
+
+	// Speedup is predicted cycles of the 1-slot single-issue base-unit
+	// reference divided by this prediction's cycles.
+	Speedup float64 `json:"speedup"`
+}
+
+// Predict runs the analytic model for one configuration.
+func (w *Workload) Predict(cfg core.Config) Prediction {
+	p := w.predict(cfg)
+	if base := w.baseline(); base > 0 && p.Cycles > 0 && !p.Unbounded {
+		p.Speedup = base / float64(p.Cycles)
+	}
+	return p
+}
+
+// baseline computes (once) the reference cycles for the speed-up column.
+func (w *Workload) baseline() float64 {
+	f := w.fit()
+	w.mu.Lock()
+	cached := f.baseCycles
+	w.mu.Unlock()
+	if cached != 0 {
+		return cached
+	}
+	ref := w.predict(core.Config{ThreadSlots: 1, IssueWidth: 1, LoadStoreUnits: 1})
+	v := float64(ref.Cycles)
+	if ref.Unbounded {
+		v = -1
+	}
+	w.mu.Lock()
+	f.baseCycles = v
+	w.mu.Unlock()
+	return v
+}
+
+func (w *Workload) predict(cfg core.Config) Prediction {
+	eff := cfg.Effective()
+	m := machineFor(eff)
+	b := w.Bounds(eff)
+	p := Prediction{Config: cfg, Machine: m, Bound: b.Bound, Unbounded: b.Unbounded}
+	if b.Unbounded {
+		return p
+	}
+
+	f := w.fit()
+	p.Calibrated = f.calibrated
+
+	var c components
+	if f.calibrated {
+		c = w.componentsLocked(f, m.ThreadSlots, m.IssueWidth, m)
+	} else {
+		// Static-only: the certificate's own components are the best
+		// available estimates; the smooth max still ranks configurations
+		// by which limit binds first.
+		c.n = float64(b.TotalCount)
+		c.dep = float64(b.DepBound)
+		c.res = float64(b.ResourceBound)
+		c.issue = float64(b.IssueBound)
+		for _, cb := range b.Classes {
+			c.demand[cb.Class] = float64(cb.Demand)
+		}
+	}
+	p.Instructions = c.n
+	p.DepTime, p.ResTime, p.IssueTime = c.dep, c.res, c.issue
+
+	maxc := math.Max(c.dep, c.res)
+	knee := maxc + contentionEta(eff)*(pnorm(c.dep, c.res, f.knee)-maxc)
+	p.Knee = knee
+
+	t := math.Max(knee, c.issue)
+	if f.calibrated && f.floor > 0 && w.Static.UsesQueues {
+		p.Floor = f.floor
+		t = math.Max(t, f.floor)
+	}
+	if t < startupCycles+1 {
+		t = startupCycles + 1
+	}
+	p.Raw = t
+
+	p.Cycles = uint64(math.Ceil(t))
+	if b.Bound > 0 && p.Cycles < uint64(b.Bound) {
+		p.Cycles = uint64(b.Bound)
+		p.Clamped = true
+	}
+
+	// Utilization per class at the predicted cycle count.
+	total := float64(p.Cycles)
+	for cls := 1; cls <= isa.NumUnitClasses; cls++ {
+		units := m.Units[cls]
+		if units < 1 {
+			units = 1
+		}
+		if total > 0 {
+			u := 100 * c.demand[cls] / (float64(units) * total)
+			if u > 100 {
+				u = 100
+			}
+			p.Util[cls] = u
+		}
+	}
+	type su struct {
+		c isa.UnitClass
+		u float64
+	}
+	var sats []su
+	for cls := 1; cls <= isa.NumUnitClasses; cls++ {
+		if p.Util[cls] >= satUtil {
+			sats = append(sats, su{isa.UnitClass(cls), p.Util[cls]})
+		}
+	}
+	sort.Slice(sats, func(i, j int) bool { return sats[i].u > sats[j].u })
+	for _, s := range sats {
+		p.Saturated = append(p.Saturated, s.c)
+	}
+	return p
+}
+
+// Format renders the prediction as a multi-line report (hirata-lint
+// -model): predicted cycles, the component times, and the per-class
+// utilization with saturated classes marked.
+func (p Prediction) Format() string {
+	var b []byte
+	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	mode := "static-only"
+	if p.Calibrated {
+		mode = "calibrated"
+	}
+	add("analytic model (%s): S=%d D=%d\n", mode, p.Machine.ThreadSlots, p.Machine.IssueWidth)
+	if p.Unbounded {
+		add("  unbounded: no finite execution exists (see -bound)\n")
+		return string(b)
+	}
+	add("  predicted cycles: %d (certified lower bound %d", p.Cycles, p.Bound)
+	if p.Clamped {
+		add(", clamped to bound")
+	}
+	add(")\n")
+	add("  components: dependence %.0f, resource %.0f, issue %.0f", p.DepTime, p.ResTime, p.IssueTime)
+	if p.Floor > 0 {
+		add(", queue-coupling floor %.0f", p.Floor)
+	}
+	add("\n")
+	add("  predicted instructions: %.0f, speed-up vs 1-slot base: %.2f\n", p.Instructions, p.Speedup)
+	add("  utilization:")
+	for cls := 1; cls <= isa.NumUnitClasses; cls++ {
+		mark := ""
+		if p.Util[cls] >= satUtil {
+			mark = "*"
+		}
+		add(" %s=%.0f%%%s", isa.UnitClass(cls), p.Util[cls], mark)
+	}
+	add("\n")
+	if len(p.Saturated) > 0 {
+		add("  saturated (>=%.0f%%):", satUtil)
+		for _, c := range p.Saturated {
+			add(" %s", c)
+		}
+		add("\n")
+	}
+	return string(b)
+}
+
+// Describe summarizes a prediction on one line (the -explore report row).
+func (p Prediction) Describe() string {
+	eff := p.Config.Effective()
+	sb := "off"
+	if eff.StandbyStations {
+		sb = fmt.Sprintf("d%d", eff.StandbyDepth)
+	}
+	sat := ""
+	for i, c := range p.Saturated {
+		if i > 0 {
+			sat += ","
+		}
+		sat += c.String()
+	}
+	if sat == "" {
+		sat = "-"
+	}
+	return fmt.Sprintf("S=%d D=%d ls=%d alu=%d fpa=%d sb=%-3s cycles=%-8d bound=%-8d speedup=%5.2f sat=%s",
+		eff.ThreadSlots, eff.IssueWidth, eff.UnitCount(isa.UnitLoadStore),
+		eff.UnitCount(isa.UnitIntALU), eff.UnitCount(isa.UnitFPAdd), sb,
+		p.Cycles, p.Bound, p.Speedup, sat)
+}

@@ -1,0 +1,243 @@
+package model_test
+
+// The model package is tested from outside through the root package: real
+// workload builders and simulator runs supply the calibration anchors, so
+// the tests exercise the same digest path hirata-bench -explore uses.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"hirata"
+	"hirata/internal/core"
+	"hirata/internal/isa"
+	"hirata/internal/model"
+)
+
+// rayWorkload builds the small ray-trace program and a runner closure that
+// simulates one configuration of it.
+func rayWorkload(t *testing.T) (*model.Workload, func(cfg core.Config) core.Result) {
+	t.Helper()
+	rt, err := hirata.BuildRayTrace(hirata.RayTraceConfig{Rays: 16, Spheres: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := model.NewWorkload("raytrace", rt.Par.Text, nil)
+	run := func(cfg core.Config) core.Result {
+		m, err := rt.NewMemory(rt.Par, cfg.Effective().ThreadSlots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := hirata.RunMT(cfg, rt.Par.Text, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	return w, run
+}
+
+func TestCharacterizeRayTrace(t *testing.T) {
+	w, _ := rayWorkload(t)
+	s := w.Static
+	if s.Blocks == 0 {
+		t.Fatal("no basic blocks found")
+	}
+	if !s.HasFork {
+		t.Error("ray-trace parallel build forks workers; HasFork = false")
+	}
+	if s.Census.Total().Count == 0 || s.Census.Total().Demand == 0 {
+		t.Errorf("empty census: %+v", s.Census.Total())
+	}
+	if r := s.WidthRatio(1); r != 1 {
+		t.Errorf("WidthRatio(1) = %v, want 1", r)
+	}
+	prev := s.DepCPI(1)
+	for width := 2; width <= 8; width *= 2 {
+		if r := s.WidthRatio(width); r <= 0 || r > 1 {
+			t.Errorf("WidthRatio(%d) = %v, want (0, 1]", width, r)
+		}
+		cpi := s.DepCPI(width)
+		if cpi > prev {
+			t.Errorf("DepCPI(%d) = %v > DepCPI at previous width %v", width, cpi, prev)
+		}
+		if cpi < 1/float64(width) {
+			t.Errorf("DepCPI(%d) = %v below the 1/D floor", width, cpi)
+		}
+		prev = cpi
+	}
+}
+
+func TestCharacterizeQueues(t *testing.T) {
+	rc, err := hirata.BuildRecurrence(hirata.RecurrenceConfig{N: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := model.Characterize(rc.Par.Text, nil)
+	if !s.UsesQueues {
+		t.Error("doacross recurrence build maps queue registers; UsesQueues = false")
+	}
+}
+
+func TestStaticOnlyPredict(t *testing.T) {
+	w, _ := rayWorkload(t)
+	cfg := core.Config{ThreadSlots: 4, LoadStoreUnits: 2, StandbyStations: true}
+	p := w.Predict(cfg)
+	if p.Calibrated {
+		t.Error("no anchors recorded, yet prediction claims calibration")
+	}
+	if p.Unbounded {
+		t.Fatal("finite program predicted unbounded")
+	}
+	if p.Bound <= 0 || p.Cycles < uint64(p.Bound) {
+		t.Errorf("cycles %d below certified bound %d", p.Cycles, p.Bound)
+	}
+	if math.IsNaN(p.Raw) || math.IsInf(p.Raw, 0) {
+		t.Errorf("non-finite raw prediction %v", p.Raw)
+	}
+	for c := 1; c <= isa.NumUnitClasses; c++ {
+		if u := p.Util[c]; u < 0 || u > 100 {
+			t.Errorf("utilization[%v] = %v out of range", isa.UnitClass(c), u)
+		}
+	}
+	if p.Speedup <= 0 {
+		t.Errorf("speed-up %v, want positive", p.Speedup)
+	}
+}
+
+func TestCalibratedPredictInterpolates(t *testing.T) {
+	w, run := rayWorkload(t)
+	for _, slots := range []int{2, 8} {
+		cfg := core.Config{ThreadSlots: slots, LoadStoreUnits: 2, StandbyStations: true}
+		w.AddAnchor(cfg, run(cfg))
+	}
+	if !w.Calibrated() {
+		t.Fatal("anchors recorded but Calibrated() = false")
+	}
+
+	// The interesting claim: a thread count no anchor measured is predicted
+	// close to its simulation.
+	cfg := core.Config{ThreadSlots: 4, LoadStoreUnits: 2, StandbyStations: true}
+	p := w.Predict(cfg)
+	res := run(cfg)
+	err := 100 * (float64(p.Cycles) - float64(res.Cycles)) / float64(res.Cycles)
+	t.Logf("S=4 predicted %d simulated %d (%.1f%%)", p.Cycles, res.Cycles, err)
+	if math.Abs(err) > 15 {
+		t.Errorf("interpolated prediction off by %.1f%%, want within 15%%", err)
+	}
+	if p.Cycles < uint64(p.Bound) {
+		t.Errorf("cycles %d below certified bound %d", p.Cycles, p.Bound)
+	}
+}
+
+// TestExploreRespectsCertificates is the differential test the package doc
+// promises: across the whole default design grid, every finite prediction
+// must sit on or above the independently computed lint certificate.
+func TestExploreRespectsCertificates(t *testing.T) {
+	w, run := rayWorkload(t)
+	cfg := core.Config{ThreadSlots: 4, LoadStoreUnits: 2, StandbyStations: true}
+	w.AddAnchor(cfg, run(cfg))
+
+	pts := w.Explore(model.DefaultGrid(core.Config{}))
+	if len(pts) < 1000 {
+		t.Fatalf("grid explored %d configs, want >= 1000", len(pts))
+	}
+	for _, p := range pts {
+		if p.Unbounded {
+			continue
+		}
+		cert := hirata.StaticBounds(p.Config, w.Static.Text)
+		if cert.Bound != p.Bound {
+			t.Fatalf("%s: prediction carries bound %d, StaticBounds says %d",
+				p.Describe(), p.Bound, cert.Bound)
+		}
+		if p.Cycles < uint64(cert.Bound) {
+			t.Fatalf("%s: predicted cycles %d below certificate %d",
+				p.Describe(), p.Cycles, cert.Bound)
+		}
+	}
+}
+
+func TestGridConfigsDistinct(t *testing.T) {
+	cfgs := model.DefaultGrid(core.Config{}).Configs()
+	if len(cfgs) != 1152 {
+		t.Errorf("default grid enumerates %d configs, want 1152", len(cfgs))
+	}
+	seen := make(map[core.Config]bool, len(cfgs))
+	for _, c := range cfgs {
+		if seen[c] {
+			t.Fatalf("duplicate config enumerated: %+v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestGridNilAxesCollapse(t *testing.T) {
+	base := core.Config{ThreadSlots: 3, IssueWidth: 2, LoadStoreUnits: 2}
+	cfgs := model.Grid{Base: base, Slots: []int{1, 2}}.Configs()
+	if len(cfgs) != 2 {
+		t.Fatalf("one two-value axis enumerates %d configs, want 2", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.IssueWidth != 2 || c.LoadStoreUnits != 2 {
+			t.Errorf("nil axis did not keep base value: %+v", c)
+		}
+	}
+}
+
+func TestCostMonotone(t *testing.T) {
+	small := model.Cost(core.Config{ThreadSlots: 1})
+	big := model.Cost(core.Config{ThreadSlots: 8, IssueWidth: 2, LoadStoreUnits: 4, StandbyStations: true, StandbyDepth: 2})
+	if small <= 0 || big <= small {
+		t.Errorf("cost not monotone: small %v, big %v", small, big)
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	mk := func(cost float64, cycles uint64, unbounded bool) model.Point {
+		var p model.Point
+		p.Cost = cost
+		p.Cycles = cycles
+		p.Unbounded = unbounded
+		return p
+	}
+	pts := []model.Point{
+		mk(10, 100, false),
+		mk(12, 120, false), // dominated: costlier and slower
+		mk(12, 80, false),
+		mk(12, 90, false), // equal-cost tie: slower, dropped
+		mk(20, 80, false), // dominated: same cycles at higher cost
+		mk(30, 50, false),
+		mk(5, 10, true), // unbounded never qualifies
+	}
+	front := model.Pareto(pts)
+	if len(front) != 3 {
+		t.Fatalf("frontier size %d, want 3: %+v", len(front), front)
+	}
+	for i := range front {
+		if front[i].Unbounded {
+			t.Fatal("unbounded point on the frontier")
+		}
+		if i > 0 {
+			if front[i].Cost <= front[i-1].Cost {
+				t.Errorf("frontier cost not ascending at %d", i)
+			}
+			if front[i].Cycles >= front[i-1].Cycles {
+				t.Errorf("frontier cycles not descending at %d", i)
+			}
+		}
+	}
+}
+
+func TestPredictionDescribe(t *testing.T) {
+	w, _ := rayWorkload(t)
+	p := w.Predict(core.Config{ThreadSlots: 2, IssueWidth: 2, LoadStoreUnits: 2, StandbyStations: true})
+	line := p.Describe()
+	for _, want := range []string{"S=2", "D=2", "ls=2", fmt.Sprintf("cycles=%d", p.Cycles)} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Describe() = %q missing %q", line, want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package sched
+
+import "hirata/internal/isa"
+
+// ClassDemand is one functional-unit class's share of an instruction
+// fragment: how many instructions dispatch to the class and how many
+// issue cycles they occupy it for (the N and N·L of the paper's
+// U = N·L/T utilization law).
+type ClassDemand struct {
+	Count  int64 // instructions dispatched to the class
+	Demand int64 // issue-cycle demand: sum of per-instruction issue latencies
+}
+
+// Census is the per-class demand census of an instruction fragment,
+// indexed by isa.UnitClass (index 0, UnitNone, stays zero: decode-executed
+// instructions occupy no functional unit).
+//
+// This is the single source of truth for "how much functional-unit time
+// does this code need": the static lower-bound analysis
+// (internal/lint.ComputeBounds) sums it along cheapest CFG paths to prove
+// a resource bound, and the analytic performance model (internal/model)
+// scales it by observed execution counts to predict utilization. Both
+// passes call CensusOf so their per-class accounting cannot drift; the
+// sync test census_test.go locks the census to the ISA latency tables.
+type Census [isa.NumUnitClasses + 1]ClassDemand
+
+// CensusOf computes the per-class demand census of an instruction
+// fragment.
+func CensusOf(frag []isa.Instruction) Census {
+	var c Census
+	for _, in := range frag {
+		u := in.Op.Unit()
+		if u == isa.UnitNone {
+			continue
+		}
+		c[u].Count++
+		c[u].Demand += int64(in.Op.IssueLatency())
+	}
+	return c
+}
+
+// Add accumulates another census into this one.
+func (c *Census) Add(o Census) {
+	for i := range c {
+		c[i].Count += o[i].Count
+		c[i].Demand += o[i].Demand
+	}
+}
+
+// Total returns the fragment-wide instruction count and issue-cycle demand
+// summed over every functional-unit class.
+func (c Census) Total() ClassDemand {
+	var t ClassDemand
+	for _, d := range c {
+		t.Count += d.Count
+		t.Demand += d.Demand
+	}
+	return t
+}

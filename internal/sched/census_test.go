@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"testing"
+
+	"hirata/internal/isa"
+)
+
+// TestCensusMatchesISATables locks CensusOf to the ISA latency tables:
+// for every opcode, a one-instruction fragment must report exactly the
+// opcode's unit class and issue latency. The static resource bound
+// (internal/lint) and the analytic performance model (internal/model)
+// both consume CensusOf, so this test is what keeps the two passes'
+// per-class accounting from drifting.
+func TestCensusMatchesISATables(t *testing.T) {
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		ins := isa.Instruction{Op: op}
+		c := CensusOf([]isa.Instruction{ins})
+		u := op.Unit()
+		for cls := 0; cls <= isa.NumUnitClasses; cls++ {
+			want := ClassDemand{}
+			if cls == int(u) && u != isa.UnitNone {
+				want = ClassDemand{Count: 1, Demand: int64(op.IssueLatency())}
+			}
+			if c[cls] != want {
+				t.Errorf("%v: census[%v] = %+v, want %+v", op, isa.UnitClass(cls), c[cls], want)
+			}
+		}
+	}
+}
+
+// TestCensusAdditive checks that the census of a concatenation is the sum
+// of the parts — the property the lower-bound pass relies on when it sums
+// per-block censuses along CFG paths.
+func TestCensusAdditive(t *testing.T) {
+	a := []isa.Instruction{{Op: isa.ADD}, {Op: isa.LW}, {Op: isa.FMUL}}
+	b := []isa.Instruction{{Op: isa.FDIV}, {Op: isa.SW}, {Op: isa.NOP}, {Op: isa.BEQZ}}
+	sum := CensusOf(a)
+	sum.Add(CensusOf(b))
+	whole := CensusOf(append(append([]isa.Instruction{}, a...), b...))
+	if sum != whole {
+		t.Fatalf("census not additive: parts %+v, whole %+v", sum, whole)
+	}
+	tot := whole.Total()
+	// ADD, LW, FMUL, FDIV, SW dispatch to units; NOP and BEQZ do not.
+	if tot.Count != 5 {
+		t.Fatalf("total count = %d, want 5", tot.Count)
+	}
+	wantDemand := int64(isa.ADD.IssueLatency() + isa.LW.IssueLatency() +
+		isa.FMUL.IssueLatency() + isa.FDIV.IssueLatency() + isa.SW.IssueLatency())
+	if tot.Demand != wantDemand {
+		t.Fatalf("total demand = %d, want %d", tot.Demand, wantDemand)
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+// configfield: flags code that constructs or copies core.Config
+// field-by-field. Config grows regularly (the ExtraUnits /
+// DisableCycleSkip pattern): code enumerating fields one by one compiles
+// clean when a field is added and silently drops it — a sweep that copies
+// ThreadSlots..QueueDepth by hand keeps running after ExtraUnits lands,
+// with ExtraUnits zeroed. Two shapes are flagged:
+//
+//   - a core.Config composite literal where several element values read
+//     fields off the same other Config value (a field-by-field copy:
+//     `core.Config{ThreadSlots: c.ThreadSlots, IssueWidth: c.IssueWidth,
+//     ...}`) — copy the whole value and override instead;
+//   - a run of consecutive statements assigning distinct fields of the
+//     same Config variable (field-by-field construction).
+//
+// internal/model is exempt: its design-space Grid is the one legitimate
+// explicit field enumeration (the axes must name the fields they sweep),
+// and it is documented as the place to extend when Config grows.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const (
+	// configCopyMin is the number of fields copied from one source Config
+	// into a composite literal before it counts as a field-by-field copy.
+	configCopyMin = 3
+	// configAssignRunMin is the number of consecutive single-field
+	// assignments to one Config variable before the run counts as
+	// field-by-field construction.
+	configAssignRunMin = 4
+)
+
+// checkConfigField runs the configfield analysis over one package unit.
+func checkConfigField(fset *token.FileSet, pkgPath string, files []*ast.File, info *types.Info) []string {
+	const (
+		corePkg  = modulePath + "/internal/core"
+		modelPkg = modulePath + "/internal/model"
+	)
+	if pkgPath == modelPkg || pkgPath == modelPkg+"_test" {
+		return nil
+	}
+	isConfig := func(t types.Type) bool { return isNamedType(t, corePkg, "Config") }
+
+	var findings []string
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				tv, ok := info.Types[n]
+				if !ok || !isConfig(tv.Type) {
+					return true
+				}
+				// Count keyed elements whose value is a field selector off
+				// some other Config-typed expression, grouped by source.
+				bySource := map[string]int{}
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					sel, ok := kv.Value.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					tv, ok := info.Types[sel.X]
+					if !ok || !isConfig(tv.Type) {
+						continue
+					}
+					bySource[exprKey(sel.X)]++
+				}
+				for src, count := range bySource {
+					if count >= configCopyMin {
+						findings = append(findings, fmt.Sprintf(
+							"%s: configfield: composite literal copies %d core.Config fields from %q one by one; a newly added Config field would be dropped silently — copy the value and override",
+							fset.Position(n.Lbrace), count, src))
+					}
+				}
+			case *ast.BlockStmt:
+				findings = append(findings, configAssignRuns(fset, n.List, info, isConfig)...)
+			case *ast.CaseClause:
+				findings = append(findings, configAssignRuns(fset, n.Body, info, isConfig)...)
+			case *ast.CommClause:
+				findings = append(findings, configAssignRuns(fset, n.Body, info, isConfig)...)
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// configAssignRuns scans one statement list for runs of consecutive
+// assignments to distinct fields of the same core.Config variable.
+func configAssignRuns(fset *token.FileSet, stmts []ast.Stmt, info *types.Info, isConfig func(types.Type) bool) []string {
+	var findings []string
+	runBase := ""
+	runFields := map[string]bool{}
+	var runStart token.Pos
+	flush := func() {
+		if runBase != "" && len(runFields) >= configAssignRunMin {
+			findings = append(findings, fmt.Sprintf(
+				"%s: configfield: %d consecutive assignments construct core.Config %q field by field; a newly added Config field would be dropped silently",
+				fset.Position(runStart), len(runFields), runBase))
+		}
+		runBase = ""
+		runFields = map[string]bool{}
+	}
+	for _, st := range stmts {
+		base, field, ok := configFieldWrite(st, info, isConfig)
+		if !ok {
+			flush()
+			continue
+		}
+		if base != runBase {
+			flush()
+			runBase = base
+			runStart = st.Pos()
+		}
+		runFields[field] = true
+	}
+	flush()
+	return findings
+}
+
+// configFieldWrite reports whether st is a plain assignment to a single
+// field (possibly through an index expression) of a core.Config-typed
+// expression, returning the base expression key and the field name.
+func configFieldWrite(st ast.Stmt, info *types.Info, isConfig func(types.Type) bool) (base, field string, ok bool) {
+	as, isAssign := st.(*ast.AssignStmt)
+	if !isAssign || as.Tok != token.ASSIGN || len(as.Lhs) != 1 {
+		return "", "", false
+	}
+	lhs := as.Lhs[0]
+	// cfg.ExtraUnits[i] = v writes the ExtraUnits field element-wise.
+	if ix, isIndex := lhs.(*ast.IndexExpr); isIndex {
+		lhs = ix.X
+	}
+	sel, isSel := lhs.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	tv, found := info.Types[sel.X]
+	if !found || !isConfig(tv.Type) {
+		return "", "", false
+	}
+	return exprKey(sel.X), sel.Sel.Name, true
+}
+
+// exprKey renders a (selector/index) expression chain as a stable string
+// key: cfg, sp.cfg, g.Base, ...
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[]"
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.UnaryExpr:
+		return exprKey(e.X)
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	}
+	return "?"
+}

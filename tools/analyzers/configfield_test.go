@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const configFieldBadFixture = `package p
+
+import "hirata/internal/core"
+
+// bad: composite literal copying fields one by one from another Config.
+func clone(c core.Config) core.Config {
+	return core.Config{
+		ThreadSlots:     c.ThreadSlots,
+		IssueWidth:      c.IssueWidth,
+		LoadStoreUnits:  c.LoadStoreUnits,
+		StandbyStations: c.StandbyStations,
+	}
+}
+
+// bad: a run of consecutive single-field assignments builds a Config.
+func build(slots, width int) core.Config {
+	var cfg core.Config
+	cfg.ThreadSlots = slots
+	cfg.IssueWidth = width
+	cfg.LoadStoreUnits = 2
+	cfg.ExtraUnits[1] = 1
+	return cfg
+}
+`
+
+const configFieldGoodFixture = `package p
+
+import "hirata/internal/core"
+
+// good: whole-value copy with overrides keeps future fields.
+func vary(base core.Config, slots int) core.Config {
+	cfg := base
+	cfg.ThreadSlots = slots
+	cfg.IssueWidth = 2
+	return cfg
+}
+
+// good: literal seeded from scratch with a couple of fields is normal
+// test/experiment setup, not a copy of another Config.
+func fresh() core.Config {
+	return core.Config{ThreadSlots: 4, IssueWidth: 2, LoadStoreUnits: 2, StandbyStations: true}
+}
+
+// good: interleaved non-Config statements break the run.
+func interleaved(slots int) core.Config {
+	var cfg core.Config
+	cfg.ThreadSlots = slots
+	n := slots * 2
+	cfg.IssueWidth = 2
+	_ = n
+	cfg.LoadStoreUnits = 1
+	return cfg
+}
+`
+
+func TestConfigFieldFindings(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/tools/analyzers/fixture", configFieldBadFixture)
+	fs := checkConfigField(fset, "hirata/tools/analyzers/fixture", files, info)
+	if len(fs) != 2 {
+		t.Fatalf("configfield findings = %d, want 2:\n%s", len(fs), strings.Join(fs, "\n"))
+	}
+	joined := strings.Join(fs, "\n")
+	if !strings.Contains(joined, "composite literal copies 4 core.Config fields") {
+		t.Errorf("no copy-rule finding:\n%s", joined)
+	}
+	if !strings.Contains(joined, "4 consecutive assignments construct core.Config") {
+		t.Errorf("no assign-run finding:\n%s", joined)
+	}
+}
+
+func TestConfigFieldClean(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/tools/analyzers/fixture", configFieldGoodFixture)
+	if fs := checkConfigField(fset, "hirata/tools/analyzers/fixture", files, info); len(fs) != 0 {
+		t.Errorf("configfield on clean fixture:\n%s", strings.Join(fs, "\n"))
+	}
+}
+
+// internal/model enumerates Config axes on purpose — its Grid is the
+// documented place to extend when Config grows, so it is exempt.
+func TestConfigFieldExemptsModel(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/internal/model", configFieldBadFixture)
+	if fs := checkConfigField(fset, "hirata/internal/model", files, info); len(fs) != 0 {
+		t.Errorf("configfield inside internal/model: %v", fs)
+	}
+}

@@ -22,6 +22,13 @@
 //     copy aliases the guarded backing arrays and readers race with the
 //     writers once the lock is released.
 //
+//   - configfield: core.Config must not be constructed or copied
+//     field-by-field (a composite literal copying several fields from one
+//     source Config, or a run of consecutive single-field assignments).
+//     Config grows regularly; enumerating its fields compiles clean when a
+//     field is added and silently drops it. internal/model's design-space
+//     Grid is the one exempt explicit enumeration.
+//
 //   - diagdoc: every lint diagnostic code declared in internal/lint/diag.go
 //     must have a `### Lxxx` section in docs/LINT.md, and every such
 //     section must correspond to a declared code. The catalogue promises
@@ -187,6 +194,7 @@ func checkUnit(fset *token.FileSet, dir string, u unit) []string {
 	findings = append(findings, checkInstCompare(fset, pkgPath, u.files, info)...)
 	findings = append(findings, checkStatsMutate(fset, pkgPath, u.files, info)...)
 	findings = append(findings, checkShareCopy(fset, pkgPath, u.files, info)...)
+	findings = append(findings, checkConfigField(fset, pkgPath, u.files, info)...)
 	return findings
 }
 
