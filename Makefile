@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet analyzers verify-examples lint-interthread lint-bounds fuzz fmt trace-demo profile cpi-demo explore-demo bench-report bench bench-check
+.PHONY: all build test race lint vet analyzers verify-examples lint-interthread lint-bounds fuzz fmt trace-demo profile cpi-demo explore-demo self-profile-demo bench-report bench bench-check bench-history
 
 all: build test lint
 
@@ -74,6 +74,15 @@ cpi-demo:
 explore-demo:
 	$(GO) run ./cmd/hirata-bench -explore -rays 48 -spheres 6 -n 50 -nodes 40 -explore-max-err 15 -explore-json explore-report.json
 
+# self-profile-demo turns the observability machinery on the simulator
+# itself (docs/OBSERVABILITY.md, "Host-level observability"): sampled
+# cycle-loop phase attribution, the dirty-set opportunity report, a
+# host-side Perfetto timeline (host-trace.json) and the JSON artifact
+# (selfprofile.json) that benchdiff -history embeds, on a CI-sized ray
+# trace.
+self-profile-demo:
+	$(GO) run ./cmd/hirata-bench -self-profile -rays 48 -spheres 6 -host-trace host-trace.json -self-profile-json selfprofile.json
+
 # bench-report regenerates the JSON paper-reproduction report and records
 # the 8-slot ray-trace Perfetto timeline (CI uploads both as artifacts).
 # PARALLEL controls how many simulation cells run concurrently (0 = all
@@ -91,3 +100,10 @@ bench:
 # baseline and fails on a >10% ns/op regression.
 bench-check: bench
 	$(GO) run ./tools/benchdiff -baseline BENCH_sweep.json -in bench-out.txt
+
+# bench-history appends this bench run (with the self-profile phase
+# breakdown) to BENCH_history.jsonl and prints the cross-run trend
+# (docs/PERFORMANCE.md, "Benchmark history and host self-profiling").
+bench-history: self-profile-demo
+	$(GO) run ./tools/benchdiff -in bench-out.txt -history BENCH_history.jsonl -phases selfprofile.json
+	$(GO) run ./tools/benchdiff -trend

@@ -19,10 +19,15 @@ import (
 
 func main() {
 	var (
-		out = flag.String("o", "", "write encoded binary to this file")
-		dis = flag.Bool("d", false, "disassemble a binary instead of assembling")
+		out     = flag.String("o", "", "write encoded binary to this file")
+		dis     = flag.Bool("d", false, "disassemble a binary instead of assembling")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("hirata-asm", hirata.Version())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hirata-asm [-o out.bin | -d] file")
 		os.Exit(2)

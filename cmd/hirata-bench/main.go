@@ -50,11 +50,31 @@ func main() {
 		explore       = flag.Bool("explore", false, "search the design space with the analytic model, re-simulate the Pareto frontier, and validate the model against Tables 2-5 (docs/MODEL.md)")
 		exploreJSON   = flag.String("explore-json", "", "with -explore, also write the exploration + validation report as JSON here")
 		exploreMaxErr = flag.Float64("explore-max-err", 0, "with -explore, exit nonzero if any model error (frontier or Tables 2-5) exceeds this percentage (0 = no gate)")
+
+		selfProfile     = flag.Bool("self-profile", false, "profile the simulator itself on the representative 8-slot ray trace: cycle-loop phase breakdown plus the dirty-set opportunity report (docs/OBSERVABILITY.md)")
+		hostTrace       = flag.String("host-trace", "", "with -self-profile, write the host-side Chrome Trace Event JSON (cycle-loop phases + sweep workers) here")
+		selfProfileJSON = flag.String("self-profile-json", "", "with -self-profile, write the phase profile and opportunity report as JSON here")
+		version         = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("hirata-bench", hirata.Version())
+		return
+	}
 	hirata.SetParallelism(*parallel)
 
 	rt := hirata.RayTraceConfig{Rays: *rays, Spheres: *spheres}
+	if *selfProfile {
+		if err := runSelfProfile(os.Stdout, rt, selfProfileOutputs{
+			tracePath: *hostTrace,
+			jsonPath:  *selfProfileJSON,
+			httpAddr:  *httpAddr,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "hirata-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *explore {
 		if err := runExplore(os.Stdout, rt, *n, *nodes, *exploreJSON, *exploreMaxErr); err != nil {
 			fmt.Fprintln(os.Stderr, "hirata-bench:", err)

@@ -29,8 +29,13 @@ func main() {
 		dumpN   = flag.Int("dump-n", 1, "number of words to print from -dump")
 		verbose = flag.Bool("v", false, "print full statistics after -run")
 		doLint  = flag.Bool("lint", false, "run the static verifier over the generated code")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("hirata-cc", hirata.Version())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hirata-cc [-run] [-lint] kernel.mc")
 		os.Exit(2)

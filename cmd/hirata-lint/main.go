@@ -59,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		width    = flags.Int("issue-width", 1, "per-slot superscalar issue width assumed by -bound and -model")
 		slots    = flags.Int("slots", 0, "thread slots assumed by -interthread, -deadlock, -bound and -model (default 4; a .lint slots directive in the program overrides)")
 		memSize  = flags.Int64("mem-size", 0, "data-memory size in words for the out-of-range check (0 = size unknown)")
+		version  = flags.Bool("version", false, "print build information and exit")
 	)
 	flags.Usage = func() {
 		fmt.Fprintln(stderr, "usage: hirata-lint [-json|-sarif] [-interthread] [-deadlock] [-bound] [-model] [-slots n] [-issue-width n] [-mem-size words] [-entries pcs] [-queue-depth n] file-or-dir...")
@@ -66,6 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := flags.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, "hirata-lint", hirata.Version())
+		return 0
 	}
 	if flags.NArg() == 0 {
 		flags.Usage()

@@ -63,8 +63,16 @@ func main() {
 		critPathOut  = flag.Bool("critpath", false, "print the dynamic critical path with breakdown (mt)")
 		critPathJSON = flag.String("critpath-json", "", "write the critical-path analysis as JSON to this file (mt)")
 		whatIf       = flag.String("whatif", "", "comma-separated what-if scenarios to estimate, e.g. \"+1 alu,+1 ls,+1 slot\" (mt)")
+
+		selfProfile = flag.Bool("self-profile", false, "profile the simulator itself: print the cycle-loop phase breakdown and dirty-set opportunity report after the run (mt; docs/OBSERVABILITY.md)")
+		hostTrace   = flag.String("host-trace", "", "with -self-profile, write the host-side Chrome Trace Event JSON here (mt)")
+		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("hirata-sim", hirata.Version())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hirata-sim [flags] program.s")
 		flag.Usage()
@@ -120,11 +128,20 @@ func main() {
 		if *pipeline {
 			observers = append(observers, &hirata.TextTracer{W: os.Stdout})
 		}
+		var prof *hirata.HostProfiler
+		if *selfProfile {
+			prof = hirata.NewHostProfiler(hirata.HostProfilerOptions{})
+		}
 		var shutdown func() error
 		if *httpAddr != "" {
 			// Bind before the run starts so the live endpoints exist for its
-			// whole duration.
-			bound, stop, serr := hirata.ServeObservability(*httpAddr, col, prog)
+			// whole duration. With -self-profile the profiler also backs
+			// /hostmetrics.
+			var host hirata.HostSource
+			if prof != nil {
+				host = prof
+			}
+			bound, stop, serr := hirata.ServeObservabilityWithHost(*httpAddr, col, prog, host)
 			if serr != nil {
 				fail(serr)
 			}
@@ -133,9 +150,12 @@ func main() {
 		}
 
 		var res hirata.MTResult
-		if len(observers) > 0 {
-			res, err = hirata.RunMTObserved(cfg, prog.Text, m, observers, pcs...)
-		} else {
+		switch {
+		case len(observers) > 0:
+			res, err = hirata.RunMTProfiledObserved(cfg, prog.Text, m, observers, prof, pcs...)
+		case prof != nil:
+			res, err = hirata.RunMTHostProfiled(cfg, prog.Text, m, prof, pcs...)
+		default:
 			res, err = hirata.RunMT(cfg, prog.Text, m, pcs...)
 		}
 		if err != nil {
@@ -227,6 +247,25 @@ func main() {
 			}
 			fmt.Println()
 			fmt.Print(hirata.FormatWhatIfEstimates(ests))
+		}
+		if prof != nil {
+			fmt.Println()
+			fmt.Print(prof.Profile().Format())
+			fmt.Println()
+			fmt.Print(prof.Opportunity().Format())
+			if *hostTrace != "" {
+				f, ferr := os.Create(*hostTrace)
+				if ferr != nil {
+					fail(ferr)
+				}
+				if err := hirata.WriteHostTrace(f, prof, nil); err != nil {
+					fail(err)
+				}
+				if err := f.Close(); err != nil {
+					fail(err)
+				}
+				fmt.Fprintf(os.Stderr, "hirata-sim: wrote %s (load in ui.perfetto.dev)\n", *hostTrace)
+			}
 		}
 		if shutdown != nil {
 			fmt.Fprintln(os.Stderr, "hirata-sim: run finished; endpoints stay up — interrupt (ctrl-C) to exit")

@@ -42,8 +42,13 @@ func main() {
 		cpiStack     = flag.Bool("cpi-stack", false, "print the per-slot CPI-stack cycle accounting of the replay")
 		critPathOut  = flag.Bool("critpath", false, "print the replay's dynamic critical path with breakdown")
 		whatIf       = flag.String("whatif", "", "comma-separated what-if scenarios to estimate from the replay, e.g. \"+1 alu,+1 ls,+1 slot\"")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("hirata-trace", hirata.Version())
+		return
+	}
 
 	switch {
 	case *record != "":

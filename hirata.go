@@ -36,8 +36,10 @@ import (
 	"strings"
 
 	"hirata/internal/asm"
+	"hirata/internal/buildinfo"
 	"hirata/internal/core"
 	"hirata/internal/exec"
+	"hirata/internal/hostobs"
 	"hirata/internal/isa"
 	"hirata/internal/lint"
 	"hirata/internal/mem"
@@ -45,6 +47,7 @@ import (
 	"hirata/internal/obs"
 	"hirata/internal/risc"
 	"hirata/internal/sched"
+	"hirata/internal/sweep"
 	"hirata/internal/trace"
 	"hirata/internal/workload"
 )
@@ -304,6 +307,110 @@ func RunMTObserved(cfg MTConfig, text []Instruction, m *Memory, observers []Obse
 	}
 	return res, err
 }
+
+// Host-level self-observability (see internal/hostobs and the "Host-level
+// observability" section of docs/OBSERVABILITY.md): the simulator watching
+// its own execution rather than the simulated machine's.
+type (
+	// HostProfiler samples the cycle loop's wall time per phase and its
+	// structure-touch census; attach with RunMTHostProfiled.
+	HostProfiler = hostobs.Profiler
+	// HostProfilerOptions configure sampling rate and trace retention.
+	HostProfilerOptions = hostobs.Options
+	// HostPhaseProfile is the aggregated per-phase wall-time breakdown.
+	HostPhaseProfile = hostobs.PhaseProfile
+	// HostOpportunityReport quantifies scanned-but-unchanged structure
+	// visits — the work an event-driven core (ROADMAP item 2) would skip.
+	HostOpportunityReport = hostobs.OpportunityReport
+	// HostExport bundles profiler and sweep recorder behind /hostmetrics.
+	HostExport = hostobs.Export
+	// HostSource serves a Prometheus exposition on /hostmetrics.
+	HostSource = obs.HostSource
+	// SweepRecorder records per-worker sweep timelines (a SweepTelemetry).
+	SweepRecorder = hostobs.SweepRecorder
+	// SweepTelemetry observes experiment sweeps (see SetSweepTelemetry).
+	SweepTelemetry = sweep.Telemetry
+)
+
+// NewHostProfiler builds a cycle-loop profiler. The zero HostProfilerOptions
+// selects 1-in-32 step sampling and a 4096-sample trace ring.
+func NewHostProfiler(opt HostProfilerOptions) *HostProfiler { return hostobs.New(opt) }
+
+// NewSweepRecorder builds a sweep telemetry recorder for SetSweepTelemetry.
+func NewSweepRecorder() *SweepRecorder { return hostobs.NewSweepRecorder() }
+
+// RunMTHostProfiled is RunMT with a host profiler attached. Unlike pipeline
+// observers, the profiler leaves quiescent-cycle skipping armed (it records
+// the jumps instead), so a profiled run produces an identical MTResult.
+func RunMTHostProfiled(cfg MTConfig, text []Instruction, m *Memory, prof *HostProfiler, startPCs ...int64) (MTResult, error) {
+	if cfg.StrictVerify {
+		if err := strictVerify(text, lintConfigForRun(cfg, m, startPCs)); err != nil {
+			return MTResult{}, err
+		}
+	}
+	p, err := core.New(cfg, text, m)
+	if err != nil {
+		return MTResult{}, err
+	}
+	if prof != nil {
+		p.SetHostProbe(prof)
+	}
+	for _, pc := range startPCs {
+		if err := p.StartThread(pc); err != nil {
+			return MTResult{}, err
+		}
+	}
+	return p.Run()
+}
+
+// RunMTProfiledObserved attaches pipeline observers and a host profiler to
+// the same run. Note that pipeline observers disable quiescent-cycle
+// skipping, so the host profile of such a run shows the cycle loop scanning
+// quiescent cycles the unobserved simulator would have jumped over.
+func RunMTProfiledObserved(cfg MTConfig, text []Instruction, m *Memory, observers []Observer, prof *HostProfiler, startPCs ...int64) (MTResult, error) {
+	p, err := core.New(cfg, text, m)
+	if err != nil {
+		return MTResult{}, err
+	}
+	for _, o := range observers {
+		p.Observe(o)
+	}
+	if prof != nil {
+		p.SetHostProbe(prof)
+	}
+	for _, pc := range startPCs {
+		if err := p.StartThread(pc); err != nil {
+			return MTResult{}, err
+		}
+	}
+	res, err := p.Run()
+	if err == nil {
+		for _, o := range observers {
+			if c, ok := o.(*Collector); ok {
+				c.Finalize(res)
+			}
+		}
+	}
+	return res, err
+}
+
+// WriteHostTrace writes the host-side Chrome Trace Event JSON (cycle-loop
+// phase slices plus sweep-worker timelines; load in ui.perfetto.dev).
+// Either source may be nil.
+func WriteHostTrace(w io.Writer, prof *HostProfiler, rec *SweepRecorder) error {
+	return hostobs.WriteHostTrace(w, prof, rec)
+}
+
+// ServeObservabilityWithHost is ServeObservability plus a /hostmetrics
+// endpoint backed by host (e.g. a HostExport or *HostProfiler); a nil host
+// serves 503 on that route.
+func ServeObservabilityWithHost(addr string, c *Collector, prog *Program, host HostSource) (string, func() error, error) {
+	return obs.ServeWithHost(addr, c, prog, host)
+}
+
+// Version reports the binary's build identity (VCS revision, dirty flag, Go
+// version) as embedded by the Go toolchain; "unknown" outside a VCS build.
+func Version() string { return buildinfo.Get().String() }
 
 // RunRISC simulates a program on the baseline RISC machine.
 func RunRISC(cfg RISCConfig, text []Instruction, m *Memory) (RISCResult, error) {

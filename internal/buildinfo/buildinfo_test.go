@@ -1,0 +1,29 @@
+package buildinfo
+
+import "testing"
+
+func TestGetDegradesGracefully(t *testing.T) {
+	i := Get()
+	if i.Revision == "" {
+		t.Fatalf("Revision must never be empty (want a hash or %q)", "unknown")
+	}
+	if s := i.String(); s == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestSetForTestPins(t *testing.T) {
+	SetForTest(&Info{Revision: "deadbeefcafe0123", Dirty: true, GoVersion: "go9.99"})
+	defer SetForTest(nil)
+	i := Get()
+	if i.ShortRevision() != "deadbeefcafe" {
+		t.Fatalf("ShortRevision = %q", i.ShortRevision())
+	}
+	if got, want := i.String(), "rev deadbeefcafe+dirty (go9.99)"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	SetForTest(nil)
+	if Get().Revision == "deadbeefcafe0123" {
+		t.Fatal("SetForTest(nil) did not restore the real identity")
+	}
+}

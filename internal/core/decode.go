@@ -31,6 +31,9 @@ func (c *issueCtx) ReadInt(r isa.Reg) int64 {
 		if !c.popIntDone {
 			c.popIntVal = int64(c.p.inQueue(c.s.id, false).pop())
 			c.popIntDone = true
+			if c.p.hostSampled {
+				c.p.touchSmp.QueueMoves++
+			}
 		}
 		return c.popIntVal
 	}
@@ -50,6 +53,9 @@ func (c *issueCtx) ReadFP(r isa.Reg) float64 {
 		if !c.popFPDone {
 			c.popFPVal = floatFromBits(c.p.inQueue(c.s.id, true).pop())
 			c.popFPDone = true
+			if c.p.hostSampled {
+				c.p.touchSmp.QueueMoves++
+			}
 		}
 		return c.popFPVal
 	}
@@ -78,6 +84,9 @@ func (p *Processor) decodePhase() error {
 		p.issueBudget = 1 << 30 // unbounded: simultaneous issue
 	}
 	for _, slotID := range p.prio {
+		if p.hostSampled {
+			p.touchSmp.SlotScans++
+		}
 		s := p.slots[slotID]
 		if s.state != slotRunning {
 			continue
@@ -238,6 +247,9 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 		switch {
 		case dest == s.qOutInt, dest == s.qOutFP:
 			destQueue = true
+			if p.hostSampled {
+				p.touchSmp.QueueScans++
+			}
 			if p.outQueue(s.id, dest.IsFP()).full() {
 				return false, StallQueueFull, false, nil
 			}
@@ -284,6 +296,9 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 		ctx := &issueCtx{p: p, s: s, f: f}
 		if destQueue {
 			ctx.push = p.outQueue(s.id, dest.IsFP()).reserve()
+			if p.hostSampled {
+				p.touchSmp.QueueMoves++
+			}
 		}
 		out, eerr := exec.Execute(in, di.pc, ctx)
 		if eerr != nil {
@@ -338,6 +353,9 @@ func (p *Processor) sourcesReady(s *slot, f *contextFrame, srcs []isa.Reg) (bool
 				return false, StallData
 			}
 		}
+	}
+	if p.hostSampled && (needIntPop || needFPPop) {
+		p.touchSmp.QueueScans++
 	}
 	if needIntPop && p.inQueue(s.id, false).readyCount(p.cycle) < 1 {
 		return false, StallQueueEmpty
@@ -585,6 +603,10 @@ func (p *Processor) kill(killer *slot) {
 func (p *Processor) noteIssued(s *slot, di dinstr) {
 	p.stats.Slots[s.id].Issued++
 	p.stats.Instructions++
+	if p.hostSampled {
+		p.touchSmp.Issues++
+		p.hostSlotTouched(s.id)
+	}
 	p.touch(p.cycle)
 	if p.OnIssue != nil {
 		p.OnIssue(s.id, di.pc, p.cycle)

@@ -14,9 +14,15 @@ func (p *Processor) fetcherFor(slotID int) *fetchUnit {
 // instruction spends one cycle in each decode stage.
 func (p *Processor) advanceDecodeStages() {
 	w := p.cfg.IssueWidth
+	if p.hostSampled {
+		p.touchSmp.SlotScans += uint64(len(p.slots))
+	}
 	for _, s := range p.slots {
 		if s.state != slotRunning {
 			continue
+		}
+		if p.hostSampled && (len(s.d1) > 0 || len(s.buf) > 0) {
+			p.hostSlotTouched(s.id)
 		}
 		for len(s.d2) < w && len(s.d1) > 0 {
 			s.d2 = append(s.d2, s.d1[0])
@@ -35,6 +41,9 @@ func (p *Processor) advanceDecodeStages() {
 // instruction queue buffer) and start the next access. Branch redirects
 // preempt the round-robin fill order (§2.1.1).
 func (p *Processor) fetchPhase() {
+	if p.hostSampled {
+		p.touchSmp.FetcherScans += uint64(len(p.fetchers))
+	}
 	for i, fu := range p.fetchers {
 		if fu.busy {
 			if p.cycle < fu.busyUntil {
@@ -61,6 +70,10 @@ func (p *Processor) deliver(fu *fetchUnit) {
 		s.buf = append(s.buf, e)
 	}
 	fu.insns = fu.insns[:0]
+	if p.hostSampled {
+		p.touchSmp.FetcherEvents++
+		p.hostSlotTouched(fu.target)
+	}
 	p.touch(p.cycle + 1)
 }
 
@@ -86,6 +99,9 @@ func (p *Processor) startFetch(fuIndex int, fu *fetchUnit) {
 	n := p.cfg.ThreadSlots
 	units := len(p.fetchers)
 	for k := 1; k <= n; k++ {
+		if p.hostSampled {
+			p.touchSmp.SlotScans++
+		}
 		id := (fu.rr + k) % n
 		if id%units != fuIndex {
 			continue
@@ -124,6 +140,9 @@ func (p *Processor) beginAccess(fu *fetchUnit, slotID int) {
 	if end <= s.fetchPC {
 		s.fetchDone = true
 		return
+	}
+	if p.hostSampled {
+		p.touchSmp.FetcherEvents++
 	}
 	lat := fu.icache.Access(s.fetchPC)
 	fu.busy = true

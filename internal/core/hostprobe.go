@@ -1,0 +1,119 @@
+package core
+
+// Host-level self-observability hooks (the simulator observing itself, not
+// the simulated machine). A HostProbe is the host-side twin of Observer:
+// an optional sink wired into the cycle loop with the same nil-guard
+// discipline, so the disabled path stays allocation-free and
+// branch-predictable. Unlike Observer, attaching a HostProbe does NOT
+// disable quiescent-cycle skipping (skip.go): the probe watches the
+// simulator's phases and data-structure touches, which are defined per
+// *executed* step, and it learns about skipped stretches through SkipJump —
+// so a profiled run remains cycle-exact and result-identical to an
+// unprofiled one.
+//
+// All wall-clock timing lives on the probe side (internal/hostobs), never
+// here: the cycle loop only reports phase boundaries on steps the probe
+// elected to sample (StepStart returned true). The hottime analyzer
+// (tools/analyzers) enforces that no raw time.Now/time.Since creeps into
+// this package.
+
+// HostPhase identifies one phase of stepCycle (plus the skip machinery that
+// runs between steps), in execution order. The simulated machine's
+// "execute" work has no phase of its own: execution is timing-only and is
+// folded into issue-select (architectural effects apply at issue, timing at
+// select) and completion (retirement of elapsed result latencies).
+type HostPhase uint8
+
+const (
+	HostPhaseRotation     HostPhase = iota // rotatePriorities
+	HostPhaseCompletion                    // retireCompletions
+	HostPhaseWake                          // wakeFrames
+	HostPhaseBind                          // bindSlots
+	HostPhaseSelect                        // schedulePhase (instruction schedule units)
+	HostPhaseIssue                         // decodePhase (decode units, stage D2)
+	HostPhaseDecodeBuffer                  // advanceDecodeStages (buffer→D1→D2)
+	HostPhaseFetch                         // fetchPhase (instruction fetch units)
+	HostPhaseSkip                          // advanceCycle + quiescent-horizon scan
+	NumHostPhases
+)
+
+var hostPhaseNames = [NumHostPhases]string{
+	"rotation", "completion", "wake", "bind", "issue-select",
+	"decode-issue", "decode-buffer", "fetch", "skip-machinery",
+}
+
+// String returns the stable phase name used in profiles, traces and
+// Prometheus labels.
+func (ph HostPhase) String() string {
+	if int(ph) < len(hostPhaseNames) {
+		return hostPhaseNames[ph]
+	}
+	return "unknown"
+}
+
+// TouchSample is the structure-touch census of one sampled step: for each
+// per-cycle data structure, how many entries the loop *scanned* versus how
+// many actually *changed state*. The gap is exactly the work an
+// event-driven "dirty-set" core (ROADMAP item 2) would not do.
+type TouchSample struct {
+	Cycle        uint64
+	RunningSlots uint64 // slots in slotRunning at step start
+
+	SlotScans   uint64 // slot visits by the per-cycle loops (bind, select, issue, buffer, fetch RR)
+	SlotsActive uint64 // distinct slots whose state changed this step
+
+	UnitScans      uint64 // functional units examined by schedulePhase
+	UnitSelections uint64 // instructions committed to a unit
+
+	QueueScans uint64 // queue-register readiness/capacity checks in decode
+	QueueMoves uint64 // queue entries actually popped or reserved
+
+	FrameScans uint64 // wait-heap entries examined by wakeFrames
+	FrameWakes uint64 // frames transitioned waiting→ready
+
+	FetcherScans  uint64 // fetch units examined by fetchPhase
+	FetcherEvents uint64 // accesses started or delivered
+
+	Issues  uint64 // instructions leaving a decode unit
+	Retires uint64 // completions credited this step
+	Binds   uint64 // frames bound to slots
+
+	slotMask uint64 // scratch: bitmask of slots touched (ThreadSlots ≤ 64)
+}
+
+// HostProbe observes the simulator's own execution. StepStart is called at
+// the top of every stepCycle and elects whether this step is sampled; only
+// sampled steps receive PhaseEnd/StepEnd callbacks (and the trailing
+// HostPhaseSkip PhaseEnd from advanceCycle). SkipJump reports every
+// quiescent fast-forward regardless of sampling. RunEnd fires once when Run
+// returns successfully.
+//
+// Implementations must not retain the TouchSample beyond StepEnd and must
+// not mutate processor state; internal/hostobs provides the standard one.
+type HostProbe interface {
+	// StepStart reports a new stepCycle at the given simulated cycle and
+	// returns whether to sample it (timing + touch census).
+	StepStart(cycle uint64) bool
+	// PhaseEnd marks the end of one phase of a sampled step.
+	PhaseEnd(ph HostPhase)
+	// StepEnd delivers the touch census of a sampled step.
+	StepEnd(t TouchSample)
+	// SkipJump reports a quiescent-cycle fast-forward from cycle `from`
+	// directly to cycle `to` (skipping to-from stepCycle invocations).
+	SkipJump(from, to uint64)
+	// RunEnd reports the final total-cycle count and the number of
+	// stepCycle invocations actually executed.
+	RunEnd(cycles, steps uint64)
+}
+
+// SetHostProbe attaches (or with nil detaches) a host-side self-profiling
+// probe. Must be called before Run. Unlike Observe, the probe does not pin
+// the machine to cycle-by-cycle stepping.
+func (p *Processor) SetHostProbe(hp HostProbe) {
+	p.hostProbe = hp
+}
+
+// hostSlotTouched marks a slot as state-changed in the current sample.
+func (p *Processor) hostSlotTouched(slotID int) {
+	p.touchSmp.slotMask |= 1 << uint(slotID)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"hirata/internal/asm"
+)
+
+// TestCycleLoopDisabledHostObsAllocFree pins the nil-HostProbe fast path:
+// with self-observability detached (the default for every production run),
+// steady-state stepping must not allocate — the probe fields add only a
+// nil check and an always-false hostSampled branch per step.
+func TestCycleLoopDisabledHostObsAllocFree(t *testing.T) {
+	prog := asm.MustAssemble(allocLoopSrc)
+	m, err := prog.NewMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{ThreadSlots: 2, StandbyStations: true}, prog.Text, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.hostProbe != nil {
+		t.Fatal("probe attached by default")
+	}
+	if err := p.StartThread(0); err != nil {
+		t.Fatal(err)
+	}
+	p.started = true
+	for i := 0; i < 200; i++ {
+		if err := p.stepCycle(); err != nil {
+			t.Fatal(err)
+		}
+		p.cycle++
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := p.stepCycle(); err != nil {
+			t.Fatal(err)
+		}
+		p.cycle++
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state stepCycle allocates %.1f objects/cycle with no host probe; want 0", allocs)
+	}
+}
+
+// countingProbe records the probe callback sequence without timing anything.
+type countingProbe struct {
+	sample    bool
+	steps     uint64
+	phases    []HostPhase
+	samples   []TouchSample
+	skipJumps int
+	runEnds   int
+}
+
+func (c *countingProbe) StepStart(cycle uint64) bool {
+	c.steps++
+	c.phases = c.phases[:0]
+	return c.sample
+}
+func (c *countingProbe) PhaseEnd(ph HostPhase)    { c.phases = append(c.phases, ph) }
+func (c *countingProbe) StepEnd(t TouchSample)    { c.samples = append(c.samples, t) }
+func (c *countingProbe) SkipJump(from, to uint64) { c.skipJumps++ }
+func (c *countingProbe) RunEnd(cycles, steps uint64) {
+	c.runEnds++
+	if steps != c.steps {
+		panic("RunEnd steps disagree with StepStart count")
+	}
+}
+
+// TestHostProbePhaseOrder checks that a sampled step reports the eight
+// in-step phases in pipeline order followed by the skip machinery, and that
+// declining the sample suppresses PhaseEnd and StepEnd entirely (unsampled
+// steps pay for neither timing nor the touch census).
+func TestHostProbePhaseOrder(t *testing.T) {
+	run := func(sample bool) *countingProbe {
+		prog := asm.MustAssemble(allocLoopSrc)
+		m, err := prog.NewMemory(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(Config{ThreadSlots: 2, StandbyStations: true}, prog.Text, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := &countingProbe{sample: sample}
+		p.SetHostProbe(cp)
+		if _, err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cp
+	}
+
+	sampled := run(true)
+	if sampled.runEnds != 1 || sampled.steps == 0 {
+		t.Fatalf("run saw %d RunEnd over %d steps", sampled.runEnds, sampled.steps)
+	}
+	wantOrder := []HostPhase{
+		HostPhaseRotation, HostPhaseCompletion, HostPhaseWake, HostPhaseBind,
+		HostPhaseSelect, HostPhaseIssue, HostPhaseDecodeBuffer, HostPhaseFetch,
+		HostPhaseSkip,
+	}
+	// phases holds the callbacks since the final StepStart: the eight
+	// in-step phases plus the trailing skip-machinery report.
+	if len(sampled.phases) != len(wantOrder) {
+		t.Fatalf("final step reported %d phases (%v); want %d", len(sampled.phases), sampled.phases, len(wantOrder))
+	}
+	for i, ph := range wantOrder {
+		if sampled.phases[i] != ph {
+			t.Errorf("phase %d = %s; want %s", i, sampled.phases[i], ph)
+		}
+	}
+	if uint64(len(sampled.samples)) != sampled.steps {
+		t.Errorf("StepEnd fired %d times over %d steps", len(sampled.samples), sampled.steps)
+	}
+	var issues, unitScans uint64
+	for _, s := range sampled.samples {
+		issues += s.Issues
+		unitScans += s.UnitScans
+		if s.SlotsActive > s.RunningSlots+1 {
+			t.Fatalf("cycle %d: %d active slots with %d running", s.Cycle, s.SlotsActive, s.RunningSlots)
+		}
+	}
+	if issues == 0 || unitScans == 0 {
+		t.Errorf("touch census empty: issues=%d unitScans=%d", issues, unitScans)
+	}
+
+	declined := run(false)
+	if len(declined.phases) != 0 {
+		t.Errorf("declined sample still got PhaseEnd: %v", declined.phases)
+	}
+	if len(declined.samples) != 0 {
+		t.Errorf("declined sample still got %d StepEnd callbacks", len(declined.samples))
+	}
+}
+
+// TestHostProbeKeepsSkipArmed verifies attaching a probe does not disable
+// quiescent-cycle fast-forwarding (unlike a Collector): the probe observes
+// jumps instead of preventing them, so profiled runs stay cycle-exact.
+func TestHostProbeKeepsSkipArmed(t *testing.T) {
+	prog := asm.MustAssemble(allocLoopSrc)
+	m, err := prog.NewMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{ThreadSlots: 2, StandbyStations: true}, prog.Text, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetHostProbe(&countingProbe{})
+	if !p.skipEnabled() {
+		t.Error("host probe disabled cycle skipping; it must only observe")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 
 	"hirata/internal/exec"
@@ -303,6 +304,15 @@ type Processor struct {
 	OnSelect func(slot int, pc int64, cycle uint64)
 
 	observer Observer // optional rich event sink (see Observe)
+
+	// Host-side self-observability (hostprobe.go). hostProbe is the
+	// optional probe; hostSampled flags that the probe elected to sample
+	// the step in flight, gating every touch-census increment so the
+	// disabled path costs one nil check per step plus predictable
+	// always-false branches.
+	hostProbe   HostProbe
+	hostSampled bool
+	touchSmp    TouchSample
 }
 
 // compDetail carries one completing instruction to Observer.Complete.
@@ -577,6 +587,10 @@ func (p *Processor) Run() (Result, error) {
 			return p.stats, err
 		}
 		if p.finished() {
+			// The final step exits before advanceCycle runs; close out its
+			// sampled skip-machinery window so every sampled step reports
+			// the full phase sequence.
+			p.hostSkipDone()
 			break
 		}
 		p.advanceCycle()
@@ -585,6 +599,9 @@ func (p *Processor) Run() (Result, error) {
 	for _, u := range p.units {
 		p.stats.Units = append(p.stats.Units, u.stat)
 	}
+	if p.hostProbe != nil {
+		p.hostProbe.RunEnd(p.stats.Cycles, p.stepsExecuted)
+	}
 	return p.stats, nil
 }
 
@@ -592,16 +609,48 @@ func (p *Processor) Run() (Result, error) {
 // that each stage sees the previous cycle's downstream state.
 func (p *Processor) stepCycle() error {
 	p.stepsExecuted++
+	if p.hostProbe != nil {
+		p.hostSampled = p.hostProbe.StepStart(p.cycle)
+		if p.hostSampled {
+			p.touchSmp = TouchSample{Cycle: p.cycle, RunningSlots: uint64(p.runningSlots)}
+		}
+	}
 	p.rotatePriorities()
+	if p.hostSampled {
+		p.hostProbe.PhaseEnd(HostPhaseRotation)
+	}
 	p.retireCompletions()
+	if p.hostSampled {
+		p.hostProbe.PhaseEnd(HostPhaseCompletion)
+	}
 	p.wakeFrames()
+	if p.hostSampled {
+		p.hostProbe.PhaseEnd(HostPhaseWake)
+	}
 	p.bindSlots()
+	if p.hostSampled {
+		p.hostProbe.PhaseEnd(HostPhaseBind)
+	}
 	p.schedulePhase()
+	if p.hostSampled {
+		p.hostProbe.PhaseEnd(HostPhaseSelect)
+	}
 	if err := p.decodePhase(); err != nil {
 		return err
 	}
+	if p.hostSampled {
+		p.hostProbe.PhaseEnd(HostPhaseIssue)
+	}
 	p.advanceDecodeStages()
+	if p.hostSampled {
+		p.hostProbe.PhaseEnd(HostPhaseDecodeBuffer)
+	}
 	p.fetchPhase()
+	if p.hostSampled {
+		p.hostProbe.PhaseEnd(HostPhaseFetch)
+		p.touchSmp.SlotsActive = uint64(bits.OnesCount64(p.touchSmp.slotMask))
+		p.hostProbe.StepEnd(p.touchSmp)
+	}
 	return nil
 }
 
@@ -679,6 +728,9 @@ func (p *Processor) highestActiveSlot() int {
 // retireCompletions credits instructions whose result latency elapsed.
 func (p *Processor) retireCompletions() {
 	idx := p.cycle & p.compMask
+	if p.hostSampled {
+		p.touchSmp.Retires += uint64(len(p.completions[idx]))
+	}
 	for _, id := range p.completions[idx] {
 		p.slots[id].outstanding--
 		p.outstanding--
@@ -701,17 +753,26 @@ func (p *Processor) wakeFrames() {
 	for len(p.waitHeap) > 0 && p.waitHeap[0].when <= p.cycle {
 		fw := p.popWait()
 		f := p.frames[fw.id]
+		if p.hostSampled {
+			p.touchSmp.FrameScans++
+		}
 		if f.state != frameWaiting || f.waitUntil != fw.when {
 			continue // stale deadline
 		}
 		p.setFrameState(f, frameReady)
 		p.readyQ = append(p.readyQ, f.id)
+		if p.hostSampled {
+			p.touchSmp.FrameWakes++
+		}
 		p.touch(p.cycle)
 	}
 }
 
 // bindSlots assigns ready frames to idle slots.
 func (p *Processor) bindSlots() {
+	if p.hostSampled {
+		p.touchSmp.SlotScans += 2 * uint64(len(p.slots))
+	}
 	for _, s := range p.slots {
 		if s.state != slotIdle || p.cycle < s.bindReadyAt || len(p.readyQ) == 0 {
 			continue
@@ -755,6 +816,10 @@ func (p *Processor) bindFrame(s *slot, f *contextFrame) {
 	}
 	if p.observer != nil {
 		p.observer.Bind(p.cycle, s.id, f.id, f.tid)
+	}
+	if p.hostSampled {
+		p.touchSmp.Binds++
+		p.hostSlotTouched(s.id)
 	}
 	p.touch(p.cycle)
 }

@@ -14,6 +14,9 @@ import "hirata/internal/isa"
 func (p *Processor) schedulePhase() {
 	for cls := isa.UnitClass(1); int(cls) < unitClassCount; cls++ {
 		units := p.unitsByCls[cls]
+		if p.hostSampled {
+			p.touchSmp.UnitScans += uint64(len(units))
+		}
 		free := p.freeUnits[:0]
 		for _, u := range units {
 			if u.busyUntil < p.cycle {
@@ -26,6 +29,9 @@ func (p *Processor) schedulePhase() {
 		// Candidates in priority order: at most one instruction per slot
 		// per class can be waiting (standby stations have depth one).
 		for _, slotID := range p.prio {
+			if p.hostSampled {
+				p.touchSmp.SlotScans++
+			}
 			if len(free) == 0 {
 				break
 			}
@@ -63,6 +69,10 @@ func (p *Processor) selectInstr(u *funcUnit, inf *inflight) {
 	u.busyUntil = p.cycle + issueLat - 1
 	u.stat.Invocations++
 	u.stat.BusyCycles += issueLat
+	if p.hostSampled {
+		p.touchSmp.UnitSelections++
+		p.hostSlotTouched(inf.slot)
+	}
 
 	ready := p.cycle + resultLat
 	if inf.frame >= 0 {

@@ -22,11 +22,15 @@ func (p *Processor) skipEnabled() bool {
 }
 
 // advanceCycle moves the machine to the next simulated cycle, jumping over
-// provably quiescent stretches.
+// provably quiescent stretches. A HostProbe does not disable skipping (it
+// observes the simulator, not the machine): jumps are reported through
+// SkipJump, and on sampled steps the horizon scan itself is charged to
+// HostPhaseSkip so the skip machinery shows up in the phase profile.
 func (p *Processor) advanceCycle() {
 	next := p.cycle + 1
 	if p.runningSlots > 0 || !p.skipEnabled() {
 		p.cycle = next
+		p.hostSkipDone()
 		return
 	}
 	t := p.quiescentHorizon()
@@ -37,10 +41,25 @@ func (p *Processor) advanceCycle() {
 	}
 	if t <= next {
 		p.cycle = next
+		p.hostSkipDone()
 		return
+	}
+	if p.hostProbe != nil {
+		p.hostProbe.SkipJump(next-1, t)
 	}
 	p.fastForwardRotation(t)
 	p.cycle = t
+	p.hostSkipDone()
+}
+
+// hostSkipDone closes the skip-machinery phase of a sampled step. The
+// sampled flag is cleared here so no touch-census increment can run between
+// two steps; the next StepStart re-arms it.
+func (p *Processor) hostSkipDone() {
+	if p.hostSampled {
+		p.hostProbe.PhaseEnd(HostPhaseSkip)
+		p.hostSampled = false
+	}
 }
 
 // maxU returns the larger of two cycle numbers.

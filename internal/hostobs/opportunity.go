@@ -1,0 +1,97 @@
+package hostobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The dirty-set opportunity report: ROADMAP item 2 proposes replacing the
+// cycle loop's per-cycle structure scans with event-driven "dirty" sets —
+// only touch slots/units/queues/frames whose state can actually change this
+// cycle. The touch census measures, per workload, how much of today's scan
+// work that refactor would eliminate: every scanned-but-unchanged entry is
+// a wasted visit an event-driven core never makes.
+
+// StructureRow is the scan-vs-change census of one per-cycle structure.
+type StructureRow struct {
+	Name       string  `json:"name"`
+	Scans      uint64  `json:"scans"`   // entries visited by per-cycle loops
+	Touches    uint64  `json:"touches"` // entries whose state changed
+	WastedFrac float64 `json:"wasted_fraction"`
+}
+
+// OpportunityReport aggregates the census over all sampled steps.
+type OpportunityReport struct {
+	SampledSteps uint64         `json:"sampled_steps"`
+	Rows         []StructureRow `json:"structures"`
+	TotalScans   uint64         `json:"total_scans"`
+	TotalTouches uint64         `json:"total_touches"`
+	// WastedFrac is the headline: the fraction of all structure visits an
+	// event-driven dirty-set core would not perform.
+	WastedFrac float64 `json:"wasted_fraction"`
+	// ScansPerStep contextualizes against loop cost.
+	ScansPerStep float64 `json:"scans_per_sampled_step"`
+}
+
+// row builds one StructureRow, clamping touches to scans (touch events can
+// outnumber visits for event-indexed structures; the waste metric is about
+// visits that found nothing).
+func row(name string, scans, touches uint64) StructureRow {
+	r := StructureRow{Name: name, Scans: scans, Touches: touches}
+	if touches > scans {
+		r.Touches = scans
+	}
+	if scans > 0 {
+		r.WastedFrac = 1 - float64(r.Touches)/float64(scans)
+	}
+	return r
+}
+
+// Opportunity computes the dirty-set opportunity report from the touch
+// aggregate.
+func (p *Profiler) Opportunity() OpportunityReport {
+	t, steps := p.Totals()
+	rep := OpportunityReport{SampledSteps: steps}
+	rep.Rows = []StructureRow{
+		row("thread slots", t.SlotScans, t.SlotsActive),
+		row("functional units", t.UnitScans, t.UnitSelections),
+		row("queue registers", t.QueueScans, t.QueueMoves),
+		row("context frames", t.FrameScans, t.FrameWakes),
+		row("fetch units", t.FetcherScans, t.FetcherEvents),
+	}
+	for _, r := range rep.Rows {
+		rep.TotalScans += r.Scans
+		rep.TotalTouches += r.Touches
+	}
+	if rep.TotalScans > 0 {
+		rep.WastedFrac = 1 - float64(rep.TotalTouches)/float64(rep.TotalScans)
+	}
+	if steps > 0 {
+		rep.ScansPerStep = float64(rep.TotalScans) / float64(steps)
+	}
+	return rep
+}
+
+// Format renders the report as a table with the headline fraction.
+func (r OpportunityReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dirty-set opportunity report (%d sampled steps)\n", r.SampledSteps)
+	fmt.Fprintf(&b, "  %-18s %12s %12s %8s\n", "structure", "scans", "changed", "wasted")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-18s %12d %12d %7.1f%%\n", row.Name, row.Scans, row.Touches, 100*row.WastedFrac)
+	}
+	fmt.Fprintf(&b, "  %-18s %12d %12d %7.1f%%\n", "TOTAL", r.TotalScans, r.TotalTouches, 100*r.WastedFrac)
+	fmt.Fprintf(&b, "  %.1f structure visits per executed cycle; an event-driven dirty-set core\n"+
+		"  (ROADMAP item 2) would eliminate ~%.0f%% of them on this workload.\n",
+		r.ScansPerStep, 100*r.WastedFrac)
+	return b.String()
+}
+
+// writeJSON marshals v indented to w.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,85 @@
+package hostobs
+
+import (
+	"sync"
+	"time"
+
+	"hirata/internal/sweep"
+)
+
+// CellSpan is one completed sweep cell on a worker's timeline.
+type CellSpan struct {
+	Worker  int    `json:"worker"`
+	Cell    int    `json:"cell"`
+	Pending int    `json:"pending"` // cells still unfinished when this one completed
+	StartNs uint64 `json:"start_ns"`
+	DurNs   uint64 `json:"dur_ns"`
+	Failed  bool   `json:"failed,omitempty"`
+}
+
+// SweepRecorder implements sweep.Telemetry: it records per-worker cell
+// timelines and the shrinking pending-cell count across every sweep routed
+// through hirata.SetSweepTelemetry, bounded drop-oldest like the obs event
+// ring. One recorder may span several sweeps (a whole hirata-bench run).
+type SweepRecorder struct {
+	mu        sync.Mutex
+	epoch     time.Time
+	cells     []CellSpan // circular once full
+	next      int
+	total     uint64
+	busyNanos uint64
+	workers   int // highest worker id seen + 1
+}
+
+var _ sweep.Telemetry = (*SweepRecorder)(nil)
+
+// sweepCellCap bounds retained cell spans (a full -explore grid is 1152
+// cells plus re-simulations; 8192 keeps every realistic run intact).
+const sweepCellCap = 8192
+
+// NewSweepRecorder builds an empty recorder anchored at the current time.
+func NewSweepRecorder() *SweepRecorder {
+	return &SweepRecorder{epoch: time.Now(), cells: make([]CellSpan, 0, sweepCellCap)}
+}
+
+// CellDone records one finished cell.
+func (r *SweepRecorder) CellDone(worker, cell, pending int, start, end time.Time, err error) {
+	span := CellSpan{
+		Worker:  worker,
+		Cell:    cell,
+		Pending: pending,
+		DurNs:   uint64(end.Sub(start)),
+		Failed:  err != nil,
+	}
+	if start.After(r.epoch) {
+		span.StartNs = uint64(start.Sub(r.epoch))
+	}
+	r.mu.Lock()
+	r.total++
+	r.busyNanos += span.DurNs
+	if worker+1 > r.workers {
+		r.workers = worker + 1
+	}
+	if len(r.cells) < cap(r.cells) {
+		r.cells = append(r.cells, span)
+	} else if cap(r.cells) > 0 {
+		r.cells[r.next] = span
+		r.next = (r.next + 1) % cap(r.cells)
+	}
+	r.mu.Unlock()
+}
+
+// Cells returns the retained spans in completion order plus the totals:
+// cells completed, worker count, and summed busy nanoseconds.
+func (r *SweepRecorder) Cells() (spans []CellSpan, total uint64, workers int, busyNanos uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spans = make([]CellSpan, 0, len(r.cells))
+	if len(r.cells) == cap(r.cells) && cap(r.cells) > 0 {
+		spans = append(spans, r.cells[r.next:]...)
+		spans = append(spans, r.cells[:r.next]...)
+	} else {
+		spans = append(spans, r.cells...)
+	}
+	return spans, r.total, r.workers, r.busyNanos
+}

@@ -2,12 +2,21 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 
 	"hirata/internal/asm"
 )
+
+// HostSource is the host-side self-observability exposition attached to
+// /hostmetrics: implemented by internal/hostobs (phase-profile nanoseconds,
+// structure-touch counters, sweep telemetry). Defined here as a one-method
+// interface so obs does not import hostobs.
+type HostSource interface {
+	WriteHostPrometheus(w io.Writer) error
+}
 
 // Handler returns the live observability surface for a running (or
 // finished) simulation:
@@ -17,12 +26,20 @@ import (
 //	/metrics.json totals and the interval time series as JSON
 //	/trace.json  Chrome Trace Event JSON of the ring buffer (Perfetto)
 //	/profile     per-PC hotspot report (annotated disassembly)
+//	/hostmetrics Prometheus exposition of the simulator's own execution
 //	/debug/pprof/... the standard Go profiler endpoints
 //
 // prog supplies the profiler's source-line map and may be nil. The
 // collector is written by the simulation loop concurrently; every handler
 // works from a consistent snapshot.
 func Handler(c *Collector, prog *asm.Program) http.Handler {
+	return HandlerWithHost(c, prog, nil)
+}
+
+// HandlerWithHost is Handler with a host-side self-observability source for
+// /hostmetrics. A nil host serves 503 on that endpoint (the run was started
+// without -self-profile).
+func HandlerWithHost(c *Collector, prog *asm.Program, host HostSource) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -36,6 +53,7 @@ func Handler(c *Collector, prog *asm.Program) http.Handler {
 			"  /profile        per-PC hotspot report\n"+
 			"  /cpistack.json  per-slot CPI-stack cycle accounting\n"+
 			"  /critpath.json  dynamic critical path with breakdown\n"+
+			"  /hostmetrics    the simulator observing itself (phase profile, dirty-set counters)\n"+
 			"  /debug/pprof/   Go runtime profiles of the simulator itself\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -83,6 +101,17 @@ func Handler(c *Collector, prog *asm.Program) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/hostmetrics", func(w http.ResponseWriter, r *http.Request) {
+		if host == nil {
+			http.Error(w, "host self-observability not attached (run with -self-profile)",
+				http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := host.WriteHostPrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
@@ -96,11 +125,16 @@ func Handler(c *Collector, prog *asm.Program) http.Handler {
 // ordered before the simulation starts) along with the bound address —
 // useful with ":0" — and a shutdown function.
 func Serve(addr string, c *Collector, prog *asm.Program) (bound string, shutdown func() error, err error) {
+	return ServeWithHost(addr, c, prog, nil)
+}
+
+// ServeWithHost is Serve with a HostSource attached to /hostmetrics.
+func ServeWithHost(addr string, c *Collector, prog *asm.Program, host HostSource) (bound string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(c, prog)}
+	srv := &http.Server{Handler: HandlerWithHost(c, prog, host)}
 	go func() {
 		// Serve returns http.ErrServerClosed on shutdown; anything else is
 		// reported through the server's ErrorLog default (stderr).

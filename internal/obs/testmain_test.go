@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"os"
+	"testing"
+
+	"hirata/internal/buildinfo"
+)
+
+// TestMain pins the build identity for the whole package: the Prometheus
+// goldens contain the hirata_build_info gauge, whose real values (VCS
+// revision, toolchain version, dirty flag) change with every commit and Go
+// release. Tests exercise the exposition shape; provenance accuracy is
+// buildinfo's own test's problem.
+func TestMain(m *testing.M) {
+	buildinfo.SetForTest(&buildinfo.Info{
+		Revision:  "0000000000000000",
+		Dirty:     false,
+		GoVersion: "go0.0-test",
+	})
+	os.Exit(m.Run())
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const hotTimeBadFixture = `package core
+
+import "time"
+
+// bad: raw wall-clock reads on the hot path.
+func step() time.Duration {
+	t0 := time.Now()
+	tick := time.Tick(time.Second)
+	_ = tick
+	return time.Since(t0)
+}
+
+// bad: a reasonless annotation does not exempt.
+func bare() time.Time {
+	return time.Now() // hottime:allow
+}
+`
+
+const hotTimeGoodFixture = `package core
+
+import "time"
+
+// good: duration arithmetic and constants never read the clock.
+const slow = 5 * time.Second
+
+func scale(d time.Duration) time.Duration {
+	return d * 2 / time.Millisecond
+}
+
+// good: a justified exemption on the same line.
+func banner() time.Time {
+	return time.Now() // hottime:allow one-time startup banner
+}
+
+// good: a justified exemption on the preceding line.
+func coldPath() time.Time {
+	// hottime:allow cold start, runs once per process
+	return time.Now()
+}
+`
+
+func TestHotTimeFindings(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/internal/core", hotTimeBadFixture)
+	fs := checkHotTime(fset, "hirata/internal/core", files, info)
+	if len(fs) != 4 {
+		t.Fatalf("hottime findings = %d, want 4:\n%s", len(fs), strings.Join(fs, "\n"))
+	}
+	joined := strings.Join(fs, "\n")
+	for _, want := range []string{"time.Now", "time.Since", "time.Tick"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("no %s finding:\n%s", want, joined)
+		}
+	}
+}
+
+func TestHotTimeClean(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/internal/core", hotTimeGoodFixture)
+	if fs := checkHotTime(fset, "hirata/internal/core", files, info); len(fs) != 0 {
+		t.Errorf("hottime on clean fixture:\n%s", strings.Join(fs, "\n"))
+	}
+}
+
+// Only internal/core is the hot path; the same calls anywhere else are the
+// host-observability layer doing its job.
+func TestHotTimeScopedToCore(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/internal/hostobs", hotTimeBadFixture)
+	if fs := checkHotTime(fset, "hirata/internal/hostobs", files, info); len(fs) != 0 {
+		t.Errorf("hottime outside internal/core: %v", fs)
+	}
+}

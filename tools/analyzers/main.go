@@ -29,6 +29,12 @@
 //     field is added and silently drops it. internal/model's design-space
 //     Grid is the one exempt explicit enumeration.
 //
+//   - hottime: internal/core must not call time.Now / time.Since (or any
+//     other wall-clock or timer entry point) directly. The cycle loop is
+//     the simulator's hot path; host-side timing goes through the
+//     internal/hostobs sampled probe. `// hottime:allow <reason>` exempts
+//     a deliberate call.
+//
 //   - diagdoc: every lint diagnostic code declared in internal/lint/diag.go
 //     must have a `### Lxxx` section in docs/LINT.md, and every such
 //     section must correspond to a declared code. The catalogue promises
@@ -195,6 +201,7 @@ func checkUnit(fset *token.FileSet, dir string, u unit) []string {
 	findings = append(findings, checkStatsMutate(fset, pkgPath, u.files, info)...)
 	findings = append(findings, checkShareCopy(fset, pkgPath, u.files, info)...)
 	findings = append(findings, checkConfigField(fset, pkgPath, u.files, info)...)
+	findings = append(findings, checkHotTime(fset, pkgPath, u.files, info)...)
 	return findings
 }
 

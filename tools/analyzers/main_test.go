@@ -16,7 +16,7 @@ import (
 func typecheckSrc(t *testing.T, pkgPath, src string) (*token.FileSet, []*ast.File, *types.Info) {
 	t.Helper()
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "fixture.go", src, 0)
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,10 +6,20 @@
 // noise on shared runners; only a consistent slowdown across every
 // repetition can trip it.
 //
+// Beyond the gate, benchdiff keeps a performance history: -history appends
+// one JSON line per bench run (best ns/op, best sim-cycles/s, VCS revision,
+// host metadata, optionally the cycle-loop phase breakdown from
+// hirata-bench -self-profile-json) to BENCH_history.jsonl, and -trend
+// prints the trajectory that file records. -history is record-only: it
+// appends and exits without comparing, so the history job never
+// double-reports a regression the perf gate owns.
+//
 // Usage:
 //
 //	go test -run xxx -bench . -count 5 . | go run ./tools/benchdiff -baseline BENCH_sweep.json
 //	go run ./tools/benchdiff -baseline BENCH_sweep.json -in bench-out.txt -update
+//	go run ./tools/benchdiff -in bench-out.txt -history BENCH_history.jsonl -phases selfprofile.json
+//	go run ./tools/benchdiff -trend -history BENCH_history.jsonl
 package main
 
 import (
@@ -20,9 +30,13 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"hirata/internal/buildinfo"
 )
 
 // benchLine matches one result line of `go test -bench` output, e.g.
@@ -30,10 +44,21 @@ import (
 //	BenchmarkRunNoObserver-8   534   2128625 ns/op   338480 B/op   4638 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
 
-// parse reduces bench output to the minimum ns/op per benchmark name, with
+// cycLine extracts the simulator-throughput metric benchmarks report via
+// b.ReportMetric(..., "sim-cycles/s").
+var cycLine = regexp.MustCompile(`([0-9.e+]+) sim-cycles/s`)
+
+// measurement is the best-of-N reduction of one bench run: minimum ns/op
+// (scheduler noise only ever adds time) and maximum sim-cycles/s per name.
+type measurement struct {
+	NsPerOp  map[string]float64
+	CyPerSec map[string]float64
+}
+
+// parse reduces bench output to the best value per benchmark name, with
 // the trailing -GOMAXPROCS suffix stripped so baselines are host-portable.
-func parse(r io.Reader) (map[string]float64, error) {
-	best := make(map[string]float64)
+func parse(r io.Reader) (measurement, error) {
+	best := measurement{NsPerOp: make(map[string]float64), CyPerSec: make(map[string]float64)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -49,19 +74,146 @@ func parse(r io.Reader) (map[string]float64, error) {
 		}
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", sc.Text(), err)
+			return measurement{}, fmt.Errorf("benchdiff: bad ns/op in %q: %v", sc.Text(), err)
 		}
-		if cur, ok := best[name]; !ok || ns < cur {
-			best[name] = ns
+		if cur, ok := best.NsPerOp[name]; !ok || ns < cur {
+			best.NsPerOp[name] = ns
+		}
+		if c := cycLine.FindStringSubmatch(sc.Text()); c != nil {
+			if cyc, err := strconv.ParseFloat(c[1], 64); err == nil {
+				if cur, ok := best.CyPerSec[name]; !ok || cyc > cur {
+					best.CyPerSec[name] = cyc
+				}
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return measurement{}, err
 	}
-	if len(best) == 0 {
-		return nil, fmt.Errorf("benchdiff: no benchmark result lines found in input")
+	if len(best.NsPerOp) == 0 {
+		return measurement{}, fmt.Errorf("benchdiff: no benchmark result lines found in input")
 	}
 	return best, nil
+}
+
+// historyRow is one line of BENCH_history.jsonl: a bench run pinned to a
+// point in time, a revision, and a host.
+type historyRow struct {
+	Time            string             `json:"time"`
+	Revision        string             `json:"revision"`
+	Dirty           bool               `json:"dirty,omitempty"`
+	GoVersion       string             `json:"go"`
+	OS              string             `json:"os"`
+	Arch            string             `json:"arch"`
+	CPUs            int                `json:"cpus"`
+	Benchmarks      map[string]float64 `json:"benchmarks"`
+	SimCyclesPerSec map[string]float64 `json:"sim_cycles_per_s,omitempty"`
+	PhaseProfile    json.RawMessage    `json:"phase_profile,omitempty"`
+}
+
+// appendHistory writes one history row to path (JSON Lines, append-only).
+// phasesPath optionally names a hirata-bench -self-profile-json file whose
+// phase_profile member is embedded in the row.
+func appendHistory(path string, m measurement, phasesPath string) (historyRow, error) {
+	bi := buildinfo.Get()
+	row := historyRow{
+		Time:            time.Now().UTC().Format(time.RFC3339),
+		Revision:        bi.ShortRevision(),
+		Dirty:           bi.Dirty,
+		GoVersion:       bi.GoVersion,
+		OS:              runtime.GOOS,
+		Arch:            runtime.GOARCH,
+		CPUs:            runtime.NumCPU(),
+		Benchmarks:      m.NsPerOp,
+		SimCyclesPerSec: m.CyPerSec,
+	}
+	if phasesPath != "" {
+		data, err := os.ReadFile(phasesPath)
+		if err != nil {
+			return row, err
+		}
+		var doc struct {
+			PhaseProfile json.RawMessage `json:"phase_profile"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return row, fmt.Errorf("benchdiff: %s: %v", phasesPath, err)
+		}
+		row.PhaseProfile = doc.PhaseProfile
+	}
+	js, err := json.Marshal(row)
+	if err != nil {
+		return row, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return row, err
+	}
+	if _, err := f.Write(append(js, '\n')); err != nil {
+		f.Close()
+		return row, err
+	}
+	return row, f.Close()
+}
+
+// readHistory parses a BENCH_history.jsonl file, skipping blank lines.
+func readHistory(path string) ([]historyRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []historyRow
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var row historyRow
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			return nil, fmt.Errorf("benchdiff: %s: %v", path, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, sc.Err()
+}
+
+// writeTrend prints each benchmark's ns/op trajectory across the history,
+// with the per-row delta against the previous appearance.
+func writeTrend(w io.Writer, rows []historyRow) {
+	names := map[string]bool{}
+	for _, r := range rows {
+		for n := range r.Benchmarks {
+			names[n] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	fmt.Fprintf(w, "bench history: %d run(s)\n", len(rows))
+	for _, name := range sorted {
+		fmt.Fprintf(w, "%s\n", name)
+		prev := 0.0
+		for _, r := range rows {
+			ns, ok := r.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			delta := "      —"
+			if prev > 0 {
+				delta = fmt.Sprintf("%+6.1f%%", (ns/prev-1)*100)
+			}
+			line := fmt.Sprintf("  %-20s %-13s %14.0f ns/op  %s", r.Time, r.Revision, ns, delta)
+			if cyc, ok := r.SimCyclesPerSec[name]; ok {
+				line += fmt.Sprintf("  %11.0f sim-cycles/s", cyc)
+			}
+			fmt.Fprintln(w, line)
+			prev = ns
+		}
+	}
 }
 
 func main() {
@@ -71,8 +223,27 @@ func main() {
 		tolerance    = flag.Float64("tolerance", 1.10, "fail when measured ns/op exceeds baseline*tolerance")
 		update       = flag.Bool("update", false, "rewrite the baseline's benchmarks map with the measured values")
 		outPath      = flag.String("out", "", "also write the measured map as JSON here (CI artifact)")
+		historyPath  = flag.String("history", "", "append this run to a JSONL history file (with -trend: the file to read)")
+		phasesPath   = flag.String("phases", "", "with -history, embed the phase_profile from this hirata-bench -self-profile-json file")
+		trend        = flag.Bool("trend", false, "print the per-benchmark trajectory recorded in -history (default BENCH_history.jsonl) and exit")
 	)
 	flag.Parse()
+
+	if *trend {
+		path := *historyPath
+		if path == "" {
+			path = "BENCH_history.jsonl"
+		}
+		rows, err := readHistory(path)
+		if err != nil {
+			fatal(err)
+		}
+		if len(rows) == 0 {
+			fatal(fmt.Errorf("benchdiff: %s holds no history rows", path))
+		}
+		writeTrend(os.Stdout, rows)
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if *inPath != "" {
@@ -88,13 +259,24 @@ func main() {
 		fatal(err)
 	}
 	if *outPath != "" {
-		js, err := json.MarshalIndent(measured, "", "  ")
+		js, err := json.MarshalIndent(measured.NsPerOp, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
 		if err := os.WriteFile(*outPath, append(js, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+	if *historyPath != "" {
+		// Recording is not gating: append the row and stop, so the history
+		// job never double-reports a regression the perf gate owns.
+		row, err := appendHistory(*historyPath, measured, *phasesPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: appended %d benchmark(s) @ %s to %s\n",
+			len(row.Benchmarks), row.Revision, *historyPath)
+		return
 	}
 
 	// The baseline file may carry other fields (host notes, before/after
@@ -115,7 +297,7 @@ func main() {
 	}
 
 	if *update {
-		js, err := json.MarshalIndent(measured, "", "  ")
+		js, err := json.MarshalIndent(measured.NsPerOp, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
@@ -127,18 +309,18 @@ func main() {
 		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchdiff: updated %s with %d benchmarks\n", *baselinePath, len(measured))
+		fmt.Printf("benchdiff: updated %s with %d benchmarks\n", *baselinePath, len(measured.NsPerOp))
 		return
 	}
 
-	names := make([]string, 0, len(measured))
-	for name := range measured {
+	names := make([]string, 0, len(measured.NsPerOp))
+	for name := range measured.NsPerOp {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	failed := false
 	for _, name := range names {
-		got := measured[name]
+		got := measured.NsPerOp[name]
 		want, ok := baseline[name]
 		if !ok {
 			fmt.Printf("  new  %-50s %12.0f ns/op (no baseline)\n", name, got)

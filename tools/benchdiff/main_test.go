@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+BenchmarkSimulatorThroughput-8   45   25130702 ns/op   738211 sim-cycles/s
+BenchmarkSimulatorThroughput-8   44   25830702 ns/op   718211 sim-cycles/s
+BenchmarkRunNoObserver-8        534    2128625 ns/op   338480 B/op   4638 allocs/op
+BenchmarkRunNoObserver-8        534    2098625 ns/op   338480 B/op   4638 allocs/op
+PASS
+`
+
+func TestParseBestOfN(t *testing.T) {
+	m, err := parse(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NsPerOp["BenchmarkSimulatorThroughput"]; got != 25130702 {
+		t.Errorf("ns/op best = %v; want min 25130702", got)
+	}
+	if got := m.NsPerOp["BenchmarkRunNoObserver"]; got != 2098625 {
+		t.Errorf("ns/op best = %v; want min 2098625", got)
+	}
+	if got := m.CyPerSec["BenchmarkSimulatorThroughput"]; got != 738211 {
+		t.Errorf("sim-cycles/s best = %v; want max 738211", got)
+	}
+	if _, ok := m.CyPerSec["BenchmarkRunNoObserver"]; ok {
+		t.Error("sim-cycles/s recorded for a benchmark that does not report it")
+	}
+}
+
+func TestHistoryRoundTripAndTrend(t *testing.T) {
+	m, err := parse(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := filepath.Join(t.TempDir(), "selfprofile.json")
+	if err := os.WriteFile(phases, []byte(`{"phase_profile":{"steps":42},"opportunity":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hist := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	for i := 0; i < 2; i++ {
+		row, err := appendHistory(hist, m, phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Revision == "" || row.GoVersion == "" || row.CPUs == 0 {
+			t.Fatalf("row missing host metadata: %+v", row)
+		}
+		if !strings.Contains(string(row.PhaseProfile), `"steps":42`) {
+			t.Fatalf("phase profile not embedded: %s", row.PhaseProfile)
+		}
+	}
+	rows, err := readHistory(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("history holds %d rows; want 2", len(rows))
+	}
+	if rows[1].Benchmarks["BenchmarkSimulatorThroughput"] != 25130702 {
+		t.Errorf("row benchmarks = %v", rows[1].Benchmarks)
+	}
+
+	var buf bytes.Buffer
+	writeTrend(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"BenchmarkSimulatorThroughput", "sim-cycles/s", "+0.0%", "2 run(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend output missing %q:\n%s", want, out)
+		}
+	}
+}
