@@ -1,0 +1,55 @@
+package hirata
+
+// End-to-end check of the dirty-set refactor's headline number: on the
+// parallel ray trace (the benchmark-class workload) the event core's touch
+// census must report under 20% wasted structure visits — the dirty sets
+// admit almost exclusively entries with real work — while the legacy scan
+// core, measured by the same census, both visits more structure and wastes
+// more of those visits.
+
+import "testing"
+
+func TestEventCoreCensusWasteBelow20Percent(t *testing.T) {
+	rt, err := BuildRayTrace(RayTraceConfig{Rays: 48, Spheres: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(disable bool) HostOpportunityReport {
+		cfg := MTConfig{
+			ThreadSlots:      8,
+			LoadStoreUnits:   2,
+			StandbyStations:  true,
+			DisableEventCore: disable,
+		}
+		m, err := rt.NewMemory(rt.Par, cfg.ThreadSlots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dense sampling: the census fractions, not the timing, are under
+		// test, so a stable estimate beats low overhead here.
+		prof := NewHostProfiler(HostProfilerOptions{SampleEvery: 4})
+		if _, err := RunMTHostProfiled(cfg, rt.Par.Text, m, prof); err != nil {
+			t.Fatal(err)
+		}
+		rep := prof.Opportunity()
+		if rep.SampledSteps == 0 || rep.TotalScans == 0 {
+			t.Fatalf("DisableEventCore=%v: empty census (%d steps, %d visits)",
+				disable, rep.SampledSteps, rep.TotalScans)
+		}
+		return rep
+	}
+	legacy, event := run(true), run(false)
+	t.Logf("legacy: %.1f%% wasted of %d visits; event: %.1f%% wasted of %d visits",
+		100*legacy.WastedFrac, legacy.TotalScans, 100*event.WastedFrac, event.TotalScans)
+	if event.WastedFrac >= 0.20 {
+		t.Errorf("event core wasted fraction = %.1f%%, want < 20%%\n%s",
+			100*event.WastedFrac, event.Format())
+	}
+	if event.ScansPerStep >= legacy.ScansPerStep {
+		t.Errorf("event core visits %.1f structures per step, legacy %.1f; dirty sets harvested nothing",
+			event.ScansPerStep, legacy.ScansPerStep)
+	}
+	if event.WastedFrac >= legacy.WastedFrac {
+		t.Errorf("event core wasted %.1f%% >= legacy %.1f%%", 100*event.WastedFrac, 100*legacy.WastedFrac)
+	}
+}

@@ -36,18 +36,19 @@ func TestStepCycleNoObserverAllocFree(t *testing.T) {
 	}
 	p.started = true
 	// Warm up past the cold-start allocations (queue growth, first frame
-	// bind) before measuring.
+	// bind, event-heap capacity) before measuring. advanceCycle rather than
+	// a bare p.cycle++ so the pending-event heap drains as it would in Run.
 	for i := 0; i < 200; i++ {
 		if err := p.stepCycle(); err != nil {
 			t.Fatal(err)
 		}
-		p.cycle++
+		p.advanceCycle()
 	}
 	allocs := testing.AllocsPerRun(500, func() {
 		if err := p.stepCycle(); err != nil {
 			t.Fatal(err)
 		}
-		p.cycle++
+		p.advanceCycle()
 	})
 	if allocs > 0 {
 		t.Errorf("steady-state stepCycle allocates %.1f objects/cycle with no observer; want 0", allocs)

@@ -32,7 +32,7 @@ func (c *issueCtx) ReadInt(r isa.Reg) int64 {
 			c.popIntVal = int64(c.p.inQueue(c.s.id, false).pop())
 			c.popIntDone = true
 			if c.p.hostSampled {
-				c.p.touchSmp.QueueMoves++
+				c.p.touchSmp.QueueHits++
 			}
 		}
 		return c.popIntVal
@@ -54,7 +54,7 @@ func (c *issueCtx) ReadFP(r isa.Reg) float64 {
 			c.popFPVal = floatFromBits(c.p.inQueue(c.s.id, true).pop())
 			c.popFPDone = true
 			if c.p.hostSampled {
-				c.p.touchSmp.QueueMoves++
+				c.p.touchSmp.QueueHits++
 			}
 		}
 		return c.popFPVal
@@ -77,19 +77,25 @@ func (c *issueCtx) TID() int                         { return int(c.f.tid) }
 
 // decodePhase runs every decode unit for one cycle (stage D2): dependence
 // checks via scoreboarding, queue-register full/empty interlocks, priority
-// interlocks, branch resolution, and issue into standby stations.
+// interlocks, branch resolution, and issue into standby stations. Running
+// slots are the decode dirty set — only they hold decodable state or
+// accrue stall statistics — so the event core returns immediately when
+// none exist; a census visit is a running slot's window examination.
 func (p *Processor) decodePhase() error {
+	if p.eventCore && p.runningSlots == 0 {
+		return nil
+	}
 	p.issueBudget = p.cfg.MaxIssuePerCycle
 	if p.issueBudget <= 0 {
 		p.issueBudget = 1 << 30 // unbounded: simultaneous issue
 	}
 	for _, slotID := range p.prio {
-		if p.hostSampled {
-			p.touchSmp.SlotScans++
-		}
 		s := p.slots[slotID]
 		if s.state != slotRunning {
 			continue
+		}
+		if p.hostSampled {
+			p.touchSmp.SlotVisits++
 		}
 		if p.issueBudget <= 0 {
 			break
@@ -101,14 +107,126 @@ func (p *Processor) decodePhase() error {
 	return nil
 }
 
+// decodeAndAdvance fuses decodePhase and advanceDecodeStages into one pass
+// over the priority list, touching each running slot's hot fields once per
+// cycle instead of twice. It runs only on unsampled event-core steps:
+// sampled steps keep the split phases so the host probe's issue/decode
+// timing attribution and the touch census match the documented taxonomy.
+//
+// The fusion is result-neutral. A slot's own issue still precedes its own
+// advance, and advance mutates only slot-local state plus the slot's
+// fetchable bit, none of which issue on another slot reads (cross-slot
+// issue effects — kills, queue traffic, priority interlocks — consult
+// slot states, queues, and scoreboards, never decode-stage contents). A
+// slot killed by an earlier-priority slot after advancing is flushed
+// wholesale, erasing the advance exactly as the split ordering would have
+// skipped it. The one iteration hazard is a change-priority instruction
+// rotating p.prio mid-loop; the advanced bitmask plus the rotation-count
+// check below guarantee every still-running slot advances exactly once
+// regardless, matching the split core's index-order sweep.
+func (p *Processor) decodeAndAdvance() error {
+	if p.runningSlots == 0 {
+		return nil
+	}
+	p.issueBudget = p.cfg.MaxIssuePerCycle
+	if p.issueBudget <= 0 {
+		p.issueBudget = 1 << 30 // unbounded: simultaneous issue
+	}
+	w := p.cfg.IssueWidth
+	rot := p.rotCount
+	var advanced uint64
+	for _, slotID := range p.prio {
+		s := p.slots[slotID]
+		if s.state != slotRunning {
+			continue
+		}
+		if p.issueBudget > 0 {
+			if err := p.issueFromSlot(s); err != nil {
+				return err
+			}
+		}
+		// Re-check the state: the slot may have halted or been flushed to
+		// idle by its own issue, in which case the split advance pass
+		// would not have visited it either.
+		if s.state == slotRunning && advanced&(1<<uint(slotID)) == 0 {
+			advanced |= 1 << uint(slotID)
+			p.advanceSlot(s, w)
+		}
+	}
+	if p.rotCount != rot {
+		// A mid-loop rotation reordered p.prio under the range above, so
+		// some running slot may have been skipped: mop up in index order.
+		for _, s := range p.slots {
+			if s.state == slotRunning && advanced&(1<<uint(s.id)) == 0 {
+				p.advanceSlot(s, w)
+			}
+		}
+	}
+	return nil
+}
+
 // issueFromSlot issues up to IssueWidth instructions from the slot's D2
 // window, in order. With IssueWidth == 1 this is the paper's base design;
 // wider widths implement the hybrid superscalar thread slots of §3.3.
 func (p *Processor) issueFromSlot(s *slot) error {
 	if len(s.d2) == 0 {
 		p.stats.Slots[s.id].Stalls[StallEmpty]++
+		if p.hostSampled {
+			// The stall tally is per-cycle architectural state; recording
+			// it is the visit's work, so it counts as a hit.
+			p.touchSmp.SlotHits++
+		}
 		if p.observer != nil {
 			p.observer.Stall(p.cycle, s.id, -1, StallEmpty)
+		}
+		return nil
+	}
+	if p.cfg.IssueWidth == 1 {
+		// The paper's base design: the window holds a single candidate, so
+		// none of the wide path's intra-window hazard bookkeeping applies.
+		// decodePhase guarantees issueBudget > 0 on entry.
+		if s.stallUntil != 0 {
+			// The head is scoreboard-blocked and nothing that could unblock
+			// it has happened (see cacheHeadStall): tally the stall without
+			// re-deriving it. The tally is the visit's work, so the census
+			// counts a hit — exactly what the re-derivation would record,
+			// since a scoreboard miss fails before any queue census.
+			// Observed runs recompute so per-cycle Stall callbacks carry
+			// the head pc.
+			if p.cycle < s.stallUntil && p.observer == nil {
+				p.stats.Slots[s.id].Stalls[s.stallReason]++
+				if p.hostSampled {
+					p.touchSmp.SlotHits++
+				}
+				return nil
+			}
+			s.stallUntil = 0
+		}
+		issued, reason, stop, err := p.tryIssue(s, &s.d2[0], true, nil, nil, false)
+		if err != nil {
+			return err
+		}
+		if issued {
+			s.stallUntil = 0
+			p.issueBudget--
+			if stop {
+				s.d2 = s.d2[:0]
+			} else {
+				s.d2 = s.d2[:copy(s.d2, s.d2[1:])]
+			}
+			if p.hostSampled {
+				p.touchSmp.SlotHits++
+			}
+			return nil
+		}
+		if reason != StallNone {
+			p.stats.Slots[s.id].Stalls[reason]++
+			if p.hostSampled {
+				p.touchSmp.SlotHits++ // stall tally recorded (see above)
+			}
+			if p.observer != nil {
+				p.observer.Stall(p.cycle, s.id, s.d2[0].pc, reason)
+			}
 		}
 		return nil
 	}
@@ -121,7 +239,7 @@ func (p *Processor) issueFromSlot(s *slot) error {
 		firstStall   = StallNone
 	)
 	for i := 0; i < len(s.d2); i++ {
-		di := s.d2[i]
+		di := &s.d2[i]
 		if ctrlBlocked || p.issueBudget <= 0 {
 			break
 		}
@@ -137,6 +255,9 @@ func (p *Processor) issueFromSlot(s *slot) error {
 				// A branch or thread-control instruction redirected or
 				// ended the stream; everything younger is already flushed.
 				s.d2 = s.d2[:0]
+				if p.hostSampled {
+					p.touchSmp.SlotHits++
+				}
 				return nil
 			}
 			continue
@@ -167,8 +288,14 @@ func (p *Processor) issueFromSlot(s *slot) error {
 			keep = append(keep, di)
 		}
 		s.d2 = keep
+		if p.hostSampled {
+			p.touchSmp.SlotHits++
+		}
 	} else if firstStall != StallNone {
 		p.stats.Slots[s.id].Stalls[firstStall]++
+		if p.hostSampled {
+			p.touchSmp.SlotHits++ // stall tally recorded (see above)
+		}
 		if p.observer != nil {
 			p.observer.Stall(p.cycle, s.id, s.d2[0].pc, firstStall)
 		}
@@ -191,7 +318,7 @@ func appendReg(dst []isa.Reg, r isa.Reg) []isa.Reg {
 // headClear reports that every older window entry has issued, which is
 // required for control instructions. stop=true means the instruction ended
 // or redirected the instruction stream.
-func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, pendingSrcs []isa.Reg, memBlocked bool) (issued bool, reason StallReason, stop bool, err error) {
+func (p *Processor) tryIssue(s *slot, di *dinstr, headClear bool, pendingDests, pendingSrcs []isa.Reg, memBlocked bool) (issued bool, reason StallReason, stop bool, err error) {
 	in := di.ins
 	pre := di.pre
 	f := p.frames[s.frame]
@@ -223,19 +350,26 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 		return false, StallPriority, false, nil
 	}
 
-	// Structural: a free standby station (or the issue latch).
+	// Structural: a free standby station (or the issue latch). The stall
+	// lifts when an instruction schedule unit drains this slot's issued
+	// work — a selectInstr for this slot, which clears the cache.
 	cls := pre.class
 	if p.cfg.StandbyStations {
 		if len(s.standby[cls]) >= p.cfg.StandbyDepth {
+			p.cacheHeadStall(s, pre, pendingReady, StallStandby)
 			return false, StallStandby, false, nil
 		}
 	} else if s.latch != nil {
+		p.cacheHeadStall(s, pre, pendingReady, StallStandby)
 		return false, StallStandby, false, nil
 	}
 
 	// Source operands: queue-register reads need a filled, ready entry;
 	// plain registers consult the scoreboard.
-	if ok, r := p.sourcesReady(s, f, pre.srcList()); !ok {
+	if ok, r, until := p.sourcesReady(s, f, pre.srcList()); !ok {
+		if until != 0 {
+			p.cacheHeadStall(s, pre, until, r)
+		}
 		return false, r, false, nil
 	}
 
@@ -248,13 +382,14 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 		case dest == s.qOutInt, dest == s.qOutFP:
 			destQueue = true
 			if p.hostSampled {
-				p.touchSmp.QueueScans++
+				p.touchSmp.QueueVisits++
 			}
 			if p.outQueue(s.id, dest.IsFP()).full() {
 				return false, StallQueueFull, false, nil
 			}
 		default:
 			if !f.scoreboardReady(dest, p.cycle) {
+				p.cacheHeadStall(s, pre, f.readyAt[sbIndex(dest)], StallData)
 				return false, StallData, false, nil
 			}
 		}
@@ -293,11 +428,14 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 	// interlocks only; the recorded stream already fixed the values.
 	var push *qentry
 	if !p.traceMode {
-		ctx := &issueCtx{p: p, s: s, f: f}
+		// The simulator is single-threaded and exec.Execute does not retain
+		// its context, so one reusable issueCtx serves every instruction.
+		ctx := &p.ictx
+		*ctx = issueCtx{p: p, s: s, f: f}
 		if destQueue {
 			ctx.push = p.outQueue(s.id, dest.IsFP()).reserve()
 			if p.hostSampled {
-				p.touchSmp.QueueMoves++
+				p.touchSmp.QueueHits++
 			}
 		}
 		out, eerr := exec.Execute(in, di.pc, ctx)
@@ -310,16 +448,15 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 		push = ctx.push
 	}
 
-	inf := &inflight{
-		ins:      in,
-		pre:      pre,
-		pc:       di.pc,
-		slot:     s.id,
-		frame:    f.id,
-		class:    cls,
-		extraLat: extraLat,
-		push:     push,
-	}
+	inf := p.allocInflight()
+	inf.ins = in
+	inf.pre = pre
+	inf.pc = di.pc
+	inf.slot = s.id
+	inf.frame = f.id
+	inf.class = cls
+	inf.extraLat = extraLat
+	inf.push = push
 	if dest.Valid() && !destQueue {
 		inf.dest = dest
 		f.markPending(dest)
@@ -331,6 +468,7 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 	} else {
 		s.latch = inf
 	}
+	p.markIssued(s, int(cls))
 	p.issuedPending++
 	if di.fromARB {
 		f.arb.Complete(di.arbSeq)
@@ -339,8 +477,12 @@ func (p *Processor) tryIssue(s *slot, di dinstr, headClear bool, pendingDests, p
 	return true, StallNone, false, nil
 }
 
-// sourcesReady checks every source operand of an instruction.
-func (p *Processor) sourcesReady(s *slot, f *contextFrame, srcs []isa.Reg) (bool, StallReason) {
+// sourcesReady checks every source operand of an instruction. On a plain
+// scoreboard miss the third result is the register's readyAt deadline (the
+// pendingReady sentinel while the producer awaits selection), which feeds
+// the head-stall cache; queue-register misses return 0 — a queue can fill
+// on any cycle, so they are never cacheable.
+func (p *Processor) sourcesReady(s *slot, f *contextFrame, srcs []isa.Reg) (bool, StallReason, uint64) {
 	needIntPop, needFPPop := false, false
 	for _, r := range srcs {
 		switch {
@@ -350,25 +492,25 @@ func (p *Processor) sourcesReady(s *slot, f *contextFrame, srcs []isa.Reg) (bool
 			needFPPop = true
 		default:
 			if !f.scoreboardReady(r, p.cycle) {
-				return false, StallData
+				return false, StallData, f.readyAt[sbIndex(r)]
 			}
 		}
 	}
 	if p.hostSampled && (needIntPop || needFPPop) {
-		p.touchSmp.QueueScans++
+		p.touchSmp.QueueVisits++
 	}
 	if needIntPop && p.inQueue(s.id, false).readyCount(p.cycle) < 1 {
-		return false, StallQueueEmpty
+		return false, StallQueueEmpty, 0
 	}
 	if needFPPop && p.inQueue(s.id, true).readyCount(p.cycle) < 1 {
-		return false, StallQueueEmpty
+		return false, StallQueueEmpty, 0
 	}
-	return true, StallNone
+	return true, StallNone, 0
 }
 
 // issueControl executes branches and the special thread-control
 // instructions inside the decode unit.
-func (p *Processor) issueControl(s *slot, f *contextFrame, di dinstr) (bool, StallReason, bool, error) {
+func (p *Processor) issueControl(s *slot, f *contextFrame, di *dinstr) (bool, StallReason, bool, error) {
 	in := di.ins
 	if p.traceMode {
 		return p.issueControlTrace(s, f, di)
@@ -389,11 +531,12 @@ func (p *Processor) issueControl(s *slot, f *contextFrame, di dinstr) (bool, Sta
 
 	// Branch conditions and jump targets read registers in the decode
 	// unit; they must be ready.
-	if ok, r := p.sourcesReady(s, f, di.pre.srcList()); !ok {
+	if ok, r, _ := p.sourcesReady(s, f, di.pre.srcList()); !ok {
 		return false, r, false, nil
 	}
 
-	ctx := &issueCtx{p: p, s: s, f: f}
+	ctx := &p.ictx
+	*ctx = issueCtx{p: p, s: s, f: f}
 	out, err := exec.Execute(in, di.pc, ctx)
 	if err != nil {
 		return false, StallNone, false, fmt.Errorf("core: slot %d: %w", s.id, err)
@@ -472,9 +615,9 @@ func (p *Processor) issueControl(s *slot, f *contextFrame, di dinstr) (bool, Sta
 // issueControlTrace replays branches, NOP and HALT from a trace record:
 // timing interlocks are identical to execution-driven mode, but control
 // flow simply continues with the next trace entry.
-func (p *Processor) issueControlTrace(s *slot, f *contextFrame, di dinstr) (bool, StallReason, bool, error) {
+func (p *Processor) issueControlTrace(s *slot, f *contextFrame, di *dinstr) (bool, StallReason, bool, error) {
 	in := di.ins
-	if ok, r := p.sourcesReady(s, f, di.pre.srcList()); !ok {
+	if ok, r, _ := p.sourcesReady(s, f, di.pre.srcList()); !ok {
 		return false, r, false, nil
 	}
 	p.noteIssued(s, di)
@@ -510,19 +653,21 @@ func (p *Processor) redirect(s *slot, pc int64) {
 	s.fetchPC = pc
 	s.fetchDone = pc >= p.streamLen(p.frames[s.frame]) || pc < 0
 	s.fetchHoldUntil = p.cycle + 1
+	p.refreshFetchable(s)
 	fu := p.fetcherFor(s.id)
 	fu.redirects = append(fu.redirects, redirectReq{
 		slot:          s.id,
 		gen:           s.fetchGen,
 		earliestStart: p.cycle + 1,
 	})
+	p.pendingRedirects++
 	if p.observer != nil {
 		p.observer.Redirect(p.cycle, s.id, pc)
 	}
 }
 
 // trapDataAbsence switches the thread out on a remote-memory load.
-func (p *Processor) trapDataAbsence(s *slot, f *contextFrame, di dinstr, addr int64) {
+func (p *Processor) trapDataAbsence(s *slot, f *contextFrame, di *dinstr, addr int64) {
 	f.arbSeq++
 	f.arb.Add(mem.AccessRequirement{Instr: di.ins, PC: di.pc, Seq: f.arbSeq})
 	f.pc = di.pc + 1
@@ -572,7 +717,7 @@ func (p *Processor) kill(killer *slot) {
 		}
 		p.setFrameState(p.frames[s.frame], frameDone)
 		s.flushPipeline()
-		p.issuedPending -= s.clearIssued()
+		p.clearIssuedSlot(s)
 		s.unmapQueues()
 		if p.observer != nil {
 			p.observer.ThreadEnd(p.cycle, s.id, s.frame, true)
@@ -600,12 +745,11 @@ func (p *Processor) kill(killer *slot) {
 }
 
 // noteIssued updates per-slot and global instruction counts.
-func (p *Processor) noteIssued(s *slot, di dinstr) {
+func (p *Processor) noteIssued(s *slot, di *dinstr) {
 	p.stats.Slots[s.id].Issued++
 	p.stats.Instructions++
 	if p.hostSampled {
 		p.touchSmp.Issues++
-		p.hostSlotTouched(s.id)
 	}
 	p.touch(p.cycle)
 	if p.OnIssue != nil {

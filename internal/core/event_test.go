@@ -1,0 +1,122 @@
+package core
+
+// White-box proof that the pending-event set never drops a scheduled wake:
+// at every point the quiescent jump can arm, the heap-and-wheel horizon
+// (quiescentHorizonEvent) must not lie beyond the structural reference scan
+// (quiescentHorizonScan). An event horizon that is *early* merely costs one
+// extra step — stale pushes are allowed — but a *late* horizon means some
+// resource's wake was never pushed, which would change results.
+
+import (
+	"testing"
+
+	"hirata/internal/asm"
+	"hirata/internal/mem"
+)
+
+// TestEventHorizonNeverLate drives the Run loop by hand across the machine
+// shapes that exercise every event source — forks and kills, data-absence
+// traps with more frames than slots, plain multithreaded loops — and
+// cross-checks the two horizons before every advanceCycle at which the
+// skip machinery would arm.
+func TestEventHorizonNeverLate(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		cfg     Config
+		threads int
+	}{
+		{
+			name: "forks",
+			src: `
+		ffork
+		tid  r1
+		sw   r1, 200(r1)
+		halt
+	`,
+			cfg:     Config{ThreadSlots: 4, StandbyStations: true},
+			threads: 1,
+		},
+		{
+			name:    "remote-traps",
+			src:     "",
+			cfg:     Config{ThreadSlots: 1, ContextFrames: 4, StandbyStations: true},
+			threads: 4,
+		},
+		{
+			name:    "remote-traps-wide",
+			src:     "",
+			cfg:     Config{ThreadSlots: 2, ContextFrames: 6, StandbyStations: true, LoadStoreUnits: 2},
+			threads: 6,
+		},
+		{
+			name: "plain",
+			src: `
+		tid  r1
+		li   r2, 20
+	loop:	addi r2, r2, -1
+		bnez r2, loop
+		halt
+	`,
+			cfg:     Config{ThreadSlots: 2, ContextFrames: 2},
+			threads: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var prog *asm.Program
+			var m *mem.Memory
+			if tc.src == "" {
+				prog = remoteChaseProg(t)
+				m = remoteChaseMem()
+			} else {
+				prog = asm.MustAssemble(tc.src)
+				m = mem.NewMemory(2048)
+				if err := prog.InitMemory(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p, err := New(tc.cfg, prog.Text, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.eventCore {
+				t.Fatal("event core not enabled by default")
+			}
+			for i := 0; i < tc.threads; i++ {
+				if err := p.StartThread(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p.started = true
+			checks := 0
+			for {
+				if p.cycle >= p.cfg.MaxCycles {
+					t.Fatalf("runaway at cycle %d", p.cycle)
+				}
+				if err := p.stepCycle(); err != nil {
+					t.Fatal(err)
+				}
+				if p.finished() {
+					break
+				}
+				if p.runningSlots == 0 && p.skipEnabled() {
+					checks++
+					ev := p.quiescentHorizonEvent()
+					sc := p.quiescentHorizonScan()
+					if ev > sc {
+						t.Fatalf("cycle %d: event horizon %d beyond structural horizon %d (dropped wake)",
+							p.cycle, ev, sc)
+					}
+					if ev <= p.cycle {
+						t.Fatalf("cycle %d: event horizon %d does not advance", p.cycle, ev)
+					}
+				}
+				p.advanceCycle()
+			}
+			if tc.src == "" && checks == 0 {
+				t.Error("remote workload never armed the quiescent jump; cross-check exercised nothing")
+			}
+		})
+	}
+}

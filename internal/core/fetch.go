@@ -1,7 +1,5 @@
 package core
 
-import "math"
-
 // fetcherFor returns the fetch unit serving a slot: slots are distributed
 // round-robin over the configured fetch units (one unit serves everyone in
 // the base design; PrivateICache gives each slot its own).
@@ -11,68 +9,123 @@ func (p *Processor) fetcherFor(slotID int) *fetchUnit {
 
 // advanceDecodeStages moves instructions D1→D2 and buffer→D1. Each stage
 // holds up to IssueWidth instructions and advances once per cycle, so an
-// instruction spends one cycle in each decode stage.
+// instruction spends one cycle in each decode stage. D1 occupants are not
+// copied anywhere: the first d1n ring entries ARE stage D1, so entering D1
+// is a counter increment and only the D1→D2 move materializes the dinstr.
+// Slots that provably cannot move anything — nothing upstream, or both
+// stages full — are filtered by O(1) state checks on both cores
+// (result-neutral: the loops below would be no-ops for them).
 func (p *Processor) advanceDecodeStages() {
-	w := p.cfg.IssueWidth
-	if p.hostSampled {
-		p.touchSmp.SlotScans += uint64(len(p.slots))
+	if p.eventCore && p.runningSlots == 0 {
+		return
 	}
+	w := p.cfg.IssueWidth
 	for _, s := range p.slots {
 		if s.state != slotRunning {
 			continue
 		}
-		if p.hostSampled && (len(s.d1) > 0 || len(s.buf) > 0) {
-			p.hostSlotTouched(s.id)
-		}
-		for len(s.d2) < w && len(s.d1) > 0 {
-			s.d2 = append(s.d2, s.d1[0])
-			s.d1 = s.d1[:copy(s.d1, s.d1[1:])] // pop front, keep capacity
-		}
-		for len(s.d1) < w && len(s.buf) > 0 && s.buf[0].minD1 <= p.cycle {
-			e := s.buf[0]
-			s.buf = s.buf[:copy(s.buf, s.buf[1:])] // pop front, keep capacity
-			s.d1 = append(s.d1, dinstr{pc: e.pc, ins: e.ins, pre: e.pre, fromARB: e.fromARB, arbSeq: e.arbSeq, addr: e.addr})
-		}
+		p.advanceSlot(s, w)
+	}
+}
+
+// advanceSlot advances one running slot's decode stages by one cycle. The
+// move set is slot-local (own buffer, D1 counter, D2 window, and the
+// slot's bit in the fetchable set), which is what lets decodeAndAdvance
+// interleave it with issue on other slots without changing results.
+func (p *Processor) advanceSlot(s *slot, w int) {
+	if s.buf.len() == 0 {
+		return // D1 and the buffer are both empty: nothing to move in
+	}
+	if len(s.d2) >= w && s.d1n >= w {
+		return // no space anywhere
+	}
+	if p.hostSampled {
+		p.touchSmp.SlotVisits++
+	}
+	moved := false
+	for len(s.d2) < w && s.d1n > 0 {
+		s.d2 = append(s.d2, s.buf.front().d)
+		s.buf.popFront()
+		s.d1n--
+		moved = true
+	}
+	popped := false
+	for s.d1n < w && s.buf.len() > s.d1n && s.buf.at(s.d1n).minD1 <= p.cycle {
+		s.d1n++
+		moved, popped = true, true
+	}
+	if popped {
+		p.refreshFetchable(s) // buffer space opened up
+	}
+	if moved && p.hostSampled {
+		p.touchSmp.SlotHits++
 	}
 }
 
 // fetchPhase advances every instruction fetch unit: finish in-flight cache
 // accesses (delivering B = S×C×D instructions into the target slot's
 // instruction queue buffer) and start the next access. Branch redirects
-// preempt the round-robin fill order (§2.1.1).
+// preempt the round-robin fill order (§2.1.1). The event core's work set
+// is busy units (a timed event), pending redirects, and the fetchable
+// dirty set; with all three empty the phase is a no-op.
 func (p *Processor) fetchPhase() {
-	if p.hostSampled {
-		p.touchSmp.FetcherScans += uint64(len(p.fetchers))
+	if p.eventCore && p.busyFetchers == 0 && p.pendingRedirects == 0 && p.fetchable == 0 {
+		return
 	}
 	for i, fu := range p.fetchers {
 		if fu.busy {
 			if p.cycle < fu.busyUntil {
-				continue
+				continue // timed wait, not a structure visit
+			}
+			if p.hostSampled {
+				p.touchSmp.FetchVisits++
 			}
 			p.deliver(fu)
 			continue // the unit restarts next cycle
+		}
+		if p.eventCore && len(fu.redirects) == 0 && p.fetchable&fu.slotMask == 0 {
+			continue
+		}
+		if p.hostSampled {
+			p.touchSmp.FetchVisits++
 		}
 		p.startFetch(i, fu)
 	}
 }
 
 // deliver completes an access: instructions become readable by decode after
-// the buffer-read stage, one cycle after delivery.
+// the buffer-read stage, one cycle after delivery. The instructions are
+// materialized here, straight into the slot's queue buffer — beginAccess
+// only recorded the stream range. That is result-identical to capturing
+// them at access start: streams are immutable per frame, and any frame
+// rebind or flush in between bumps fetchGen, which voids the delivery.
 func (p *Processor) deliver(fu *fetchUnit) {
 	fu.busy = false
+	p.busyFetchers--
 	s := p.slots[fu.target]
 	if fu.gen != s.fetchGen || s.state != slotRunning {
-		fu.insns = fu.insns[:0]
 		return
 	}
-	for _, e := range fu.insns {
-		e.minD1 = p.cycle + 1
-		s.buf = append(s.buf, e)
+	f := p.frames[s.frame]
+	minD1 := p.cycle + 1
+	if p.traceMode && f.traceID >= 0 {
+		recs, pre := p.traces[f.traceID], p.tracePre[f.traceID]
+		for pc := fu.pc0; pc < fu.pc1; pc++ {
+			s.buf.push(bufEntry{d: dinstr{pc: pc, ins: recs[pc].Ins, pre: &pre[pc], addr: recs[pc].Addr}, minD1: minD1})
+		}
+	} else {
+		n := int(fu.pc1 - fu.pc0)
+		s.buf.reserve(n)
+		for i := 0; i < n; i++ {
+			pc := fu.pc0 + int64(i)
+			*s.buf.at(s.buf.n + i) = bufEntry{d: dinstr{pc: pc, ins: p.prog[pc], pre: &p.pre[pc]}, minD1: minD1}
+		}
+		s.buf.n += n
 	}
-	fu.insns = fu.insns[:0]
+	p.refreshFetchable(s)
 	if p.hostSampled {
-		p.touchSmp.FetcherEvents++
-		p.hostSlotTouched(fu.target)
+		p.touchSmp.FetchHits++
+		p.touchSmp.SlotHits++
 	}
 	p.touch(p.cycle + 1)
 }
@@ -86,10 +139,12 @@ func (p *Processor) startFetch(fuIndex int, fu *fetchUnit) {
 			live = append(live, r)
 		}
 	}
+	p.pendingRedirects -= len(fu.redirects) - len(live)
 	fu.redirects = live
 	for i, r := range fu.redirects {
 		if r.earliestStart <= p.cycle {
 			fu.redirects = append(fu.redirects[:i], fu.redirects[i+1:]...)
+			p.pendingRedirects--
 			p.beginAccess(fu, r.slot)
 			return
 		}
@@ -99,12 +154,15 @@ func (p *Processor) startFetch(fuIndex int, fu *fetchUnit) {
 	n := p.cfg.ThreadSlots
 	units := len(p.fetchers)
 	for k := 1; k <= n; k++ {
-		if p.hostSampled {
-			p.touchSmp.SlotScans++
-		}
 		id := (fu.rr + k) % n
 		if id%units != fuIndex {
 			continue
+		}
+		if p.eventCore && p.fetchable&slotBit(id) == 0 {
+			continue // not in the dirty set: cannot want a fill
+		}
+		if p.hostSampled {
+			p.touchSmp.SlotVisits++
 		}
 		if p.wantsFetch(p.slots[id]) {
 			fu.rr = id
@@ -116,7 +174,7 @@ func (p *Processor) startFetch(fuIndex int, fu *fetchUnit) {
 
 // wantsFetch reports whether a slot needs its queue buffer filled.
 func (p *Processor) wantsFetch(s *slot) bool {
-	return s.state == slotRunning && !s.fetchDone && len(s.buf) < s.bufCap &&
+	return s.state == slotRunning && !s.fetchDone && s.buf.len()-s.d1n < s.bufCap &&
 		p.cycle >= s.fetchHoldUntil
 }
 
@@ -124,7 +182,7 @@ func (p *Processor) wantsFetch(s *slot) bool {
 // instructions it will deliver.
 func (p *Processor) beginAccess(fu *fetchUnit, slotID int) {
 	s := p.slots[slotID]
-	space := s.bufCap - len(s.buf)
+	space := s.bufCap - (s.buf.len() - s.d1n)
 	if space > p.fetchMax {
 		space = p.fetchMax
 	}
@@ -139,24 +197,26 @@ func (p *Processor) beginAccess(fu *fetchUnit, slotID int) {
 	}
 	if end <= s.fetchPC {
 		s.fetchDone = true
+		p.refreshFetchable(s)
 		return
 	}
 	if p.hostSampled {
-		p.touchSmp.FetcherEvents++
+		p.touchSmp.FetchHits++
 	}
 	lat := fu.icache.Access(s.fetchPC)
 	fu.busy = true
 	fu.busyUntil = p.cycle + uint64(lat) - 1
 	fu.target = slotID
 	fu.gen = s.fetchGen
-	fu.insns = fu.insns[:0]
-	for pc := s.fetchPC; pc < end; pc++ {
-		ins, addr := p.streamAt(f, pc)
-		fu.insns = append(fu.insns, bufEntry{pc: pc, ins: ins, pre: p.streamMeta(f, pc), addr: addr, minD1: math.MaxUint64})
-	}
+	fu.pc0, fu.pc1 = s.fetchPC, end
 	s.fetchPC = end
 	if end >= streamLen {
 		s.fetchDone = true
 	}
+	p.busyFetchers++
+	// Delivery happens on a later fetchPhase invocation (the unit must be
+	// observed busy-and-due), never before cycle+1 even for 1-cycle caches.
+	p.pushEv(maxU(fu.busyUntil, p.cycle+1))
+	p.refreshFetchable(s)
 	p.touch(fu.busyUntil)
 }

@@ -17,11 +17,11 @@ package core
 // (tools/analyzers) enforces that no raw time.Now/time.Since creeps into
 // this package.
 
-// HostPhase identifies one phase of stepCycle (plus the skip machinery that
-// runs between steps), in execution order. The simulated machine's
-// "execute" work has no phase of its own: execution is timing-only and is
-// folded into issue-select (architectural effects apply at issue, timing at
-// select) and completion (retirement of elapsed result latencies).
+// HostPhase identifies one phase of stepCycle (plus the event-horizon
+// machinery that runs between steps), in execution order. The simulated
+// machine's "execute" work has no phase of its own: execution is timing-only
+// and is folded into issue-select (architectural effects apply at issue,
+// timing at select) and completion (retirement of elapsed result latencies).
 type HostPhase uint8
 
 const (
@@ -33,13 +33,13 @@ const (
 	HostPhaseIssue                         // decodePhase (decode units, stage D2)
 	HostPhaseDecodeBuffer                  // advanceDecodeStages (buffer→D1→D2)
 	HostPhaseFetch                         // fetchPhase (instruction fetch units)
-	HostPhaseSkip                          // advanceCycle + quiescent-horizon scan
+	HostPhaseSkip                          // advanceCycle event-horizon machinery (only when it arms)
 	NumHostPhases
 )
 
 var hostPhaseNames = [NumHostPhases]string{
 	"rotation", "completion", "wake", "bind", "issue-select",
-	"decode-issue", "decode-buffer", "fetch", "skip-machinery",
+	"decode-issue", "decode-buffer", "fetch", "event-horizon",
 }
 
 // String returns the stable phase name used in profiles, traces and
@@ -51,42 +51,50 @@ func (ph HostPhase) String() string {
 	return "unknown"
 }
 
-// TouchSample is the structure-touch census of one sampled step: for each
-// per-cycle data structure, how many entries the loop *scanned* versus how
-// many actually *changed state*. The gap is exactly the work an
-// event-driven "dirty-set" core (ROADMAP item 2) would not do.
+// TouchSample is the structure-touch census of one sampled step. For each
+// per-cycle structure it counts *visits* — loop bodies that executed past
+// the O(1) dirty-set filter — and *hits* — visits that performed or
+// recorded work (moving an instruction, selecting onto a unit, popping a
+// queue entry, or tallying a per-cycle architectural stall: the tally is
+// state the machine must record, so recording it is the visit's work).
+//
+// On the event-driven core (event.go) the visit count is what the dirty
+// sets let through, so hits/visits is the dirty-set *hit rate*. On the
+// legacy scan core (Config.DisableEventCore) the same counting sites see
+// every entry the full scan walks, so 1 − hits/visits is the scan *waste*
+// the event core eliminates. The two runs are directly comparable because
+// the hit sites are identical in both modes.
 type TouchSample struct {
 	Cycle        uint64
 	RunningSlots uint64 // slots in slotRunning at step start
 
-	SlotScans   uint64 // slot visits by the per-cycle loops (bind, select, issue, buffer, fetch RR)
-	SlotsActive uint64 // distinct slots whose state changed this step
+	SlotVisits uint64 // slot loop bodies run (bind, select, issue, buffer, fetch RR)
+	SlotHits   uint64 // slot visits that moved, issued, stalled-and-tallied, bound or unbound
 
-	UnitScans      uint64 // functional units examined by schedulePhase
-	UnitSelections uint64 // instructions committed to a unit
+	UnitVisits uint64 // functional units examined by schedulePhase
+	UnitHits   uint64 // instructions committed to a unit
 
-	QueueScans uint64 // queue-register readiness/capacity checks in decode
-	QueueMoves uint64 // queue entries actually popped or reserved
+	QueueVisits uint64 // queue-register readiness/capacity checks in decode
+	QueueHits   uint64 // queue entries actually popped or reserved
 
-	FrameScans uint64 // wait-heap entries examined by wakeFrames
-	FrameWakes uint64 // frames transitioned waiting→ready
+	FrameVisits uint64 // wait-heap entries examined by wakeFrames
+	FrameHits   uint64 // frames transitioned waiting→ready
 
-	FetcherScans  uint64 // fetch units examined by fetchPhase
-	FetcherEvents uint64 // accesses started or delivered
+	FetchVisits uint64 // fetch units examined by fetchPhase
+	FetchHits   uint64 // accesses started or delivered
 
 	Issues  uint64 // instructions leaving a decode unit
 	Retires uint64 // completions credited this step
 	Binds   uint64 // frames bound to slots
-
-	slotMask uint64 // scratch: bitmask of slots touched (ThreadSlots ≤ 64)
 }
 
 // HostProbe observes the simulator's own execution. StepStart is called at
 // the top of every stepCycle and elects whether this step is sampled; only
-// sampled steps receive PhaseEnd/StepEnd callbacks (and the trailing
-// HostPhaseSkip PhaseEnd from advanceCycle). SkipJump reports every
-// quiescent fast-forward regardless of sampling. RunEnd fires once when Run
-// returns successfully.
+// sampled steps receive PhaseEnd/StepEnd callbacks. A trailing
+// HostPhaseSkip PhaseEnd arrives only from steps on which the event-horizon
+// machinery armed (no running slots, skipping enabled); ordinary steps end
+// at HostPhaseFetch. SkipJump reports every quiescent fast-forward
+// regardless of sampling. RunEnd fires once when Run returns successfully.
 //
 // Implementations must not retain the TouchSample beyond StepEnd and must
 // not mutate processor state; internal/hostobs provides the standard one.
@@ -111,9 +119,4 @@ type HostProbe interface {
 // the machine to cycle-by-cycle stepping.
 func (p *Processor) SetHostProbe(hp HostProbe) {
 	p.hostProbe = hp
-}
-
-// hostSlotTouched marks a slot as state-changed in the current sample.
-func (p *Processor) hostSlotTouched(slotID int) {
-	p.touchSmp.slotMask |= 1 << uint(slotID)
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"strings"
 
 	"hirata/internal/exec"
@@ -100,15 +99,11 @@ const (
 	slotDraining                  // waiting for issued instructions before a context switch
 )
 
-// bufEntry is one instruction in a slot's instruction queue unit.
+// bufEntry is one instruction in a slot's instruction queue unit: the
+// decoded-instruction payload plus the cycle gate for entering decode.
 type bufEntry struct {
-	pc      int64
-	ins     isa.Instruction
-	pre     *insMeta // predecoded metadata for ins
-	minD1   uint64   // earliest cycle the entry may enter decode stage D1
-	fromARB bool     // re-injected from the access requirement buffer
-	arbSeq  uint64
-	addr    int64 // recorded effective address (trace-driven mode)
+	d     dinstr
+	minD1 uint64 // earliest cycle the entry may enter decode stage D1
 }
 
 // dinstr is an instruction occupying a decode stage.
@@ -142,12 +137,14 @@ type slot struct {
 	id          int
 	state       slotState
 	frame       int // bound context frame id, -1 when idle
-	buf         []bufEntry
+	buf         insRing
 	bufCap      int
 	fetchPC     int64
-	fetchGen    uint64 // invalidates in-flight fetches after a flush
-	fetchDone   bool   // fetchPC ran past the program end
-	d1          []dinstr
+	fetchGen    uint64      // invalidates in-flight fetches after a flush
+	fetchDone   bool        // fetchPC ran past the program end
+	d1n         int         // buffer-front entries occupying decode stage D1 (see advanceDecodeStages)
+	stallUntil  uint64      // head-of-D2 stall deadline, 0 = none (see cacheHeadStall)
+	stallReason StallReason // cached stall's per-cycle tally reason
 	d2          []dinstr
 	standby     [unitClassCount][]*inflight // FIFO per class, cap = StandbyDepth
 	latch       *inflight                   // used when standby stations are disabled
@@ -165,26 +162,11 @@ type slot struct {
 
 // flushPipeline empties the decode stages and instruction queue buffer.
 func (s *slot) flushPipeline() {
-	s.buf = s.buf[:0]
-	s.d1 = s.d1[:0]
+	s.buf.reset()
+	s.d1n = 0
+	s.stallUntil = 0
 	s.d2 = s.d2[:0]
 	s.fetchGen++
-}
-
-// clearIssued drops standby/latch contents (used when a thread is killed)
-// and returns how many issued-but-unselected instructions were dropped, so
-// the caller can keep the issuedPending counter exact.
-func (s *slot) clearIssued() int {
-	n := 0
-	for i := range s.standby {
-		n += len(s.standby[i])
-		s.standby[i] = s.standby[i][:0]
-	}
-	if s.latch != nil {
-		n++
-		s.latch = nil
-	}
-	return n
 }
 
 // issuedEmpty reports whether no issued instruction awaits scheduling.
@@ -228,9 +210,10 @@ type fetchUnit struct {
 	busyUntil uint64
 	target    int
 	gen       uint64
-	insns     []bufEntry
+	pc0, pc1  int64 // pending delivery: stream range [pc0, pc1)
 	redirects []redirectReq
-	rr        int // round-robin position
+	rr        int    // round-robin position
+	slotMask  uint64 // slots served by this unit (round-robin assignment)
 }
 
 // Processor is one multithreaded physical processor.
@@ -248,6 +231,7 @@ type Processor struct {
 	readyQ   []int // frame ids ready to run, FIFO
 	prio     []int // slot ids, highest priority first
 	explicit bool
+	rotCount uint64 // rotateOnce invocations; guards decodeAndAdvance's prio iteration
 
 	// Live aggregates kept in sync by setFrameState/setSlotState and the
 	// issue/select paths. They replace the per-cycle finished()/wakeFrames()
@@ -259,6 +243,26 @@ type Processor struct {
 	waitHeap      []frameWake // min-heap of (waitUntil, frame id)
 	nextRotation  uint64      // next implicit-rotation boundary (multiple of RotationInterval)
 	stepsExecuted uint64      // stepCycle invocations (cycle-skip effectiveness metric)
+
+	// Event-driven dirty sets (event.go). eventCore is the master switch
+	// (!Config.DisableEventCore); evNear/evFar form the pending-event set
+	// (a 64-cycle timing-wheel bitmap plus an overflow min-heap) holding
+	// future cycles at which timed state changes; classMask[cls], classDirty
+	// and fetchable are per-structure dirty bitmaps maintained at the
+	// mutation sites. The masks are maintained on both cores (cheap bit
+	// ops) but only consulted when eventCore is set, so the legacy path
+	// scans exactly as the original loop did.
+	eventCore        bool
+	evNear           uint64                 // bit k = event at cycle+1+k (k < 64)
+	evFar            []uint64               // min-heap of events beyond the near window
+	classMask        [unitClassCount]uint64 // slots with issued-but-unselected work, per class
+	classDirty       uint32                 // bit cls set iff classMask[cls] != 0
+	fetchable        uint64                 // slots whose queue buffer wants a fill
+	busyFetchers     int                    // fetch units mid-access
+	pendingRedirects int                    // queued branch-redirect requests
+	infPool          []*inflight            // in-flight entry free list
+	ictx             issueCtx               // reusable exec.Context for the issue path
+	prioIdx          []uint8                // slot id -> rank in prio (rebuilt on rotation)
 
 	units      []*funcUnit
 	unitsByCls [unitClassCount][]*funcUnit
@@ -418,6 +422,7 @@ func New(cfg Config, prog []isa.Instruction, m *mem.Memory) (*Processor, error) 
 		s.unmapQueues()
 		p.slots = append(p.slots, s)
 		p.prio = append(p.prio, i)
+		p.prioIdx = append(p.prioIdx, uint8(i))
 	}
 	for i := 0; i < cfg.ContextFrames; i++ {
 		p.frames = append(p.frames, &contextFrame{id: i, traceID: -1})
@@ -437,9 +442,16 @@ func New(cfg Config, prog []isa.Instruction, m *mem.Memory) (*Processor, error) 
 		}
 	}
 	for i := 0; i < cfg.FetchUnits; i++ {
-		p.fetchers = append(p.fetchers, &fetchUnit{icache: mem.NewCache(cfg.ICache), target: -1})
+		fu := &fetchUnit{icache: mem.NewCache(cfg.ICache), target: -1}
+		// Bitmask of the slots this unit serves (round-robin assignment),
+		// intersected with the fetchable dirty set to elide idle units.
+		for id := i; id < cfg.ThreadSlots; id += cfg.FetchUnits {
+			fu.slotMask |= slotBit(id)
+		}
+		p.fetchers = append(p.fetchers, fu)
 	}
 	p.explicit = cfg.ExplicitRotation
+	p.eventCore = !cfg.DisableEventCore
 	p.stats.Slots = make([]SlotStat, cfg.ThreadSlots)
 	p.initQueues()
 	return p, nil
@@ -491,8 +503,15 @@ func (p *Processor) setFrameState(f *contextFrame, st frameState) {
 }
 
 // setSlotState transitions a slot's lifecycle state while keeping the
-// runningSlots/drainingSlots counters exact.
+// runningSlots/drainingSlots counters and the fetchable dirty set exact.
+// A transition out of slotRunning schedules an event for the next cycle:
+// it may expose a fully-drained slot to the unbind check, a ready frame to
+// an idle slot, or a standby entry to an idle unit — all at cycle+1,
+// exactly where the legacy horizon scan's floor-collapse cases land.
 func (p *Processor) setSlotState(s *slot, st slotState) {
+	if s.state == slotRunning && st != slotRunning {
+		p.pushEv(p.cycle + 1)
+	}
 	switch s.state {
 	case slotRunning:
 		p.runningSlots--
@@ -506,6 +525,7 @@ func (p *Processor) setSlotState(s *slot, st slotState) {
 		p.drainingSlots++
 	}
 	s.state = st
+	p.refreshFetchable(s)
 }
 
 // frameWake is one waitUntil deadline in the wake heap. Entries order by
@@ -587,10 +607,10 @@ func (p *Processor) Run() (Result, error) {
 			return p.stats, err
 		}
 		if p.finished() {
-			// The final step exits before advanceCycle runs; close out its
-			// sampled skip-machinery window so every sampled step reports
-			// the full phase sequence.
-			p.hostSkipDone()
+			// The final step exits before advanceCycle runs; the horizon
+			// machinery never armed for it, so close the sampled window
+			// without charging the event-horizon phase.
+			p.hostStepDone()
 			break
 		}
 		p.advanceCycle()
@@ -635,20 +655,28 @@ func (p *Processor) stepCycle() error {
 	if p.hostSampled {
 		p.hostProbe.PhaseEnd(HostPhaseSelect)
 	}
-	if err := p.decodePhase(); err != nil {
-		return err
-	}
-	if p.hostSampled {
-		p.hostProbe.PhaseEnd(HostPhaseIssue)
-	}
-	p.advanceDecodeStages()
-	if p.hostSampled {
-		p.hostProbe.PhaseEnd(HostPhaseDecodeBuffer)
+	if p.eventCore && !p.hostSampled {
+		// Fused issue+advance pass (result-identical, one slot sweep).
+		// Sampled steps take the split phases below so the probe's
+		// issue/decode-buffer attribution and census stay meaningful.
+		if err := p.decodeAndAdvance(); err != nil {
+			return err
+		}
+	} else {
+		if err := p.decodePhase(); err != nil {
+			return err
+		}
+		if p.hostSampled {
+			p.hostProbe.PhaseEnd(HostPhaseIssue)
+		}
+		p.advanceDecodeStages()
+		if p.hostSampled {
+			p.hostProbe.PhaseEnd(HostPhaseDecodeBuffer)
+		}
 	}
 	p.fetchPhase()
 	if p.hostSampled {
 		p.hostProbe.PhaseEnd(HostPhaseFetch)
-		p.touchSmp.SlotsActive = uint64(bits.OnesCount64(p.touchSmp.slotMask))
 		p.hostProbe.StepEnd(p.touchSmp)
 	}
 	return nil
@@ -676,7 +704,7 @@ func (p *Processor) finishedScan() bool {
 		}
 	}
 	for _, s := range p.slots {
-		if s.state != slotIdle || len(s.d1)+len(s.d2) > 0 || !s.issuedEmpty() {
+		if s.state != slotIdle || s.d1n+len(s.d2) > 0 || !s.issuedEmpty() {
 			return false
 		}
 	}
@@ -708,6 +736,10 @@ func (p *Processor) rotateOnce() {
 	head := p.prio[0]
 	copy(p.prio, p.prio[1:])
 	p.prio[len(p.prio)-1] = head
+	p.rotCount++
+	for r, id := range p.prio {
+		p.prioIdx[id] = uint8(r)
+	}
 	if p.observer != nil {
 		p.observer.Rotate(p.cycle, p.prio)
 	}
@@ -754,7 +786,7 @@ func (p *Processor) wakeFrames() {
 		fw := p.popWait()
 		f := p.frames[fw.id]
 		if p.hostSampled {
-			p.touchSmp.FrameScans++
+			p.touchSmp.FrameVisits++
 		}
 		if f.state != frameWaiting || f.waitUntil != fw.when {
 			continue // stale deadline
@@ -762,33 +794,54 @@ func (p *Processor) wakeFrames() {
 		p.setFrameState(f, frameReady)
 		p.readyQ = append(p.readyQ, f.id)
 		if p.hostSampled {
-			p.touchSmp.FrameWakes++
+			p.touchSmp.FrameHits++
 		}
 		p.touch(p.cycle)
 	}
 }
 
-// bindSlots assigns ready frames to idle slots.
+// bindSlots assigns ready frames to idle slots. The event core gates each
+// loop on its work set: the bind scan needs both a ready frame and an idle
+// slot, the unbind scan needs a draining slot. The gates are exact (the
+// loops are no-ops without those conditions), so legacy and event cores
+// bind identically.
 func (p *Processor) bindSlots() {
-	if p.hostSampled {
-		p.touchSmp.SlotScans += 2 * uint64(len(p.slots))
-	}
-	for _, s := range p.slots {
-		if s.state != slotIdle || p.cycle < s.bindReadyAt || len(p.readyQ) == 0 {
-			continue
+	idleSlots := len(p.slots) - p.runningSlots - p.drainingSlots
+	if !p.eventCore || (len(p.readyQ) > 0 && idleSlots > 0) {
+		for _, s := range p.slots {
+			if p.hostSampled {
+				p.touchSmp.SlotVisits++
+			}
+			if s.state != slotIdle || p.cycle < s.bindReadyAt || len(p.readyQ) == 0 {
+				continue
+			}
+			fid := p.readyQ[0]
+			p.readyQ = p.readyQ[1:]
+			p.bindFrame(s, p.frames[fid])
 		}
-		fid := p.readyQ[0]
-		p.readyQ = p.readyQ[1:]
-		p.bindFrame(s, p.frames[fid])
 	}
 	// Complete pending context switches: a draining slot unbinds once its
 	// issued instructions have been performed (§2.1.3).
-	for _, s := range p.slots {
-		if s.state == slotDraining && s.outstanding == 0 && s.issuedEmpty() {
-			p.setSlotState(s, slotIdle)
-			s.frame = -1
-			s.bindReadyAt = p.cycle + uint64(p.cfg.ContextSwitchCycles)
-			p.touch(s.bindReadyAt)
+	if !p.eventCore || p.drainingSlots > 0 {
+		for _, s := range p.slots {
+			if s.state != slotDraining {
+				continue
+			}
+			if p.hostSampled {
+				p.touchSmp.SlotVisits++
+			}
+			if s.outstanding == 0 && s.issuedEmpty() {
+				p.setSlotState(s, slotIdle)
+				s.frame = -1
+				s.bindReadyAt = p.cycle + uint64(p.cfg.ContextSwitchCycles)
+				// The freshly idle slot can take a ready frame once the
+				// rebind delay elapses.
+				p.pushEv(s.bindReadyAt)
+				if p.hostSampled {
+					p.touchSmp.SlotHits++
+				}
+				p.touch(s.bindReadyAt)
+			}
 		}
 	}
 }
@@ -805,21 +858,18 @@ func (p *Processor) bindFrame(s *slot, f *contextFrame) {
 	for _, req := range f.arb.Pending() {
 		// ARB re-injection happens only in execution-driven mode (traps
 		// cannot occur during trace replay), so program metadata applies.
-		s.buf = append(s.buf, bufEntry{
-			pc:      req.PC,
-			ins:     req.Instr,
-			pre:     &p.pre[req.PC],
-			minD1:   p.cycle + 1,
-			fromARB: true,
-			arbSeq:  req.Seq,
+		s.buf.push(bufEntry{
+			d:     dinstr{pc: req.PC, ins: req.Instr, pre: &p.pre[req.PC], fromARB: true, arbSeq: req.Seq},
+			minD1: p.cycle + 1,
 		})
 	}
+	p.refreshFetchable(s)
 	if p.observer != nil {
 		p.observer.Bind(p.cycle, s.id, f.id, f.tid)
 	}
 	if p.hostSampled {
 		p.touchSmp.Binds++
-		p.hostSlotTouched(s.id)
+		p.touchSmp.SlotHits++
 	}
 	p.touch(p.cycle)
 }
@@ -854,7 +904,7 @@ func (p *Processor) snapshot() string {
 	var out strings.Builder
 	for _, s := range p.slots {
 		fmt.Fprintf(&out, "slot %d: state=%d frame=%d buf=%d d1=%d d2=%d outstanding=%d",
-			s.id, s.state, s.frame, len(s.buf), len(s.d1), len(s.d2), s.outstanding)
+			s.id, s.state, s.frame, s.buf.len()-s.d1n, s.d1n, len(s.d2), s.outstanding)
 		if len(s.d2) > 0 {
 			fmt.Fprintf(&out, " d2head=%q(pc=%d)", s.d2[0].ins.String(), s.d2[0].pc)
 		}

@@ -1,6 +1,10 @@
 package core
 
-import "hirata/internal/isa"
+import (
+	"math/bits"
+
+	"hirata/internal/isa"
+)
 
 // schedulePhase is the S pipeline stage: for every functional-unit class,
 // the instruction schedule unit picks, in thread-priority order, issued
@@ -11,11 +15,22 @@ import "hirata/internal/isa"
 // latency and delivers its result at cycle s + result latency; that is the
 // cycle at which a dependent instruction may pass decode, which reproduces
 // the paper's 3-cycle dependent-issue distance for 2-cycle results.
+//
+// The event core consumes the classMask dirty set: the classDirty summary
+// names the classes with issued work (clean classes are never touched),
+// and the per-class scan visits only slots whose mask bit is set, in
+// thread-priority order via the prioIdx rank table — the same slots, in
+// the same order, the legacy full scan would have found candidates in.
 func (p *Processor) schedulePhase() {
-	for cls := isa.UnitClass(1); int(cls) < unitClassCount; cls++ {
+	if !p.eventCore {
+		p.schedulePhaseScan()
+		return
+	}
+	for dirty := p.classDirty; dirty != 0; dirty &= dirty - 1 {
+		cls := isa.UnitClass(bits.TrailingZeros32(dirty))
 		units := p.unitsByCls[cls]
 		if p.hostSampled {
-			p.touchSmp.UnitScans += uint64(len(units))
+			p.touchSmp.UnitVisits += uint64(len(units))
 		}
 		free := p.freeUnits[:0]
 		for _, u := range units {
@@ -27,13 +42,22 @@ func (p *Processor) schedulePhase() {
 			continue
 		}
 		// Candidates in priority order: at most one instruction per slot
-		// per class can be waiting (standby stations have depth one).
-		for _, slotID := range p.prio {
-			if p.hostSampled {
-				p.touchSmp.SlotScans++
+		// per class can be waiting at the head of its standby FIFO. The
+		// pending mask is iterated by repeatedly extracting the slot with
+		// the best (lowest) priority rank — identical order to walking
+		// p.prio, but proportional to the candidates, not the slot count.
+		pending := p.classMask[cls]
+		for pending != 0 && len(free) > 0 {
+			slotID, bestRank := -1, 256
+			for m := pending; m != 0; m &= m - 1 {
+				id := bits.TrailingZeros64(m)
+				if r := int(p.prioIdx[id]); r < bestRank {
+					slotID, bestRank = id, r
+				}
 			}
-			if len(free) == 0 {
-				break
+			pending &^= slotBit(slotID)
+			if p.hostSampled {
+				p.touchSmp.SlotVisits++
 			}
 			s := p.slots[slotID]
 			var inf *inflight
@@ -53,15 +77,77 @@ func (p *Processor) schedulePhase() {
 			if p.cfg.StandbyStations {
 				q := s.standby[cls]
 				s.standby[cls] = q[:copy(q, q[1:])]
+				if len(s.standby[cls]) == 0 {
+					p.clearClassSlot(int(cls), slotBit(slotID))
+				}
 			} else {
 				s.latch = nil
+				p.clearClassSlot(int(cls), slotBit(slotID))
 			}
+			p.freeInflight(inf)
 			p.issuedPending--
 		}
 	}
 }
 
-// selectInstr commits an issued instruction to a functional unit.
+// schedulePhaseScan is the legacy scan path: every class, every unit, every
+// slot in priority order, each cycle.
+func (p *Processor) schedulePhaseScan() {
+	for cls := isa.UnitClass(1); int(cls) < unitClassCount; cls++ {
+		units := p.unitsByCls[cls]
+		if p.hostSampled {
+			p.touchSmp.UnitVisits += uint64(len(units))
+		}
+		free := p.freeUnits[:0]
+		for _, u := range units {
+			if u.busyUntil < p.cycle {
+				free = append(free, u)
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		for _, slotID := range p.prio {
+			if len(free) == 0 {
+				break
+			}
+			if p.hostSampled {
+				p.touchSmp.SlotVisits++
+			}
+			s := p.slots[slotID]
+			var inf *inflight
+			if p.cfg.StandbyStations {
+				if len(s.standby[cls]) > 0 {
+					inf = s.standby[cls][0]
+				}
+			} else if s.latch != nil && s.latch.class == cls {
+				inf = s.latch
+			}
+			if inf == nil {
+				continue
+			}
+			u := free[0]
+			free = free[1:]
+			p.selectInstr(u, inf)
+			if p.cfg.StandbyStations {
+				q := s.standby[cls]
+				s.standby[cls] = q[:copy(q, q[1:])]
+				if len(s.standby[cls]) == 0 {
+					p.clearClassSlot(int(cls), slotBit(slotID))
+				}
+			} else {
+				s.latch = nil
+				p.clearClassSlot(int(cls), slotBit(slotID))
+			}
+			p.freeInflight(inf)
+			p.issuedPending--
+		}
+	}
+}
+
+// selectInstr commits an issued instruction to a functional unit. The
+// caller owns removing inf from its standby station/latch and returning it
+// to the pool.
 func (p *Processor) selectInstr(u *funcUnit, inf *inflight) {
 	issueLat := inf.pre.issueLat
 	resultLat := inf.pre.resultLat + uint64(inf.extraLat)
@@ -69,14 +155,24 @@ func (p *Processor) selectInstr(u *funcUnit, inf *inflight) {
 	u.busyUntil = p.cycle + issueLat - 1
 	u.stat.Invocations++
 	u.stat.BusyCycles += issueLat
+	// The unit frees at busyUntil+1 (schedulePhase needs busyUntil < cycle);
+	// a standby entry of this class may be waiting for exactly that cycle.
+	p.pushEv(u.busyUntil + 1)
 	if p.hostSampled {
-		p.touchSmp.UnitSelections++
-		p.hostSlotTouched(inf.slot)
+		p.touchSmp.UnitHits++
+		p.touchSmp.SlotHits++
 	}
 
 	ready := p.cycle + resultLat
 	if inf.frame >= 0 {
 		p.frames[inf.frame].setReady(inf.dest, ready)
+	}
+	// This selection may be the unblock a sentinel-deadline head stall
+	// waits for: the standby drain, or the stamp that turns a pendingReady
+	// scoreboard entry into a concrete cycle. Concrete-deadline stalls are
+	// unaffected — a selection never moves a readyAt earlier.
+	if sl := p.slots[inf.slot]; sl.stallUntil == pendingReady {
+		sl.stallUntil = 0
 	}
 	stampQueueEntry(inf.push, ready)
 
@@ -88,6 +184,7 @@ func (p *Processor) selectInstr(u *funcUnit, inf *inflight) {
 	}
 	idx := ready & p.compMask
 	p.completions[idx] = append(p.completions[idx], inf.slot)
+	p.pushEv(ready)
 	p.touch(ready)
 	if p.OnSelect != nil {
 		p.OnSelect(inf.slot, inf.pc, p.cycle)

@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // Quiescent-cycle skipping: when no slot is running a thread, nothing can
 // decode, fetch or retire until a scheduled future event — a completion
 // leaving the ring, a waiting frame's remote data arriving, an idle slot's
@@ -11,6 +13,13 @@ package core
 // with runningSlots == 0 is observationally identical whether stepped or
 // skipped, provided priority rotation is fast-forwarded the same number of
 // boundaries.
+//
+// On the event core (event.go), the jump is the degenerate case of the
+// pending-event heap: with the per-cycle dirty sets empty, the horizon is
+// simply the earliest pending event (heap top, folded with the frame wake
+// heap). The structural scan below (quiescentHorizonScan) survives as the
+// legacy fallback and as the cross-check reference the event-heap tests
+// compare against.
 
 // skipEnabled reports whether quiescent-cycle fast-forwarding is safe.
 // Observers and the OnIssue/OnSelect hooks may watch per-cycle activity
@@ -24,13 +33,19 @@ func (p *Processor) skipEnabled() bool {
 // advanceCycle moves the machine to the next simulated cycle, jumping over
 // provably quiescent stretches. A HostProbe does not disable skipping (it
 // observes the simulator, not the machine): jumps are reported through
-// SkipJump, and on sampled steps the horizon scan itself is charged to
-// HostPhaseSkip so the skip machinery shows up in the phase profile.
+// SkipJump, and on sampled steps the horizon machinery is charged to
+// HostPhaseSkip — but only when it actually arms. A step that advances
+// normally closes its sampled window through hostStepDone without touching
+// the event-horizon phase, so phase profiles separate "cycle simulated"
+// from "cycle jumped by event horizon".
 func (p *Processor) advanceCycle() {
 	next := p.cycle + 1
 	if p.runningSlots > 0 || !p.skipEnabled() {
+		// Normal step: retire pending events up to the cycle being entered
+		// (each push is popped exactly once, keeping the heap bounded).
+		p.drainEv(next)
 		p.cycle = next
-		p.hostSkipDone()
+		p.hostStepDone()
 		return
 	}
 	t := p.quiescentHorizon()
@@ -40,6 +55,7 @@ func (p *Processor) advanceCycle() {
 		t = p.cfg.MaxCycles
 	}
 	if t <= next {
+		p.drainEv(next)
 		p.cycle = next
 		p.hostSkipDone()
 		return
@@ -48,13 +64,20 @@ func (p *Processor) advanceCycle() {
 		p.hostProbe.SkipJump(next-1, t)
 	}
 	p.fastForwardRotation(t)
+	p.drainEv(t)
 	p.cycle = t
 	p.hostSkipDone()
 }
 
-// hostSkipDone closes the skip-machinery phase of a sampled step. The
-// sampled flag is cleared here so no touch-census increment can run between
-// two steps; the next StepStart re-arms it.
+// hostStepDone closes a sampled step that advanced normally: the sampled
+// flag is cleared so no touch-census increment can run between two steps,
+// and nothing is charged to the event-horizon phase (it never ran).
+func (p *Processor) hostStepDone() {
+	p.hostSampled = false
+}
+
+// hostSkipDone closes the event-horizon phase of a sampled step on which
+// the skip machinery armed (runningSlots == 0 and skipping enabled).
 func (p *Processor) hostSkipDone() {
 	if p.hostSampled {
 		p.hostProbe.PhaseEnd(HostPhaseSkip)
@@ -78,8 +101,48 @@ func minEvent(t, c uint64) uint64 {
 	return t
 }
 
+// noEvent is the horizon sentinel: no resource reports a future event.
+const noEvent = ^uint64(0)
+
 // quiescentHorizon returns the earliest future cycle at which any pipeline
-// activity can occur, given that no slot is running. Every candidate is
+// activity can occur, given that no slot is running: read off the pending-
+// event heap on the event core, recomputed structurally on the legacy one.
+func (p *Processor) quiescentHorizon() uint64 {
+	if p.eventCore {
+		return p.quiescentHorizonEvent()
+	}
+	return p.quiescentHorizonScan()
+}
+
+// quiescentHorizonEvent is the event-core horizon: the earliest bit of the
+// near-event wheel, folded with the far-event heap top and the earliest
+// frame-wake deadline (kept in its own heap for (when, id) wake ordering).
+// Stale events — a killed slot's rebind, a re-busied unit — are at worst
+// early, never late, costing one extra step. If the whole event set is
+// empty the machine can never make progress (and finished() was false),
+// i.e. a genuine deadlock: return MaxCycles so Run raises the same
+// diagnostic the cycle-by-cycle loop would reach.
+func (p *Processor) quiescentHorizonEvent() uint64 {
+	floor := p.cycle + 1
+	p.drainEv(p.cycle)
+	t := uint64(noEvent)
+	if p.evNear != 0 {
+		t = p.cycle + 1 + uint64(bits.TrailingZeros64(p.evNear))
+	}
+	if len(p.evFar) > 0 {
+		t = minEvent(t, p.evFar[0])
+	}
+	if len(p.waitHeap) > 0 {
+		t = minEvent(t, maxU(p.waitHeap[0].when, floor))
+	}
+	if t == noEvent {
+		return p.cfg.MaxCycles
+	}
+	return t
+}
+
+// quiescentHorizonScan is the legacy structural horizon (and the reference
+// the event-heap cross-check tests compare against). Every candidate is
 // conservative: reporting an event too early merely costs a normal step,
 // while missing one would alter results — so each machine resource that
 // can wake the pipeline contributes its own bound:
@@ -101,8 +164,7 @@ func minEvent(t, c uint64) uint64 {
 // If no resource reports an event the machine can never make progress
 // (and finished() was false), i.e. a genuine deadlock: return MaxCycles so
 // Run raises the same diagnostic the cycle-by-cycle loop would reach.
-func (p *Processor) quiescentHorizon() uint64 {
-	const noEvent = ^uint64(0)
+func (p *Processor) quiescentHorizonScan() uint64 {
 	floor := p.cycle + 1
 	t := uint64(noEvent)
 

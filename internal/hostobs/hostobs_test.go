@@ -38,12 +38,17 @@ loop:	mul  r2, r2, r1
 
 func runProfiled(t *testing.T, opt Options) (*Profiler, core.Result) {
 	t.Helper()
+	return runProfiledCfg(t, opt, core.Config{ThreadSlots: 2, StandbyStations: true})
+}
+
+func runProfiledCfg(t *testing.T, opt Options, cfg core.Config) (*Profiler, core.Result) {
+	t.Helper()
 	prog := asm.MustAssemble(loopSrc)
 	m, err := prog.NewMemory(64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := core.New(core.Config{ThreadSlots: 2, StandbyStations: true}, prog.Text, m)
+	p, err := core.New(cfg, prog.Text, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,27 +87,55 @@ func TestProfilerObservesRun(t *testing.T) {
 	}
 }
 
-func TestOpportunityReportNonzeroWaste(t *testing.T) {
-	prof, _ := runProfiled(t, Options{SampleEvery: 1})
-	rep := prof.Opportunity()
-	if rep.SampledSteps == 0 || rep.TotalScans == 0 {
-		t.Fatalf("empty report: %+v", rep)
+func TestOpportunityReportTwoCores(t *testing.T) {
+	// Legacy scan core: the full per-cycle scans waste a substantial
+	// fraction of their visits on this single-thread countdown.
+	legacyProf, _ := runProfiledCfg(t, Options{SampleEvery: 1},
+		core.Config{ThreadSlots: 2, StandbyStations: true, DisableEventCore: true})
+	legacy := legacyProf.Opportunity()
+	if legacy.SampledSteps == 0 || legacy.TotalScans == 0 {
+		t.Fatalf("empty legacy report: %+v", legacy)
 	}
-	if rep.WastedFrac <= 0 || rep.WastedFrac >= 1 {
-		t.Errorf("wasted-scan fraction %v outside (0,1): a scanning core must waste some visits and use others", rep.WastedFrac)
+	if legacy.WastedFrac <= 0 || legacy.WastedFrac >= 1 {
+		t.Errorf("legacy wasted fraction %v outside (0,1): a scanning core must waste some visits and use others", legacy.WastedFrac)
 	}
-	for _, r := range rep.Rows {
-		if r.Touches > r.Scans {
-			t.Errorf("structure %s: touches %d > scans %d", r.Name, r.Touches, r.Scans)
+
+	// Event core: the dirty sets admit far fewer visits, so the hit rate
+	// must beat the legacy core's on the same workload.
+	eventProf, _ := runProfiled(t, Options{SampleEvery: 1})
+	event := eventProf.Opportunity()
+	if event.SampledSteps == 0 || event.TotalScans == 0 {
+		t.Fatalf("empty event report: %+v", event)
+	}
+	if event.HitRate <= legacy.HitRate {
+		t.Errorf("event-core hit rate %.3f not above legacy %.3f", event.HitRate, legacy.HitRate)
+	}
+	if event.TotalScans >= legacy.TotalScans {
+		t.Errorf("event core made %d visits, legacy %d: dirty sets harvested nothing", event.TotalScans, legacy.TotalScans)
+	}
+	for _, rep := range []OpportunityReport{legacy, event} {
+		for _, r := range rep.Rows {
+			if r.Touches > r.Scans {
+				t.Errorf("structure %s: hits %d > visits %d", r.Name, r.Touches, r.Scans)
+			}
+			if want := 1 - r.HitRate; r.Scans > 0 && (r.WastedFrac-want) > 1e-12 {
+				t.Errorf("structure %s: wasted %v != 1-hit %v", r.Name, r.WastedFrac, want)
+			}
 		}
 	}
-	// The single-thread countdown keeps slots/units mostly idle-scanned:
-	// units are scanned every cycle but selected rarely.
-	if rep.Rows[1].WastedFrac == 0 {
-		t.Errorf("functional units report zero waste: %+v", rep.Rows[1])
+
+	h := Harvest(legacy, event)
+	if h.HarvestedFrac <= 0 || h.HarvestedFrac >= 1 {
+		t.Errorf("harvested fraction %v outside (0,1)", h.HarvestedFrac)
 	}
-	if s := rep.Format(); !bytes.Contains([]byte(s), []byte("ROADMAP item 2")) {
-		t.Errorf("Format missing the refactor callout:\n%s", s)
+	if h.RemainingWaste != event.WastedFrac {
+		t.Errorf("remaining waste %v != event wasted fraction %v", h.RemainingWaste, event.WastedFrac)
+	}
+	if s := h.Format(); !bytes.Contains([]byte(s), []byte("harvested")) {
+		t.Errorf("Harvest Format missing the comparison:\n%s", s)
+	}
+	if s := event.Format(); !bytes.Contains([]byte(s), []byte("dirty-set")) {
+		t.Errorf("Format missing the dirty-set framing:\n%s", s)
 	}
 }
 

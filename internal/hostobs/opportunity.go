@@ -7,19 +7,24 @@ import (
 	"strings"
 )
 
-// The dirty-set opportunity report: ROADMAP item 2 proposes replacing the
-// cycle loop's per-cycle structure scans with event-driven "dirty" sets —
-// only touch slots/units/queues/frames whose state can actually change this
-// cycle. The touch census measures, per workload, how much of today's scan
-// work that refactor would eliminate: every scanned-but-unchanged entry is
-// a wasted visit an event-driven core never makes.
+// The dirty-set opportunity report. The cycle loop's per-cycle structure
+// work is now event-driven (internal/core's dirty-set core): each phase
+// visits only the entries its dirty set admits. The touch census measures,
+// per workload, how selective those sets are — a *visit* is a loop body run
+// past the O(1) filter, a *hit* is a visit that performed or recorded work.
+// On the event core 1 − hits/visits is the *remaining* waste; on the legacy
+// scan core (Config.DisableEventCore) the same census measures the waste
+// the refactor *harvested*. Harvest() packages the two runs side by side.
 
-// StructureRow is the scan-vs-change census of one per-cycle structure.
+// StructureRow is the visit-vs-hit census of one per-cycle structure.
+// Scans/Touches keep their historical JSON names (they now carry visit and
+// hit counts); HitRate is Touches/Scans, the dirty-set hit rate.
 type StructureRow struct {
 	Name       string  `json:"name"`
-	Scans      uint64  `json:"scans"`   // entries visited by per-cycle loops
-	Touches    uint64  `json:"touches"` // entries whose state changed
+	Scans      uint64  `json:"scans"`   // visits: loop bodies run past the dirty filter
+	Touches    uint64  `json:"touches"` // hits: visits that performed or recorded work
 	WastedFrac float64 `json:"wasted_fraction"`
+	HitRate    float64 `json:"hit_rate"`
 }
 
 // OpportunityReport aggregates the census over all sampled steps.
@@ -28,23 +33,27 @@ type OpportunityReport struct {
 	Rows         []StructureRow `json:"structures"`
 	TotalScans   uint64         `json:"total_scans"`
 	TotalTouches uint64         `json:"total_touches"`
-	// WastedFrac is the headline: the fraction of all structure visits an
-	// event-driven dirty-set core would not perform.
+	// WastedFrac is the headline: the fraction of structure visits that did
+	// no work. On the event core this is the waste its dirty sets still
+	// admit; on the legacy scan core it is the waste they would eliminate.
 	WastedFrac float64 `json:"wasted_fraction"`
+	// HitRate = 1 − WastedFrac, the dirty-set hit rate.
+	HitRate float64 `json:"hit_rate"`
 	// ScansPerStep contextualizes against loop cost.
 	ScansPerStep float64 `json:"scans_per_sampled_step"`
 }
 
-// row builds one StructureRow, clamping touches to scans (touch events can
+// row builds one StructureRow, clamping hits to visits (hit events can
 // outnumber visits for event-indexed structures; the waste metric is about
 // visits that found nothing).
-func row(name string, scans, touches uint64) StructureRow {
-	r := StructureRow{Name: name, Scans: scans, Touches: touches}
-	if touches > scans {
-		r.Touches = scans
+func row(name string, visits, hits uint64) StructureRow {
+	r := StructureRow{Name: name, Scans: visits, Touches: hits}
+	if hits > visits {
+		r.Touches = visits
 	}
-	if scans > 0 {
-		r.WastedFrac = 1 - float64(r.Touches)/float64(scans)
+	if visits > 0 {
+		r.HitRate = float64(r.Touches) / float64(visits)
+		r.WastedFrac = 1 - r.HitRate
 	}
 	return r
 }
@@ -55,18 +64,19 @@ func (p *Profiler) Opportunity() OpportunityReport {
 	t, steps := p.Totals()
 	rep := OpportunityReport{SampledSteps: steps}
 	rep.Rows = []StructureRow{
-		row("thread slots", t.SlotScans, t.SlotsActive),
-		row("functional units", t.UnitScans, t.UnitSelections),
-		row("queue registers", t.QueueScans, t.QueueMoves),
-		row("context frames", t.FrameScans, t.FrameWakes),
-		row("fetch units", t.FetcherScans, t.FetcherEvents),
+		row("thread slots", t.SlotVisits, t.SlotHits),
+		row("functional units", t.UnitVisits, t.UnitHits),
+		row("queue registers", t.QueueVisits, t.QueueHits),
+		row("context frames", t.FrameVisits, t.FrameHits),
+		row("fetch units", t.FetchVisits, t.FetchHits),
 	}
 	for _, r := range rep.Rows {
 		rep.TotalScans += r.Scans
 		rep.TotalTouches += r.Touches
 	}
 	if rep.TotalScans > 0 {
-		rep.WastedFrac = 1 - float64(rep.TotalTouches)/float64(rep.TotalScans)
+		rep.HitRate = float64(rep.TotalTouches) / float64(rep.TotalScans)
+		rep.WastedFrac = 1 - rep.HitRate
 	}
 	if steps > 0 {
 		rep.ScansPerStep = float64(rep.TotalScans) / float64(steps)
@@ -74,18 +84,56 @@ func (p *Profiler) Opportunity() OpportunityReport {
 	return rep
 }
 
-// Format renders the report as a table with the headline fraction.
+// Format renders the report as a table with the headline fractions.
 func (r OpportunityReport) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "dirty-set opportunity report (%d sampled steps)\n", r.SampledSteps)
-	fmt.Fprintf(&b, "  %-18s %12s %12s %8s\n", "structure", "scans", "changed", "wasted")
+	fmt.Fprintf(&b, "dirty-set census (%d sampled steps)\n", r.SampledSteps)
+	fmt.Fprintf(&b, "  %-18s %12s %12s %8s %8s\n", "structure", "visits", "hits", "hit", "wasted")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %-18s %12d %12d %7.1f%%\n", row.Name, row.Scans, row.Touches, 100*row.WastedFrac)
+		fmt.Fprintf(&b, "  %-18s %12d %12d %7.1f%% %7.1f%%\n",
+			row.Name, row.Scans, row.Touches, 100*row.HitRate, 100*row.WastedFrac)
 	}
-	fmt.Fprintf(&b, "  %-18s %12d %12d %7.1f%%\n", "TOTAL", r.TotalScans, r.TotalTouches, 100*r.WastedFrac)
-	fmt.Fprintf(&b, "  %.1f structure visits per executed cycle; an event-driven dirty-set core\n"+
-		"  (ROADMAP item 2) would eliminate ~%.0f%% of them on this workload.\n",
-		r.ScansPerStep, 100*r.WastedFrac)
+	fmt.Fprintf(&b, "  %-18s %12d %12d %7.1f%% %7.1f%%\n",
+		"TOTAL", r.TotalScans, r.TotalTouches, 100*r.HitRate, 100*r.WastedFrac)
+	fmt.Fprintf(&b, "  %.1f structure visits per executed cycle; %.1f%% of them did work\n"+
+		"  (on the legacy scan core the wasted column is what the event-driven\n"+
+		"  dirty-set core eliminates; on the event core it is what remains).\n",
+		r.ScansPerStep, 100*r.HitRate)
+	return b.String()
+}
+
+// HarvestReport compares the touch census of a legacy scan-core run against
+// an event-core run of the same workload: how much scan waste the dirty-set
+// refactor harvested, and how much remains.
+type HarvestReport struct {
+	Legacy OpportunityReport `json:"legacy"`
+	Event  OpportunityReport `json:"event"`
+	// HarvestedFrac is the fraction of legacy visits the event core never
+	// makes (1 − event visits / legacy visits, clamped at 0).
+	HarvestedFrac float64 `json:"harvested_fraction"`
+	// RemainingWaste is the event core's own wasted fraction — visits its
+	// dirty sets admitted that did no work.
+	RemainingWaste float64 `json:"remaining_waste"`
+}
+
+// Harvest builds the harvested-vs-remaining comparison from two
+// OpportunityReports of the same workload.
+func Harvest(legacy, event OpportunityReport) HarvestReport {
+	h := HarvestReport{Legacy: legacy, Event: event, RemainingWaste: event.WastedFrac}
+	if legacy.TotalScans > 0 && event.TotalScans < legacy.TotalScans {
+		h.HarvestedFrac = 1 - float64(event.TotalScans)/float64(legacy.TotalScans)
+	}
+	return h
+}
+
+// Format renders the comparison.
+func (h HarvestReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dirty-set harvest: legacy scan core vs event core\n")
+	fmt.Fprintf(&b, "  legacy: %d visits, %.1f%% wasted\n", h.Legacy.TotalScans, 100*h.Legacy.WastedFrac)
+	fmt.Fprintf(&b, "  event:  %d visits, %.1f%% wasted\n", h.Event.TotalScans, 100*h.Event.WastedFrac)
+	fmt.Fprintf(&b, "  harvested %.1f%% of legacy visits; remaining waste %.1f%%\n",
+		100*h.HarvestedFrac, 100*h.RemainingWaste)
 	return b.String()
 }
 

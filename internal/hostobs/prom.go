@@ -52,10 +52,13 @@ func writeProfilerProm(p func(string, ...any), prof *Profiler) {
 	p("# HELP hirata_host_sim_cycles_total Simulated cycles completed by profiled runs.\n" +
 		"# TYPE hirata_host_sim_cycles_total counter\n")
 	p("hirata_host_sim_cycles_total %d\n", pp.RunCycles)
-	p("# HELP hirata_host_skip_jumps_total Quiescent-cycle fast-forwards taken.\n" +
+	p("# HELP hirata_host_stepped_cycles_total Cycles actually simulated by stepCycle (completed runs).\n" +
+		"# TYPE hirata_host_stepped_cycles_total counter\n")
+	p("hirata_host_stepped_cycles_total %d\n", pp.SteppedCycles)
+	p("# HELP hirata_host_skip_jumps_total Event-horizon fast-forwards taken.\n" +
 		"# TYPE hirata_host_skip_jumps_total counter\n")
 	p("hirata_host_skip_jumps_total %d\n", pp.SkipJumps)
-	p("# HELP hirata_host_skipped_cycles_total Simulated cycles bypassed by fast-forwarding.\n" +
+	p("# HELP hirata_host_skipped_cycles_total Simulated cycles jumped by the event horizon.\n" +
 		"# TYPE hirata_host_skipped_cycles_total counter\n")
 	p("hirata_host_skipped_cycles_total %d\n", pp.SkippedCycles)
 	p("# HELP hirata_host_phase_nanoseconds_total Sampled wall time per cycle-loop phase.\n" +
@@ -65,17 +68,17 @@ func writeProfilerProm(p func(string, ...any), prof *Profiler) {
 	}
 
 	rep := prof.Opportunity()
-	p("# HELP hirata_host_structure_scans_total Structure entries visited by per-cycle loops (sampled steps).\n" +
+	p("# HELP hirata_host_structure_scans_total Structure visits: loop bodies run past the dirty-set filter (sampled steps).\n" +
 		"# TYPE hirata_host_structure_scans_total counter\n")
 	for _, r := range rep.Rows {
 		p("hirata_host_structure_scans_total{structure=%q} %d\n", r.Name, r.Scans)
 	}
-	p("# HELP hirata_host_structure_touches_total Structure entries whose state changed (sampled steps).\n" +
+	p("# HELP hirata_host_structure_touches_total Structure hits: visits that performed or recorded work (sampled steps).\n" +
 		"# TYPE hirata_host_structure_touches_total counter\n")
 	for _, r := range rep.Rows {
 		p("hirata_host_structure_touches_total{structure=%q} %d\n", r.Name, r.Touches)
 	}
-	p("# HELP hirata_host_wasted_scan_fraction Fraction of visits an event-driven dirty-set core would eliminate.\n" +
+	p("# HELP hirata_host_wasted_scan_fraction Fraction of visits that did no work (legacy core: waste the dirty sets eliminate; event core: waste remaining).\n" +
 		"# TYPE hirata_host_wasted_scan_fraction gauge\n")
 	for _, r := range rep.Rows {
 		p("hirata_host_wasted_scan_fraction{structure=%q} %g\n", r.Name, r.WastedFrac)

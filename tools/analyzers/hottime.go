@@ -8,6 +8,17 @@ package main
 // internal/hostobs, whose sampled probe touches the clock on one step in
 // SampleEvery and keeps the disabled path allocation- and syscall-free.
 //
+// Scope: the whole internal/core package, by import path — every file, and
+// every file added later, is covered without this analyzer naming them.
+// That matters most for the event-driven core's helpers (event.go's
+// pushEv/drainEv, the dirty-set maintenance, the head-stall cache, the
+// quiescent horizons of skip.go): they run inside or instead of the phase
+// bodies, so a clock read there is costlier than anywhere else — the
+// event core made stepped cycles cheap enough that one stray time.Now per
+// cycle would dominate them. On hosts with slow clock sources a single
+// read costs tens of nanoseconds, which is why even the sampled probe
+// defaults to one timed step in 128 (hostobs.DefaultSampleEvery).
+//
 // A deliberate exception carries a justification comment on the same line
 // or the line above:
 //

@@ -67,6 +67,51 @@ func TestHotTimeClean(t *testing.T) {
 	}
 }
 
+// The event-driven core's helpers are inside the analyzer's scope: code
+// shaped like event.go's wheel/heap maintenance is flagged like any other
+// internal/core file, with no per-file allowlist to keep current.
+const hotTimeEventCoreFixture = `package core
+
+import "time"
+
+type proc struct {
+	evNear uint64
+	evFar  []uint64
+	cycle  uint64
+}
+
+// bad: timing the event-set maintenance from inside the hot loop.
+func (p *proc) pushEv(when uint64) time.Duration {
+	t0 := time.Now()
+	if d := when - p.cycle; d <= 64 {
+		p.evNear |= 1 << (d - 1)
+	} else {
+		p.evFar = append(p.evFar, when)
+	}
+	return time.Since(t0)
+}
+
+// good: a justified exemption still works in event-core code.
+func (p *proc) deadlockBanner() time.Time {
+	// hottime:allow deadlock diagnostic, at most once per run
+	return time.Now()
+}
+`
+
+func TestHotTimeCoversEventCore(t *testing.T) {
+	fset, files, info := typecheckSrc(t, "hirata/internal/core", hotTimeEventCoreFixture)
+	fs := checkHotTime(fset, "hirata/internal/core", files, info)
+	if len(fs) != 2 {
+		t.Fatalf("hottime findings on event-core fixture = %d, want 2:\n%s", len(fs), strings.Join(fs, "\n"))
+	}
+	joined := strings.Join(fs, "\n")
+	for _, want := range []string{"time.Now", "time.Since"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("no %s finding:\n%s", want, joined)
+		}
+	}
+}
+
 // Only internal/core is the hot path; the same calls anywhere else are the
 // host-observability layer doing its job.
 func TestHotTimeScopedToCore(t *testing.T) {

@@ -10,9 +10,13 @@
 // one JSON line per bench run (best ns/op, best sim-cycles/s, VCS revision,
 // host metadata, optionally the cycle-loop phase breakdown from
 // hirata-bench -self-profile-json) to BENCH_history.jsonl, and -trend
-// prints the trajectory that file records. -history is record-only: it
-// appends and exits without comparing, so the history job never
-// double-reports a regression the perf gate owns.
+// prints the trajectory that file records. The history job owns one gate
+// of its own that the baseline comparison cannot express: after appending,
+// the last two rows from the same host class (go version, OS, arch, CPU
+// count) are compared on sim-cycles/s, and a drop past -history-tolerance
+// (default 10%) fails the run. ns/op regressions stay the baseline gate's
+// job — the history gate watches the throughput metric the simulator
+// itself reports, across consecutive recorded runs.
 //
 // Usage:
 //
@@ -179,6 +183,55 @@ func readHistory(path string) ([]historyRow, error) {
 	return rows, sc.Err()
 }
 
+// sameHostClass reports whether two history rows are comparable: recorded
+// by the same Go toolchain on the same OS/arch with the same CPU count.
+// Revisions are deliberately *not* matched — comparing the newest revision
+// against the previous one on the same host is the point of the gate.
+func sameHostClass(a, b historyRow) bool {
+	return a.GoVersion == b.GoVersion && a.OS == b.OS && a.Arch == b.Arch && a.CPUs == b.CPUs
+}
+
+// checkHistoryRegression compares the last appended row against the most
+// recent earlier row of the same host class and returns one message per
+// shared sim-cycles/s metric that dropped by more than tol (0.10 = 10%).
+// Rows from other host classes are skipped, not compared: a container
+// class change shows up as an incomparable row, never as a false failure.
+func checkHistoryRegression(rows []historyRow, tol float64) []string {
+	if len(rows) < 2 {
+		return nil
+	}
+	last := rows[len(rows)-1]
+	var prev *historyRow
+	for i := len(rows) - 2; i >= 0; i-- {
+		if sameHostClass(rows[i], last) {
+			prev = &rows[i]
+			break
+		}
+	}
+	if prev == nil {
+		return nil
+	}
+	var fails []string
+	names := make([]string, 0, len(last.SimCyclesPerSec))
+	for name := range last.SimCyclesPerSec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got := last.SimCyclesPerSec[name]
+		want, ok := prev.SimCyclesPerSec[name]
+		if !ok || want <= 0 {
+			continue
+		}
+		if got < want*(1-tol) {
+			fails = append(fails, fmt.Sprintf(
+				"%s: %.0f sim-cycles/s, was %.0f @ %s (%.1f%% drop, tolerance %.0f%%)",
+				name, got, want, prev.Revision, (1-got/want)*100, tol*100))
+		}
+	}
+	return fails
+}
+
 // writeTrend prints each benchmark's ns/op trajectory across the history,
 // with the per-row delta against the previous appearance.
 func writeTrend(w io.Writer, rows []historyRow) {
@@ -226,6 +279,7 @@ func main() {
 		historyPath  = flag.String("history", "", "append this run to a JSONL history file (with -trend: the file to read)")
 		phasesPath   = flag.String("phases", "", "with -history, embed the phase_profile from this hirata-bench -self-profile-json file")
 		trend        = flag.Bool("trend", false, "print the per-benchmark trajectory recorded in -history (default BENCH_history.jsonl) and exit")
+		historyTol   = flag.Float64("history-tolerance", 0.10, "with -history, fail when sim-cycles/s drops by more than this fraction vs the previous same-host-class row")
 	)
 	flag.Parse()
 
@@ -268,14 +322,25 @@ func main() {
 		}
 	}
 	if *historyPath != "" {
-		// Recording is not gating: append the row and stop, so the history
-		// job never double-reports a regression the perf gate owns.
+		// Append first, gate second: the row is recorded even when the gate
+		// trips, so the regression itself is in the history it was caught by.
 		row, err := appendHistory(*historyPath, measured, *phasesPath)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("benchdiff: appended %d benchmark(s) @ %s to %s\n",
 			len(row.Benchmarks), row.Revision, *historyPath)
+		rows, err := readHistory(*historyPath)
+		if err != nil {
+			fatal(err)
+		}
+		if fails := checkHistoryRegression(rows, *historyTol); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "benchdiff: %s\n", f)
+			}
+			fmt.Fprintf(os.Stderr, "benchdiff: sim-cycles/s regression vs previous history row\n")
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -35,6 +35,45 @@ func TestParseBestOfN(t *testing.T) {
 	}
 }
 
+func TestHistoryRegressionGate(t *testing.T) {
+	mk := func(cyc float64, gover string) historyRow {
+		return historyRow{
+			GoVersion: gover, OS: "linux", Arch: "amd64", CPUs: 1, Revision: "abc1234",
+			SimCyclesPerSec: map[string]float64{"BenchmarkSimulatorThroughput": cyc},
+		}
+	}
+	cases := []struct {
+		name  string
+		rows  []historyRow
+		fails int
+	}{
+		{"single row", []historyRow{mk(500000, "go1.24.0")}, 0},
+		{"steady", []historyRow{mk(500000, "go1.24.0"), mk(495000, "go1.24.0")}, 0},
+		{"improved", []historyRow{mk(500000, "go1.24.0"), mk(1500000, "go1.24.0")}, 0},
+		{"within tolerance", []historyRow{mk(500000, "go1.24.0"), mk(460000, "go1.24.0")}, 0},
+		{"regressed", []historyRow{mk(500000, "go1.24.0"), mk(440000, "go1.24.0")}, 1},
+		{"different host class", []historyRow{mk(500000, "go1.23.0"), mk(100000, "go1.24.0")}, 0},
+		{"skips other class to comparable row", []historyRow{
+			mk(500000, "go1.24.0"), mk(900000, "go1.23.0"), mk(440000, "go1.24.0")}, 1},
+		{"metric absent in previous row", []historyRow{
+			{GoVersion: "go1.24.0", OS: "linux", Arch: "amd64", CPUs: 1},
+			mk(440000, "go1.24.0")}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fails := checkHistoryRegression(tc.rows, 0.10)
+			if len(fails) != tc.fails {
+				t.Errorf("failures = %d, want %d: %v", len(fails), tc.fails, fails)
+			}
+			for _, f := range fails {
+				if !strings.Contains(f, "sim-cycles/s") || !strings.Contains(f, "drop") {
+					t.Errorf("failure message lacks context: %q", f)
+				}
+			}
+		})
+	}
+}
+
 func TestHistoryRoundTripAndTrend(t *testing.T) {
 	m, err := parse(strings.NewReader(benchOut))
 	if err != nil {
