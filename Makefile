@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet analyzers verify-examples lint-interthread lint-bounds fuzz fmt trace-demo profile cpi-demo explore-demo self-profile-demo bench-report bench bench-check bench-history
+.PHONY: all build test race lint vet analyzers verify-examples lint-interthread lint-bounds fuzz fmt trace-demo profile cpi-demo explore-demo self-profile-demo bench-report bench bench-check bench-history report-demo
 
 all: build test lint
 
@@ -100,6 +100,19 @@ bench:
 # baseline and fails on a >10% ns/op regression.
 bench-check: bench
 	$(GO) run ./tools/benchdiff -baseline BENCH_sweep.json -in bench-out.txt
+
+# report-demo exercises cross-run observability end to end
+# (docs/OBSERVABILITY.md, "Cross-run observability"): record the standard
+# 8-slot ray trace under two configurations (1 vs 2 load/store units) into
+# a content-addressed ledger, print the exact cycle-delta attribution
+# between them, and the per-lineage trajectory. Re-running records nothing
+# new — identical runs dedup by content hash.
+report-demo:
+	$(GO) run ./cmd/hirata-report record -ledger runs.ledger -tag ray8-ls1 -slots 8 -ls 1 -rays 48 -spheres 6
+	$(GO) run ./cmd/hirata-report record -ledger runs.ledger -tag ray8-ls2 -slots 8 -ls 2 -rays 48 -spheres 6
+	$(GO) run ./cmd/hirata-report ls -ledger runs.ledger
+	$(GO) run ./cmd/hirata-report diff -ledger runs.ledger
+	$(GO) run ./tools/benchdiff -trend -ledger runs.ledger
 
 # bench-history appends this bench run (with the self-profile phase
 # breakdown) to BENCH_history.jsonl and prints the cross-run trend

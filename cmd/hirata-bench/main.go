@@ -17,6 +17,8 @@
 //
 //	hirata-bench -chrome-trace rt.json   # Perfetto timeline of the 8-slot ray-trace run
 //	hirata-bench -http :8080             # live /metrics + pprof while the tables run
+//	hirata-bench -ledger runs.ledger     # record every cell into a content-addressed
+//	                                     # run ledger (inspect with hirata-report)
 package main
 
 import (
@@ -51,6 +53,9 @@ func main() {
 		exploreJSON   = flag.String("explore-json", "", "with -explore, also write the exploration + validation report as JSON here")
 		exploreMaxErr = flag.Float64("explore-max-err", 0, "with -explore, exit nonzero if any model error (frontier or Tables 2-5) exceeds this percentage (0 = no gate)")
 
+		ledgerPath = flag.String("ledger", "", "append every simulation this process runs (table cells, sweep workers, explore re-sims) to this content-addressed run ledger (inspect with hirata-report)")
+		runTag     = flag.String("run-tag", "", "lineage tag stored in recorded run records (with -ledger)")
+
 		selfProfile     = flag.Bool("self-profile", false, "profile the simulator itself on the representative 8-slot ray trace: cycle-loop phase breakdown plus the dirty-set opportunity report (docs/OBSERVABILITY.md)")
 		hostTrace       = flag.String("host-trace", "", "with -self-profile, write the host-side Chrome Trace Event JSON (cycle-loop phases + sweep workers) here")
 		selfProfileJSON = flag.String("self-profile-json", "", "with -self-profile, write the phase profile and opportunity report as JSON here")
@@ -62,6 +67,24 @@ func main() {
 		return
 	}
 	hirata.SetParallelism(*parallel)
+
+	if *ledgerPath != "" {
+		led, err := hirata.OpenRunLedger(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hirata-bench:", err)
+			os.Exit(1)
+		}
+		hirata.SetRunLedger(led, *runTag)
+		defer func() {
+			if err := hirata.RunLedgerError(); err != nil {
+				fmt.Fprintln(os.Stderr, "hirata-bench: run ledger:", err)
+				os.Exit(1)
+			}
+			st := led.Stats()
+			fmt.Fprintf(os.Stderr, "hirata-bench: ledger %s now holds %d records (%d appended, %d deduped this run)\n",
+				*ledgerPath, st.Records, st.Appends, st.DedupHits)
+		}()
+	}
 
 	rt := hirata.RayTraceConfig{Rays: *rays, Spheres: *spheres}
 	if *selfProfile {

@@ -21,6 +21,8 @@
 //	hirata-sim -cpi-folded out.folded prog.s   folded stacks for flamegraph.pl
 //	hirata-sim -critpath prog.s                dynamic critical path + breakdown
 //	hirata-sim -whatif "+1 alu,+1 slot" prog.s bounded what-if estimates
+//	hirata-sim -record runs.ledger prog.s      append the run to a content-
+//	                                           addressed ledger (hirata-report)
 //	hirata-sim -static-check prog.s            verify first (refuse on provable
 //	                                           deadlocks), then print the static
 //	                                           cycle bound next to the measured run
@@ -66,6 +68,8 @@ func main() {
 
 		selfProfile = flag.Bool("self-profile", false, "profile the simulator itself: print the cycle-loop phase breakdown and dirty-set opportunity report after the run (mt; docs/OBSERVABILITY.md)")
 		hostTrace   = flag.String("host-trace", "", "with -self-profile, write the host-side Chrome Trace Event JSON here (mt)")
+		recordPath  = flag.String("record", "", "append the completed run to this content-addressed ledger file (mt; inspect with hirata-report)")
+		runTag      = flag.String("run-tag", "", "lineage tag stored in the run record (with -record)")
 		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -132,6 +136,14 @@ func main() {
 		if *selfProfile {
 			prof = hirata.NewHostProfiler(hirata.HostProfilerOptions{})
 		}
+		var led *hirata.RunLedger
+		if *recordPath != "" {
+			led, err = hirata.OpenRunLedger(*recordPath)
+			if err != nil {
+				fail(err)
+			}
+			hirata.SetRunLedger(led, *runTag)
+		}
 		var shutdown func() error
 		if *httpAddr != "" {
 			// Bind before the run starts so the live endpoints exist for its
@@ -141,7 +153,11 @@ func main() {
 			if prof != nil {
 				host = prof
 			}
-			bound, stop, serr := hirata.ServeObservabilityWithHost(*httpAddr, col, prog, host)
+			var runs hirata.RunsSource
+			if led != nil {
+				runs = led
+			}
+			bound, stop, serr := hirata.ServeObservabilityWithSources(*httpAddr, col, prog, host, runs)
 			if serr != nil {
 				fail(serr)
 			}
@@ -168,6 +184,15 @@ func main() {
 		}
 		if *statCheck {
 			printStaticBound(cfg, prog, res.Cycles, pcs)
+		}
+		if led != nil {
+			if lerr := hirata.RunLedgerError(); lerr != nil {
+				fail(lerr)
+			}
+			if es := led.Last(1); len(es) == 1 {
+				fmt.Fprintf(os.Stderr, "hirata-sim: recorded run %s (key %s) to %s\n",
+					es[0].Hash[:12], es[0].Record.Key[:12], *recordPath)
+			}
 		}
 
 		if *chromeTrace != "" {

@@ -194,13 +194,15 @@ func NewMemoryWithRemote(words int, remoteBase int64, latency int) *Memory {
 }
 
 // RunMT simulates a program on the multithreaded processor. Threads start
-// at the given program counters (default: one thread at 0).
+// at the given program counters (default: one thread at 0). When a run
+// ledger is attached (SetRunLedger), the completed run is recorded.
 func RunMT(cfg MTConfig, text []Instruction, m *Memory, startPCs ...int64) (MTResult, error) {
 	if cfg.StrictVerify {
 		if err := strictVerify(text, lintConfigForRun(cfg, m, startPCs)); err != nil {
 			return MTResult{}, err
 		}
 	}
+	pend, led, tag := recordBegin(cfg, text, m, startPCs)
 	p, err := core.New(cfg, text, m)
 	if err != nil {
 		return MTResult{}, err
@@ -210,7 +212,9 @@ func RunMT(cfg MTConfig, text []Instruction, m *Memory, startPCs ...int64) (MTRe
 			return MTResult{}, err
 		}
 	}
-	return p.Run()
+	res, err := p.Run()
+	recordCommit(led, pend, tag, res, err, nil)
+	return res, err
 }
 
 // RunMTTraced is RunMT with a cycle-by-cycle pipeline event trace written
@@ -285,6 +289,7 @@ func ServeObservability(addr string, c *Collector, prog *Program) (string, func(
 // Observer). Collectors passed here are finalized against the run result
 // before returning.
 func RunMTObserved(cfg MTConfig, text []Instruction, m *Memory, observers []Observer, startPCs ...int64) (MTResult, error) {
+	pend, led, tag := recordBegin(cfg, text, m, startPCs)
 	p, err := core.New(cfg, text, m)
 	if err != nil {
 		return MTResult{}, err
@@ -305,6 +310,7 @@ func RunMTObserved(cfg MTConfig, text []Instruction, m *Memory, observers []Obse
 			}
 		}
 	}
+	recordCommit(led, pend, tag, res, err, exactCPIDecorator(observers))
 	return res, err
 }
 
@@ -348,6 +354,7 @@ func RunMTHostProfiled(cfg MTConfig, text []Instruction, m *Memory, prof *HostPr
 			return MTResult{}, err
 		}
 	}
+	pend, led, tag := recordBegin(cfg, text, m, startPCs)
 	p, err := core.New(cfg, text, m)
 	if err != nil {
 		return MTResult{}, err
@@ -360,7 +367,9 @@ func RunMTHostProfiled(cfg MTConfig, text []Instruction, m *Memory, prof *HostPr
 			return MTResult{}, err
 		}
 	}
-	return p.Run()
+	res, err := p.Run()
+	recordCommit(led, pend, tag, res, err, hostDigestDecorator(prof))
+	return res, err
 }
 
 // RunMTProfiledObserved attaches pipeline observers and a host profiler to
@@ -368,6 +377,7 @@ func RunMTHostProfiled(cfg MTConfig, text []Instruction, m *Memory, prof *HostPr
 // skipping, so the host profile of such a run shows the cycle loop scanning
 // quiescent cycles the unobserved simulator would have jumped over.
 func RunMTProfiledObserved(cfg MTConfig, text []Instruction, m *Memory, observers []Observer, prof *HostProfiler, startPCs ...int64) (MTResult, error) {
+	pend, led, tag := recordBegin(cfg, text, m, startPCs)
 	p, err := core.New(cfg, text, m)
 	if err != nil {
 		return MTResult{}, err
@@ -391,6 +401,8 @@ func RunMTProfiledObserved(cfg MTConfig, text []Instruction, m *Memory, observer
 			}
 		}
 	}
+	recordCommit(led, pend, tag, res, err,
+		chainDecorators(exactCPIDecorator(observers), hostDigestDecorator(prof)))
 	return res, err
 }
 

@@ -17,6 +17,8 @@
 package hostobs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sort"
@@ -366,4 +368,16 @@ func (p *Profiler) WriteJSON(w io.Writer) error {
 		Opportunity OpportunityReport `json:"opportunity"`
 	}
 	return writeJSON(w, doc{Profile: p.Profile(), Opportunity: p.Opportunity()})
+}
+
+// ProfileDigest returns the sha256 hex of the profiler's JSON export — the
+// content address a run record (internal/runledger) stores to tie a host
+// profile artifact to the simulation it measured. Host timings vary run to
+// run, so the digest identifies one captured artifact, not the run inputs.
+func (p *Profiler) ProfileDigest() (string, error) {
+	h := sha256.New()
+	if err := p.WriteJSON(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -20,6 +20,12 @@ type CacheConfig struct {
 	MissPenalty  int // extra cycles on a miss; 0 defaults to 20
 }
 
+// Normalized returns the configuration with every defaulted field resolved
+// to the value the cache model actually runs with — the form canonical
+// encodings (internal/core's CanonicalConfig) compare and hash, so a zero
+// CacheConfig and an explicit {0, 4, 2, 20} map to the same identity.
+func (c CacheConfig) Normalized() CacheConfig { return c.normalised() }
+
 // normalised fills in defaults.
 func (c CacheConfig) normalised() CacheConfig {
 	if c.WordsPerLine <= 0 {

@@ -12,7 +12,9 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -57,6 +59,30 @@ func NewMemoryWithRemote(words int, remoteBase int64, latency int) *Memory {
 
 // Size returns the memory size in words.
 func (m *Memory) Size() int64 { return int64(len(m.words)) }
+
+// RemoteBase returns the first remote address, or -1 when the memory has no
+// remote region.
+func (m *Memory) RemoteBase() int64 {
+	if m.remoteBase < 0 {
+		return -1
+	}
+	return m.remoteBase
+}
+
+// WriteImage writes the full memory image to w as big-endian 64-bit words.
+// The byte stream is a pure function of the memory contents, so hashing it
+// yields a content address for the machine's initial (or final) data state;
+// internal/runledger keys run records on the pre-run image.
+func (m *Memory) WriteImage(w io.Writer) error {
+	var buf [8]byte
+	for _, v := range m.words {
+		binary.BigEndian.PutUint64(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // check validates an address.
 func (m *Memory) check(addr int64) error {

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
+	"strings"
 
 	"hirata/internal/asm"
 )
@@ -16,6 +17,19 @@ import (
 // interface so obs does not import hostobs.
 type HostSource interface {
 	WriteHostPrometheus(w io.Writer) error
+}
+
+// RunsSource is the cross-run observability surface attached to /runs:
+// implemented by internal/runledger's Ledger. Defined here so obs does not
+// import runledger.
+type RunsSource interface {
+	// WriteRunsIndex writes the JSON index of recorded runs (/runs).
+	WriteRunsIndex(w io.Writer) error
+	// RunJSON resolves a run selector (content-hash or run-key prefix) to
+	// the record's JSON envelope; ok=false means no unambiguous match.
+	RunJSON(sel string) ([]byte, bool)
+	// WriteRunsPrometheus appends the ledger's metrics to /metrics.
+	WriteRunsPrometheus(w io.Writer) error
 }
 
 // Handler returns the live observability surface for a running (or
@@ -40,6 +54,14 @@ func Handler(c *Collector, prog *asm.Program) http.Handler {
 // /hostmetrics. A nil host serves 503 on that endpoint (the run was started
 // without -self-profile).
 func HandlerWithHost(c *Collector, prog *asm.Program, host HostSource) http.Handler {
+	return HandlerWithSources(c, prog, host, nil)
+}
+
+// HandlerWithSources is Handler with both optional sources: a HostSource
+// for /hostmetrics and a RunsSource for /runs, /runs/<sel> and the
+// hirata_runledger_* series appended to /metrics. Nil sources serve 503 on
+// their endpoints.
+func HandlerWithSources(c *Collector, prog *asm.Program, host HostSource, runs RunsSource) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -54,12 +76,19 @@ func HandlerWithHost(c *Collector, prog *asm.Program, host HostSource) http.Hand
 			"  /cpistack.json  per-slot CPI-stack cycle accounting\n"+
 			"  /critpath.json  dynamic critical path with breakdown\n"+
 			"  /hostmetrics    the simulator observing itself (phase profile, dirty-set counters)\n"+
+			"  /runs           cross-run ledger index (with /runs/<hash-or-key-prefix>)\n"+
 			"  /debug/pprof/   Go runtime profiles of the simulator itself\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := c.WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if runs != nil {
+			if err := runs.WriteRunsPrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 		}
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
@@ -112,6 +141,30 @@ func HandlerWithHost(c *Collector, prog *asm.Program, host HostSource) http.Hand
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		if runs == nil {
+			http.Error(w, "run ledger not attached (run with -record)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := runs.WriteRunsIndex(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/runs/", func(w http.ResponseWriter, r *http.Request) {
+		if runs == nil {
+			http.Error(w, "run ledger not attached (run with -record)", http.StatusServiceUnavailable)
+			return
+		}
+		sel := strings.TrimPrefix(r.URL.Path, "/runs/")
+		body, ok := runs.RunJSON(sel)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
@@ -130,11 +183,16 @@ func Serve(addr string, c *Collector, prog *asm.Program) (bound string, shutdown
 
 // ServeWithHost is Serve with a HostSource attached to /hostmetrics.
 func ServeWithHost(addr string, c *Collector, prog *asm.Program, host HostSource) (bound string, shutdown func() error, err error) {
+	return ServeWithSources(addr, c, prog, host, nil)
+}
+
+// ServeWithSources is Serve with both optional sources attached.
+func ServeWithSources(addr string, c *Collector, prog *asm.Program, host HostSource, runs RunsSource) (bound string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: HandlerWithHost(c, prog, host)}
+	srv := &http.Server{Handler: HandlerWithSources(c, prog, host, runs)}
 	go func() {
 		// Serve returns http.ErrServerClosed on shutdown; anything else is
 		// reported through the server's ErrorLog default (stderr).

@@ -1,0 +1,278 @@
+package runledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BucketDelta attributes part of the cycle delta between two runs to one
+// CPI-stack bucket. Units are slot-cycles: summing a run's stack over all
+// slots and buckets gives exactly S·T (slots × cycles), so the bucket
+// deltas of a diff sum exactly to S_B·T_B − S_A·T_A — every cycle of the
+// difference is accounted for, none twice.
+type BucketDelta struct {
+	Name  string `json:"name"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	Delta int64  `json:"delta"`
+}
+
+// ClassDelta compares one functional-unit class between two runs: unit
+// count, total busy cycles, and the paper's utilization U = N·L/T
+// (BusyCycles accumulates N·L), averaged over the class's units.
+type ClassDelta struct {
+	Class  string  `json:"class"`
+	UnitsA int     `json:"units_a"`
+	UnitsB int     `json:"units_b"`
+	BusyA  uint64  `json:"busy_a"`
+	BusyB  uint64  `json:"busy_b"`
+	UtilA  float64 `json:"util_a"`
+	UtilB  float64 `json:"util_b"`
+}
+
+// ConfigDelta is one canonical-config field whose value differs.
+type ConfigDelta struct {
+	Name string `json:"name"`
+	A    string `json:"a"`
+	B    string `json:"b"`
+}
+
+// Diff is the exact attribution of the difference between two recorded
+// runs.
+type Diff struct {
+	HashA string `json:"hash_a"`
+	HashB string `json:"hash_b"`
+	KeyA  string `json:"key_a"`
+	KeyB  string `json:"key_b"`
+	TagA  string `json:"tag_a,omitempty"`
+	TagB  string `json:"tag_b,omitempty"`
+
+	CyclesA        uint64 `json:"cycles_a"`
+	CyclesB        uint64 `json:"cycles_b"`
+	SlotsA         int    `json:"slots_a"`
+	SlotsB         int    `json:"slots_b"`
+	InstructionsA  uint64 `json:"instructions_a"`
+	InstructionsB  uint64 `json:"instructions_b"`
+	SwitchesA      uint64 `json:"switches_a"`
+	SwitchesB      uint64 `json:"switches_b"`
+	CycleDelta     int64  `json:"cycle_delta"`      // T_B − T_A
+	SlotCycleDelta int64  `json:"slot_cycle_delta"` // S_B·T_B − S_A·T_A == Σ bucket deltas
+
+	// StackKind names the attribution source: "exact-cpi" when both records
+	// carry an observed CPI stack, else "stall-derived" (always available).
+	StackKind string        `json:"stack_kind"`
+	Buckets   []BucketDelta `json:"buckets"`
+	Config    []ConfigDelta `json:"config"`
+	Classes   []ClassDelta  `json:"classes"`
+}
+
+// bucketTotals sums a stack over slots into per-bucket slot-cycle totals,
+// preserving bucket order.
+func bucketTotals(st CycleStack) (names []string, totals map[string]int64) {
+	totals = make(map[string]int64, len(st.Buckets))
+	for _, row := range st.Slots {
+		for b, v := range row {
+			if b < len(st.Buckets) {
+				totals[st.Buckets[b]] += v
+			}
+		}
+	}
+	return st.Buckets, totals
+}
+
+// Compute builds the exact diff from run a to run b.
+func Compute(a, b *RunRecord) (*Diff, error) {
+	hashA, err := a.ContentHash()
+	if err != nil {
+		return nil, err
+	}
+	hashB, err := b.ContentHash()
+	if err != nil {
+		return nil, err
+	}
+	d := &Diff{
+		HashA: hashA, HashB: hashB,
+		KeyA: a.Key, KeyB: b.Key,
+		TagA: a.Tag, TagB: b.Tag,
+		CyclesA: a.Result.Cycles, CyclesB: b.Result.Cycles,
+		SlotsA: a.slotCount(), SlotsB: b.slotCount(),
+		InstructionsA: a.Result.Instructions, InstructionsB: b.Result.Instructions,
+		SwitchesA: a.Result.Switches, SwitchesB: b.Result.Switches,
+		CycleDelta:     int64(b.Result.Cycles) - int64(a.Result.Cycles),
+		SlotCycleDelta: int64(b.slotCount())*int64(b.Result.Cycles) - int64(a.slotCount())*int64(a.Result.Cycles),
+	}
+
+	// Attribution stack: exact CPI only when both sides have it — mixing an
+	// exact stack with a stall-derived one would compare different bucket
+	// vocabularies and break the exactness invariant.
+	stackA, exactA := a.stack()
+	stackB, exactB := b.stack()
+	if exactA && exactB {
+		d.StackKind = "exact-cpi"
+	} else {
+		d.StackKind = "stall-derived"
+		stackA, stackB = a.Stack, b.Stack
+	}
+
+	namesA, totalsA := bucketTotals(stackA)
+	namesB, totalsB := bucketTotals(stackB)
+	order := append([]string{}, namesB...)
+	for _, n := range namesA {
+		if _, ok := totalsB[n]; !ok {
+			order = append(order, n)
+		}
+	}
+	var sum int64
+	for _, n := range order {
+		bd := BucketDelta{Name: n, A: totalsA[n], B: totalsB[n]}
+		bd.Delta = bd.B - bd.A
+		sum += bd.Delta
+		d.Buckets = append(d.Buckets, bd)
+	}
+	if sum != d.SlotCycleDelta {
+		return nil, fmt.Errorf("runledger: diff attribution is inexact: bucket deltas sum to %d slot-cycles, total delta is %d (corrupt stack?)", sum, d.SlotCycleDelta)
+	}
+
+	d.Config = diffConfig(a.Config.Lines, b.Config.Lines)
+	d.Classes = diffClasses(a, b)
+	return d, nil
+}
+
+// diffConfig pairs canonical "name=value" lines by field name and reports
+// the fields whose values differ.
+func diffConfig(linesA, linesB []string) []ConfigDelta {
+	parse := func(lines []string) (map[string]string, []string) {
+		m := make(map[string]string, len(lines))
+		order := make([]string, 0, len(lines))
+		for _, ln := range lines {
+			name, val, ok := strings.Cut(ln, "=")
+			if !ok {
+				continue
+			}
+			m[name] = val
+			order = append(order, name)
+		}
+		return m, order
+	}
+	ma, _ := parse(linesA)
+	mb, orderB := parse(linesB)
+	var out []ConfigDelta
+	for _, name := range orderB {
+		if ma[name] != mb[name] {
+			out = append(out, ConfigDelta{Name: name, A: ma[name], B: mb[name]})
+		}
+	}
+	for name, val := range ma {
+		if _, ok := mb[name]; !ok {
+			out = append(out, ConfigDelta{Name: name, A: val})
+		}
+	}
+	return out
+}
+
+// diffClasses aggregates per-unit statistics to per-class utilization and
+// pairs the classes of both runs.
+func diffClasses(a, b *RunRecord) []ClassDelta {
+	type agg struct {
+		units int
+		busy  uint64
+	}
+	collect := func(r *RunRecord) (map[string]agg, []string) {
+		m := map[string]agg{}
+		var order []string
+		for _, u := range r.Result.Units {
+			if _, ok := m[u.Class]; !ok {
+				order = append(order, u.Class)
+			}
+			e := m[u.Class]
+			e.units++
+			e.busy += u.BusyCycles
+			m[u.Class] = e
+		}
+		return m, order
+	}
+	util := func(e agg, cycles uint64) float64 {
+		if e.units == 0 || cycles == 0 {
+			return 0
+		}
+		return float64(e.busy) / (float64(e.units) * float64(cycles))
+	}
+	ma, orderA := collect(a)
+	mb, orderB := collect(b)
+	order := append([]string{}, orderB...)
+	for _, c := range orderA {
+		if _, ok := mb[c]; !ok {
+			order = append(order, c)
+		}
+	}
+	var out []ClassDelta
+	for _, c := range order {
+		ea, eb := ma[c], mb[c]
+		out = append(out, ClassDelta{
+			Class:  c,
+			UnitsA: ea.units, UnitsB: eb.units,
+			BusyA: ea.busy, BusyB: eb.busy,
+			UtilA: util(ea, a.Result.Cycles), UtilB: util(eb, b.Result.Cycles),
+		})
+	}
+	return out
+}
+
+// Format renders the diff for a terminal.
+func (d *Diff) Format() string {
+	var b strings.Builder
+	label := func(tag, key string) string {
+		if tag != "" {
+			return fmt.Sprintf("%s (%s)", tag, ShortKey(key))
+		}
+		return ShortKey(key)
+	}
+	fmt.Fprintf(&b, "diff %s -> %s\n", label(d.TagA, d.KeyA), label(d.TagB, d.KeyB))
+	fmt.Fprintf(&b, "  cycles: %d -> %d (%+d)   slots: %d -> %d   instructions: %d -> %d\n",
+		d.CyclesA, d.CyclesB, d.CycleDelta, d.SlotsA, d.SlotsB, d.InstructionsA, d.InstructionsB)
+	if d.CyclesA > 0 && d.CyclesB > 0 {
+		fmt.Fprintf(&b, "  IPC: %.4f -> %.4f\n",
+			float64(d.InstructionsA)/float64(d.CyclesA), float64(d.InstructionsB)/float64(d.CyclesB))
+	}
+	if len(d.Config) > 0 {
+		b.WriteString("  config:\n")
+		for _, c := range d.Config {
+			fmt.Fprintf(&b, "    %-20s %s -> %s\n", c.Name, orDash(c.A), orDash(c.B))
+		}
+	}
+	fmt.Fprintf(&b, "  cycle accounting (%s, slot-cycles; deltas sum to %+d = S_B*T_B - S_A*T_A):\n",
+		d.StackKind, d.SlotCycleDelta)
+	for _, bk := range d.Buckets {
+		if bk.A == 0 && bk.B == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    %-18s %12d -> %12d  (%+d)\n", bk.Name, bk.A, bk.B, bk.Delta)
+	}
+	if len(d.Classes) > 0 {
+		b.WriteString("  unit utilization (U = N*L/T):\n")
+		for _, c := range d.Classes {
+			if c.BusyA == 0 && c.BusyB == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-12s units %d -> %d   U %.3f -> %.3f  (%+.3f)\n",
+				c.Class, c.UnitsA, c.UnitsB, c.UtilA, c.UtilB, c.UtilB-c.UtilA)
+		}
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// WriteJSON writes the diff as indented JSON.
+func (d *Diff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

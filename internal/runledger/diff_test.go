@@ -1,0 +1,132 @@
+package runledger
+
+import (
+	"strings"
+	"testing"
+
+	"hirata/internal/core"
+)
+
+// TestDiffExactness: bucket deltas must sum exactly to S_B·T_B − S_A·T_A,
+// across equal and unequal slot counts.
+func TestDiffExactness(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfgA, cfgB core.Config
+		cycA, cycB uint64
+	}{
+		{"same-slots", core.Config{ThreadSlots: 2}, core.Config{ThreadSlots: 2, LoadStoreUnits: 2}, 1000, 1200},
+		{"more-slots", core.Config{ThreadSlots: 2}, core.Config{ThreadSlots: 8}, 1000, 400},
+		{"improvement", core.Config{ThreadSlots: 4}, core.Config{ThreadSlots: 4, StandbyStations: true}, 900, 700},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := synthRecord(t, "A", tc.cfgA, tc.cycA)
+			b := synthRecord(t, "B", tc.cfgB, tc.cycB)
+			d, err := Compute(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum int64
+			for _, bk := range d.Buckets {
+				sum += bk.Delta
+			}
+			slotsA := int64(tc.cfgA.Effective().ThreadSlots)
+			slotsB := int64(tc.cfgB.Effective().ThreadSlots)
+			want := slotsB*int64(tc.cycB) - slotsA*int64(tc.cycA)
+			if sum != want || d.SlotCycleDelta != want {
+				t.Fatalf("bucket deltas sum to %d, SlotCycleDelta %d, want %d", sum, d.SlotCycleDelta, want)
+			}
+			if d.CycleDelta != int64(tc.cycB)-int64(tc.cycA) {
+				t.Fatalf("CycleDelta = %d", d.CycleDelta)
+			}
+			if d.StackKind != "stall-derived" {
+				t.Fatalf("StackKind = %q", d.StackKind)
+			}
+		})
+	}
+}
+
+// TestDiffExactCPIPreferred: when both records carry exact CPI stacks the
+// diff attributes over them, still exactly.
+func TestDiffExactCPIPreferred(t *testing.T) {
+	a := synthRecord(t, "A", core.Config{ThreadSlots: 2}, 100)
+	b := synthRecord(t, "B", core.Config{ThreadSlots: 2, LoadStoreUnits: 2}, 80)
+	buckets := []string{"issued", "data-dep", "idle"}
+	a.SetExactCPI(buckets, [][]int64{{40, 30, 30}, {50, 25, 25}})
+	b.SetExactCPI(buckets, [][]int64{{45, 15, 20}, {40, 20, 20}})
+	d, err := Compute(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.StackKind != "exact-cpi" {
+		t.Fatalf("StackKind = %q, want exact-cpi", d.StackKind)
+	}
+	var sum int64
+	for _, bk := range d.Buckets {
+		sum += bk.Delta
+	}
+	if want := int64(2*80 - 2*100); sum != want {
+		t.Fatalf("exact-CPI deltas sum to %d, want %d", sum, want)
+	}
+
+	// One-sided exact CPI falls back to the stall-derived stacks.
+	c := synthRecord(t, "C", core.Config{ThreadSlots: 2}, 90)
+	d2, err := Compute(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.StackKind != "stall-derived" {
+		t.Fatalf("one-sided exact CPI: StackKind = %q", d2.StackKind)
+	}
+}
+
+// TestDiffCorruptStackRejected: a stack that does not cover its run's
+// cycles must fail the exactness invariant, not silently misattribute.
+func TestDiffCorruptStackRejected(t *testing.T) {
+	a := synthRecord(t, "A", core.Config{ThreadSlots: 2}, 100)
+	b := synthRecord(t, "B", core.Config{ThreadSlots: 2, LoadStoreUnits: 2}, 120)
+	b.Stack.Slots[0][0] += 5 // row no longer sums to cycles
+	if _, err := Compute(a, b); err == nil || !strings.Contains(err.Error(), "inexact") {
+		t.Fatalf("Compute(corrupt) = %v, want inexactness error", err)
+	}
+}
+
+// TestDiffConfigAndClasses: the config delta names exactly the changed
+// canonical fields, and utilization follows U = busy/(units·T).
+func TestDiffConfigAndClasses(t *testing.T) {
+	a := synthRecord(t, "A", core.Config{ThreadSlots: 8}, 1000)
+	b := synthRecord(t, "B", core.Config{ThreadSlots: 8, LoadStoreUnits: 2, StandbyStations: true}, 800)
+	d, err := Compute(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := map[string]bool{}
+	for _, c := range d.Config {
+		changed[c.Name] = true
+	}
+	if !changed["LoadStoreUnits"] || !changed["StandbyStations"] || len(changed) != 2 {
+		t.Errorf("config delta = %v, want exactly {LoadStoreUnits, StandbyStations}", d.Config)
+	}
+
+	var alu *ClassDelta
+	for i := range d.Classes {
+		if d.Classes[i].Class == "IntALU" {
+			alu = &d.Classes[i]
+		}
+	}
+	if alu == nil {
+		t.Fatal("no IntALU class delta")
+	}
+	// synthRecord gives IntALU busy = cycles/2 over one unit: U = 0.5.
+	if alu.UtilA != 0.5 || alu.UtilB != 0.5 {
+		t.Errorf("IntALU U = %.3f -> %.3f, want 0.5 -> 0.5", alu.UtilA, alu.UtilB)
+	}
+
+	out := d.Format()
+	for _, want := range []string{"LoadStoreUnits", "cycle accounting", "unit utilization", "data-dep"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package runledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// envelope is one ledger line: the content hash plus the record's canonical
+// bytes, exactly as hashed. Keeping the raw bytes (rather than re-marshaling
+// a decoded struct) makes hash verification on load independent of any
+// future serialization drift.
+type envelope struct {
+	Hash   string          `json:"hash"`
+	Record json.RawMessage `json:"record"`
+}
+
+// Entry is one stored record with its content address.
+type Entry struct {
+	Hash   string
+	Record *RunRecord
+	Bytes  int // canonical payload size
+}
+
+// Stats summarises a ledger for the observability endpoints.
+type Stats struct {
+	Records     int    // stored records (content-distinct)
+	Keys        int    // distinct run keys
+	Bytes       int64  // total canonical payload bytes
+	Appends     uint64 // Append calls this process
+	DedupHits   uint64 // Append calls that found the content hash already stored
+	LoadedTotal uint64 // records loaded from disk at Open
+}
+
+// Ledger is an append-only run store. With a backing path every accepted
+// record is durably appended as one JSONL envelope line; without one
+// (NewMemory) the ledger is an in-process store, which the HTTP endpoints
+// and tests use. All methods are safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	path    string
+	entries []Entry
+	byHash  map[string]int
+	stats   Stats
+}
+
+// NewMemory returns an in-memory ledger.
+func NewMemory() *Ledger {
+	return &Ledger{byHash: make(map[string]int)}
+}
+
+// Open opens (creating if absent) the ledger file at path and loads and
+// verifies every existing record: each line's payload must hash to its
+// stored content address, so silent corruption or hand-editing is detected
+// at open time rather than surfacing as a wrong diff later.
+func Open(path string) (*Ledger, error) {
+	l := NewMemory()
+	l.path = path
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runledger: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal([]byte(text), &env); err != nil {
+			return nil, fmt.Errorf("runledger: %s:%d: %w", path, line, err)
+		}
+		if got := digestBytes(env.Record); got != env.Hash {
+			return nil, fmt.Errorf("runledger: %s:%d: content hash mismatch: stored %s, payload hashes to %s",
+				path, line, ShortKey(env.Hash), ShortKey(got))
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(env.Record, &rec); err != nil {
+			return nil, fmt.Errorf("runledger: %s:%d: %w", path, line, err)
+		}
+		if _, dup := l.byHash[env.Hash]; dup {
+			continue
+		}
+		l.byHash[env.Hash] = len(l.entries)
+		l.entries = append(l.entries, Entry{Hash: env.Hash, Record: &rec, Bytes: len(env.Record)})
+		l.stats.Bytes += int64(len(env.Record))
+		l.stats.LoadedTotal++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runledger: %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// Append stores rec, content-addressed by the hash of its canonical bytes.
+// A record whose content hash is already present is not stored again
+// (dup=true); a new record is appended to the backing file, if any, before
+// it becomes visible. The returned hash is the record's content address
+// either way.
+func (l *Ledger) Append(rec *RunRecord) (hash string, dup bool, err error) {
+	payload, err := rec.Canonical()
+	if err != nil {
+		return "", false, fmt.Errorf("runledger: %w", err)
+	}
+	hash = digestBytes(payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Appends++
+	if _, ok := l.byHash[hash]; ok {
+		l.stats.DedupHits++
+		return hash, true, nil
+	}
+	if l.path != "" {
+		env, err := json.Marshal(envelope{Hash: hash, Record: payload})
+		if err != nil {
+			return "", false, fmt.Errorf("runledger: %w", err)
+		}
+		f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return "", false, fmt.Errorf("runledger: %w", err)
+		}
+		_, werr := f.Write(append(env, '\n'))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return "", false, fmt.Errorf("runledger: %w", werr)
+		}
+	}
+	// Store a defensive copy: callers may keep mutating their record.
+	var stored RunRecord
+	if err := json.Unmarshal(payload, &stored); err != nil {
+		return "", false, fmt.Errorf("runledger: %w", err)
+	}
+	l.byHash[hash] = len(l.entries)
+	l.entries = append(l.entries, Entry{Hash: hash, Record: &stored, Bytes: len(payload)})
+	l.stats.Bytes += int64(len(payload))
+	return hash, false, nil
+}
+
+// Len returns the number of stored (content-distinct) records.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entries returns the stored records in append order.
+func (l *Ledger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Last returns the most recent n entries (fewer if the ledger is shorter),
+// oldest first.
+func (l *Ledger) Last(n int) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.entries) {
+		n = len(l.entries)
+	}
+	out := make([]Entry, n)
+	copy(out, l.entries[len(l.entries)-n:])
+	return out
+}
+
+// Find resolves a selector to a stored entry. A selector is a prefix (or
+// the whole) of a content hash or of a run key; when several records share
+// a matching run key the most recently appended wins. Ambiguity across
+// *distinct* hashes/keys is an error.
+func (l *Ledger) Find(sel string) (Entry, error) {
+	if sel == "" {
+		return Entry{}, fmt.Errorf("runledger: empty run selector")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Identity of a match: the content hash when the selector matched the
+	// hash, else the run key. Several records sharing one run key (same run,
+	// different optional sections) are one identity — the newest wins — but
+	// a selector spanning two distinct identities is ambiguous.
+	var match Entry
+	found := false
+	identities := map[string]bool{}
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		e := l.entries[i]
+		switch {
+		case strings.HasPrefix(e.Hash, sel):
+			identities[e.Hash] = true
+		case strings.HasPrefix(e.Record.Key, sel):
+			identities[e.Record.Key] = true
+		default:
+			continue
+		}
+		if !found {
+			match, found = e, true
+		}
+	}
+	if !found {
+		return Entry{}, fmt.Errorf("runledger: no record matches %q", sel)
+	}
+	if len(identities) > 1 {
+		ids := make([]string, 0, len(identities))
+		for id := range identities {
+			ids = append(ids, ShortKey(id))
+		}
+		sort.Strings(ids)
+		return Entry{}, fmt.Errorf("runledger: selector %q is ambiguous (matches %s)", sel, strings.Join(ids, ", "))
+	}
+	return match, nil
+}
+
+// Stats returns a snapshot of the ledger's counters.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Records = len(l.entries)
+	keys := map[string]bool{}
+	for _, e := range l.entries {
+		keys[e.Record.Key] = true
+	}
+	s.Keys = len(keys)
+	return s
+}
+
+// Path returns the backing file path ("" for an in-memory ledger).
+func (l *Ledger) Path() string { return l.path }

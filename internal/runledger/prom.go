@@ -1,0 +1,101 @@
+package runledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// runSummary is one row of the /runs index: enough to pick a record without
+// fetching its full payload.
+type runSummary struct {
+	Hash         string `json:"hash"`
+	Key          string `json:"key"`
+	Tag          string `json:"tag,omitempty"`
+	Revision     string `json:"revision"`
+	Slots        int    `json:"slots"`
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	ExactCPI     bool   `json:"exact_cpi"`
+	Bounds       bool   `json:"bounds"`
+}
+
+// WriteRunsIndex writes the JSON index served at /runs: ledger stats plus
+// one summary row per record in append order. Implements obs.RunsSource.
+func (l *Ledger) WriteRunsIndex(w io.Writer) error {
+	entries := l.Entries()
+	st := l.Stats()
+	doc := struct {
+		Records int          `json:"records"`
+		Keys    int          `json:"keys"`
+		Bytes   int64        `json:"bytes"`
+		Runs    []runSummary `json:"runs"`
+	}{Records: st.Records, Keys: st.Keys, Bytes: st.Bytes, Runs: make([]runSummary, 0, len(entries))}
+	for _, e := range entries {
+		doc.Runs = append(doc.Runs, runSummary{
+			Hash:         e.Hash,
+			Key:          e.Record.Key,
+			Tag:          e.Record.Tag,
+			Revision:     e.Record.Revision,
+			Slots:        e.Record.slotCount(),
+			Cycles:       e.Record.Result.Cycles,
+			Instructions: e.Record.Result.Instructions,
+			ExactCPI:     e.Record.ExactCPI != nil,
+			Bounds:       e.Record.Bounds != nil,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// RunJSON resolves a selector (hash or run-key prefix) and returns the
+// record's stored envelope — content hash plus canonical payload — as
+// indented JSON. Implements obs.RunsSource; /runs/<sel> serves this.
+func (l *Ledger) RunJSON(sel string) ([]byte, bool) {
+	e, err := l.Find(sel)
+	if err != nil {
+		return nil, false
+	}
+	payload, err := e.Record.Canonical()
+	if err != nil {
+		return nil, false
+	}
+	doc := struct {
+		Hash   string          `json:"hash"`
+		Record json.RawMessage `json:"record"`
+	}{Hash: e.Hash, Record: payload}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, false
+	}
+	return append(out, '\n'), true
+}
+
+// WriteRunsPrometheus appends the ledger's gauges and counters in
+// Prometheus text exposition format; the obs /metrics handler concatenates
+// this after the simulation metrics. Implements obs.RunsSource.
+func (l *Ledger) WriteRunsPrometheus(w io.Writer) error {
+	st := l.Stats()
+	_, err := fmt.Fprintf(w,
+		"# HELP hirata_runledger_records Content-distinct run records currently stored in the attached ledger.\n"+
+			"# TYPE hirata_runledger_records gauge\n"+
+			"hirata_runledger_records %d\n"+
+			"# HELP hirata_runledger_keys Distinct run keys (input identities) in the attached ledger.\n"+
+			"# TYPE hirata_runledger_keys gauge\n"+
+			"hirata_runledger_keys %d\n"+
+			"# HELP hirata_runledger_bytes Total canonical payload bytes stored in the attached ledger.\n"+
+			"# TYPE hirata_runledger_bytes gauge\n"+
+			"hirata_runledger_bytes %d\n"+
+			"# HELP hirata_runledger_appends_total Append calls against the ledger in this process.\n"+
+			"# TYPE hirata_runledger_appends_total counter\n"+
+			"hirata_runledger_appends_total %d\n"+
+			"# HELP hirata_runledger_dedup_hits_total Appends that found their content hash already stored.\n"+
+			"# TYPE hirata_runledger_dedup_hits_total counter\n"+
+			"hirata_runledger_dedup_hits_total %d\n"+
+			"# HELP hirata_runledger_loaded_total Records loaded and hash-verified from the backing file at open.\n"+
+			"# TYPE hirata_runledger_loaded_total counter\n"+
+			"hirata_runledger_loaded_total %d\n",
+		st.Records, st.Keys, st.Bytes, st.Appends, st.DedupHits, st.LoadedTotal)
+	return err
+}

@@ -1,0 +1,184 @@
+package runledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hirata/internal/buildinfo"
+	"hirata/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var promSample = regexp.MustCompile(`^([a-z_]+)(\{[^}]*\})? [-+0-9.eE]+$`)
+
+// TestRunsPrometheusLint applies the repo's promlint conventions to the
+// ledger exposition: HELP/TYPE pair before every sample, counters end in
+// _total, gauges do not, everything in the hirata_ namespace — and pins the
+// exposition with a golden (regenerate with -update).
+func TestRunsPrometheusLint(t *testing.T) {
+	buildinfo.SetForTest(&buildinfo.Info{Revision: "feedcafe0123deadbeef", GoVersion: "go1.0-test"})
+	defer buildinfo.SetForTest(nil)
+
+	l := NewMemory()
+	for i, cycles := range []uint64{1000, 2000, 1000} {
+		cfg := core.Config{ThreadSlots: 2 + 2*(i%2)}
+		if _, _, err := l.Append(synthRecord(t, "lint", cfg, cycles)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One duplicate to exercise the dedup counter.
+	if _, dup, err := l.Append(synthRecord(t, "lint", core.Config{ThreadSlots: 2}, 1000)); err != nil || !dup {
+		t.Fatalf("dedup append: dup=%v err=%v", dup, err)
+	}
+
+	var buf bytes.Buffer
+	if err := l.WriteRunsPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	type meta struct{ help, typ string }
+	metas := map[string]meta{}
+	var current string
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) != 2 || fields[1] == "" {
+				t.Errorf("line %d: HELP without text: %q", i+1, line)
+				continue
+			}
+			current = fields[0]
+			m := metas[current]
+			m.help = fields[1]
+			metas[current] = m
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Errorf("line %d: malformed TYPE: %q", i+1, line)
+				continue
+			}
+			if fields[0] != current {
+				t.Errorf("line %d: TYPE %s does not follow its HELP (current %s)", i+1, fields[0], current)
+			}
+			if fields[1] != "counter" && fields[1] != "gauge" {
+				t.Errorf("line %d: unknown metric type %q", i+1, fields[1])
+			}
+			m := metas[fields[0]]
+			m.typ = fields[1]
+			metas[fields[0]] = m
+		case line == "":
+			t.Errorf("line %d: blank line in exposition", i+1)
+		default:
+			match := promSample.FindStringSubmatch(line)
+			if match == nil {
+				t.Errorf("line %d: unparsable sample: %q", i+1, line)
+				continue
+			}
+			name := match[1]
+			m, ok := metas[name]
+			if !ok || m.help == "" || m.typ == "" {
+				t.Errorf("line %d: sample %s has no preceding # HELP/# TYPE pair", i+1, name)
+				continue
+			}
+			if !strings.HasPrefix(name, "hirata_runledger_") {
+				t.Errorf("line %d: metric %s outside the hirata_runledger_ namespace", i+1, name)
+			}
+			switch m.typ {
+			case "counter":
+				if !strings.HasSuffix(name, "_total") {
+					t.Errorf("line %d: counter %s does not end in _total", i+1, name)
+				}
+			case "gauge":
+				if strings.HasSuffix(name, "_total") {
+					t.Errorf("line %d: gauge %s ends in _total", i+1, name)
+				}
+			}
+		}
+	}
+	for _, want := range []string{
+		"hirata_runledger_records", "hirata_runledger_keys", "hirata_runledger_bytes",
+		"hirata_runledger_appends_total", "hirata_runledger_dedup_hits_total", "hirata_runledger_loaded_total",
+	} {
+		if _, ok := metas[want]; !ok {
+			t.Errorf("exposition lacks %s", want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "runledger_metrics.golden.prom")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s (run with -update to regenerate);\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestRunsIndexAndFetch covers the obs.RunsSource JSON surfaces.
+func TestRunsIndexAndFetch(t *testing.T) {
+	l := NewMemory()
+	rec := synthRecord(t, "idx", core.Config{ThreadSlots: 2}, 1000)
+	hash, _, err := l.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := l.WriteRunsIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Records int `json:"records"`
+		Runs    []struct {
+			Hash string `json:"hash"`
+			Key  string `json:"key"`
+			Tag  string `json:"tag"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Records != 1 || len(doc.Runs) != 1 || doc.Runs[0].Hash != hash || doc.Runs[0].Tag != "idx" {
+		t.Fatalf("index = %+v", doc)
+	}
+
+	body, ok := l.RunJSON(hash[:10])
+	if !ok {
+		t.Fatal("RunJSON(prefix) not found")
+	}
+	var env struct {
+		Hash   string          `json:"hash"`
+		Record json.RawMessage `json:"record"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	// The endpoint pretty-prints; compacting recovers the canonical bytes
+	// the content hash is defined over.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Record); err != nil {
+		t.Fatal(err)
+	}
+	if env.Hash != hash || DigestBytes(compact.Bytes()) != hash {
+		t.Fatal("served envelope does not hash-verify")
+	}
+	if _, ok := l.RunJSON("nope"); ok {
+		t.Fatal("RunJSON of absent selector succeeded")
+	}
+}

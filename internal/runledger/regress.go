@@ -1,0 +1,124 @@
+package runledger
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Shift is one detected cycle-count change between two consecutive records
+// of the same lineage in a ledger, with its CPI-stack attribution.
+type Shift struct {
+	Lineage    string        `json:"lineage"` // record tag, or the run key when untagged
+	FromHash   string        `json:"from_hash"`
+	ToHash     string        `json:"to_hash"`
+	FromRev    string        `json:"from_rev"`
+	ToRev      string        `json:"to_rev"`
+	CyclesFrom uint64        `json:"cycles_from"`
+	CyclesTo   uint64        `json:"cycles_to"`
+	Delta      int64         `json:"delta"`
+	RelDelta   float64       `json:"rel_delta"`
+	Buckets    []BucketDelta `json:"buckets"` // nonzero attribution, largest |delta| first
+}
+
+// Regress walks a ledger's entries in append order and flags every pair of
+// consecutive same-lineage records whose cycle counts differ by more than
+// tol (relative, e.g. 0 flags any change). Lineage is the record tag when
+// set — re-recording a tagged configuration across revisions builds its
+// trajectory — else the run key, in which case any shift is by construction
+// a determinism violation or a simulator-semantics change, since the key
+// pins all inputs.
+func Regress(entries []Entry, tol float64) []Shift {
+	prev := map[string]Entry{}
+	var shifts []Shift
+	for _, e := range entries {
+		lineage := e.Record.Tag
+		if lineage == "" {
+			lineage = e.Record.Key
+		}
+		p, ok := prev[lineage]
+		prev[lineage] = e
+		if !ok {
+			continue
+		}
+		from, to := p.Record.Result.Cycles, e.Record.Result.Cycles
+		if from == 0 {
+			continue
+		}
+		rel := (float64(to) - float64(from)) / float64(from)
+		if rel == 0 || abs(rel) <= tol {
+			continue
+		}
+		s := Shift{
+			Lineage:    lineage,
+			FromHash:   p.Hash,
+			ToHash:     e.Hash,
+			FromRev:    p.Record.Revision,
+			ToRev:      e.Record.Revision,
+			CyclesFrom: from,
+			CyclesTo:   to,
+			Delta:      int64(to) - int64(from),
+			RelDelta:   rel,
+		}
+		if d, err := Compute(p.Record, e.Record); err == nil {
+			for _, b := range d.Buckets {
+				if b.Delta != 0 {
+					s.Buckets = append(s.Buckets, b)
+				}
+			}
+			sort.SliceStable(s.Buckets, func(i, j int) bool {
+				return abs64(s.Buckets[i].Delta) > abs64(s.Buckets[j].Delta)
+			})
+		}
+		shifts = append(shifts, s)
+	}
+	return shifts
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// WriteShifts renders ledger regression shifts for a terminal.
+func WriteShifts(w io.Writer, shifts []Shift) {
+	for _, s := range shifts {
+		fmt.Fprintf(w, "%s: cycles %d -> %d (%+d, %+.2f%%)  [%s @ %s -> %s @ %s]\n",
+			s.Lineage, s.CyclesFrom, s.CyclesTo, s.Delta, s.RelDelta*100,
+			ShortKey(s.FromHash), s.FromRev, ShortKey(s.ToHash), s.ToRev)
+		for i, b := range s.Buckets {
+			if i == 4 {
+				fmt.Fprintf(w, "    ... %d more bucket(s)\n", len(s.Buckets)-i)
+				break
+			}
+			fmt.Fprintf(w, "    %-18s %+d slot-cycles\n", b.Name, b.Delta)
+		}
+	}
+}
+
+// FormatShiftSummary is the one-line verdict for CI logs.
+func FormatShiftSummary(shifts []Shift) string {
+	if len(shifts) == 0 {
+		return "runledger: no cycle-count shifts"
+	}
+	lineages := map[string]bool{}
+	for _, s := range shifts {
+		lineages[s.Lineage] = true
+	}
+	names := make([]string, 0, len(lineages))
+	for l := range lineages {
+		names = append(names, ShortKey(l))
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("runledger: %d cycle-count shift(s) across %s", len(shifts), strings.Join(names, ", "))
+}

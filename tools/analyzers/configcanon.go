@@ -1,0 +1,153 @@
+package main
+
+// configcanon: every field of core.Config must be *mentioned* in
+// internal/core/canonical.go — either encoded (a canonicalFields row names
+// it) or deliberately excluded (a canonicalExcluded entry). The canonical
+// encoding is the run ledger's cache key: a Config field added without a
+// decision here would silently alias two different machines under one run
+// key. The reflection test in internal/core enforces encoded-xor-excluded
+// at test time; this check makes a plain *omission* a vet-time error, and
+// also flags stale mentions of fields that no longer exist.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// checkConfigCanon runs the cross-reference when both files exist under the
+// working directory (they do when the tool runs from the module root;
+// restricted-root runs skip it).
+func checkConfigCanon(configPath, canonPath string, failed *bool) []string {
+	configSrc, errConfig := os.ReadFile(configPath)
+	canonSrc, errCanon := os.ReadFile(canonPath)
+	if os.IsNotExist(errConfig) && os.IsNotExist(errCanon) {
+		return nil
+	}
+	if errConfig != nil || errCanon != nil {
+		*failed = true
+		fmt.Fprintf(os.Stderr, "analyzers: configcanon: %v / %v\n", errConfig, errCanon)
+		return nil
+	}
+	fs, err := configCanonCheck(configPath, configSrc, canonPath, canonSrc)
+	if err != nil {
+		*failed = true
+		fmt.Fprintln(os.Stderr, "analyzers: configcanon:", err)
+	}
+	return fs
+}
+
+// configCanonCheck cross-references the Config struct's field names against
+// the identifiers and string literals of the canonical encoder, in both
+// directions. It is pure so tests can drive it with fixtures.
+func configCanonCheck(configPath string, configSrc []byte, canonPath string, canonSrc []byte) ([]string, error) {
+	fset := token.NewFileSet()
+	cf, err := parser.ParseFile(fset, configPath, configSrc, 0)
+	if err != nil {
+		return nil, err
+	}
+	fields := map[string]token.Pos{}
+	ast.Inspect(cf, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || ts.Name.Name != "Config" {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, f := range st.Fields.List {
+			for _, name := range f.Names {
+				if name.IsExported() {
+					fields[name.Name] = name.Pos()
+				}
+			}
+		}
+		return false
+	})
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("%s declares no Config struct fields", configPath)
+	}
+
+	kf, err := parser.ParseFile(fset, canonPath, canonSrc, 0)
+	if err != nil {
+		return nil, err
+	}
+	// A mention is a bare identifier, a selector (c.ThreadSlots), or a field
+	// name inside a string literal ("ThreadSlots", "name=value" lines in
+	// canonicalExcluded keys, doc strings quoting the field).
+	mentions := map[string]bool{}
+	ast.Inspect(kf, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			mentions[v.Name] = true
+		case *ast.BasicLit:
+			if v.Kind == token.STRING {
+				s := strings.Trim(v.Value, "`\"")
+				for name := range fields {
+					if strings.Contains(s, name) {
+						mentions[name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var findings []string
+	for name, pos := range fields {
+		if !mentions[name] {
+			findings = append(findings, fmt.Sprintf(
+				"%s: configcanon: Config field %s is not mentioned in %s — add it to canonicalFields or canonicalExcluded (the run ledger's cache key must decide every field)",
+				fset.Position(pos), name, canonPath))
+		}
+	}
+	// Reverse direction: a canonicalExcluded key naming a field that no
+	// longer exists is a stale exclusion.
+	for name, pos := range staleExcludedKeys(kf, fields) {
+		findings = append(findings, fmt.Sprintf(
+			"%s: configcanon: canonicalExcluded names %s, which is not a Config field in %s",
+			fset.Position(pos), name, configPath))
+	}
+	return findings, nil
+}
+
+// staleExcludedKeys returns canonicalExcluded map keys that do not name a
+// current Config field.
+func staleExcludedKeys(f *ast.File, fields map[string]token.Pos) map[string]token.Pos {
+	stale := map[string]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for i, name := range vs.Names {
+			if name.Name != "canonicalExcluded" || i >= len(vs.Values) {
+				continue
+			}
+			cl, ok := vs.Values[i].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				bl, ok := kv.Key.(*ast.BasicLit)
+				if !ok || bl.Kind != token.STRING {
+					continue
+				}
+				key := strings.Trim(bl.Value, "`\"")
+				if _, live := fields[key]; !live {
+					stale[key] = bl.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return stale
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const configFixture = `package core
+
+type Config struct {
+	ThreadSlots int
+	QueueDepth  int
+	NewKnob     int
+	MaxCycles   uint64
+}
+`
+
+// canonFixture mentions ThreadSlots (identifier in a fields row), MaxCycles
+// (canonicalExcluded key) and QueueDepth (string literal) — but not NewKnob
+// — and excludes a field that no longer exists.
+const canonFixture = `package core
+
+var canonicalFields = []canonicalField{
+	{"ThreadSlots", func(c Config) string { return intField(c.ThreadSlots) }},
+	{"QueueDepth", func(c Config) string { return intField(c.QueueDepth) }},
+}
+
+var canonicalExcluded = map[string]string{
+	"MaxCycles":  "abort limit only",
+	"GoneField":  "this field was removed from Config",
+}
+`
+
+func TestConfigCanonFindings(t *testing.T) {
+	findings, err := configCanonCheck("config.go", []byte(configFixture), "canonical.go", []byte(canonFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want 2: %v", len(findings), findings)
+	}
+	joined := strings.Join(findings, "\n")
+	if !strings.Contains(joined, "Config field NewKnob is not mentioned") {
+		t.Errorf("missing unmentioned-field finding for NewKnob:\n%s", joined)
+	}
+	if !strings.Contains(joined, "canonicalExcluded names GoneField") {
+		t.Errorf("missing stale-exclusion finding for GoneField:\n%s", joined)
+	}
+}
+
+func TestConfigCanonClean(t *testing.T) {
+	canon := `package core
+
+var canonicalFields = []canonicalField{
+	{"ThreadSlots", func(c Config) string { return intField(c.ThreadSlots) }},
+	{"QueueDepth", func(c Config) string { return intField(c.QueueDepth) }},
+	{"NewKnob", func(c Config) string { return intField(c.NewKnob) }},
+}
+
+var canonicalExcluded = map[string]string{
+	"MaxCycles": "abort limit only",
+}
+`
+	findings, err := configCanonCheck("config.go", []byte(configFixture), "canonical.go", []byte(canon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean fixture produced findings: %v", findings)
+	}
+}
+
+func TestConfigCanonLivePair(t *testing.T) {
+	// The real pair must stay in sync; run the check over the repository's
+	// own files.
+	configSrc, err := os.ReadFile("../../internal/core/config.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonSrc, err := os.ReadFile("../../internal/core/canonical.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := configCanonCheck("internal/core/config.go", configSrc, "internal/core/canonical.go", canonSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("live Config/canonical pair out of sync:\n%s", strings.Join(findings, "\n"))
+	}
+}

@@ -41,6 +41,12 @@
 //     code stability; an undocumented code (or stale docs for a removed
 //     one) breaks that contract silently.
 //
+//   - configcanon: every core.Config field must be mentioned in
+//     internal/core/canonical.go — encoded in canonicalFields or excluded
+//     with a reason in canonicalExcluded. The canonical encoding is the run
+//     ledger's cache key; a field added without a decision there would
+//     silently alias two different machines under one run key.
+//
 // Usage (from the module root):
 //
 //	go run ./tools/analyzers ./...
@@ -87,6 +93,7 @@ func main() {
 		}
 	}
 	findings = append(findings, checkDiagDoc("internal/lint/diag.go", "docs/LINT.md", &failed)...)
+	findings = append(findings, checkConfigCanon("internal/core/config.go", "internal/core/canonical.go", &failed)...)
 	sort.Strings(findings)
 	for _, f := range findings {
 		fmt.Println(f)

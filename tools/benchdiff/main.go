@@ -24,6 +24,13 @@
 //	go run ./tools/benchdiff -baseline BENCH_sweep.json -in bench-out.txt -update
 //	go run ./tools/benchdiff -in bench-out.txt -history BENCH_history.jsonl -phases selfprofile.json
 //	go run ./tools/benchdiff -trend -history BENCH_history.jsonl
+//	go run ./tools/benchdiff -trend -ledger runs.ledger
+//
+// The gate writes machine-readable results alongside the console report:
+// -summary-json emits the per-benchmark verdicts as JSON (a CI artifact),
+// -summary-md a GitHub-flavored markdown table for $GITHUB_STEP_SUMMARY.
+// With -trend, -ledger prints per-lineage simulated-cycle trajectories from
+// a hirata-report run ledger instead of the host-side bench history.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"time"
 
 	"hirata/internal/buildinfo"
+	"hirata/internal/runledger"
 )
 
 // benchLine matches one result line of `go test -bench` output, e.g.
@@ -269,6 +277,128 @@ func writeTrend(w io.Writer, rows []historyRow) {
 	}
 }
 
+// gateRow is one benchmark's verdict in the baseline gate.
+type gateRow struct {
+	Name     string  `json:"name"`
+	Status   string  `json:"status"` // ok, FAIL, new
+	NsPerOp  float64 `json:"ns_per_op"`
+	Baseline float64 `json:"baseline_ns_per_op,omitempty"`
+	RelDelta float64 `json:"rel_delta,omitempty"` // (measured/baseline)-1; absent for new benchmarks
+}
+
+// gateSummary is the machine-readable result of one baseline-gate run,
+// written by -summary-json and rendered by -summary-md for the CI step
+// summary.
+type gateSummary struct {
+	Tolerance  float64   `json:"tolerance"`
+	Passed     bool      `json:"passed"`
+	Benchmarks []gateRow `json:"benchmarks"`
+}
+
+// runGate compares the measured ns/op map against the baseline and returns
+// every benchmark's verdict, sorted by name.
+func runGate(measured, baseline map[string]float64, tol float64) gateSummary {
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := gateSummary{Tolerance: tol, Passed: true}
+	for _, name := range names {
+		got := measured[name]
+		want, ok := baseline[name]
+		if !ok {
+			s.Benchmarks = append(s.Benchmarks, gateRow{Name: name, Status: "new", NsPerOp: got})
+			continue
+		}
+		row := gateRow{Name: name, Status: "ok", NsPerOp: got, Baseline: want, RelDelta: got/want - 1}
+		if got/want > tol {
+			row.Status = "FAIL"
+			s.Passed = false
+		}
+		s.Benchmarks = append(s.Benchmarks, row)
+	}
+	return s
+}
+
+// writeText prints the human gate report (the classic console format).
+func (s gateSummary) writeText(w io.Writer) {
+	for _, r := range s.Benchmarks {
+		if r.Status == "new" {
+			fmt.Fprintf(w, "  new  %-50s %12.0f ns/op (no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(w, "  %-4s %-50s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
+			r.Status, r.Name, r.NsPerOp, r.Baseline, r.RelDelta*100)
+	}
+}
+
+// writeMarkdown renders the gate as a GitHub-flavored markdown table for
+// $GITHUB_STEP_SUMMARY.
+func (s gateSummary) writeMarkdown(w io.Writer) {
+	verdict := "PASS"
+	if !s.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "### Benchmark gate: %s (tolerance %+.0f%%)\n\n", verdict, (s.Tolerance-1)*100)
+	fmt.Fprintln(w, "| benchmark | status | ns/op | baseline | Δ |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|")
+	for _, r := range s.Benchmarks {
+		if r.Status == "new" {
+			fmt.Fprintf(w, "| %s | new | %.0f | — | — |\n", r.Name, r.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %s | %.0f | %.0f | %+.1f%% |\n",
+			r.Name, r.Status, r.NsPerOp, r.Baseline, r.RelDelta*100)
+	}
+}
+
+// writeJSONFile writes the summary as an indented JSON document.
+func (s gateSummary) writeJSONFile(path string) error {
+	js, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(js, '\n'), 0o644)
+}
+
+// writeLedgerTrend prints each lineage's simulated-cycle trajectory from a
+// content-addressed run ledger: the cross-run counterpart of the host-side
+// bench history, keyed by what the simulator computed rather than how fast
+// the host ran it.
+func writeLedgerTrend(w io.Writer, entries []runledger.Entry) {
+	lineage := func(e runledger.Entry) string {
+		if e.Record.Tag != "" {
+			return e.Record.Tag
+		}
+		return runledger.ShortKey(e.Record.Key)
+	}
+	var order []string
+	byLine := map[string][]runledger.Entry{}
+	for _, e := range entries {
+		ln := lineage(e)
+		if _, ok := byLine[ln]; !ok {
+			order = append(order, ln)
+		}
+		byLine[ln] = append(byLine[ln], e)
+	}
+	fmt.Fprintf(w, "run ledger: %d record(s), %d lineage(s)\n", len(entries), len(order))
+	for _, ln := range order {
+		fmt.Fprintf(w, "%s\n", ln)
+		prev := uint64(0)
+		for _, e := range byLine[ln] {
+			r := e.Record
+			delta := "      —"
+			if prev > 0 {
+				delta = fmt.Sprintf("%+6.1f%%", (float64(r.Result.Cycles)/float64(prev)-1)*100)
+			}
+			fmt.Fprintf(w, "  %-13s %-13s %2d slots %12d cycles  %s  ipc %.3f\n",
+				runledger.ShortKey(e.Hash), r.Revision, len(r.Result.Slots), r.Result.Cycles, delta, r.IPC())
+			prev = r.Result.Cycles
+		}
+	}
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_sweep.json", "baseline JSON file (its \"benchmarks\" map holds ns/op per name)")
@@ -280,9 +410,23 @@ func main() {
 		phasesPath   = flag.String("phases", "", "with -history, embed the phase_profile from this hirata-bench -self-profile-json file")
 		trend        = flag.Bool("trend", false, "print the per-benchmark trajectory recorded in -history (default BENCH_history.jsonl) and exit")
 		historyTol   = flag.Float64("history-tolerance", 0.10, "with -history, fail when sim-cycles/s drops by more than this fraction vs the previous same-host-class row")
+		ledgerPath   = flag.String("ledger", "", "with -trend, print per-lineage run trajectories from this hirata-report run ledger instead of the bench history")
+		summaryJSON  = flag.String("summary-json", "", "write the gate's per-benchmark verdicts as JSON here (CI artifact)")
+		summaryMD    = flag.String("summary-md", "", "write the gate's verdicts as a markdown table here (append to $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 
+	if *trend && *ledgerPath != "" {
+		led, err := runledger.Open(*ledgerPath)
+		if err != nil {
+			fatal(err)
+		}
+		if led.Len() == 0 {
+			fatal(fmt.Errorf("benchdiff: %s holds no run records", *ledgerPath))
+		}
+		writeLedgerTrend(os.Stdout, led.Entries())
+		return
+	}
 	if *trend {
 		path := *historyPath
 		if path == "" {
@@ -378,29 +522,21 @@ func main() {
 		return
 	}
 
-	names := make([]string, 0, len(measured.NsPerOp))
-	for name := range measured.NsPerOp {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	failed := false
-	for _, name := range names {
-		got := measured.NsPerOp[name]
-		want, ok := baseline[name]
-		if !ok {
-			fmt.Printf("  new  %-50s %12.0f ns/op (no baseline)\n", name, got)
-			continue
+	summary := runGate(measured.NsPerOp, baseline, *tolerance)
+	summary.writeText(os.Stdout)
+	if *summaryJSON != "" {
+		if err := summary.writeJSONFile(*summaryJSON); err != nil {
+			fatal(err)
 		}
-		ratio := got / want
-		status := "ok"
-		if ratio > *tolerance {
-			status = "FAIL"
-			failed = true
-		}
-		fmt.Printf("  %-4s %-50s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
-			status, name, got, want, (ratio-1)*100)
 	}
-	if failed {
+	if *summaryMD != "" {
+		var buf strings.Builder
+		summary.writeMarkdown(&buf)
+		if err := os.WriteFile(*summaryMD, []byte(buf.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if !summary.Passed {
 		fmt.Fprintf(os.Stderr, "benchdiff: performance regression beyond %.0f%% tolerance\n", (*tolerance-1)*100)
 		os.Exit(1)
 	}

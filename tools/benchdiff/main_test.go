@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hirata/internal/runledger"
 )
 
 const benchOut = `goos: linux
@@ -113,6 +116,84 @@ func TestHistoryRoundTripAndTrend(t *testing.T) {
 	for _, want := range []string{"BenchmarkSimulatorThroughput", "sim-cycles/s", "+0.0%", "2 run(s)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("trend output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGateSummaryOutputs(t *testing.T) {
+	measured := map[string]float64{
+		"BenchmarkSteady": 1000,
+		"BenchmarkSlower": 2400,
+		"BenchmarkNew":    500,
+	}
+	baseline := map[string]float64{
+		"BenchmarkSteady": 1010,
+		"BenchmarkSlower": 2000,
+	}
+	s := runGate(measured, baseline, 1.10)
+	if s.Passed {
+		t.Error("gate passed despite a 20% regression")
+	}
+	byName := map[string]gateRow{}
+	for _, r := range s.Benchmarks {
+		byName[r.Name] = r
+	}
+	if byName["BenchmarkSteady"].Status != "ok" ||
+		byName["BenchmarkSlower"].Status != "FAIL" ||
+		byName["BenchmarkNew"].Status != "new" {
+		t.Errorf("verdicts = %+v", s.Benchmarks)
+	}
+	if d := byName["BenchmarkSlower"].RelDelta; d < 0.19 || d > 0.21 {
+		t.Errorf("RelDelta = %v, want ~0.20", d)
+	}
+
+	var md strings.Builder
+	s.writeMarkdown(&md)
+	for _, want := range []string{"### Benchmark gate: FAIL", "| BenchmarkSlower | FAIL |", "| BenchmarkNew | new |", "+20.0%"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown summary missing %q:\n%s", want, md.String())
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "summary.json")
+	if err := s.writeJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back gateSummary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Passed || len(back.Benchmarks) != 3 || back.Tolerance != 1.10 {
+		t.Errorf("round-tripped summary = %+v", back)
+	}
+
+	if ok := runGate(map[string]float64{"BenchmarkSteady": 1000}, baseline, 1.10); !ok.Passed {
+		t.Error("steady benchmark failed the gate")
+	}
+}
+
+func TestLedgerTrend(t *testing.T) {
+	led := runledger.NewMemory()
+	for i, cycles := range []uint64{1000, 1000, 1500} {
+		rec := &runledger.RunRecord{Tag: "ray8"}
+		rec.Revision = "rev" + string(rune('a'+i))
+		rec.Key = "k"
+		rec.Result.Cycles = cycles
+		rec.Result.Instructions = 2 * cycles
+		if _, _, err := led.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	writeLedgerTrend(&buf, led.Entries())
+	out := buf.String()
+	for _, want := range []string{"ray8", "+50.0%", "+0.0%", "1 lineage(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ledger trend missing %q:\n%s", want, out)
 		}
 	}
 }
